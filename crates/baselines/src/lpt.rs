@@ -1,0 +1,87 @@
+//! Longest processing time first (LPT).
+
+use crate::assign_in_order;
+use pcmax_core::{Instance, Result, Schedule, Scheduler};
+
+/// LPT: list scheduling on the jobs sorted by non-increasing processing time.
+///
+/// Graham (1969) proved the ratio `4/3 − 1/(3m)`; the paper uses LPT both as
+/// a baseline and inside the PTAS to place the short jobs (Lines 41–51 of
+/// Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lpt;
+
+impl Scheduler for Lpt {
+    fn name(&self) -> &'static str {
+        "LPT"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+        Ok(assign_in_order(inst, &inst.jobs_by_decreasing_time()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::{lower_bound, Instance, Scheduler};
+
+    #[test]
+    fn beats_ls_on_a_separating_example() {
+        // In the given order LS ends at 4 (the long job lands on a loaded
+        // machine); LPT places the long job first and reaches the optimum 3.
+        let inst = Instance::new(vec![1, 1, 1, 3], 2).unwrap();
+        assert_eq!(crate::Ls.makespan(&inst).unwrap(), 4);
+        assert_eq!(Lpt.makespan(&inst).unwrap(), 3);
+    }
+
+    #[test]
+    fn achieves_exact_worst_case_ratio_on_grahams_instance() {
+        // Jobs {2m−1, 2m−1, ..., m+1, m+1, m, m, m} on m machines: LPT gives
+        // 4m−1, the optimum is 3m.
+        for m in 2..7usize {
+            let inst = pcmax_core::Instance::new(
+                {
+                    let mut ts = Vec::new();
+                    for v in (m + 1)..=(2 * m - 1) {
+                        ts.push(v as u64);
+                        ts.push(v as u64);
+                    }
+                    ts.extend_from_slice(&[m as u64; 3]);
+                    ts
+                },
+                m,
+            )
+            .unwrap();
+            assert_eq!(Lpt.makespan(&inst).unwrap(), (4 * m - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn perfectly_packs_equal_jobs() {
+        let inst = Instance::new(vec![5; 12], 4).unwrap();
+        assert_eq!(Lpt.makespan(&inst).unwrap(), 15);
+    }
+
+    #[test]
+    fn respects_four_thirds_bound() {
+        let inst = Instance::new(vec![7, 6, 6, 5, 4, 4, 3, 2, 1, 1], 3).unwrap();
+        let ms = Lpt.makespan(&inst).unwrap() as f64;
+        let lb = lower_bound(&inst) as f64;
+        let m = inst.machines() as f64;
+        assert!(ms <= (4.0 / 3.0 - 1.0 / (3.0 * m)) * lb + 1e-9);
+    }
+
+    #[test]
+    fn never_worse_than_ls_on_these_instances() {
+        use crate::Ls;
+        for times in [
+            vec![9u64, 8, 7, 1, 1, 1, 1],
+            vec![4, 4, 4, 4, 4],
+            vec![10, 1, 10, 1, 10, 1],
+        ] {
+            let inst = Instance::new(times, 3).unwrap();
+            assert!(Lpt.makespan(&inst).unwrap() <= Ls.makespan(&inst).unwrap());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Graham's list scheduling (LS).
+
+use crate::assign_in_order;
+use pcmax_core::{Instance, Result, Schedule, Scheduler};
+
+/// List scheduling: walk the jobs in their given (arbitrary) order and place
+/// each on a currently least-loaded machine.
+///
+/// Graham (1966) showed LS is a `(2 − 1/m)`-approximation, and Helmbold &
+/// Mayr showed computing LS schedules is P-complete — which is why the paper
+/// parallelizes the PTAS rather than the greedy algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ls;
+
+impl Scheduler for Ls {
+    fn name(&self) -> &'static str {
+        "LS"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+        let order: Vec<usize> = (0..inst.jobs()).collect();
+        Ok(assign_in_order(inst, &order))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::{lower_bound, Instance};
+
+    #[test]
+    fn schedules_all_jobs_validly() {
+        let inst = Instance::new(vec![5, 3, 8, 2, 7, 1], 3).unwrap();
+        let s = Ls.schedule(&inst).unwrap();
+        s.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn single_machine_is_total_time() {
+        let inst = Instance::new(vec![5, 3, 8], 1).unwrap();
+        assert_eq!(Ls.makespan(&inst).unwrap(), 16);
+    }
+
+    #[test]
+    fn order_sensitivity_is_real() {
+        // LS on increasing order can be worse than on decreasing order —
+        // the classical motivation for LPT. Jobs {3,3,2,2,2} on 2 machines:
+        // arbitrary (given) order {2,2,2,3,3} yields makespan 7, LPT order 6.
+        let inst = Instance::new(vec![2, 2, 2, 3, 3], 2).unwrap();
+        assert_eq!(Ls.makespan(&inst).unwrap(), 7);
+    }
+
+    #[test]
+    fn respects_graham_bound() {
+        let inst = Instance::new(vec![9, 7, 5, 4, 4, 3, 2, 2, 1], 3).unwrap();
+        let ms = Ls.makespan(&inst).unwrap();
+        let lb = lower_bound(&inst);
+        let m = inst.machines() as f64;
+        assert!((ms as f64) <= (2.0 - 1.0 / m) * lb as f64);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        assert_eq!(Ls.makespan(&inst).unwrap(), 0);
+    }
+}

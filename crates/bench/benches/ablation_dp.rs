@@ -1,0 +1,39 @@
+//! Ablation: the three DP evaluation orders — iterative dense bottom-up,
+//! memoized top-down (only reachable states; the shape of Algorithm 2) and
+//! the wavefront-parallel sweep (Algorithm 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_parallel::ParallelDp;
+use pcmax_ptas::dp::DpSolver;
+use pcmax_ptas::{rounded_problem, DpProblem, EpsilonParams, IterativeDp, MemoizedDp};
+use pcmax_workloads::{generate, Distribution, Family};
+use std::time::Duration;
+
+fn representative_problem() -> DpProblem {
+    let inst = generate(Family::new(20, 100, Distribution::U1To100), 1);
+    let eps = EpsilonParams::new(0.3).unwrap();
+    let target = pcmax_core::lower_bound(&inst);
+    rounded_problem(&inst, &eps, target, DpProblem::DEFAULT_MAX_ENTRIES).0
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dp");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let problem = representative_problem();
+    group.bench_with_input(BenchmarkId::new("iterative", "m20n100"), &problem, |b, p| {
+        b.iter(|| IterativeDp.solve(p).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("memoized", "m20n100"), &problem, |b, p| {
+        b.iter(|| MemoizedDp.solve(p).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", "m20n100"), &problem, |b, p| {
+        let solver = ParallelDp::default();
+        b.iter(|| solver.solve(p).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 2 micro-benchmark (m=20, n=100): the computational kernels behind
+//! the speedup figure — the sequential PTAS, the real rayon-parallel PTAS
+//! and the exact (IP) solver on one representative instance per family.
+//!
+//! The full figure (averaged series over all processor counts) is produced
+//! by `cargo run -p pcmax-bench --release --bin repro -- fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_core::Scheduler;
+use pcmax_exact::BranchAndBound;
+use pcmax_parallel::ParallelPtas;
+use pcmax_ptas::Ptas;
+use pcmax_workloads::{generate, Distribution, Family};
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_m20_n100");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for dist in Distribution::figure_families() {
+        let inst = generate(Family::new(20, 100, dist), 1);
+        let label = dist.to_string();
+        group.bench_with_input(BenchmarkId::new("ptas_seq", &label), &inst, |b, inst| {
+            let ptas = Ptas::new(0.3).unwrap();
+            b.iter(|| ptas.schedule(inst).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ptas_par", &label), &inst, |b, inst| {
+            let ptas = ParallelPtas::new(0.3).unwrap();
+            b.iter(|| ptas.schedule(inst).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ip_exact", &label), &inst, |b, inst| {
+            let ip = BranchAndBound::with_budget(2_000_000);
+            b.iter(|| ip.solve_detailed(inst).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3 micro-benchmark (m=10, n=50): kernels behind the speedup figure.
+//! Full figure: `cargo run -p pcmax-bench --release --bin repro -- fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_core::Scheduler;
+use pcmax_exact::BranchAndBound;
+use pcmax_parallel::ParallelPtas;
+use pcmax_ptas::Ptas;
+use pcmax_workloads::{generate, Distribution, Family};
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_m10_n50");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for dist in Distribution::figure_families() {
+        let inst = generate(Family::new(10, 50, dist), 1);
+        let label = dist.to_string();
+        group.bench_with_input(BenchmarkId::new("ptas_seq", &label), &inst, |b, inst| {
+            let ptas = Ptas::new(0.3).unwrap();
+            b.iter(|| ptas.schedule(inst).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ptas_par", &label), &inst, |b, inst| {
+            let ptas = ParallelPtas::new(0.3).unwrap();
+            b.iter(|| ptas.schedule(inst).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ip_exact", &label), &inst, |b, inst| {
+            let ip = BranchAndBound::with_budget(2_000_000);
+            b.iter(|| ip.solve_detailed(inst).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Extension bench: speculative w-ary bisection vs plain binary bisection
+//! inside the parallel PTAS. Wider search trades redundant DP probes for
+//! fewer sequential rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_core::Scheduler;
+use pcmax_parallel::{ParallelPtas, SpeculativePtas};
+use pcmax_workloads::{generate, Distribution, Family};
+use std::time::Duration;
+
+fn bench_speculative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculative_bisection");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let inst = generate(Family::new(10, 30, Distribution::U1To100), 1);
+    group.bench_with_input(BenchmarkId::new("binary", "m10n30"), &inst, |b, inst| {
+        let algo = ParallelPtas::new(0.3).unwrap();
+        b.iter(|| algo.schedule(inst).unwrap())
+    });
+    for width in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("speculative", format!("w{width}")),
+            &inst,
+            |b, inst| {
+                let algo = SpeculativePtas::new(0.3, width).unwrap();
+                b.iter(|| algo.schedule(inst).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speculative);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! ```text
+//! repro fig2 [--reps N] [--json FILE]    Figure 2 (m=20, n=100, 3 panels)
+//! repro fig3 [--reps N] [--json FILE]    Figure 3 (m=10, n=50)
+//! repro fig4 [--reps N] [--json FILE]    Figure 4 (m=10, n=30)
+//! repro fig5 [--json FILE]               Figure 5 (ratios, both panels)
+//! repro tables                           Tables II and III (instance sets)
+//! repro families [--reps N]              mean ratios across all 24 families
+//! repro all  [--reps N] [--paper]        everything above
+//! ```
+//!
+//! `--paper` restores the paper's 20 instances per family (slow on one
+//! core); the default is 5.
+
+use pcmax_bench::experiments::{speedup_figure, SpeedupConfig, SpeedupFigure};
+use pcmax_bench::ratios::{ratio_figure, RatioFigure};
+use pcmax_bench::report::{render_ratios, render_speedup};
+use pcmax_bench::tables::{best_case_instances, worst_case_instances};
+use pcmax_workloads::ExperimentSet;
+use serde::Serialize;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Args {
+    command: String,
+    reps: usize,
+    json: Option<String>,
+    paper: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        command,
+        reps: 5,
+        json: None,
+        paper: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--reps" => {
+                let v = args.next().ok_or("--reps needs a value".to_string())?;
+                parsed.reps = v.parse().map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            "--json" => {
+                parsed.json = Some(args.next().ok_or("--json needs a path".to_string())?);
+            }
+            "--paper" => parsed.paper = true,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if parsed.paper {
+        parsed.reps = 20;
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: repro <fig2|fig3|fig4|fig5|tables|families|all> [--reps N] [--paper] [--json FILE]".to_string()
+}
+
+#[derive(Serialize)]
+struct JsonOutput {
+    speedup_figures: Vec<SpeedupFigure>,
+    ratio_figures: Vec<RatioFigure>,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let config = SpeedupConfig::default();
+    let mut json = JsonOutput {
+        speedup_figures: Vec::new(),
+        ratio_figures: Vec::new(),
+    };
+    let all = args.command == "all";
+
+    if all || args.command == "fig2" {
+        let fig = speedup_figure("Figure 2", ExperimentSet::fig2(args.reps), &config)?;
+        print!("{}", render_speedup(&fig));
+        json.speedup_figures.push(fig);
+    }
+    if all || args.command == "fig3" {
+        let fig = speedup_figure("Figure 3", ExperimentSet::fig3(args.reps), &config)?;
+        print!("{}", render_speedup(&fig));
+        json.speedup_figures.push(fig);
+    }
+    if all || args.command == "fig4" {
+        let fig = speedup_figure("Figure 4", ExperimentSet::fig4(args.reps), &config)?;
+        print!("{}", render_speedup(&fig));
+        json.speedup_figures.push(fig);
+    }
+    if all || args.command == "tables" {
+        println!("== Table II: best-case instances ==");
+        for c in best_case_instances() {
+            println!(
+                "{:<5}{:<46} n={:<4} m={}",
+                c.label,
+                c.description,
+                c.instance.jobs(),
+                c.instance.machines()
+            );
+        }
+        println!("\n== Table III: worst-case instances ==");
+        for c in worst_case_instances() {
+            println!(
+                "{:<5}{:<46} n={:<4} m={}",
+                c.label,
+                c.description,
+                c.instance.jobs(),
+                c.instance.machines()
+            );
+        }
+        println!();
+    }
+    if all || args.command == "families" {
+        let rows = pcmax_bench::families::family_ratio_sweep(
+            args.reps.min(5),
+            0xFA_77,
+            20_000_000,
+        )?;
+        print!("{}", pcmax_bench::families::render_family_ratios(&rows));
+        println!();
+    }
+    if all || args.command == "fig5" {
+        let a = ratio_figure(
+            "Figure 5(a): actual approximation ratios, best cases",
+            &best_case_instances(),
+            0.3,
+        )?;
+        print!("{}", render_ratios(&a));
+        let b = ratio_figure(
+            "Figure 5(b): actual approximation ratios, worst cases",
+            &worst_case_instances(),
+            0.3,
+        )?;
+        print!("{}", render_ratios(&b));
+        json.ratio_figures.push(a);
+        json.ratio_figures.push(b);
+    }
+    if !all
+        && !["fig2", "fig3", "fig4", "fig5", "tables", "families"]
+            .contains(&args.command.as_str())
+    {
+        return Err(usage().into());
+    }
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, serde_json::to_string_pretty(&json)?)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! The speedup/running-time experiments of Figures 2, 3 and 4.
+//!
+//! Per instance family (the four distributions at a fixed `(m, n)` shape):
+//!
+//! * **sequential PTAS time** — measured wall-clock of `pcmax_ptas::Ptas`,
+//! * **IP time** — measured wall-clock of the exact branch-and-bound solver
+//!   (the CPLEX substitute; budget-limited exactly like a MIP time limit),
+//! * **parallel time at `P` cores** — the measured sequential PTAS time
+//!   divided by the *simulated* speedup of the wavefront DP on `P`
+//!   processors (`pcmax-simcore`; see DESIGN.md §2 — the build host need not
+//!   have `P` physical cores),
+//! * **speedup vs PTAS / vs IP** — ratios of the above, averaged over the
+//!   seeded instances of the family.
+
+use pcmax_core::{stats, Instance, Result, Scheduler};
+use pcmax_exact::BranchAndBound;
+use pcmax_ptas::Ptas;
+use pcmax_simcore::{simulate_ptas, SimParams};
+use pcmax_workloads::{ExperimentSet, Family};
+use serde::Serialize;
+
+use crate::timing::{time_secs, time_stable};
+
+/// One family's averaged measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilyRow {
+    /// The instance family.
+    pub family: Family,
+    /// Processor counts of the sweep (the paper uses 2..16).
+    pub procs: Vec<usize>,
+    /// Mean simulated speedup of the parallel algorithm vs the sequential
+    /// PTAS, per processor count.
+    pub speedup_vs_ptas: Vec<f64>,
+    /// Mean speedup vs the IP (exact) solver, per processor count.
+    pub speedup_vs_ip: Vec<f64>,
+    /// Mean measured IP wall-clock seconds.
+    pub time_ip_s: f64,
+    /// Mean measured sequential PTAS wall-clock seconds.
+    pub time_ptas_s: f64,
+    /// Mean derived parallel wall-clock seconds per processor count.
+    pub time_par_s: Vec<f64>,
+    /// Fraction of instances where the IP solver proved optimality within
+    /// its budget (CPLEX-style time limit).
+    pub ip_proven_frac: f64,
+}
+
+/// A full speedup figure: one row per family at a fixed `(m, n)` shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupFigure {
+    /// Figure label ("Figure 2" etc).
+    pub label: String,
+    /// The experiment shape.
+    pub machines: usize,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Instances per family that were averaged.
+    pub reps: usize,
+    /// Rows per family.
+    pub rows: Vec<FamilyRow>,
+}
+
+/// Configuration of a speedup experiment run.
+#[derive(Debug, Clone)]
+pub struct SpeedupConfig {
+    /// Processor counts to sweep.
+    pub procs: Vec<usize>,
+    /// PTAS accuracy (the paper fixes 0.3).
+    pub epsilon: f64,
+    /// Node budget for the IP solver per instance.
+    pub ip_budget: u64,
+}
+
+impl Default for SpeedupConfig {
+    fn default() -> Self {
+        Self {
+            procs: vec![2, 4, 8, 16],
+            epsilon: 0.3,
+            ip_budget: 40_000_000,
+        }
+    }
+}
+
+/// Runs one speedup figure over `set` (e.g. [`ExperimentSet::fig2`]).
+pub fn speedup_figure(
+    label: &str,
+    set: ExperimentSet,
+    config: &SpeedupConfig,
+) -> Result<SpeedupFigure> {
+    let mut rows = Vec::new();
+    for family_instances in set.materialize() {
+        rows.push(family_row(
+            family_instances.family,
+            &family_instances.instances,
+            config,
+        )?);
+    }
+    Ok(SpeedupFigure {
+        label: label.to_string(),
+        machines: set.machines,
+        jobs: set.jobs,
+        reps: set.reps,
+        rows,
+    })
+}
+
+fn family_row(family: Family, instances: &[Instance], config: &SpeedupConfig) -> Result<FamilyRow> {
+    let ptas = Ptas::new(config.epsilon)?;
+    let ip = BranchAndBound::with_budget(config.ip_budget);
+
+    let mut ip_times = Vec::new();
+    let mut ptas_times = Vec::new();
+    let mut proven = 0usize;
+    // speedups[i][j] = simulated speedup of instance j at procs[i].
+    let mut speedups = vec![Vec::new(); config.procs.len()];
+
+    for inst in instances {
+        let (out, ip_s) = time_secs(|| ip.solve_detailed(inst));
+        if out?.proven {
+            proven += 1;
+        }
+        ip_times.push(ip_s);
+        // The PTAS is fast; stabilize with repeated runs.
+        let ptas_s = time_stable(0.05, || ptas.schedule(inst).expect("ptas cannot fail"));
+        ptas_times.push(ptas_s);
+        for (i, &p) in config.procs.iter().enumerate() {
+            let report = simulate_ptas(inst, config.epsilon, SimParams::with_processors(p))?;
+            speedups[i].push(report.speedup());
+        }
+    }
+
+    let time_ip_s = stats::mean(&ip_times).unwrap_or(0.0);
+    let time_ptas_s = stats::mean(&ptas_times).unwrap_or(0.0);
+    let mut speedup_vs_ptas = Vec::new();
+    let mut speedup_vs_ip = Vec::new();
+    let mut time_par_s = Vec::new();
+    for (i, _) in config.procs.iter().enumerate() {
+        let s = stats::mean(&speedups[i]).unwrap_or(1.0);
+        speedup_vs_ptas.push(s);
+        // Parallel wall time = sequential PTAS time shrunk by the simulated
+        // speedup; per-instance IP/parallel ratios averaged.
+        let per_instance_vs_ip: Vec<f64> = instances
+            .iter()
+            .enumerate()
+            .map(|(j, _)| ip_times[j] / (ptas_times[j] / speedups[i][j]))
+            .collect();
+        speedup_vs_ip.push(stats::mean(&per_instance_vs_ip).unwrap_or(1.0));
+        time_par_s.push(time_ptas_s / s);
+    }
+
+    Ok(FamilyRow {
+        family,
+        procs: config.procs.clone(),
+        speedup_vs_ptas,
+        speedup_vs_ip,
+        time_ip_s,
+        time_ptas_s,
+        time_par_s,
+        ip_proven_frac: proven as f64 / instances.len().max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_figure_runs_end_to_end() {
+        let set = ExperimentSet {
+            machines: 4,
+            jobs: 12,
+            reps: 2,
+            base_seed: 7,
+        };
+        let config = SpeedupConfig {
+            procs: vec![2, 4],
+            epsilon: 0.3,
+            ip_budget: 1_000_000,
+        };
+        let fig = speedup_figure("test", set, &config).unwrap();
+        assert_eq!(fig.rows.len(), 4);
+        for row in &fig.rows {
+            assert_eq!(row.speedup_vs_ptas.len(), 2);
+            assert_eq!(row.speedup_vs_ip.len(), 2);
+            assert!(row.time_ptas_s > 0.0);
+            for &s in &row.speedup_vs_ptas {
+                assert!(s > 0.0 && s <= 4.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every figure and table of the paper's
+//! evaluation (Section V). See DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run -p pcmax-bench --release --bin repro -- all
+//! cargo run -p pcmax-bench --release --bin repro -- fig2 --reps 5 --json out.json
+//! ```
+
+pub mod experiments;
+pub mod families;
+pub mod ratios;
+pub mod report;
+pub mod tables;
+pub mod timing;
+
+pub use experiments::{speedup_figure, FamilyRow, SpeedupFigure};
+pub use families::{family_ratio_sweep, render_family_ratios, FamilyRatioRow};
+pub use ratios::{ratio_figure, RatioCase, RatioFigure};
+pub use tables::{best_case_instances, worst_case_instances, CaseInstance};
+pub use timing::time_secs;

@@ -1,0 +1,145 @@
+//! Plain-text rendering of the experiment results (the "rows/series the
+//! paper reports") plus JSON persistence.
+
+use crate::experiments::SpeedupFigure;
+use crate::ratios::RatioFigure;
+use std::fmt::Write as _;
+
+/// Renders a speedup figure as three aligned panels, mirroring the paper's
+/// (a) speedup vs PTAS, (b) speedup vs IP, (c) running times.
+pub fn render_speedup(fig: &SpeedupFigure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} (m={}, n={}, {} instances/family, eps=0.3) ==",
+        fig.label, fig.machines, fig.jobs, fig.reps
+    );
+    let procs = fig
+        .rows
+        .first()
+        .map(|r| r.procs.clone())
+        .unwrap_or_default();
+    let header: String = procs.iter().map(|p| format!("{:>8}", format!("P={p}"))).collect();
+
+    let _ = writeln!(out, "\n(a) average speedup vs sequential PTAS");
+    let _ = writeln!(out, "{:<22}{header}", "family");
+    for row in &fig.rows {
+        let cells: String = row
+            .speedup_vs_ptas
+            .iter()
+            .map(|s| format!("{s:>8.2}"))
+            .collect();
+        let _ = writeln!(out, "{:<22}{cells}", row.family.dist.to_string());
+    }
+
+    let _ = writeln!(out, "\n(b) average speedup vs IP (exact solver)");
+    let _ = writeln!(out, "{:<22}{header}", "family");
+    for row in &fig.rows {
+        let cells: String = row
+            .speedup_vs_ip
+            .iter()
+            .map(|s| format!("{s:>8.1}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<22}{cells}  (IP proven: {:.0}%)",
+            row.family.dist.to_string(),
+            row.ip_proven_frac * 100.0
+        );
+    }
+
+    let _ = writeln!(out, "\n(c) average running times [s]");
+    let _ = writeln!(out, "{:<22}{:>10}{:>10}{}", "family", "IP", "PTAS", header);
+    for row in &fig.rows {
+        let cells: String = row.time_par_s.iter().map(|t| format!("{t:>8.4}")).collect();
+        let _ = writeln!(
+            out,
+            "{:<22}{:>10.3}{:>10.4}{cells}",
+            row.family.dist.to_string(),
+            row.time_ip_s,
+            row.time_ptas_s
+        );
+    }
+    out
+}
+
+/// Renders a ratio figure (one panel of Fig. 5) plus its Table II/III-style
+/// instance listing.
+pub fn render_ratios(fig: &RatioFigure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", fig.label);
+    let _ = writeln!(
+        out,
+        "{:<5}{:<46}{:>9}{:>9}{:>9}{:>9}",
+        "inst", "family", "OPT", "PPTAS", "LPT", "LS"
+    );
+    for c in &fig.cases {
+        let opt = if c.optimum_proven {
+            format!("{}", c.optimum)
+        } else {
+            format!("{}*", c.optimum)
+        };
+        let _ = writeln!(
+            out,
+            "{:<5}{:<46}{:>9}{:>9.3}{:>9.3}{:>9.3}",
+            c.label, c.description, opt, c.ratio_parallel_ptas, c.ratio_lpt, c.ratio_ls
+        );
+    }
+    if fig.cases.iter().any(|c| !c.optimum_proven) {
+        let _ = writeln!(
+            out,
+            "(* = exact solver hit its budget; denominator is its proven lower bound,\n     so these ratios are upper bounds)"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::FamilyRow;
+    use pcmax_workloads::{Distribution, Family};
+
+    #[test]
+    fn speedup_rendering_contains_all_panels() {
+        let fig = SpeedupFigure {
+            label: "Figure X".into(),
+            machines: 4,
+            jobs: 8,
+            reps: 1,
+            rows: vec![FamilyRow {
+                family: Family::new(4, 8, Distribution::U1To10),
+                procs: vec![2, 4],
+                speedup_vs_ptas: vec![1.5, 2.5],
+                speedup_vs_ip: vec![10.0, 20.0],
+                time_ip_s: 1.0,
+                time_ptas_s: 0.1,
+                time_par_s: vec![0.066, 0.04],
+                ip_proven_frac: 1.0,
+            }],
+        };
+        let s = render_speedup(&fig);
+        assert!(s.contains("(a)") && s.contains("(b)") && s.contains("(c)"));
+        assert!(s.contains("U(1,10)"));
+        assert!(s.contains("P=2"));
+    }
+
+    #[test]
+    fn ratio_rendering_flags_unproven() {
+        let fig = RatioFigure {
+            label: "panel".into(),
+            cases: vec![crate::ratios::RatioCase {
+                label: "I1".into(),
+                description: "d".into(),
+                optimum: 100,
+                optimum_proven: false,
+                ratio_parallel_ptas: 1.01,
+                ratio_lpt: 1.1,
+                ratio_ls: 1.3,
+            }],
+        };
+        let s = render_ratios(&fig);
+        assert!(s.contains("100*"));
+        assert!(s.contains("upper bounds"));
+    }
+}

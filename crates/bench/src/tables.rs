@@ -1,0 +1,132 @@
+//! The best/worst-case instance sets of Tables II and III.
+//!
+//! The paper's prose describes — but does not print — the two tables'
+//! contents: the best cases for the parallel PTAS's actual approximation
+//! ratio include the LPT-adversarial family (`n = 2m+1`, `U(m, 2m−1)`) and
+//! small-value families, while the worst cases include the narrow-range
+//! family `U(95, 105)` and large-value families. These reconstructions are
+//! fixed here (with pinned seeds) so the Fig. 5 experiment is replayable.
+
+use pcmax_core::Instance;
+use pcmax_workloads::{generate, lpt_adversarial, narrow_range, Distribution, Family};
+use serde::Serialize;
+
+/// A named instance of the best/worst-case experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseInstance {
+    /// Instance label (I1..I6 best, I1'..I6' worst).
+    pub label: String,
+    /// Human-readable family description.
+    pub description: String,
+    /// The instance itself.
+    pub instance: Instance,
+}
+
+fn case(label: &str, description: &str, instance: Instance) -> CaseInstance {
+    CaseInstance {
+        label: label.to_string(),
+        description: description.to_string(),
+        instance,
+    }
+}
+
+/// Table II: the six best-case instances I1..I6 (largest LPT-vs-PTAS gap).
+pub fn best_case_instances() -> Vec<CaseInstance> {
+    vec![
+        case(
+            "I1",
+            "m=10 n=21 U(m,2m-1) (LPT-adversarial)",
+            lpt_adversarial(10, 21),
+        ),
+        case(
+            "I2",
+            "m=20 n=41 U(m,2m-1) (LPT-adversarial)",
+            lpt_adversarial(20, 41),
+        ),
+        case(
+            "I3",
+            "m=10 n=30 U(1,10)",
+            generate(Family::new(10, 30, Distribution::U1To10), 303),
+        ),
+        case(
+            "I4",
+            "m=10 n=21 U(m,2m-1) (LPT-adversarial)",
+            lpt_adversarial(10, 99),
+        ),
+        case(
+            "I5",
+            "m=20 n=50 U(1,2m-1)",
+            generate(Family::new(20, 50, Distribution::U1TwoMMinus1), 505),
+        ),
+        case(
+            "I6",
+            "m=10 n=23 deterministic Graham LPT worst case",
+            pcmax_workloads::special::lpt_worst_case_deterministic(10),
+        ),
+    ]
+}
+
+/// Table III: the six worst-case instances I1'..I6' (smallest LPT-vs-PTAS
+/// gap; narrow ranges where rounding cannot separate job sizes).
+pub fn worst_case_instances() -> Vec<CaseInstance> {
+    vec![
+        case("I1'", "m=10 n=30 U(95,105)", narrow_range(10, 30, 11)),
+        case("I2'", "m=10 n=50 U(95,105)", narrow_range(10, 50, 12)),
+        case("I3'", "m=12 n=30 U(95,105)", narrow_range(12, 30, 24)),
+        case(
+            "I4'",
+            "m=10 n=30 U(1,100)",
+            generate(Family::new(10, 30, Distribution::U1To100), 914),
+        ),
+        case(
+            "I5'",
+            "m=10 n=25 U(95,105)",
+            narrow_range(10, 25, 15),
+        ),
+        case(
+            "I6'",
+            "m=20 n=55 U(95,105)",
+            narrow_range(20, 55, 26),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_cases_each() {
+        assert_eq!(best_case_instances().len(), 6);
+        assert_eq!(worst_case_instances().len(), 6);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = best_case_instances()
+            .into_iter()
+            .chain(worst_case_instances())
+            .map(|c| c.label)
+            .collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let a = best_case_instances();
+        let b = best_case_instances();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.instance, y.instance);
+        }
+    }
+
+    #[test]
+    fn adversarial_cases_have_2m_plus_1_jobs() {
+        let cases = best_case_instances();
+        assert_eq!(cases[0].instance.jobs(), 21);
+        assert_eq!(cases[1].instance.jobs(), 41);
+    }
+}

@@ -1,0 +1,44 @@
+//! Wall-clock timing helpers for the harness.
+
+use std::time::Instant;
+
+/// Runs `f` once and returns `(result, seconds)`.
+pub fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Runs `f` repeatedly until `min_total` seconds have elapsed (at least
+/// once), returning the mean seconds per run. Stabilizes sub-millisecond
+/// measurements without pulling Criterion into the binary.
+pub fn time_stable<R>(min_total: f64, mut f: impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    let mut runs = 0u32;
+    loop {
+        std::hint::black_box(f());
+        runs += 1;
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed >= min_total || runs >= 1000 {
+            return elapsed / runs as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_secs_returns_result_and_nonnegative_time() {
+        let (v, s) = time_secs(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn time_stable_averages() {
+        let per_run = time_stable(0.01, || std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(per_run > 0.0 && per_run < 0.01);
+    }
+}

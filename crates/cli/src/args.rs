@@ -1,0 +1,333 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use pcmax_workloads::Distribution;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: pcmax <command> [options]
+
+commands:
+  generate   generate a seeded instance as JSON on stdout
+  bounds     print the LB/UB makespan bounds of an instance
+  solve      solve an instance with one algorithm
+  compare    run every algorithm on an instance and tabulate
+  simulate   simulated speedup curve of the parallel PTAS
+
+common options:
+  -i FILE           read the instance from a JSON file ('-' = stdin)
+  --dist D          distribution: U(1,10) U(1,100) U(1,2m-1) U(1,10n)
+                    U(m,2m-1) U(95,105) or U(lo,hi)
+  -m M, -n N        machines / jobs (with --dist)
+  --seed S          RNG seed (default 1)
+
+solve options:
+  --algo A          ls | lpt | multifit | ptas | pptas | fptas | spec | exact | milp
+  --eps E           PTAS accuracy (default 0.3)
+  --threads T       rayon threads for pptas
+  --budget B        node budget for exact/milp
+  --schedule        also print the full per-machine assignment
+
+simulate options:
+  --procs LIST      comma-separated processor counts (default 1,2,4,8,16)
+  --eps E           PTAS accuracy (default 0.3)";
+
+/// Where the instance comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// JSON file path (`-` = stdin).
+    File(String),
+    /// Generated from a family.
+    Generated {
+        /// Processing-time distribution.
+        dist: Distribution,
+        /// Number of machines.
+        machines: usize,
+        /// Number of jobs.
+        jobs: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `pcmax generate`
+    Generate(Source),
+    /// `pcmax bounds`
+    Bounds(Source),
+    /// `pcmax solve`
+    Solve {
+        /// Instance source.
+        source: Source,
+        /// Algorithm name.
+        algo: String,
+        /// PTAS accuracy.
+        eps: f64,
+        /// Thread count for the parallel PTAS.
+        threads: Option<usize>,
+        /// Node budget for the exact solvers.
+        budget: Option<u64>,
+        /// Print the full assignment.
+        schedule: bool,
+    },
+    /// `pcmax compare`
+    Compare(Source),
+    /// `pcmax simulate`
+    Simulate {
+        /// Instance source.
+        source: Source,
+        /// Processor counts.
+        procs: Vec<usize>,
+        /// PTAS accuracy.
+        eps: f64,
+    },
+}
+
+/// Parses a distribution name as printed by `Distribution::to_string`.
+pub fn parse_dist(s: &str) -> Result<Distribution, String> {
+    let canon = s.replace(' ', "");
+    Ok(match canon.as_str() {
+        "U(1,10)" => Distribution::U1To10,
+        "U(1,100)" => Distribution::U1To100,
+        "U(1,2m-1)" => Distribution::U1TwoMMinus1,
+        "U(1,10n)" => Distribution::U1To10N,
+        "U(m,2m-1)" => Distribution::UMTo2MMinus1,
+        "U(95,105)" => Distribution::U95To105,
+        other => {
+            // U(lo,hi)
+            let inner = other
+                .strip_prefix("U(")
+                .and_then(|x| x.strip_suffix(')'))
+                .ok_or_else(|| format!("unknown distribution {s}"))?;
+            let (lo, hi) = inner
+                .split_once(',')
+                .ok_or_else(|| format!("bad interval {s}"))?;
+            Distribution::Uniform {
+                lo: lo.parse().map_err(|e| format!("bad lo: {e}"))?,
+                hi: hi.parse().map_err(|e| format!("bad hi: {e}"))?,
+            }
+        }
+    })
+}
+
+struct Flags<'a> {
+    argv: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Self {
+            argv,
+            used: vec![false; argv.len()],
+        }
+    }
+
+    fn value(&mut self, names: &[&str]) -> Result<Option<String>, String> {
+        for i in 0..self.argv.len() {
+            if !self.used[i] && names.contains(&self.argv[i].as_str()) {
+                let v = self
+                    .argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{} needs a value", self.argv[i]))?;
+                self.used[i] = true;
+                self.used[i + 1] = true;
+                return Ok(Some(v.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        for i in 0..self.argv.len() {
+            if !self.used[i] && self.argv[i] == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(format!("unexpected argument {}", self.argv[i]));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_source(flags: &mut Flags<'_>) -> Result<Source, String> {
+    if let Some(path) = flags.value(&["-i", "--input"])? {
+        return Ok(Source::File(path));
+    }
+    let dist = parse_dist(
+        &flags
+            .value(&["--dist"])?
+            .ok_or("need either -i FILE or --dist/-m/-n")?,
+    )?;
+    let machines = flags
+        .value(&["-m", "--machines"])?
+        .ok_or("--dist needs -m")?
+        .parse()
+        .map_err(|e| format!("bad -m: {e}"))?;
+    let jobs = flags
+        .value(&["-n", "--jobs"])?
+        .ok_or("--dist needs -n")?
+        .parse()
+        .map_err(|e| format!("bad -n: {e}"))?;
+    let seed = flags
+        .value(&["--seed"])?
+        .map(|s| s.parse::<u64>())
+        .transpose()
+        .map_err(|e| format!("bad --seed: {e}"))?
+        .unwrap_or(1);
+    Ok(Source::Generated {
+        dist,
+        machines,
+        jobs,
+        seed,
+    })
+}
+
+/// Parses the full argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing command")?;
+    let mut flags = Flags::new(rest);
+    let parsed = match cmd.as_str() {
+        "generate" => Command::Generate(parse_source(&mut flags)?),
+        "bounds" => Command::Bounds(parse_source(&mut flags)?),
+        "compare" => Command::Compare(parse_source(&mut flags)?),
+        "solve" => {
+            let source = parse_source(&mut flags)?;
+            let algo = flags.value(&["--algo"])?.unwrap_or_else(|| "pptas".into());
+            let eps = flags
+                .value(&["--eps"])?
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| format!("bad --eps: {e}"))?
+                .unwrap_or(0.3);
+            let threads = flags
+                .value(&["--threads"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --threads: {e}"))?;
+            let budget = flags
+                .value(&["--budget"])?
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| format!("bad --budget: {e}"))?;
+            let schedule = flags.flag("--schedule");
+            Command::Solve {
+                source,
+                algo,
+                eps,
+                threads,
+                budget,
+                schedule,
+            }
+        }
+        "simulate" => {
+            let source = parse_source(&mut flags)?;
+            let procs = flags
+                .value(&["--procs"])?
+                .unwrap_or_else(|| "1,2,4,8,16".into())
+                .split(',')
+                .map(|p| p.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("bad --procs: {e}"))?;
+            let eps = flags
+                .value(&["--eps"])?
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| format!("bad --eps: {e}"))?
+                .unwrap_or(0.3);
+            Command::Simulate { source, procs, eps }
+        }
+        other => return Err(format!("unknown command {other}")),
+    };
+    flags.finish()?;
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_family() {
+        let cmd = parse(&argv("generate --dist U(1,100) -m 10 -n 50 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate(Source::Generated {
+                dist: Distribution::U1To100,
+                machines: 10,
+                jobs: 50,
+                seed: 7
+            })
+        );
+    }
+
+    #[test]
+    fn parses_solve_with_defaults() {
+        let cmd = parse(&argv("solve -i inst.json")).unwrap();
+        match cmd {
+            Command::Solve {
+                source,
+                algo,
+                eps,
+                threads,
+                budget,
+                schedule,
+            } => {
+                assert_eq!(source, Source::File("inst.json".into()));
+                assert_eq!(algo, "pptas");
+                assert_eq!(eps, 0.3);
+                assert_eq!(threads, None);
+                assert_eq!(budget, None);
+                assert!(!schedule);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_custom_uniform() {
+        assert_eq!(
+            parse_dist("U(5,42)").unwrap(),
+            Distribution::Uniform { lo: 5, hi: 42 }
+        );
+        assert!(parse_dist("gaussian").is_err());
+    }
+
+    #[test]
+    fn parses_simulate_procs() {
+        let cmd = parse(&argv("simulate -i - --procs 2,4,8")).unwrap();
+        match cmd {
+            Command::Simulate { procs, .. } => assert_eq!(procs, vec![2, 4, 8]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_stray_args() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("bounds -i x.json --bogus")).is_err());
+        assert!(parse(&argv("generate --dist U(1,10)")).is_err(), "missing -m/-n");
+    }
+
+    #[test]
+    fn seed_defaults_to_one() {
+        let cmd = parse(&argv("bounds --dist U(1,10) -m 2 -n 4")).unwrap();
+        match cmd {
+            Command::Bounds(Source::Generated { seed, .. }) => assert_eq!(seed, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

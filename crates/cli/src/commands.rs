@@ -1,0 +1,239 @@
+//! Command implementations.
+
+use crate::args::Command;
+use crate::io::load;
+use pcmax_baselines::{Lpt, Ls, Multifit};
+use pcmax_core::{ApproxRatio, Instance, MakespanBounds, Schedule, Scheduler};
+use pcmax_exact::BranchAndBound;
+use pcmax_milp::AssignmentIp;
+use pcmax_parallel::ParallelPtas;
+use pcmax_ptas::Ptas;
+use pcmax_simcore::{simulate_ptas, SimParams};
+use std::time::Instant;
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Generate(source) => {
+            let inst = load(&source)?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        Command::Bounds(source) => {
+            let inst = load(&source)?;
+            let b = MakespanBounds::of(&inst);
+            println!(
+                "n={} m={} total={} max={} LB={} UB={}",
+                inst.jobs(),
+                inst.machines(),
+                inst.total_time(),
+                inst.max_time(),
+                b.lower,
+                b.upper
+            );
+            Ok(())
+        }
+        Command::Solve {
+            source,
+            algo,
+            eps,
+            threads,
+            budget,
+            schedule,
+        } => {
+            let inst = load(&source)?;
+            let (s, label) = solve_one(&inst, &algo, eps, threads, budget)?;
+            println!("{label}: makespan {}", s.makespan(&inst));
+            if schedule {
+                print_schedule(&inst, &s);
+                print!("{}", pcmax_core::render_gantt(&inst, &s, 60));
+            }
+            Ok(())
+        }
+        Command::Compare(source) => {
+            let inst = load(&source)?;
+            compare(&inst)
+        }
+        Command::Simulate { source, procs, eps } => {
+            let inst = load(&source)?;
+            println!("{:<8}{:>10}", "procs", "speedup");
+            for p in procs {
+                let r = simulate_ptas(&inst, eps, SimParams::with_processors(p))
+                    .map_err(|e| e.to_string())?;
+                println!("{p:<8}{:>10.2}", r.speedup());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn solve_one(
+    inst: &Instance,
+    algo: &str,
+    eps: f64,
+    threads: Option<usize>,
+    budget: Option<u64>,
+) -> Result<(Schedule, String), String> {
+    let err = |e: pcmax_core::Error| e.to_string();
+    Ok(match algo {
+        "ls" => (Ls.schedule(inst).map_err(err)?, "LS".into()),
+        "lpt" => (Lpt.schedule(inst).map_err(err)?, "LPT".into()),
+        "multifit" => (
+            Multifit::default().schedule(inst).map_err(err)?,
+            "MULTIFIT".into(),
+        ),
+        "ptas" => (
+            Ptas::new(eps).map_err(err)?.schedule(inst).map_err(err)?,
+            format!("PTAS(eps={eps})"),
+        ),
+        "pptas" => {
+            let solver = match threads {
+                Some(t) => ParallelPtas::with_threads(eps, t).map_err(err)?,
+                None => ParallelPtas::new(eps).map_err(err)?,
+            };
+            (
+                solver.schedule(inst).map_err(err)?,
+                format!("ParallelPTAS(eps={eps})"),
+            )
+        }
+        "fptas" => (
+            pcmax_fptas::FixedMachinesFptas::new(eps)
+                .map_err(err)?
+                .schedule(inst)
+                .map_err(err)?,
+            format!("Sahni-FPTAS(eps={eps})"),
+        ),
+        "spec" => (
+            pcmax_parallel::SpeculativePtas::new(eps, threads.unwrap_or(4))
+                .map_err(err)?
+                .schedule(inst)
+                .map_err(err)?,
+            format!("SpeculativePTAS(eps={eps})"),
+        ),
+        "exact" => {
+            let solver = match budget {
+                Some(b) => BranchAndBound::with_budget(b),
+                None => BranchAndBound::default(),
+            };
+            let out = solver.solve_detailed(inst).map_err(err)?;
+            let label = if out.proven {
+                format!("exact (proven optimal, {} nodes)", out.nodes)
+            } else {
+                format!(
+                    "exact (budget hit: incumbent {}, lower bound {})",
+                    out.best, out.lower_bound
+                )
+            };
+            (out.schedule, label)
+        }
+        "milp" => {
+            let (s, opt) = AssignmentIp::default()
+                .solve_detailed(inst)
+                .map_err(err)?;
+            (s, format!("assignment MILP (optimal {opt})"))
+        }
+        other => return Err(format!("unknown algorithm {other}")),
+    })
+}
+
+fn compare(inst: &Instance) -> Result<(), String> {
+    let exact = BranchAndBound::default()
+        .solve_detailed(inst)
+        .map_err(|e| e.to_string())?;
+    let denom = if exact.proven {
+        exact.best
+    } else {
+        exact.lower_bound
+    };
+    println!(
+        "n={} m={} | optimum {}{}",
+        inst.jobs(),
+        inst.machines(),
+        denom,
+        if exact.proven { "" } else { " (lower bound)" }
+    );
+    println!(
+        "{:<22}{:>10}{:>9}{:>12}",
+        "algorithm", "makespan", "ratio", "time"
+    );
+    let algos: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("LS", Box::new(Ls)),
+        ("LPT", Box::new(Lpt)),
+        ("MULTIFIT", Box::new(Multifit::default())),
+        ("PTAS(0.3)", Box::new(Ptas::new(0.3).unwrap())),
+        (
+            "ParallelPTAS(0.3)",
+            Box::new(ParallelPtas::new(0.3).unwrap()),
+        ),
+    ];
+    for (name, algo) in &algos {
+        let t0 = Instant::now();
+        let s = algo.schedule(inst).map_err(|e| e.to_string())?;
+        let dt = t0.elapsed();
+        let ms = s.makespan(inst);
+        println!(
+            "{name:<22}{ms:>10}{:>9.3}{:>12.2?}",
+            ApproxRatio::new(ms, denom).value(),
+            dt
+        );
+    }
+    Ok(())
+}
+
+fn print_schedule(inst: &Instance, s: &Schedule) {
+    let loads = s.loads(inst);
+    for (machine, jobs) in s.jobs_per_machine().iter().enumerate() {
+        let times: Vec<u64> = jobs.iter().map(|&j| inst.time(j)).collect();
+        println!("machine {machine}: jobs {jobs:?} times {times:?} load {}", loads[machine]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Source;
+    use pcmax_workloads::Distribution;
+
+    fn tiny() -> Source {
+        Source::Generated {
+            dist: Distribution::U1To10,
+            machines: 2,
+            jobs: 8,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn every_algorithm_name_resolves() {
+        let inst = load(&tiny()).unwrap();
+        for algo in ["ls", "lpt", "multifit", "ptas", "pptas", "fptas", "spec", "exact", "milp"] {
+            let (s, _) = solve_one(&inst, algo, 0.3, None, None).unwrap();
+            s.validate(&inst).unwrap();
+        }
+        assert!(solve_one(&inst, "quantum", 0.3, None, None).is_err());
+    }
+
+    #[test]
+    fn run_smoke_tests_every_command() {
+        run(Command::Bounds(tiny())).unwrap();
+        run(Command::Compare(tiny())).unwrap();
+        run(Command::Simulate {
+            source: tiny(),
+            procs: vec![1, 2],
+            eps: 0.3,
+        })
+        .unwrap();
+        run(Command::Solve {
+            source: tiny(),
+            algo: "pptas".into(),
+            eps: 0.3,
+            threads: Some(2),
+            budget: None,
+            schedule: true,
+        })
+        .unwrap();
+    }
+}

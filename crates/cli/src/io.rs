@@ -1,0 +1,79 @@
+//! Instance input/output for the CLI.
+
+use crate::args::Source;
+use pcmax_core::Instance;
+use pcmax_workloads::{generate, Family};
+use std::io::Read;
+
+/// Materializes the instance a command refers to.
+pub fn load(source: &Source) -> Result<Instance, String> {
+    match source {
+        Source::File(path) => {
+            let raw = if path == "-" {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("reading stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+            };
+            if path.ends_with(".txt") || path.ends_with(".dat") {
+                pcmax_workloads::parse_text(&raw).map_err(|e| e.to_string())
+            } else {
+                serde_json::from_str(&raw).map_err(|e| format!("parsing instance JSON: {e}"))
+            }
+        }
+        Source::Generated {
+            dist,
+            machines,
+            jobs,
+            seed,
+        } => Ok(generate(Family::new(*machines, *jobs, *dist), *seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_workloads::Distribution;
+
+    #[test]
+    fn loads_generated_source() {
+        let src = Source::Generated {
+            dist: Distribution::U1To10,
+            machines: 3,
+            jobs: 9,
+            seed: 5,
+        };
+        let inst = load(&src).unwrap();
+        assert_eq!(inst.jobs(), 9);
+        assert_eq!(inst.machines(), 3);
+    }
+
+    #[test]
+    fn loads_instance_from_file() {
+        let inst = Instance::new(vec![3, 5, 8], 2).unwrap();
+        let path = std::env::temp_dir().join("pcmax_cli_io_test.json");
+        std::fs::write(&path, serde_json::to_string(&inst).unwrap()).unwrap();
+        let loaded = load(&Source::File(path.to_string_lossy().into_owned())).unwrap();
+        assert_eq!(loaded, inst);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn loads_text_format_by_extension() {
+        let path = std::env::temp_dir().join("pcmax_cli_io_test.txt");
+        std::fs::write(&path, "2 3\n4 5 6\n").unwrap();
+        let inst = load(&Source::File(path.to_string_lossy().into_owned())).unwrap();
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.times(), &[4, 5, 6]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load(&Source::File("/nonexistent/x.json".into())).unwrap_err();
+        assert!(err.contains("reading"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `pcmax` — command-line interface for the scheduling toolkit.
+//!
+//! ```text
+//! pcmax generate --dist "U(1,100)" -m 10 -n 50 --seed 1 > inst.json
+//! pcmax bounds   -i inst.json
+//! pcmax solve    -i inst.json --algo pptas --eps 0.3
+//! pcmax compare  -i inst.json
+//! pcmax simulate -i inst.json --procs 1,2,4,8,16
+//! ```
+
+mod args;
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv).and_then(commands::run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

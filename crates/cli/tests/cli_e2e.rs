@@ -1,0 +1,92 @@
+//! End-to-end tests of the `pcmax` binary: spawn the real executable and
+//! check its stdout/exit codes.
+
+use std::process::Command;
+
+fn pcmax(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pcmax"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn bounds_prints_lb_and_ub() {
+    let out = pcmax(&["bounds", "--dist", "U(1,10)", "-m", "2", "-n", "6", "--seed", "1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("LB=") && stdout.contains("UB="), "{stdout}");
+}
+
+#[test]
+fn generate_emits_parseable_instance_json() {
+    let out = pcmax(&["generate", "--dist", "U(1,100)", "-m", "3", "-n", "7"]);
+    assert!(out.status.success());
+    let inst: pcmax_core::Instance = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(inst.jobs(), 7);
+    assert_eq!(inst.machines(), 3);
+}
+
+#[test]
+fn solve_reads_instance_from_file() {
+    let inst = pcmax_core::Instance::new(vec![5, 4, 3, 2, 1], 2).unwrap();
+    let path = std::env::temp_dir().join("pcmax_e2e_solve.json");
+    std::fs::write(&path, serde_json::to_string(&inst).unwrap()).unwrap();
+    let out = pcmax(&[
+        "solve",
+        "-i",
+        path.to_str().unwrap(),
+        "--algo",
+        "exact",
+        "--schedule",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("makespan 8"), "{stdout}"); // 15/2 -> 8
+    assert!(stdout.contains("machine 0"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_flags_fail_with_usage() {
+    let out = pcmax(&["solve", "-i", "x.json", "--frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_command_fails() {
+    let out = pcmax(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn simulate_prints_a_speedup_row_per_proc_count() {
+    let out = pcmax(&[
+        "simulate",
+        "--dist",
+        "U(1,10)",
+        "-m",
+        "4",
+        "-n",
+        "16",
+        "--procs",
+        "1,2,4",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.lines().count(),
+        4, // header + 3 rows
+        "{stdout}"
+    );
+}
+
+#[test]
+fn custom_uniform_distribution_roundtrips() {
+    let out = pcmax(&["generate", "--dist", "U(7,9)", "-m", "2", "-n", "20"]);
+    assert!(out.status.success());
+    let inst: pcmax_core::Instance = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(inst.times().iter().all(|&t| (7..=9).contains(&t)));
+}

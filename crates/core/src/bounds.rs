@@ -1,0 +1,94 @@
+//! Lower and upper bounds on the optimal makespan (Equations 1 and 2 of the
+//! paper), which bracket the Hochbaum–Shmoys bisection search.
+
+use crate::{Instance, Time};
+use serde::{Deserialize, Serialize};
+
+/// The `[LB, UB]` bracket used to bisect for the smallest feasible target
+/// makespan `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MakespanBounds {
+    /// `LB = max(⌈Σ tⱼ / m⌉, max tⱼ)` — every schedule needs at least the
+    /// average load on some machine and must fit the longest job somewhere.
+    pub lower: Time,
+    /// `UB = ⌈Σ tⱼ / m⌉ + max tⱼ` — any list schedule achieves this
+    /// (Graham's bound), so a feasible schedule of this length always exists.
+    pub upper: Time,
+}
+
+impl MakespanBounds {
+    /// Computes both bounds for `inst`.
+    pub fn of(inst: &Instance) -> Self {
+        Self {
+            lower: lower_bound(inst),
+            upper: upper_bound(inst),
+        }
+    }
+
+    /// Width of the bracket, which bounds the number of bisection iterations
+    /// by `O(log(max tⱼ))`.
+    pub fn width(&self) -> Time {
+        self.upper - self.lower
+    }
+}
+
+/// Equation (1): `LB = max(⌈(1/m) Σ tⱼ⌉, max tⱼ)`.
+pub fn lower_bound(inst: &Instance) -> Time {
+    inst.mean_load_ceil().max(inst.max_time())
+}
+
+/// Equation (2): `UB = ⌈(1/m) Σ tⱼ⌉ + max tⱼ`.
+pub fn upper_bound(inst: &Instance) -> Time {
+    inst.mean_load_ceil() + inst.max_time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instance;
+
+    #[test]
+    fn bounds_of_uniform_jobs() {
+        // 5 jobs of 4 on 2 machines: mean = 10, max = 4.
+        let inst = Instance::new(vec![4; 5], 2).unwrap();
+        let b = MakespanBounds::of(&inst);
+        assert_eq!(b.lower, 10);
+        assert_eq!(b.upper, 14);
+        assert_eq!(b.width(), 4);
+    }
+
+    #[test]
+    fn long_job_dominates_lower_bound() {
+        let inst = Instance::new(vec![100, 1, 1], 3).unwrap();
+        assert_eq!(lower_bound(&inst), 100);
+        assert_eq!(upper_bound(&inst), 34 + 100);
+    }
+
+    #[test]
+    fn single_machine_bounds_collapse_towards_total() {
+        let inst = Instance::new(vec![3, 4, 5], 1).unwrap();
+        assert_eq!(lower_bound(&inst), 12);
+        assert_eq!(upper_bound(&inst), 12 + 5);
+    }
+
+    #[test]
+    fn lower_never_exceeds_upper() {
+        // A couple of shapes; the property test in tests/ covers random ones.
+        for (times, m) in [
+            (vec![1u64], 1usize),
+            (vec![9, 9, 9], 2),
+            (vec![1, 2, 3, 4, 5, 6], 4),
+        ] {
+            let inst = Instance::new(times, m).unwrap();
+            let b = MakespanBounds::of(&inst);
+            assert!(b.lower <= b.upper);
+        }
+    }
+
+    #[test]
+    fn empty_instance_has_zero_bounds() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        let b = MakespanBounds::of(&inst);
+        assert_eq!((b.lower, b.upper), (0, 0));
+    }
+}

@@ -1,0 +1,94 @@
+//! ASCII Gantt-chart rendering of schedules, for the CLI and examples.
+
+use crate::{Instance, Schedule};
+
+/// Renders `schedule` as a Gantt chart, one row per machine, scaled to at
+/// most `width` character cells. Each job is drawn as a run of a repeating
+/// letter (`a`–`z` cycling by job id) with `|` cell boundaries, and the
+/// row's load is appended. Example output:
+///
+/// ```text
+/// m0 |aaaa|bb      | 17
+/// m1 |ccccc|d      | 16
+/// ```
+pub fn render_gantt(inst: &Instance, schedule: &Schedule, width: usize) -> String {
+    let makespan = schedule.makespan(inst);
+    let mut out = String::new();
+    if makespan == 0 {
+        for machine in 0..schedule.machines() {
+            out.push_str(&format!("m{machine} | 0\n"));
+        }
+        return out;
+    }
+    let width = width.max(10) as u64;
+    // Cells per time unit, as a rational scale cells = t * width / makespan.
+    let scale = |t: u64| -> usize { ((t * width) / makespan).max(1) as usize };
+    let loads = schedule.loads(inst);
+    let label_width = (schedule.machines().max(2) - 1).to_string().len();
+    for (machine, jobs) in schedule.jobs_per_machine().iter().enumerate() {
+        let mut row = format!("m{machine:<label_width$} |");
+        // Draw longest-first so dominant jobs are visually stable.
+        let mut ordered = jobs.clone();
+        ordered.sort_by(|&a, &b| inst.time(b).cmp(&inst.time(a)).then(a.cmp(&b)));
+        for &j in &ordered {
+            let glyph = (b'a' + (j % 26) as u8) as char;
+            let cells = scale(inst.time(j));
+            row.extend(std::iter::repeat_n(glyph, cells));
+            row.push('|');
+        }
+        out.push_str(&format!("{row} {}\n", loads[machine]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instance;
+
+    #[test]
+    fn renders_one_row_per_machine_with_loads() {
+        let inst = Instance::new(vec![4, 4, 2], 2).unwrap();
+        let s = Schedule::from_assignment(vec![0, 1, 1], 2).unwrap();
+        let text = render_gantt(&inst, &s, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("m0"));
+        assert!(lines[0].ends_with(" 4"));
+        assert!(lines[1].ends_with(" 6"));
+    }
+
+    #[test]
+    fn jobs_appear_as_distinct_glyph_runs() {
+        let inst = Instance::new(vec![5, 5], 1).unwrap();
+        let s = Schedule::from_assignment(vec![0, 0], 1).unwrap();
+        let text = render_gantt(&inst, &s, 20);
+        assert!(text.contains('a') && text.contains('b'), "{text}");
+    }
+
+    #[test]
+    fn empty_schedule_renders_zero_rows_content() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        let s = Schedule::from_assignment(vec![], 3).unwrap();
+        let text = render_gantt(&inst, &s, 40);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.ends_with(" 0")));
+    }
+
+    #[test]
+    fn tiny_jobs_still_get_a_cell() {
+        let inst = Instance::new(vec![1000, 1], 2).unwrap();
+        let s = Schedule::from_assignment(vec![0, 1], 2).unwrap();
+        let text = render_gantt(&inst, &s, 30);
+        // The 1-unit job must be visible.
+        assert!(text.lines().nth(1).unwrap().contains('b'), "{text}");
+    }
+
+    #[test]
+    fn width_is_clamped_to_something_sane() {
+        let inst = Instance::new(vec![7, 3], 1).unwrap();
+        let s = Schedule::from_assignment(vec![0, 0], 1).unwrap();
+        let text = render_gantt(&inst, &s, 0);
+        assert!(text.contains('a'));
+    }
+}

@@ -1,0 +1,154 @@
+//! Problem instances of `P||Cmax`.
+
+use crate::{Error, Result, Time};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, validated instance of `P||Cmax`.
+///
+/// An instance is a multiset of positive integer processing times together
+/// with a machine count `m ≥ 1`. Jobs are identified by their index in
+/// [`times`](Instance::times).
+///
+/// ```
+/// use pcmax_core::Instance;
+///
+/// let inst = Instance::new(vec![3, 5, 2, 7], 2).unwrap();
+/// assert_eq!(inst.jobs(), 4);
+/// assert_eq!(inst.machines(), 2);
+/// assert_eq!(inst.total_time(), 17);
+/// assert_eq!(inst.max_time(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instance {
+    times: Vec<Time>,
+    machines: usize,
+}
+
+impl Instance {
+    /// Builds an instance, validating that `m ≥ 1` and every processing time
+    /// is a positive integer (the model of the paper).
+    pub fn new(times: Vec<Time>, machines: usize) -> Result<Self> {
+        if machines == 0 {
+            return Err(Error::NoMachines);
+        }
+        if let Some(job) = times.iter().position(|&t| t == 0) {
+            return Err(Error::NonPositiveTime { job });
+        }
+        Ok(Self { times, machines })
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn jobs(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Processing time of job `j`. Panics if `j >= n`.
+    #[inline]
+    pub fn time(&self, j: usize) -> Time {
+        self.times[j]
+    }
+
+    /// All processing times, indexed by job id.
+    #[inline]
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// Sum of all processing times `Σ tⱼ`.
+    pub fn total_time(&self) -> Time {
+        self.times.iter().sum()
+    }
+
+    /// Largest processing time `max tⱼ` (0 for an empty instance).
+    pub fn max_time(&self) -> Time {
+        self.times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average machine load `Σ tⱼ / m`, rounded up — the "area" lower bound.
+    pub fn mean_load_ceil(&self) -> Time {
+        let m = self.machines as Time;
+        self.total_time().div_ceil(m)
+    }
+
+    /// Job ids sorted by non-increasing processing time (ties by index, so the
+    /// order is deterministic). This is the LPT order.
+    pub fn jobs_by_decreasing_time(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.jobs()).collect();
+        ids.sort_by(|&a, &b| self.times[b].cmp(&self.times[a]).then(a.cmp(&b)));
+        ids
+    }
+
+    /// Returns a new instance with the same jobs but `m'` machines.
+    pub fn with_machines(&self, machines: usize) -> Result<Self> {
+        Self::new(self.times.clone(), machines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_machines() {
+        assert_eq!(Instance::new(vec![1, 2], 0).unwrap_err(), Error::NoMachines);
+    }
+
+    #[test]
+    fn rejects_zero_time_and_names_the_job() {
+        let err = Instance::new(vec![3, 0, 5], 4).unwrap_err();
+        assert_eq!(err, Error::NonPositiveTime { job: 1 });
+    }
+
+    #[test]
+    fn empty_instance_is_allowed() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        assert_eq!(inst.jobs(), 0);
+        assert_eq!(inst.total_time(), 0);
+        assert_eq!(inst.max_time(), 0);
+        assert_eq!(inst.mean_load_ceil(), 0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let inst = Instance::new(vec![4, 4, 4, 4, 4], 2).unwrap();
+        assert_eq!(inst.total_time(), 20);
+        assert_eq!(inst.max_time(), 4);
+        assert_eq!(inst.mean_load_ceil(), 10);
+    }
+
+    #[test]
+    fn mean_load_rounds_up() {
+        let inst = Instance::new(vec![5, 5, 5], 2).unwrap();
+        // 15 / 2 = 7.5 -> 8
+        assert_eq!(inst.mean_load_ceil(), 8);
+    }
+
+    #[test]
+    fn lpt_order_is_decreasing_and_stable() {
+        let inst = Instance::new(vec![3, 9, 3, 7], 2).unwrap();
+        assert_eq!(inst.jobs_by_decreasing_time(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = Instance::new(vec![2, 8, 6], 3).unwrap();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn with_machines_keeps_jobs() {
+        let inst = Instance::new(vec![2, 8, 6], 3).unwrap();
+        let other = inst.with_machines(5).unwrap();
+        assert_eq!(other.machines(), 5);
+        assert_eq!(other.times(), inst.times());
+    }
+}

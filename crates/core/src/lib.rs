@@ -1,0 +1,44 @@
+//! Core types for the `P||Cmax` scheduling problem.
+//!
+//! `P||Cmax` (in the three-field notation of Lawler et al.): `n` jobs with
+//! positive integer processing times must be scheduled non-preemptively on `m`
+//! identical parallel machines so that the *makespan* — the maximum machine
+//! completion time — is minimized. The problem is strongly NP-hard, so the
+//! crates built on top of this one provide approximation algorithms
+//! (`pcmax-baselines`, `pcmax-ptas`, `pcmax-parallel`) and exact solvers
+//! (`pcmax-exact`, `pcmax-milp`).
+//!
+//! This crate defines:
+//!
+//! * [`Instance`] — an immutable, validated problem instance,
+//! * [`Schedule`] — a job→machine assignment with load/makespan queries and
+//!   validation against an instance,
+//! * [`bounds`] — the lower/upper bounds on the optimal makespan used by the
+//!   Hochbaum–Shmoys bisection (Equations 1 and 2 of Ghalami & Grosu 2017),
+//! * [`Scheduler`] — the common trait implemented by every algorithm in the
+//!   workspace,
+//! * small statistics helpers shared by the experiment harness.
+
+pub mod bounds;
+pub mod error;
+pub mod gantt;
+pub mod instance;
+pub mod schedule;
+pub mod scheduler;
+pub mod stats;
+
+pub use bounds::{lower_bound, upper_bound, MakespanBounds};
+pub use error::{Error, Result};
+pub use gantt::render_gantt;
+pub use instance::Instance;
+pub use schedule::{Schedule, ScheduleBuilder};
+pub use scheduler::{ApproxRatio, Scheduler};
+
+/// Processing time / makespan scalar. The paper assumes positive integers.
+pub type Time = u64;
+
+/// Index of a job within an [`Instance`] (`0..n`).
+pub type JobId = usize;
+
+/// Index of a machine (`0..m`).
+pub type MachineId = usize;

@@ -1,0 +1,95 @@
+//! The [`Scheduler`] trait implemented by every algorithm in the workspace,
+//! plus the approximation-ratio helper used throughout the evaluation.
+
+use crate::{Instance, Result, Schedule, Time};
+
+/// A `P||Cmax` scheduling algorithm.
+///
+/// Implementations: `pcmax_baselines::{Ls, Lpt, Multifit}`,
+/// `pcmax_ptas::Ptas`, `pcmax_parallel::ParallelPtas`,
+/// `pcmax_exact::BranchAndBound` and `pcmax_milp::AssignmentIp`.
+pub trait Scheduler {
+    /// Stable machine-readable name, used in harness output rows.
+    fn name(&self) -> &'static str;
+
+    /// Produces a complete schedule for `inst`.
+    ///
+    /// Errors are algorithm-specific (e.g. an exact solver exhausting its
+    /// node budget); the approximation algorithms in this workspace never
+    /// fail on a valid instance.
+    fn schedule(&self, inst: &Instance) -> Result<Schedule>;
+
+    /// Convenience: schedule and return only the makespan.
+    fn makespan(&self, inst: &Instance) -> Result<Time> {
+        Ok(self.schedule(inst)?.makespan(inst))
+    }
+}
+
+/// The *actual approximation ratio* used in Section V of the paper: the
+/// makespan achieved by an algorithm divided by the optimal makespan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxRatio(pub f64);
+
+impl ApproxRatio {
+    /// `achieved / optimal`. Panics if `optimal == 0` with a nonzero
+    /// achieved makespan (only possible on malformed inputs).
+    pub fn new(achieved: Time, optimal: Time) -> Self {
+        if optimal == 0 {
+            assert_eq!(achieved, 0, "nonzero makespan against a zero optimum");
+            return ApproxRatio(1.0);
+        }
+        ApproxRatio(achieved as f64 / optimal as f64)
+    }
+
+    /// Raw ratio value (≥ 1 whenever `optimal` really is optimal).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instance, Schedule};
+
+    /// A trivial scheduler assigning everything to machine 0, to exercise the
+    /// trait's default method.
+    struct AllOnFirst;
+
+    impl Scheduler for AllOnFirst {
+        fn name(&self) -> &'static str {
+            "all-on-first"
+        }
+        fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+            Schedule::from_assignment(vec![0; inst.jobs()], inst.machines())
+        }
+    }
+
+    #[test]
+    fn default_makespan_delegates_to_schedule() {
+        let inst = Instance::new(vec![2, 3, 4], 3).unwrap();
+        assert_eq!(AllOnFirst.makespan(&inst).unwrap(), 9);
+    }
+
+    #[test]
+    fn ratio_of_equal_values_is_one() {
+        assert_eq!(ApproxRatio::new(7, 7).value(), 1.0);
+    }
+
+    #[test]
+    fn ratio_is_fractional() {
+        assert!((ApproxRatio::new(4, 3).value() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_over_zero_is_one() {
+        assert_eq!(ApproxRatio::new(0, 0).value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero optimum")]
+    fn nonzero_over_zero_panics() {
+        let _ = ApproxRatio::new(3, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Combinatorial lower bounds for `P||Cmax` beyond the area/longest-job
+//! bound — used to warm-start the search and to strengthen the proven lower
+//! bound reported on budget exhaustion.
+
+use pcmax_core::{Instance, Time};
+
+/// The classical pigeonhole family of bounds: among the `(g−1)·m + 1`
+/// largest jobs, some machine receives at least `g` of them, so the sum of
+/// the `g` smallest jobs in that prefix is a lower bound on the makespan.
+/// `g = 1` degenerates to `max tⱼ`; `g = 2` is the familiar
+/// "`t_{(m)} + t_{(m+1)}`" bound.
+pub fn pigeonhole_bound(inst: &Instance, group: usize) -> Option<Time> {
+    let m = inst.machines();
+    let g = group;
+    if g == 0 {
+        return None;
+    }
+    let prefix_len = (g - 1) * m + 1;
+    if inst.jobs() < prefix_len {
+        return None;
+    }
+    let ids = inst.jobs_by_decreasing_time();
+    // The g smallest of the prefix are its last g entries.
+    Some(
+        ids[prefix_len - g..prefix_len]
+            .iter()
+            .map(|&j| inst.time(j))
+            .sum(),
+    )
+}
+
+/// The strongest available combinatorial lower bound: the max of the
+/// area bound, the longest job, and the pigeonhole bounds for all feasible
+/// group sizes.
+pub fn combinatorial_lower_bound(inst: &Instance) -> Time {
+    let mut best = pcmax_core::lower_bound(inst);
+    let mut g = 2;
+    while let Some(b) = pigeonhole_bound(inst, g) {
+        best = best.max(b);
+        g += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::Instance;
+
+    #[test]
+    fn group_two_bound_on_a_pair_heavy_instance() {
+        // m = 2, jobs {10, 9, 8, 1}: the 3 largest are {10,9,8}; two of them
+        // share a machine, so C_max >= 9 + 8 = 17. The area bound is only 14.
+        let inst = Instance::new(vec![10, 9, 8, 1], 2).unwrap();
+        assert_eq!(pigeonhole_bound(&inst, 2), Some(17));
+        assert_eq!(combinatorial_lower_bound(&inst), 17);
+        assert!(combinatorial_lower_bound(&inst) > pcmax_core::lower_bound(&inst));
+    }
+
+    #[test]
+    fn group_one_is_the_longest_job() {
+        let inst = Instance::new(vec![7, 3, 2], 2).unwrap();
+        assert_eq!(pigeonhole_bound(&inst, 1), Some(7));
+    }
+
+    #[test]
+    fn too_few_jobs_yields_none() {
+        let inst = Instance::new(vec![5, 5], 2).unwrap();
+        assert_eq!(pigeonhole_bound(&inst, 2), None);
+    }
+
+    #[test]
+    fn bound_never_exceeds_the_optimum() {
+        use crate::BranchAndBound;
+        for (times, m) in [
+            (vec![10u64, 9, 8, 1], 2usize),
+            (vec![5, 5, 4, 4, 3, 3, 3], 3),
+            (vec![9, 7, 6, 5, 4, 4, 3, 2, 2, 1], 3),
+            (vec![13, 11, 9, 8, 8, 7, 5, 4, 2, 2], 4),
+        ] {
+            let inst = Instance::new(times.clone(), m).unwrap();
+            let out = BranchAndBound::default().solve_detailed(&inst).unwrap();
+            assert!(out.proven);
+            let lb = combinatorial_lower_bound(&inst);
+            assert!(lb <= out.best, "times={times:?} m={m}: lb {lb} > opt {}", out.best);
+        }
+    }
+
+    #[test]
+    fn three_group_bound_fires_on_triple_heavy_instances() {
+        // m = 2, 5 jobs {6,6,6,6,6}: top 2m+1 = 5 jobs, three share ->
+        // C_max >= 18. Area bound = 15.
+        let inst = Instance::new(vec![6; 5], 2).unwrap();
+        assert_eq!(pigeonhole_bound(&inst, 3), Some(18));
+        assert_eq!(combinatorial_lower_bound(&inst), 18);
+    }
+}

@@ -1,0 +1,29 @@
+//! Exact solver for `P||Cmax` — this workspace's stand-in for the paper's
+//! CPLEX "IP" baseline (see DESIGN.md §2 for the substitution rationale).
+//!
+//! The solver bisects on the makespan `C` inside `[LB, LPT]` and decides each
+//! probe with a branch-and-bound *bin-packing feasibility oracle* ("do the
+//! jobs fit into `m` bins of capacity `C`?") with classical prunings:
+//!
+//! * decreasing item order (largest job first),
+//! * symmetry breaking over equal bin loads (only the first bin of any load
+//!   value is tried),
+//! * a free-capacity bound (remaining work must fit in remaining space),
+//! * Martello–Toth-style quick infeasibility tests (big-item counting),
+//! * perfect-fit dominance (the largest remaining job may always take an
+//!   exact-fit bin).
+//!
+//! The solver is *anytime*, like a MIP solver with a time limit: it always
+//! returns its incumbent schedule (LPT polished by [`local_search`], then
+//! improved by the search) together with the best proven lower bound
+//! ([`combinatorial_lower_bound`] or stronger) and a `proven` flag.
+
+pub mod binpack;
+pub mod bounds;
+pub mod improve;
+pub mod solver;
+
+pub use binpack::{FeasibilityOracle, PackingVerdict};
+pub use bounds::{combinatorial_lower_bound, pigeonhole_bound};
+pub use improve::local_search;
+pub use solver::{BranchAndBound, ExactOutput};

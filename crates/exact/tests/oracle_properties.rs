@@ -1,0 +1,115 @@
+//! Property tests for the bin-packing feasibility oracle and the exact
+//! solver against a brute-force reference.
+
+use pcmax_core::Instance;
+use pcmax_exact::{BranchAndBound, FeasibilityOracle, PackingVerdict};
+use proptest::prelude::*;
+
+fn brute_feasible(times: &[u64], m: usize, cap: u64) -> bool {
+    fn rec(times: &[u64], loads: &mut Vec<u64>, cap: u64) -> bool {
+        match times.split_first() {
+            None => true,
+            Some((&t, rest)) => {
+                for i in 0..loads.len() {
+                    if loads[i] + t <= cap {
+                        loads[i] += t;
+                        if rec(rest, loads, cap) {
+                            loads[i] -= t;
+                            return true;
+                        }
+                        loads[i] -= t;
+                    }
+                    if loads[i] == 0 {
+                        break;
+                    }
+                }
+                false
+            }
+        }
+    }
+    rec(times, &mut vec![0; m], cap)
+}
+
+fn brute_opt(times: &[u64], m: usize) -> u64 {
+    if times.is_empty() {
+        return 0;
+    }
+    let lb = times.iter().sum::<u64>().div_ceil(m as u64).max(*times.iter().max().unwrap());
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    (lb..).find(|&cap| brute_feasible(&sorted, m, cap)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn oracle_agrees_with_brute_force(
+        times in prop::collection::vec(1u64..=20, 1..=10),
+        m in 1usize..=4,
+        cap_offset in 0u64..=8,
+    ) {
+        let inst = Instance::new(times.clone(), m).unwrap();
+        let cap = pcmax_core::lower_bound(&inst) + cap_offset;
+        let mut oracle = FeasibilityOracle::new(&inst, 10_000_000);
+        let got = oracle.feasible(cap);
+        let mut sorted = times.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let want = brute_feasible(&sorted, m, cap);
+        match (got, want) {
+            (PackingVerdict::Feasible(assignment), true) => {
+                // Verify packing validity.
+                let mut loads = vec![0u64; m];
+                let ids = inst.jobs_by_decreasing_time();
+                for (p, &bin) in assignment.iter().enumerate() {
+                    loads[bin] += inst.time(ids[p]);
+                }
+                prop_assert!(loads.iter().all(|&w| w <= cap));
+            }
+            (PackingVerdict::Infeasible, false) => {}
+            (got, want) => prop_assert!(false,
+                "mismatch: oracle {got:?} vs brute {want} (times={times:?} m={m} cap={cap})"),
+        }
+    }
+
+    #[test]
+    fn solver_finds_the_true_optimum(
+        times in prop::collection::vec(1u64..=20, 1..=9),
+        m in 1usize..=4,
+    ) {
+        let inst = Instance::new(times.clone(), m).unwrap();
+        let out = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assert!(out.proven);
+        prop_assert_eq!(out.best, brute_opt(&times, m), "times={:?} m={}", times, m);
+    }
+
+    #[test]
+    fn budget_variations_never_change_a_proven_answer(
+        times in prop::collection::vec(1u64..=15, 1..=8),
+        m in 2usize..=3,
+    ) {
+        let inst = Instance::new(times, m).unwrap();
+        let big = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        let small = BranchAndBound::with_budget(100_000).solve_detailed(&inst).unwrap();
+        prop_assert!(big.proven);
+        if small.proven {
+            prop_assert_eq!(small.best, big.best);
+        } else {
+            prop_assert!(small.best >= big.best);
+            prop_assert!(small.lower_bound <= big.best);
+        }
+    }
+
+    #[test]
+    fn incumbent_always_within_the_reported_bounds(
+        times in prop::collection::vec(1u64..=500, 1..=30),
+        m in 1usize..=8,
+    ) {
+        let inst = Instance::new(times, m).unwrap();
+        let out = BranchAndBound::with_budget(200_000).solve_detailed(&inst).unwrap();
+        out.schedule.validate(&inst).unwrap();
+        prop_assert_eq!(out.schedule.makespan(&inst), out.best);
+        prop_assert!(out.lower_bound <= out.best);
+        prop_assert!(out.lower_bound >= pcmax_core::lower_bound(&inst));
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's assignment integer program for `P||Cmax`, and a
+//! [`Scheduler`] that solves it with the from-scratch MILP solver.
+
+use crate::lp::{Cmp, LinearProgram};
+use crate::milp::{MilpProblem, MilpSolver};
+use pcmax_core::{Error, Instance, Result, Schedule, Scheduler, Time};
+
+/// Builds the assignment formulation:
+/// variables `x_{ij}` (job `j` on machine `i`, binary, laid out row-major by
+/// machine) followed by the continuous `C_max`.
+pub fn assignment_model(inst: &Instance) -> MilpProblem {
+    let m = inst.machines();
+    let n = inst.jobs();
+    let cmax_var = m * n;
+    let mut objective = vec![0.0; m * n + 1];
+    objective[cmax_var] = 1.0;
+    let mut lp = LinearProgram::minimize(objective);
+
+    // Each job runs on exactly one machine.
+    for j in 0..n {
+        let mut row = vec![0.0; m * n + 1];
+        for i in 0..m {
+            row[i * n + j] = 1.0;
+        }
+        lp.constrain(row, Cmp::Eq, 1.0);
+    }
+    // Machine loads are bounded by C_max.
+    for i in 0..m {
+        let mut row = vec![0.0; m * n + 1];
+        for j in 0..n {
+            row[i * n + j] = inst.time(j) as f64;
+        }
+        row[cmax_var] = -1.0;
+        lp.constrain(row, Cmp::Le, 0.0);
+    }
+    // Binary bounds on the x variables.
+    for v in 0..m * n {
+        let mut row = vec![0.0; m * n + 1];
+        row[v] = 1.0;
+        lp.constrain(row, Cmp::Le, 1.0);
+    }
+
+    MilpProblem {
+        lp,
+        integers: (0..m * n).collect(),
+        // All t_j are integers, so C_max is integral at every integer point.
+        integral_objective: true,
+    }
+}
+
+/// Scheduler that solves the assignment IP with the branch-and-bound MILP
+/// solver. Exponentially slower than `pcmax_exact::BranchAndBound` — use it
+/// on small instances (cross-validation, examples).
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct AssignmentIp {
+    /// Node budget for the MILP search.
+    pub solver: MilpSolver,
+}
+
+
+impl AssignmentIp {
+    /// Solves and returns both the schedule and the proven optimal makespan.
+    pub fn solve_detailed(&self, inst: &Instance) -> Result<(Schedule, Time)> {
+        if inst.jobs() == 0 {
+            return Ok((Schedule::from_assignment(vec![], inst.machines())?, 0));
+        }
+        let model = assignment_model(inst);
+        let sol = self.solver.solve(&model)?;
+        if !sol.proven {
+            return Err(Error::BudgetExhausted {
+                incumbent: sol.objective.round() as u64,
+                lower_bound: 0,
+            });
+        }
+        let m = inst.machines();
+        let n = inst.jobs();
+        let mut assignment = vec![usize::MAX; n];
+        for (j, slot) in assignment.iter_mut().enumerate() {
+            *slot = (0..m)
+                .find(|&i| sol.x[i * n + j] > 0.5)
+                .ok_or_else(|| Error::BadModel(format!("job {j} unassigned in MILP solution")))?;
+        }
+        let schedule = Schedule::from_assignment(assignment, m)?;
+        Ok((schedule, sol.objective.round() as Time))
+    }
+}
+
+impl Scheduler for AssignmentIp {
+    fn name(&self) -> &'static str {
+        "IP-MILP"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+        Ok(self.solve_detailed(inst)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::Instance;
+
+    #[test]
+    fn model_shape() {
+        let inst = Instance::new(vec![3, 5, 2], 2).unwrap();
+        let model = assignment_model(&inst);
+        assert_eq!(model.lp.vars(), 7); // 6 binaries + C_max
+        // 3 job rows + 2 machine rows + 6 upper bounds.
+        assert_eq!(model.lp.constraints.len(), 11);
+        assert_eq!(model.integers.len(), 6);
+    }
+
+    #[test]
+    fn solves_a_small_instance_optimally() {
+        let inst = Instance::new(vec![3, 5, 2, 4], 2).unwrap();
+        let (schedule, opt) = AssignmentIp::default().solve_detailed(&inst).unwrap();
+        schedule.validate(&inst).unwrap();
+        assert_eq!(opt, 7); // {5,2} and {3,4}
+        assert_eq!(schedule.makespan(&inst), 7);
+    }
+
+    #[test]
+    fn lp_relaxation_equals_area_bound() {
+        let inst = Instance::new(vec![3, 5, 2, 4], 2).unwrap();
+        let model = assignment_model(&inst);
+        let relax = model.lp.solve().unwrap();
+        assert!((relax.objective - 7.0).abs() < 1e-6); // 14/2
+    }
+
+    #[test]
+    fn agrees_with_combinatorial_exact_solver() {
+        use pcmax_exact::BranchAndBound;
+        for (times, m) in [
+            (vec![4u64, 5, 6, 7, 8], 2usize),
+            (vec![5, 5, 4, 4, 3, 3, 3], 3),
+            (vec![9, 1, 1, 1], 2),
+        ] {
+            let inst = Instance::new(times.clone(), m).unwrap();
+            let (_, milp_opt) = AssignmentIp::default().solve_detailed(&inst).unwrap();
+            let bb = BranchAndBound::default().solve_detailed(&inst).unwrap();
+            assert!(bb.proven);
+            assert_eq!(milp_opt, bb.best, "times={times:?} m={m}");
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        let (s, opt) = AssignmentIp::default().solve_detailed(&inst).unwrap();
+        assert_eq!(opt, 0);
+        assert_eq!(s.jobs(), 0);
+    }
+
+    #[test]
+    fn single_machine() {
+        let inst = Instance::new(vec![2, 3, 4], 1).unwrap();
+        let (_, opt) = AssignmentIp::default().solve_detailed(&inst).unwrap();
+        assert_eq!(opt, 9);
+    }
+}

@@ -1,0 +1,33 @@
+//! A from-scratch LP/MILP solver and the paper's integer-program formulation
+//! of `P||Cmax`.
+//!
+//! The paper's "IP" baseline solves the assignment formulation
+//!
+//! ```text
+//! minimize  C_max
+//! s.t.      Σ_i x_ij = 1                 for every job j
+//!           Σ_j t_j·x_ij ≤ C_max        for every machine i
+//!           x_ij ∈ {0, 1},  C_max ≥ 0
+//! ```
+//!
+//! with CPLEX. This crate substitutes a self-contained solver stack:
+//!
+//! * [`lp`] — a dense two-phase tableau simplex for linear programs,
+//! * [`milp`] — depth-first branch-and-bound over the LP relaxation with
+//!   most-fractional branching and incumbent pruning,
+//! * [`formulation`] — the `P||Cmax` assignment model builder and the
+//!   [`AssignmentIp`] scheduler.
+//!
+//! The generic MILP path is exponentially slower than the specialized
+//! combinatorial solver in `pcmax-exact` (exactly as CPLEX-on-assignment-IP
+//! is slower than a dedicated branch-and-bound); the experiment harness uses
+//! `pcmax-exact` for the "IP" timing baseline and this crate for
+//! cross-validation on small instances.
+
+pub mod formulation;
+pub mod lp;
+pub mod milp;
+
+pub use formulation::AssignmentIp;
+pub use lp::{Cmp, LinearProgram, LpSolution};
+pub use milp::{MilpProblem, MilpSolution, MilpSolver};

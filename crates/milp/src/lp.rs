@@ -1,0 +1,396 @@
+//! Dense two-phase tableau simplex for linear programs in the form
+//! `minimize c·x  s.t.  A x {≤,=,≥} b,  x ≥ 0`.
+//!
+//! Small and robust rather than fast: Dantzig pricing with an automatic
+//! switch to Bland's rule (which guarantees termination) after a degeneracy
+//! streak, and an absolute tolerance of `1e-9` throughout.
+
+use pcmax_core::{Error, Result};
+
+const EPS: f64 = 1e-9;
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≥`
+    Ge,
+}
+
+/// A linear program: minimize `objective · x` subject to the constraints,
+/// with all variables implicitly non-negative.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Rows `(coefficients, sense, rhs)`.
+    pub constraints: Vec<(Vec<f64>, Cmp, f64)>,
+}
+
+impl LinearProgram {
+    /// A minimization LP over `vars` non-negative variables.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint row; the row may be shorter than the variable count
+    /// (missing coefficients are zero).
+    pub fn constrain(&mut self, mut coeffs: Vec<f64>, cmp: Cmp, rhs: f64) {
+        coeffs.resize(self.objective.len(), 0.0);
+        self.constraints.push((coeffs, cmp, rhs));
+    }
+
+    /// Number of decision variables.
+    pub fn vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Solves the LP. Returns [`Error::Infeasible`] or [`Error::Unbounded`]
+    /// when appropriate.
+    pub fn solve(&self) -> Result<LpSolution> {
+        for (coeffs, _, _) in &self.constraints {
+            if coeffs.len() != self.vars() {
+                return Err(Error::BadModel(format!(
+                    "row has {} coefficients for {} variables",
+                    coeffs.len(),
+                    self.vars()
+                )));
+            }
+        }
+        Tableau::build(self)?.solve(self)
+    }
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+}
+
+/// Dense simplex tableau: rows = constraints, columns = structural +
+/// slack/surplus + artificial variables + rhs.
+struct Tableau {
+    /// `rows × (cols + 1)`; the last column is the rhs.
+    a: Vec<Vec<f64>>,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    /// Total columns (excluding rhs).
+    cols: usize,
+    /// Structural variable count.
+    n_struct: usize,
+    /// Column index where artificials start.
+    art_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Result<Self> {
+        let m = lp.constraints.len();
+        let n = lp.vars();
+        // Count slack/surplus and artificial columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for (_, cmp, rhs) in &lp.constraints {
+            // After normalizing to rhs ≥ 0:
+            let c = if *rhs < 0.0 { flip(*cmp) } else { *cmp };
+            match c {
+                Cmp::Le => n_slack += 1, // slack basic, no artificial
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+        }
+        let cols = n + n_slack + n_art;
+        let art_start = n + n_slack;
+        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = art_start;
+        for (r, (coeffs, cmp, rhs)) in lp.constraints.iter().enumerate() {
+            let (sign, cmp, rhs) = if *rhs < 0.0 {
+                (-1.0, flip(*cmp), -*rhs)
+            } else {
+                (1.0, *cmp, *rhs)
+            };
+            for (j, &c) in coeffs.iter().enumerate() {
+                a[r][j] = sign * c;
+            }
+            a[r][cols] = rhs;
+            match cmp {
+                Cmp::Le => {
+                    a[r][slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Cmp::Ge => {
+                    a[r][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    a[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                Cmp::Eq => {
+                    a[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        Ok(Self {
+            a,
+            basis,
+            cols,
+            n_struct: n,
+            art_start,
+        })
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> Result<LpSolution> {
+        // Phase 1: minimize the sum of artificials.
+        if self.art_start < self.cols {
+            let mut cost = vec![0.0; self.cols];
+            cost[self.art_start..].fill(1.0);
+            let obj = self.optimize(&cost)?;
+            if obj > 1e-7 {
+                return Err(Error::Infeasible);
+            }
+            // Drive any remaining artificial out of the basis.
+            for r in 0..self.a.len() {
+                if self.basis[r] >= self.art_start {
+                    if let Some(j) = (0..self.art_start)
+                        .find(|&j| self.a[r][j].abs() > EPS)
+                    {
+                        self.pivot(r, j);
+                    }
+                    // Otherwise the row is all-zero (redundant) — harmless.
+                }
+            }
+        }
+        // Phase 2: original objective (artificial columns frozen out).
+        let mut cost = vec![0.0; self.cols];
+        cost[..self.n_struct].copy_from_slice(&lp.objective);
+        let art_start = self.art_start;
+        let objective = self.optimize_with_ban(&cost, art_start)?;
+        let mut x = vec![0.0; self.n_struct];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.n_struct {
+                x[b] = self.a[r][self.cols];
+            }
+        }
+        Ok(LpSolution { objective, x })
+    }
+
+    fn optimize(&mut self, cost: &[f64]) -> Result<f64> {
+        let cols = self.cols;
+        self.optimize_with_ban(cost, cols)
+    }
+
+    /// Primal simplex on the reduced costs of `cost`, never entering a
+    /// column `≥ ban` (used to freeze artificials in phase 2).
+    fn optimize_with_ban(&mut self, cost: &[f64], ban: usize) -> Result<f64> {
+        let rows = self.a.len();
+        let mut iterations = 0usize;
+        let max_iterations = 50_000 + 200 * (rows + self.cols);
+        loop {
+            iterations += 1;
+            if iterations > max_iterations {
+                return Err(Error::BadModel(
+                    "simplex iteration limit exceeded".to_string(),
+                ));
+            }
+            let bland = iterations > max_iterations / 2;
+            // Reduced costs: r_j = c_j − c_B · B⁻¹ A_j (computed from rows).
+            let mut entering = None;
+            let mut best = -1e-7;
+            for j in 0..ban.min(self.cols) {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut rj = cost[j];
+                for r in 0..rows {
+                    let cb = cost[self.basis[r]];
+                    if cb != 0.0 {
+                        rj -= cb * self.a[r][j];
+                    }
+                }
+                if rj < best {
+                    entering = Some(j);
+                    if bland {
+                        break; // Bland: first improving column
+                    }
+                    best = rj;
+                }
+            }
+            let Some(e) = entering else {
+                // Optimal: compute the objective value.
+                let mut obj = 0.0;
+                for r in 0..rows {
+                    obj += cost[self.basis[r]] * self.a[r][self.cols];
+                }
+                return Ok(obj);
+            };
+            // Ratio test.
+            let mut leave = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..rows {
+                let coeff = self.a[r][e];
+                if coeff > EPS {
+                    let ratio = self.a[r][self.cols] / coeff;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|lr: usize| self.basis[r] < self.basis[lr]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return Err(Error::Unbounded);
+            };
+            self.pivot(l, e);
+        }
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on a zero element");
+        for v in &mut self.a[row] {
+            *v /= p;
+        }
+        for r in 0..self.a.len() {
+            if r != row {
+                let factor = self.a[r][col];
+                if factor.abs() > EPS {
+                    for j in 0..=self.cols {
+                        self.a[r][j] -= factor * self.a[row][j];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+fn flip(cmp: Cmp) -> Cmp {
+    match cmp {
+        Cmp::Le => Cmp::Ge,
+        Cmp::Ge => Cmp::Le,
+        Cmp::Eq => Cmp::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization_as_minimization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 -> (2, 6), obj 36.
+        let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
+        lp.constrain(vec![1.0, 0.0], Cmp::Le, 4.0);
+        lp.constrain(vec![0.0, 2.0], Cmp::Le, 12.0);
+        lp.constrain(vec![3.0, 2.0], Cmp::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x − y = 2 -> (6, 4), obj 10.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 1.0], Cmp::Eq, 10.0);
+        lp.constrain(vec![1.0, -1.0], Cmp::Eq, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 10.0);
+        assert_close(s.x[0], 6.0);
+        assert_close(s.x[1], 4.0);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase_one() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 -> (4, 0), obj 8.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![1.0, 1.0], Cmp::Ge, 4.0);
+        lp.constrain(vec![1.0, 0.0], Cmp::Ge, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 8.0);
+        assert_close(s.x[0], 4.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x ≤ 1 and x ≥ 2 cannot both hold.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![1.0], Cmp::Le, 1.0);
+        lp.constrain(vec![1.0], Cmp::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), Error::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min −x with no upper bound on x.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![0.0], Cmp::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), Error::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. −x ≤ −3  (i.e. x ≥ 3) -> 3.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![-1.0], Cmp::Le, -3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classically degenerate LP (multiple identical basic solutions).
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.constrain(vec![0.25, -60.0, -0.04, 9.0], Cmp::Le, 0.0);
+        lp.constrain(vec![0.5, -90.0, -0.02, 3.0], Cmp::Le, 0.0);
+        lp.constrain(vec![0.0, 0.0, 1.0, 0.0], Cmp::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn lp_relaxation_of_a_small_scheduling_model() {
+        // 2 machines, jobs {3, 5}: LP relaxation splits evenly -> Cmax = 4.
+        // Vars: x00 x01 x10 x11 cmax (x_ij = job j on machine i).
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 0.0, 0.0, 1.0]);
+        lp.constrain(vec![1.0, 0.0, 1.0, 0.0, 0.0], Cmp::Eq, 1.0); // job 0
+        lp.constrain(vec![0.0, 1.0, 0.0, 1.0, 0.0], Cmp::Eq, 1.0); // job 1
+        lp.constrain(vec![3.0, 5.0, 0.0, 0.0, -1.0], Cmp::Le, 0.0); // m0
+        lp.constrain(vec![0.0, 0.0, 3.0, 5.0, -1.0], Cmp::Le, 0.0); // m1
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 2.0],
+            constraints: vec![(vec![1.0], Cmp::Le, 1.0)],
+        };
+        assert!(matches!(lp.solve(), Err(Error::BadModel(_))));
+    }
+}

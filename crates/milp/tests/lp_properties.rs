@@ -1,0 +1,108 @@
+//! Property tests for the simplex LP solver: optimality and feasibility of
+//! returned solutions checked against first principles (a returned solution
+//! must satisfy every constraint, and no grid point may beat it).
+
+use pcmax_milp::{Cmp, LinearProgram};
+use proptest::prelude::*;
+
+/// Random 2-variable LPs with small integer data, checked against a dense
+/// grid search over the (bounded) feasible region.
+fn arb_lp2() -> impl Strategy<Value = LinearProgram> {
+    let row = (-4i32..=4, -4i32..=4, 0i32..=12)
+        .prop_map(|(a, b, r)| (vec![a as f64, b as f64], Cmp::Le, r as f64));
+    (
+        (-3i32..=3, -3i32..=3),
+        prop::collection::vec(row, 1..=4),
+    )
+        .prop_map(|((c0, c1), rows)| {
+            let mut lp = LinearProgram::minimize(vec![c0 as f64, c1 as f64]);
+            // Keep the region bounded so grid search is sound.
+            lp.constrain(vec![1.0, 0.0], Cmp::Le, 10.0);
+            lp.constrain(vec![0.0, 1.0], Cmp::Le, 10.0);
+            for (coeffs, cmp, rhs) in rows {
+                lp.constrain(coeffs, cmp, rhs);
+            }
+            lp
+        })
+}
+
+fn satisfies(lp: &LinearProgram, x: &[f64], tol: f64) -> bool {
+    if x.iter().any(|&v| v < -tol) {
+        return false;
+    }
+    lp.constraints.iter().all(|(coeffs, cmp, rhs)| {
+        let lhs: f64 = coeffs.iter().zip(x).map(|(c, v)| c * v).sum();
+        match cmp {
+            Cmp::Le => lhs <= rhs + tol,
+            Cmp::Ge => lhs >= rhs - tol,
+            Cmp::Eq => (lhs - rhs).abs() <= tol,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn solutions_are_feasible_and_grid_optimal(lp in arb_lp2()) {
+        match lp.solve() {
+            Ok(sol) => {
+                prop_assert!(satisfies(&lp, &sol.x, 1e-6),
+                    "returned point violates a constraint: {:?}", sol.x);
+                // No quarter-integer grid point in [0,10]^2 may beat it.
+                let mut best_grid = f64::INFINITY;
+                for i in 0..=40 {
+                    for j in 0..=40 {
+                        let p = [i as f64 * 0.25, j as f64 * 0.25];
+                        if satisfies(&lp, &p, 1e-9) {
+                            let v = lp.objective[0] * p[0] + lp.objective[1] * p[1];
+                            best_grid = best_grid.min(v);
+                        }
+                    }
+                }
+                prop_assert!(sol.objective <= best_grid + 1e-6,
+                    "simplex {} beaten by grid {}", sol.objective, best_grid);
+            }
+            Err(pcmax_core::Error::Infeasible) => {
+                // The whole grid must indeed be infeasible.
+                for i in 0..=40 {
+                    for j in 0..=40 {
+                        let p = [i as f64 * 0.25, j as f64 * 0.25];
+                        prop_assert!(!satisfies(&lp, &p, 1e-9),
+                            "claimed infeasible but {p:?} satisfies all rows");
+                    }
+                }
+            }
+            Err(pcmax_core::Error::Unbounded) => {
+                // Cannot happen: x0, x1 <= 10 and x >= 0 bound the region.
+                prop_assert!(false, "bounded LP reported unbounded");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn objective_value_matches_returned_point(lp in arb_lp2()) {
+        if let Ok(sol) = lp.solve() {
+            let recomputed: f64 = lp
+                .objective
+                .iter()
+                .zip(&sol.x)
+                .map(|(c, v)| c * v)
+                .sum();
+            prop_assert!((recomputed - sol.objective).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scaling_the_objective_scales_the_optimum(lp in arb_lp2()) {
+        if let Ok(sol) = lp.solve() {
+            let mut scaled = lp.clone();
+            for c in &mut scaled.objective {
+                *c *= 3.0;
+            }
+            let sol3 = scaled.solve().unwrap();
+            prop_assert!((sol3.objective - 3.0 * sol.objective).abs() < 1e-5);
+        }
+    }
+}

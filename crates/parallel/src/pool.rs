@@ -1,0 +1,42 @@
+//! Thread-pool helpers: run a closure on a dedicated rayon pool of a given
+//! size, which is how the harness sweeps the paper's "number of cores" axis.
+
+use rayon::ThreadPool;
+
+/// Builds a rayon pool with exactly `threads` workers and runs `f` inside
+/// it. Parallel iterators inside `f` use this pool instead of the global one.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    pool(threads).install(f)
+}
+
+/// A dedicated pool of `threads` workers.
+pub fn pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("building a rayon pool cannot fail with a positive thread count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_threads_runs_on_requested_pool() {
+        let n = with_threads(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let n = with_threads(0, rayon::current_num_threads);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn parallel_iterators_use_the_pool() {
+        let sum: u64 = with_threads(2, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+}

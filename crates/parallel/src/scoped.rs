@@ -1,0 +1,140 @@
+//! Scoped-thread wavefront DP with *static round-robin* work assignment —
+//! the closest analogue of the paper's OpenMP implementation, where each
+//! level's `parallel for` hands iteration `i` to processor `i mod P`.
+//!
+//! Kept alongside the rayon executor for the ablation study: rayon
+//! work-steals (dynamic), this executor does exactly what Algorithm 3's
+//! analysis assumes (static `⌈q_l/P⌉` chunks per processor).
+
+use pcmax_ptas::dp::{fits, DpOutcome, DpProblem, DpSolver};
+use pcmax_ptas::table::INFEASIBLE;
+
+/// Crossbeam scoped-thread DP with static round-robin level scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopedDp {
+    /// Number of worker threads `P`.
+    pub threads: usize,
+}
+
+impl ScopedDp {
+    /// Executor with `P = threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl DpSolver for ScopedDp {
+    fn name(&self) -> &'static str {
+        "dp-scoped-static"
+    }
+
+    fn solve(&self, problem: &DpProblem) -> pcmax_core::Result<DpOutcome> {
+        let mut table = problem.build_table()?;
+        let configs = problem.configs_with_offsets(&table);
+        table.values[0] = 0;
+        let buckets = table.level_buckets();
+        for bucket in buckets.iter().skip(1) {
+            let p = self.threads.min(bucket.len()).max(1);
+            // Each worker computes the entries at positions
+            // worker, worker + P, worker + 2P, … of the level bucket —
+            // the round-robin assignment of Algorithm 3.
+            let table_ref = &table;
+            let configs_ref = &configs;
+            let mut partials: Vec<Vec<(u32, u16)>> = Vec::with_capacity(p);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..p)
+                    .map(|worker| {
+                        scope.spawn(move |_| {
+                            bucket
+                                .iter()
+                                .skip(worker)
+                                .step_by(p)
+                                .map(|&idx| {
+                                    let i = idx as usize;
+                                    let v = table_ref.decode(i);
+                                    let mut best = INFEASIBLE;
+                                    for (c, offset) in configs_ref {
+                                        if fits(c, &v) {
+                                            best = best.min(table_ref.values[i - offset]);
+                                        }
+                                    }
+                                    (idx, best.saturating_add(1))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("worker panicked"));
+                }
+            })
+            .expect("scope panicked");
+            for (idx, val) in partials.into_iter().flatten() {
+                table.values[idx as usize] = val;
+            }
+        }
+        let opt = table.values[table.last_index()];
+        let machines = if opt == INFEASIBLE { u32::MAX } else { opt as u32 };
+        let schedule = if machines as usize <= problem.max_machines {
+            Some(pcmax_ptas::dp::extract_schedule(
+                &table,
+                &configs,
+                problem.counts.len(),
+            ))
+        } else {
+            None
+        };
+        Ok(DpOutcome { machines, schedule })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_ptas::dp::IterativeDp;
+
+    fn paper_problem() -> DpProblem {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        DpProblem::new(counts, 2, 30, 64)
+    }
+
+    #[test]
+    fn matches_sequential_for_various_thread_counts() {
+        let seq = IterativeDp.solve(&paper_problem()).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let out = ScopedDp::new(threads).solve(&paper_problem()).unwrap();
+            assert_eq!(out.machines, seq.machines, "threads = {threads}");
+            assert_eq!(out.schedule, seq.schedule);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_level_entries_is_fine() {
+        let mut counts = vec![0u32; 16];
+        counts[0] = 1;
+        let problem = DpProblem::new(counts, 1, 10, 4);
+        let out = ScopedDp::new(64).solve(&problem).unwrap();
+        assert_eq!(out.machines, 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ScopedDp::new(0).threads, 1);
+    }
+
+    #[test]
+    fn works_inside_the_ptas_driver() {
+        use pcmax_core::{Instance, Scheduler};
+        let inst = Instance::new(vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 10, 11, 12], 3).unwrap();
+        let seq = pcmax_ptas::Ptas::new(0.3).unwrap().makespan(&inst).unwrap();
+        let par = pcmax_ptas::Ptas::with_solver(0.3, ScopedDp::new(2))
+            .unwrap()
+            .makespan(&inst)
+            .unwrap();
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,253 @@
+//! Speculative parallel bisection — an *extension* beyond the paper.
+//!
+//! The paper parallelizes the DP inside each bisection probe and keeps the
+//! bisection itself sequential. When the DP tables are small (short jobs,
+//! few classes), per-level parallelism is starved; a complementary source of
+//! parallelism is to probe **several candidate targets concurrently** each
+//! round (`w`-ary search instead of binary). Soundness is unchanged because
+//! the bracket updates rest on the same one-sided proofs as binary search:
+//!
+//! * an infeasible probe at `t` proves `OPT > t` (rounded sizes never exceed
+//!   originals), so the lower end can jump past the largest infeasible
+//!   candidate below the new upper end;
+//! * a feasible probe at `t` yields a witness schedule, so the upper end can
+//!   drop to the smallest feasible candidate.
+//!
+//! The converged target may differ from plain bisection's by the usual
+//! rounding non-monotonicity of the dual-approximation framework, but it
+//! carries the identical `(1+ε)` guarantee. With `width = 1` this *is*
+//! binary search.
+
+use crate::wavefront::ParallelDp;
+use pcmax_core::{Instance, MakespanBounds, Result, Schedule, Scheduler, Time};
+use pcmax_ptas::config::Config;
+use pcmax_ptas::dp::{DpProblem, DpSolver};
+use pcmax_ptas::driver::reconstruct;
+use pcmax_ptas::rounding::{JobPartition, RoundedLongJobs};
+use pcmax_ptas::{rounded_problem, EpsilonParams};
+use rayon::prelude::*;
+
+/// The speculative-bisection parallel PTAS.
+#[derive(Debug, Clone)]
+pub struct SpeculativePtas {
+    params: EpsilonParams,
+    /// Candidate targets probed concurrently per round (`≥ 1`).
+    pub width: usize,
+    max_entries: usize,
+}
+
+impl SpeculativePtas {
+    /// Speculative PTAS probing `width` targets per round.
+    pub fn new(epsilon: f64, width: usize) -> Result<Self> {
+        Ok(Self {
+            params: EpsilonParams::new(epsilon)?,
+            width: width.max(1),
+            max_entries: DpProblem::DEFAULT_MAX_ENTRIES,
+        })
+    }
+
+    /// Number of probe rounds a full run needs (for tests/telemetry).
+    pub fn rounds_bound(&self, inst: &Instance) -> u32 {
+        let b = MakespanBounds::of(inst);
+        // w-ary search: each round divides the bracket by (width + 1).
+        let mut width = b.width() + 1;
+        let mut rounds = 0;
+        while width > 1 {
+            width = width.div_ceil(self.width as Time + 1);
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Full solve, returning the schedule, the certified target and the
+    /// number of probe rounds executed.
+    pub fn solve_detailed(&self, inst: &Instance) -> Result<(Schedule, Time, u32)> {
+        if inst.jobs() == 0 {
+            return Ok((Schedule::from_assignment(vec![], inst.machines())?, 0, 0));
+        }
+        let MakespanBounds {
+            mut lower,
+            mut upper,
+        } = MakespanBounds::of(inst);
+        type Witness = (Vec<Config>, RoundedLongJobs, JobPartition, Time);
+        let mut best: Option<Witness> = None;
+        let mut rounds = 0u32;
+
+        while lower < upper {
+            rounds += 1;
+            // Candidates strictly inside [lower, upper), always including
+            // the midpoint so each round at least halves the bracket.
+            let span = upper - lower;
+            let mut candidates: Vec<Time> = (1..=self.width as Time)
+                .map(|i| lower + span * i / (self.width as Time + 1))
+                .collect();
+            candidates.push((lower + upper) / 2);
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.retain(|&t| t >= lower && t < upper);
+            if candidates.is_empty() {
+                candidates.push(lower);
+            }
+
+            let probes: Vec<Result<(Time, Option<Witness>)>> = candidates
+                .par_iter()
+                .map(|&t| {
+                    let (problem, rounded, partition) =
+                        rounded_problem(inst, &self.params, t, self.max_entries);
+                    let outcome = ParallelDp::default().solve(&problem)?;
+                    Ok((
+                        t,
+                        outcome
+                            .schedule
+                            .map(|configs| (configs, rounded, partition, t)),
+                    ))
+                })
+                .collect();
+
+            let mut feasible_min: Option<Witness> = None;
+            let mut infeasible_max: Option<Time> = None;
+            for probe in probes {
+                let (t, witness) = probe?;
+                match witness {
+                    Some(w) => {
+                        if feasible_min.as_ref().is_none_or(|f| t < f.3) {
+                            feasible_min = Some(w);
+                        }
+                    }
+                    None => {
+                        if infeasible_max.is_none_or(|x| t > x) {
+                            infeasible_max = Some(t);
+                        }
+                    }
+                }
+            }
+            if let Some(w) = feasible_min {
+                upper = w.3;
+                best = Some(w);
+            }
+            if let Some(t) = infeasible_max {
+                if t + 1 > lower && t < upper {
+                    lower = t + 1;
+                }
+            }
+        }
+
+        let (configs, rounded, partition, target) = match best {
+            Some(b) if b.3 == upper => b,
+            _ => {
+                // Zero-width bracket or the converged value was never probed
+                // feasible: certify it directly (always feasible, see the
+                // bisection invariant in pcmax-ptas).
+                let (problem, rounded, partition) =
+                    rounded_problem(inst, &self.params, upper, self.max_entries);
+                let outcome = ParallelDp::default().solve(&problem)?;
+                let configs = outcome
+                    .schedule
+                    .expect("the converged target is feasible by the bracket invariant");
+                (configs, rounded, partition, upper)
+            }
+        };
+        let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
+        Ok((schedule, target, rounds))
+    }
+}
+
+impl Scheduler for SpeculativePtas {
+    fn name(&self) -> &'static str {
+        "SpeculativePTAS"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+        Ok(self.solve_detailed(inst)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::lower_bound;
+    use pcmax_ptas::Ptas;
+
+    fn instance() -> Instance {
+        Instance::new(
+            vec![23, 19, 17, 13, 11, 7, 5, 3, 2, 2, 29, 31, 8, 14, 26, 4],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn width_one_matches_plain_bisection() {
+        let inst = instance();
+        let seq = Ptas::new(0.3).unwrap().solve_detailed(&inst).unwrap();
+        let (schedule, target, _) = SpeculativePtas::new(0.3, 1)
+            .unwrap()
+            .solve_detailed(&inst)
+            .unwrap();
+        assert_eq!(target, seq.target);
+        assert_eq!(schedule.makespan(&inst), seq.schedule.makespan(&inst));
+    }
+
+    #[test]
+    fn wider_search_takes_fewer_rounds_and_keeps_the_guarantee() {
+        let inst = instance();
+        let (s1, t1, r1) = SpeculativePtas::new(0.3, 1)
+            .unwrap()
+            .solve_detailed(&inst)
+            .unwrap();
+        let (s4, t4, r4) = SpeculativePtas::new(0.3, 4)
+            .unwrap()
+            .solve_detailed(&inst)
+            .unwrap();
+        assert!(r4 <= r1, "w=4 rounds {r4} vs w=1 rounds {r1}");
+        for (s, t) in [(&s1, t1), (&s4, t4)] {
+            s.validate(&inst).unwrap();
+            assert!(t >= lower_bound(&inst));
+            // (1 + 1/k)·T* plus integer slack.
+            assert!(s.makespan(&inst) as f64 <= 1.25 * t as f64 + 4.0);
+        }
+    }
+
+    #[test]
+    fn certified_target_is_sound_for_all_widths() {
+        use pcmax_exact::BranchAndBound;
+        let inst = Instance::new(vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 12], 3).unwrap();
+        let opt = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        assert!(opt.proven);
+        for width in [1, 2, 3, 8] {
+            let (_, target, _) = SpeculativePtas::new(0.3, width)
+                .unwrap()
+                .solve_detailed(&inst)
+                .unwrap();
+            assert!(
+                target <= opt.best,
+                "width {width}: target {target} exceeds optimum {}",
+                opt.best
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_bound_is_respected() {
+        let inst = instance();
+        for width in [1usize, 3, 7] {
+            let algo = SpeculativePtas::new(0.3, width).unwrap();
+            let (_, _, rounds) = algo.solve_detailed(&inst).unwrap();
+            assert!(
+                rounds <= algo.rounds_bound(&inst) + 1,
+                "width {width}: {rounds} rounds vs bound {}",
+                algo.rounds_bound(&inst)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        let (s, t, r) = SpeculativePtas::new(0.3, 4)
+            .unwrap()
+            .solve_detailed(&inst)
+            .unwrap();
+        assert_eq!((s.jobs(), t, r), (0, 0, 0));
+    }
+}

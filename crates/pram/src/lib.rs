@@ -1,0 +1,26 @@
+//! A work/depth PRAM cost model with instrumented parallel primitives —
+//! the theoretical frame of the paper's related work.
+//!
+//! Mayr's `O(log² n)` EREW-PRAM `(1+ε)`-approximation (the paper's reference \[7\]) is
+//! the only prior parallel algorithm for `P||Cmax`; Ghalami & Grosu dismiss
+//! it as impractical because it needs polynomially many processors. This
+//! crate makes that comparison concrete: it provides a tiny PRAM whose
+//! computations are *executed* (so results are real) while **work** (total
+//! operations) and **depth** (longest dependency chain) are tracked, plus
+//! the classical primitives — parallel reduce, prefix-scan (Blelloch), and
+//! pack — and a PRAM expression of the paper's wavefront DP.
+//!
+//! With work `W` and depth `D` measured, Brent's theorem gives the
+//! achievable time on `p` processors: `T_p ≤ W/p + D`. The
+//! [`brent_time`] helper evaluates it, which lets examples and the harness
+//! show *why* a polylog-depth PRAM algorithm is uninteresting at
+//! multicore scale: for the DP's measured `W` and `D`, `W/p` dominates `D`
+//! for every realistic `p`, so depth-optimality buys nothing.
+
+pub mod dp;
+pub mod machine;
+pub mod primitives;
+
+pub use dp::{wavefront_dp, WavefrontCost};
+pub use machine::{brent_time, Pram};
+pub use primitives::{pack, prefix_scan, reduce_max, reduce_min, reduce_sum};

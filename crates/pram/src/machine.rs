@@ -1,0 +1,94 @@
+//! The PRAM cost accumulator: tracks work and depth of a computation.
+
+/// A PRAM cost ledger. Primitives executed against it add their work and
+/// depth; user code can also `charge` custom costs. Depth composes
+/// *sequentially* across charges (this models one thread of PRAM "rounds";
+/// the primitives themselves account for their internal parallel depth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pram {
+    /// Total operations across all processors.
+    pub work: u64,
+    /// Length of the critical dependency chain (parallel rounds).
+    pub depth: u64,
+}
+
+impl Pram {
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges a step with the given work executed at the given parallel
+    /// depth (the step's own critical chain).
+    pub fn charge(&mut self, work: u64, depth: u64) {
+        self.work += work;
+        self.depth += depth;
+    }
+
+    /// ⌈log₂ n⌉ (0 for n ≤ 1) — the canonical depth of tree-shaped
+    /// primitives on `n` items.
+    pub fn log2_ceil(n: usize) -> u64 {
+        if n <= 1 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as u64
+        }
+    }
+}
+
+/// Brent's theorem: a computation with work `W` and depth `D` runs on `p`
+/// processors in at most `W/p + D` steps (greedy scheduling).
+pub fn brent_time(pram: &Pram, processors: u64) -> u64 {
+    let p = processors.max(1);
+    pram.work.div_ceil(p) + pram.depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut pram = Pram::new();
+        pram.charge(10, 2);
+        pram.charge(5, 3);
+        assert_eq!(pram.work, 15);
+        assert_eq!(pram.depth, 5);
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(Pram::log2_ceil(0), 0);
+        assert_eq!(Pram::log2_ceil(1), 0);
+        assert_eq!(Pram::log2_ceil(2), 1);
+        assert_eq!(Pram::log2_ceil(3), 2);
+        assert_eq!(Pram::log2_ceil(4), 2);
+        assert_eq!(Pram::log2_ceil(1024), 10);
+        assert_eq!(Pram::log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn brent_interpolates_between_serial_and_depth() {
+        let pram = Pram {
+            work: 1000,
+            depth: 10,
+        };
+        assert_eq!(brent_time(&pram, 1), 1010);
+        assert_eq!(brent_time(&pram, 1000), 11);
+        // Monotone in p.
+        let mut last = u64::MAX;
+        for p in [1u64, 2, 4, 8, 1 << 20] {
+            let t = brent_time(&pram, p);
+            assert!(t <= last);
+            last = t;
+        }
+        // Never below the depth.
+        assert!(brent_time(&pram, u64::MAX) >= 10);
+    }
+
+    #[test]
+    fn zero_processors_clamps() {
+        let pram = Pram { work: 8, depth: 1 };
+        assert_eq!(brent_time(&pram, 0), 9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Instrumented PRAM primitives. Each executes the real computation
+//! sequentially (results are exact) while charging the PRAM ledger the
+//! canonical EREW work/depth of the parallel version.
+
+use crate::machine::Pram;
+
+/// Parallel sum reduction: work `O(n)`, depth `⌈log₂ n⌉`.
+pub fn reduce_sum(pram: &mut Pram, xs: &[u64]) -> u64 {
+    pram.charge(xs.len() as u64, Pram::log2_ceil(xs.len()));
+    xs.iter().sum()
+}
+
+/// Parallel max reduction (0 on empty input): work `O(n)`, depth `⌈log₂ n⌉`.
+pub fn reduce_max(pram: &mut Pram, xs: &[u64]) -> u64 {
+    pram.charge(xs.len() as u64, Pram::log2_ceil(xs.len()));
+    xs.iter().copied().max().unwrap_or(0)
+}
+
+/// Parallel min reduction (`u64::MAX` on empty input).
+pub fn reduce_min(pram: &mut Pram, xs: &[u64]) -> u64 {
+    pram.charge(xs.len() as u64, Pram::log2_ceil(xs.len()));
+    xs.iter().copied().min().unwrap_or(u64::MAX)
+}
+
+/// Blelloch exclusive prefix scan: work `O(n)` (up-sweep + down-sweep),
+/// depth `2⌈log₂ n⌉`.
+pub fn prefix_scan(pram: &mut Pram, xs: &[u64]) -> Vec<u64> {
+    pram.charge(2 * xs.len() as u64, 2 * Pram::log2_ceil(xs.len()));
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0u64;
+    for &x in xs {
+        out.push(acc);
+        acc += x;
+    }
+    out
+}
+
+/// Parallel pack (stream compaction): keep the elements whose flag is set,
+/// preserving order. Work `O(n)` via a scan over the flags, depth
+/// `O(log n)`.
+pub fn pack<T: Clone>(pram: &mut Pram, xs: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(xs.len(), flags.len());
+    // A scan over the flags computes output offsets; one more round writes.
+    pram.charge(3 * xs.len() as u64, 2 * Pram::log2_ceil(xs.len()) + 1);
+    xs.iter()
+        .zip(flags)
+        .filter(|(_, &f)| f)
+        .map(|(x, _)| x.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_compute_correct_values() {
+        let mut pram = Pram::new();
+        assert_eq!(reduce_sum(&mut pram, &[1, 2, 3, 4]), 10);
+        assert_eq!(reduce_max(&mut pram, &[3, 9, 1]), 9);
+        assert_eq!(reduce_min(&mut pram, &[3, 9, 1]), 1);
+        assert_eq!(reduce_max(&mut pram, &[]), 0);
+    }
+
+    #[test]
+    fn reduction_depth_is_logarithmic() {
+        let mut pram = Pram::new();
+        let xs = vec![1u64; 1024];
+        reduce_sum(&mut pram, &xs);
+        assert_eq!(pram.work, 1024);
+        assert_eq!(pram.depth, 10);
+    }
+
+    #[test]
+    fn scan_is_exclusive() {
+        let mut pram = Pram::new();
+        assert_eq!(prefix_scan(&mut pram, &[3, 1, 4, 1]), vec![0, 3, 4, 8]);
+        assert_eq!(pram.depth, 4); // 2 * log2(4)
+    }
+
+    #[test]
+    fn pack_keeps_flagged_elements_in_order() {
+        let mut pram = Pram::new();
+        let xs = vec!['a', 'b', 'c', 'd'];
+        let flags = vec![true, false, true, true];
+        assert_eq!(pack(&mut pram, &xs, &flags), vec!['a', 'c', 'd']);
+    }
+
+    #[test]
+    fn empty_inputs_cost_nothing_in_depth() {
+        let mut pram = Pram::new();
+        let _ = reduce_sum(&mut pram, &[]);
+        let _ = prefix_scan(&mut pram, &[]);
+        assert_eq!(pram.depth, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn pack_rejects_mismatched_lengths() {
+        let mut pram = Pram::new();
+        let _ = pack(&mut pram, &[1, 2], &[true]);
+    }
+}

@@ -1,0 +1,347 @@
+//! The bisection driver (Algorithm 1): probe target makespans with the DP,
+//! keep the smallest feasible target, then reconstruct a real schedule from
+//! the rounded witness and finish with LPT on the short jobs.
+
+use crate::config::Config;
+use crate::dp::{DpProblem, DpSolver, IterativeDp};
+use crate::params::EpsilonParams;
+use crate::rounding::{JobPartition, RoundedLongJobs};
+use pcmax_core::{
+    Instance, MakespanBounds, Result, Schedule, ScheduleBuilder, Scheduler, Time,
+};
+
+/// One bisection probe: the target tried and what the DP said.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BisectionProbe {
+    /// Target makespan `T` probed.
+    pub target: Time,
+    /// `OPT(N)` returned by the DP at this target.
+    pub dp_machines: u32,
+    /// Whether the rounded jobs fit on `m` machines.
+    pub feasible: bool,
+}
+
+/// Full record of a bisection run, for tests, the harness and the examples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BisectionLog {
+    /// Probes in execution order.
+    pub probes: Vec<BisectionProbe>,
+}
+
+impl BisectionLog {
+    /// Number of DP evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.probes.len()
+    }
+}
+
+/// Everything the PTAS produces: the schedule, the converged target `T*`,
+/// and the probe log.
+#[derive(Debug, Clone)]
+pub struct PtasOutput {
+    /// The final schedule over the original jobs.
+    pub schedule: Schedule,
+    /// The smallest target makespan the DP certified (`T* ≤ OPT`).
+    pub target: Time,
+    /// Bisection history.
+    pub log: BisectionLog,
+}
+
+/// The Hochbaum–Shmoys PTAS with a pluggable DP solver.
+///
+/// `Ptas::new(0.3)` reproduces the paper's sequential configuration; the
+/// parallel version is `Ptas::with_solver(0.3, pcmax_parallel::ParallelDp::default())`.
+#[derive(Debug, Clone)]
+pub struct Ptas<S = IterativeDp> {
+    params: EpsilonParams,
+    solver: S,
+    max_entries: usize,
+}
+
+impl Ptas<IterativeDp> {
+    /// Sequential PTAS with relative error `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        Ok(Self {
+            params: EpsilonParams::new(epsilon)?,
+            solver: IterativeDp,
+            max_entries: DpProblem::DEFAULT_MAX_ENTRIES,
+        })
+    }
+}
+
+impl<S: DpSolver> Ptas<S> {
+    /// PTAS with a custom DP solver (e.g. the parallel wavefront DP).
+    pub fn with_solver(epsilon: f64, solver: S) -> Result<Self> {
+        Ok(Self {
+            params: EpsilonParams::new(epsilon)?,
+            solver,
+            max_entries: DpProblem::DEFAULT_MAX_ENTRIES,
+        })
+    }
+
+    /// Overrides the dense-table size guard.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// The `ε`/`k` parameters in use.
+    pub fn params(&self) -> &EpsilonParams {
+        &self.params
+    }
+
+    /// Builds the rounded DP problem for `inst` at target `t`.
+    fn problem_at(&self, inst: &Instance, t: Time) -> (DpProblem, RoundedLongJobs, JobPartition) {
+        rounded_problem(inst, &self.params, t, self.max_entries)
+    }
+
+    /// Runs the full PTAS and returns the schedule plus diagnostics.
+    pub fn solve_detailed(&self, inst: &Instance) -> Result<PtasOutput> {
+        if inst.jobs() == 0 {
+            return Ok(PtasOutput {
+                schedule: Schedule::from_assignment(vec![], inst.machines())?,
+                target: 0,
+                log: BisectionLog::default(),
+            });
+        }
+        let MakespanBounds { mut lower, mut upper } = MakespanBounds::of(inst);
+        let mut log = BisectionLog::default();
+        // Last feasible witness: (per-machine configs, rounding, partition, T).
+        let mut best: Option<(Vec<Config>, RoundedLongJobs, JobPartition, Time)> = None;
+
+        while lower < upper {
+            let t = (lower + upper) / 2;
+            let (problem, rounded, partition) = self.problem_at(inst, t);
+            let outcome = self.solver.solve(&problem)?;
+            log.probes.push(BisectionProbe {
+                target: t,
+                dp_machines: outcome.machines,
+                feasible: outcome.feasible(),
+            });
+            match outcome.schedule {
+                Some(configs) => {
+                    upper = t;
+                    best = Some((configs, rounded, partition, t));
+                }
+                None => lower = t + 1,
+            }
+        }
+
+        let target = upper;
+        // The loop's invariant keeps `best` at T = final upper whenever the
+        // loop body ran and found a feasible probe; otherwise (zero-width
+        // bracket, or all probes infeasible) certify the final target
+        // directly — the initial UB is always feasible, so this succeeds.
+        let (configs, rounded, partition, t_star) = match best {
+            Some(b) if b.3 == target => b,
+            _ => {
+                let (problem, rounded, partition) = self.problem_at(inst, target);
+                let outcome = self.solver.solve(&problem)?;
+                log.probes.push(BisectionProbe {
+                    target,
+                    dp_machines: outcome.machines,
+                    feasible: outcome.feasible(),
+                });
+                let configs = outcome
+                    .schedule
+                    .expect("the converged target is feasible by the bisection invariant");
+                (configs, rounded, partition, target)
+            }
+        };
+
+        let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
+        Ok(PtasOutput {
+            schedule,
+            target: t_star,
+            log,
+        })
+    }
+}
+
+impl<S: DpSolver> Scheduler for Ptas<S> {
+    fn name(&self) -> &'static str {
+        "PTAS"
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+        Ok(self.solve_detailed(inst)?.schedule)
+    }
+}
+
+/// Builds the rounded DP problem (and the rounding/partition metadata) for
+/// `inst` at target makespan `t` — Lines 6–24 of Algorithm 1. Public so that
+/// the simulated executor (`pcmax-simcore`) and the harness can reconstruct
+/// the exact subproblems a bisection run probes.
+pub fn rounded_problem(
+    inst: &Instance,
+    params: &EpsilonParams,
+    target: Time,
+    max_entries: usize,
+) -> (DpProblem, RoundedLongJobs, JobPartition) {
+    let partition = JobPartition::split(inst, params, target);
+    let rounded = RoundedLongJobs::round(inst, params, &partition);
+    let problem = DpProblem {
+        counts: rounded.counts.clone(),
+        unit: rounded.unit,
+        target,
+        max_machines: inst.machines(),
+        max_entries,
+    };
+    (problem, rounded, partition)
+}
+
+/// Lines 31–51 of Algorithm 1: replace each rounded job by an original long
+/// job of the matching class, then place the short jobs with LPT on the
+/// resulting loads. Public so alternative bisection drivers (e.g.
+/// `pcmax_parallel::SpeculativePtas`) can share the reconstruction.
+pub fn reconstruct(
+    inst: &Instance,
+    configs: &[Config],
+    rounded: &RoundedLongJobs,
+    partition: &JobPartition,
+) -> Result<Schedule> {
+    let mut builder = ScheduleBuilder::new(inst);
+    // Per-class queues of original long-job ids.
+    let mut queues: Vec<std::collections::VecDeque<usize>> = rounded
+        .members
+        .iter()
+        .map(|v| v.iter().copied().collect())
+        .collect();
+    assert!(
+        configs.len() <= inst.machines(),
+        "witness uses more machines than available"
+    );
+    for (machine, config) in configs.iter().enumerate() {
+        for (class_idx, &count) in config.iter().enumerate() {
+            for _ in 0..count {
+                let j = queues[class_idx]
+                    .pop_front()
+                    .expect("witness covers exactly the rounded class counts");
+                builder.assign(j, machine);
+            }
+        }
+    }
+    debug_assert!(queues.iter().all(|q| q.is_empty()), "long jobs left over");
+
+    // Short jobs in non-increasing processing time (Lines 41–51).
+    let mut shorts = partition.short.clone();
+    shorts.sort_by(|&a, &b| inst.time(b).cmp(&inst.time(a)).then(a.cmp(&b)));
+    pcmax_baselines::greedy_extend(inst, &mut builder, &shorts);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::MemoizedDp;
+    use pcmax_core::{lower_bound, Instance};
+
+    fn ptas() -> Ptas {
+        Ptas::new(0.3).unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        assert_eq!(out.schedule.makespan(&inst), 0);
+        assert_eq!(out.log.evaluations(), 0);
+    }
+
+    #[test]
+    fn single_job() {
+        let inst = Instance::new(vec![42], 3).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        assert_eq!(out.schedule.makespan(&inst), 42);
+        assert_eq!(out.target, 42);
+    }
+
+    #[test]
+    fn perfectly_balanced_instance_hits_the_lower_bound() {
+        let inst = Instance::new(vec![5; 8], 4).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        assert_eq!(out.schedule.makespan(&inst), 10);
+    }
+
+    #[test]
+    fn schedule_is_always_valid_and_complete() {
+        let inst = Instance::new(vec![13, 11, 9, 8, 8, 7, 5, 4, 2, 2, 1, 1], 3).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        out.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn target_bracketed_by_bounds() {
+        let inst = Instance::new(vec![9, 8, 7, 6, 5, 4, 3, 2, 1], 3).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        let b = MakespanBounds::of(&inst);
+        assert!(out.target >= b.lower && out.target <= b.upper);
+    }
+
+    #[test]
+    fn makespan_respects_guarantee_against_lower_bound() {
+        // (1 + 1/k)·T* plus the integer rounding slack k·1.
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3], 4).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        let k = ptas().params().k as f64;
+        let bound = (1.0 + 1.0 / k) * out.target as f64 + k;
+        assert!(
+            (out.schedule.makespan(&inst) as f64) <= bound,
+            "makespan {} > bound {bound}",
+            out.schedule.makespan(&inst)
+        );
+        assert!(out.target >= lower_bound(&inst));
+    }
+
+    #[test]
+    fn memoized_and_iterative_drivers_agree_on_target() {
+        let inst = Instance::new(vec![23, 19, 17, 13, 11, 7, 5, 3, 2, 2, 29, 31], 4).unwrap();
+        let a = ptas().solve_detailed(&inst).unwrap();
+        let b = Ptas::with_solver(0.3, MemoizedDp)
+            .unwrap()
+            .solve_detailed(&inst)
+            .unwrap();
+        assert_eq!(a.target, b.target);
+        assert_eq!(
+            a.schedule.makespan(&inst),
+            b.schedule.makespan(&inst),
+            "deterministic extraction should match"
+        );
+    }
+
+    #[test]
+    fn tighter_epsilon_never_worsens_the_certified_target() {
+        let inst = Instance::new(vec![17, 14, 12, 11, 9, 8, 8, 6, 5, 4, 3, 1], 3).unwrap();
+        let loose = Ptas::new(0.5).unwrap().solve_detailed(&inst).unwrap();
+        let tight = Ptas::new(0.2).unwrap().solve_detailed(&inst).unwrap();
+        assert!(tight.target <= loose.target + 1, "tight {} loose {}", tight.target, loose.target);
+    }
+
+    #[test]
+    fn bisection_log_is_monotone_bracket() {
+        let inst = Instance::new(vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 10, 11, 12], 4).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        assert!(out.log.evaluations() >= 1);
+        // Every infeasible probe is strictly below every feasible probe's
+        // final certified target... at minimum, below the final target.
+        for p in &out.log.probes {
+            if !p.feasible {
+                assert!(p.target < out.target);
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_equal_machines_schedules_one_each() {
+        let inst = Instance::new(vec![7, 7, 7], 3).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        assert_eq!(out.schedule.makespan(&inst), 7);
+    }
+
+    #[test]
+    fn more_machines_than_jobs() {
+        let inst = Instance::new(vec![5, 3], 6).unwrap();
+        let out = ptas().solve_detailed(&inst).unwrap();
+        assert_eq!(out.schedule.makespan(&inst), 5);
+    }
+}

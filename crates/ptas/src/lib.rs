@@ -1,0 +1,44 @@
+//! The Hochbaum–Shmoys PTAS for `P||Cmax` (Algorithm 1 of Ghalami & Grosu
+//! 2017), structured so that the dynamic program at its core is pluggable:
+//!
+//! * [`params`] — the `ε → k = ⌈1/ε⌉` parameterization,
+//! * [`rounding`] — partition into long/short jobs and rounding of long jobs
+//!   to multiples of `⌈T/k²⌉` (Lines 9–24 of Algorithm 1),
+//! * [`config`] — machine-configuration enumeration (Equation 3),
+//! * [`table`] — the mixed-radix dense DP table over job-count vectors,
+//! * [`dp`] — the [`DpSolver`] trait plus the sequential solvers
+//!   ([`IterativeDp`], [`MemoizedDp`]; Algorithm 2),
+//! * [`trace`] — per-subproblem cost capture for the simulated executor,
+//! * [`driver`] — the bisection search, schedule reconstruction and the
+//!   public [`Ptas`] scheduler.
+//!
+//! The parallel DP of the paper (Algorithm 3) lives in the `pcmax-parallel`
+//! crate and plugs into [`Ptas`] through [`DpSolver`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use pcmax_core::Scheduler;
+//! use pcmax_ptas::Ptas;
+//!
+//! let inst = pcmax_core::Instance::new(vec![6, 6, 11, 11, 11, 2, 3], 3).unwrap();
+//! let schedule = Ptas::new(0.3).unwrap().schedule(&inst).unwrap();
+//! // The optimum is 17; epsilon = 0.3 certifies at most (1 + 1/4)·17 ≈ 21.
+//! assert!(schedule.makespan(&inst) <= 21);
+//! ```
+
+pub mod config;
+pub mod dp;
+pub mod driver;
+pub mod params;
+pub mod rounding;
+pub mod table;
+pub mod trace;
+
+pub use config::{enumerate_configs, Config};
+pub use dp::{DpOutcome, DpProblem, DpSolver, IterativeDp, MemoizedDp, RegenerateConfigsDp};
+pub use driver::{rounded_problem, BisectionLog, Ptas, PtasOutput};
+pub use params::EpsilonParams;
+pub use rounding::{JobPartition, RoundedLongJobs};
+pub use table::DpTable;
+pub use trace::{dp_trace, DpTrace};

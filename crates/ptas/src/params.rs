@@ -1,0 +1,110 @@
+//! The PTAS accuracy parameter.
+
+use pcmax_core::{Error, Result};
+
+/// The `ε` parameterization of the PTAS: `k = ⌈1/ε⌉` controls both the
+/// long/short threshold (`T/k`) and the number of rounded size classes
+/// (`k²`). The paper runs every experiment with `ε = 0.3`, i.e. `k = 4` and
+/// `k² = 16` classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonParams {
+    /// Requested relative error (`> 0`).
+    pub epsilon: f64,
+    /// `k = ⌈1/ε⌉`.
+    pub k: u64,
+}
+
+impl EpsilonParams {
+    /// Validates `ε` and derives `k`. `ε` must be strictly positive; values
+    /// `≥ 1` are allowed (they give `k = 1`, a single size class — the
+    /// algorithm degenerates gracefully to an LPT-like scheme).
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(Error::InvalidEpsilon {
+                reason: "epsilon must be a finite positive number",
+            });
+        }
+        let k = (1.0 / epsilon).ceil() as u64;
+        // Guard against pathological tiny epsilons that would overflow k².
+        if k > 1 << 12 {
+            return Err(Error::InvalidEpsilon {
+                reason: "epsilon too small: k = ceil(1/eps) exceeds 4096",
+            });
+        }
+        Ok(Self { epsilon, k: k.max(1) })
+    }
+
+    /// Number of rounded size classes, `k²`.
+    #[inline]
+    pub fn classes(&self) -> usize {
+        (self.k * self.k) as usize
+    }
+
+    /// The long-job threshold for a target makespan `t`: jobs with
+    /// processing time `> t/k` are long. Computed in integer arithmetic:
+    /// `t_j > T/k  ⇔  k·t_j > T`.
+    #[inline]
+    pub fn is_long(&self, job_time: u64, target: u64) -> bool {
+        job_time.saturating_mul(self.k) > target
+    }
+
+    /// The rounding unit `⌈T/k²⌉` for target makespan `t` (at least 1).
+    #[inline]
+    pub fn unit(&self, target: u64) -> u64 {
+        target.div_ceil(self.k * self.k).max(1)
+    }
+
+    /// The proven worst-case ratio of the PTAS, `1 + 1/k ≤ 1 + ε`.
+    pub fn guarantee(&self) -> f64 {
+        1.0 + 1.0 / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_epsilon_gives_k4() {
+        let p = EpsilonParams::new(0.3).unwrap();
+        assert_eq!(p.k, 4);
+        assert_eq!(p.classes(), 16);
+        assert!((p.guarantee() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_epsilons() {
+        assert_eq!(EpsilonParams::new(0.5).unwrap().k, 2);
+        assert_eq!(EpsilonParams::new(1.0).unwrap().k, 1);
+        assert_eq!(EpsilonParams::new(2.0).unwrap().k, 1);
+        assert_eq!(EpsilonParams::new(0.25).unwrap().k, 4);
+        assert_eq!(EpsilonParams::new(0.2).unwrap().k, 5);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(EpsilonParams::new(0.0).is_err());
+        assert!(EpsilonParams::new(-0.1).is_err());
+        assert!(EpsilonParams::new(f64::NAN).is_err());
+        assert!(EpsilonParams::new(f64::INFINITY).is_err());
+        assert!(EpsilonParams::new(1e-9).is_err(), "k would exceed 4096");
+    }
+
+    #[test]
+    fn long_threshold_is_strict() {
+        let p = EpsilonParams::new(0.3).unwrap(); // k = 4
+        // T = 30 -> T/k = 7.5; long iff t > 7.5.
+        assert!(!p.is_long(7, 30));
+        assert!(p.is_long(8, 30));
+        // T = 28 -> threshold exactly 7; t = 7 is NOT long (strict >).
+        assert!(!p.is_long(7, 28));
+    }
+
+    #[test]
+    fn unit_matches_paper_example() {
+        let p = EpsilonParams::new(0.3).unwrap();
+        assert_eq!(p.unit(30), 2); // ceil(30/16) = 2
+        assert_eq!(p.unit(16), 1);
+        assert_eq!(p.unit(0), 1, "unit is clamped to at least 1");
+    }
+}

@@ -1,0 +1,239 @@
+//! The dense DP table: a mixed-radix (row-major) indexing of all vectors
+//! `v ≤ N`, exactly the layout the paper's array `V` uses (Section III).
+//!
+//! To keep the table compact the indexing is built over the *active* classes
+//! only (classes with `n_i > 0`); inactive classes contribute a radix of 1
+//! and are elided. The paper's example `N = (…,2,…,3,…)` therefore maps to
+//! dims `[3, 4]` and σ = 12 entries, matching Table I.
+
+use pcmax_core::Time;
+
+/// Value stored for an unreachable/infeasible subproblem.
+pub const INFEASIBLE: u16 = u16::MAX;
+
+/// Mixed-radix index space over the active classes of a rounded vector `N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpTable {
+    /// 0-based indices (into the full `k²`-class vector) of active classes.
+    pub active: Vec<usize>,
+    /// `dims[a] = n_active[a] + 1` — radix per active class.
+    pub dims: Vec<u32>,
+    /// Row-major strides: `index(v) = Σ v_a · strides[a]`.
+    pub strides: Vec<usize>,
+    /// Total number of entries `σ = Π dims`.
+    pub len: usize,
+    /// Rounded size of each active class (`(class+1)·unit`).
+    pub sizes: Vec<Time>,
+    /// Per-entry `OPT` values (`INFEASIBLE` = not computable).
+    pub values: Vec<u16>,
+}
+
+impl DpTable {
+    /// Builds the (zero-initialized) table for class counts `counts` with
+    /// rounding unit `unit`. Returns `None` if σ would exceed `max_entries`
+    /// (a guard against pathological ε/instance combinations).
+    pub fn new(counts: &[u32], unit: Time, max_entries: usize) -> Option<Self> {
+        let mut active = Vec::new();
+        let mut dims = Vec::new();
+        let mut sizes = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                active.push(i);
+                dims.push(c + 1);
+                sizes.push((i as Time + 1) * unit);
+            }
+        }
+        // Row-major: last dimension has stride 1.
+        let mut strides = vec![0usize; dims.len()];
+        let mut len = 1usize;
+        for a in (0..dims.len()).rev() {
+            strides[a] = len;
+            len = len.checked_mul(dims[a] as usize)?;
+            if len > max_entries {
+                return None;
+            }
+        }
+        Some(Self {
+            active,
+            dims,
+            strides,
+            len,
+            sizes,
+            values: vec![INFEASIBLE; len],
+        })
+    }
+
+    /// Index of a vector over active classes.
+    #[inline]
+    pub fn index(&self, v: &[u32]) -> usize {
+        debug_assert_eq!(v.len(), self.dims.len());
+        v.iter()
+            .zip(&self.strides)
+            .map(|(&d, &s)| d as usize * s)
+            .sum()
+    }
+
+    /// Decodes index `idx` into a vector over active classes.
+    pub fn decode(&self, mut idx: usize) -> Vec<u32> {
+        let mut v = vec![0u32; self.dims.len()];
+        for (slot, &stride) in v.iter_mut().zip(&self.strides) {
+            *slot = (idx / stride) as u32;
+            idx %= stride;
+        }
+        v
+    }
+
+    /// The anti-diagonal level of index `idx`: the digit sum of its vector.
+    pub fn level_of(&self, idx: usize) -> u32 {
+        self.decode(idx).iter().sum()
+    }
+
+    /// Number of anti-diagonal levels, `n' + 1` where `n'` is the number of
+    /// long jobs (sum of all digits of the last entry).
+    pub fn levels(&self) -> u32 {
+        self.dims.iter().map(|&d| d - 1).sum::<u32>() + 1
+    }
+
+    /// Index of the last entry (the full vector `N`).
+    #[inline]
+    pub fn last_index(&self) -> usize {
+        self.len - 1
+    }
+
+    /// The precomputed flat offset of a full-width config (length `k²`)
+    /// restricted to active classes, together with its active-class
+    /// projection. Returns `None` if the config uses an inactive class
+    /// (it can never be ≤ any table vector then).
+    pub fn project_config(&self, config: &[u32]) -> Option<(Vec<u32>, usize)> {
+        let mut projected = vec![0u32; self.active.len()];
+        for (a, &class) in self.active.iter().enumerate() {
+            projected[a] = config[class];
+        }
+        // Any count on an inactive class disqualifies the config.
+        let total_active: u64 = projected.iter().map(|&s| s as u64).sum();
+        let total: u64 = config.iter().map(|&s| s as u64).sum();
+        if total_active != total {
+            return None;
+        }
+        let offset = self.index(&projected);
+        Some((projected, offset))
+    }
+
+    /// Expands a vector over active classes back to full `k²` width.
+    pub fn expand(&self, v: &[u32], classes: usize) -> Vec<u32> {
+        let mut full = vec![0u32; classes];
+        for (a, &class) in self.active.iter().enumerate() {
+            full[class] = v[a];
+        }
+        full
+    }
+
+    /// Buckets all indices by anti-diagonal level. `buckets[l]` lists the
+    /// table indices whose digit sum is `l`, in increasing index order.
+    pub fn level_buckets(&self) -> Vec<Vec<u32>> {
+        let mut buckets = vec![Vec::new(); self.levels() as usize];
+        // Incremental mixed-radix counter with running digit sum: O(σ).
+        let mut v = vec![0u32; self.dims.len()];
+        let mut sum = 0u32;
+        for idx in 0..self.len {
+            buckets[sum as usize].push(idx as u32);
+            // Increment the counter (row-major: last digit fastest).
+            for a in (0..self.dims.len()).rev() {
+                if v[a] + 1 < self.dims[a] {
+                    v[a] += 1;
+                    sum += 1;
+                    break;
+                }
+                sum -= v[a];
+                v[a] = 0;
+            }
+        }
+        buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I: N = (2, 3) -> 12 entries in row-major order.
+    fn paper_table() -> DpTable {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        DpTable::new(&counts, 2, 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn active_compaction() {
+        let t = paper_table();
+        assert_eq!(t.active, vec![2, 4]);
+        assert_eq!(t.dims, vec![3, 4]);
+        assert_eq!(t.len, 12);
+        assert_eq!(t.sizes, vec![6, 10]);
+    }
+
+    #[test]
+    fn row_major_order_matches_paper_array_v() {
+        let t = paper_table();
+        // V = (0,0),(0,1),(0,2),(0,3),(1,0),...,(2,3)
+        assert_eq!(t.decode(0), vec![0, 0]);
+        assert_eq!(t.decode(3), vec![0, 3]);
+        assert_eq!(t.decode(4), vec![1, 0]);
+        assert_eq!(t.decode(11), vec![2, 3]);
+        for idx in 0..t.len {
+            assert_eq!(t.index(&t.decode(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn levels_partition_all_entries() {
+        let t = paper_table();
+        assert_eq!(t.levels(), 6); // n' = 5 long jobs -> levels 0..=5
+        let buckets = t.level_buckets();
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), t.len);
+        // Level 2 holds OPT(2,0), OPT(1,1), OPT(0,2) — the paper's example.
+        let lvl2: Vec<Vec<u32>> = buckets[2].iter().map(|&i| t.decode(i as usize)).collect();
+        assert_eq!(lvl2, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+        // Every bucket member's digit sum equals its level.
+        for (l, bucket) in buckets.iter().enumerate() {
+            for &idx in bucket {
+                assert_eq!(t.level_of(idx as usize), l as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn size_guard_rejects_huge_tables() {
+        let counts = vec![1000u32; 8];
+        assert!(DpTable::new(&counts, 1, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn empty_vector_table_has_one_entry() {
+        let t = DpTable::new(&[0, 0], 1, 1 << 20).unwrap();
+        assert_eq!(t.len, 1);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.last_index(), 0);
+    }
+
+    #[test]
+    fn project_and_expand_are_inverse_on_active_classes() {
+        let t = paper_table();
+        let mut config = vec![0u32; 16];
+        config[2] = 1;
+        config[4] = 2;
+        let (projected, offset) = t.project_config(&config).unwrap();
+        assert_eq!(projected, vec![1, 2]);
+        assert_eq!(offset, t.index(&[1, 2]));
+        assert_eq!(t.expand(&projected, 16), config);
+    }
+
+    #[test]
+    fn project_rejects_inactive_class_use() {
+        let t = paper_table();
+        let mut config = vec![0u32; 16];
+        config[0] = 1; // class 1 is inactive
+        assert!(t.project_config(&config).is_none());
+    }
+}

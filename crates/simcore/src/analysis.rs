@@ -1,0 +1,129 @@
+//! Parallel-performance analysis of simulated runs: efficiency, the
+//! Karp–Flatt experimentally determined serial fraction, and per-level
+//! utilization — the quantities one would use to explain *why* the paper's
+//! speedup curves flatten past 8–16 cores.
+
+use crate::executor::{simulate_trace, SimParams, SimReport};
+use pcmax_ptas::DpTrace;
+use serde::Serialize;
+
+/// Derived metrics for one `(trace, P)` pair.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ParallelMetrics {
+    /// Processor count.
+    pub processors: usize,
+    /// Speedup over the sequential algorithm.
+    pub speedup: f64,
+    /// Efficiency `speedup / P` ∈ (0, 1].
+    pub efficiency: f64,
+    /// Karp–Flatt experimentally determined serial fraction
+    /// `(1/s − 1/P) / (1 − 1/P)`; roughly constant in `P` for genuinely
+    /// serial-bottlenecked codes, growing in `P` when overhead dominates.
+    pub serial_fraction: f64,
+    /// Mean processor utilization across levels: the fraction of busy time
+    /// summed over processors vs `P ×` level span.
+    pub utilization: f64,
+}
+
+/// Computes the metric set for `trace` on `P` processors.
+pub fn metrics(trace: &DpTrace, params: &SimParams) -> ParallelMetrics {
+    let p = params.processors.max(1);
+    let report: SimReport = simulate_trace(trace, params);
+    let speedup = report.speedup();
+    let efficiency = speedup / p as f64;
+    let serial_fraction = if p > 1 {
+        (1.0 / speedup - 1.0 / p as f64) / (1.0 - 1.0 / p as f64)
+    } else {
+        0.0
+    };
+    // Busy work = total work + dispatch; span = simulated time × P.
+    let busy = report.sequential_time
+        + params.dispatch_overhead * trace.levels.iter().map(Vec::len).sum::<usize>() as u64;
+    let span = report.time.saturating_mul(p as u64);
+    let utilization = if span == 0 {
+        1.0
+    } else {
+        busy as f64 / span as f64
+    };
+    ParallelMetrics {
+        processors: p,
+        speedup,
+        efficiency,
+        serial_fraction,
+        utilization,
+    }
+}
+
+/// The full metric sweep used by the `core_count_planner` example and the
+/// harness diagnostics.
+pub fn metric_sweep(trace: &DpTrace, processor_counts: &[usize]) -> Vec<ParallelMetrics> {
+    processor_counts
+        .iter()
+        .map(|&p| metrics(trace, &SimParams::with_processors(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_ptas::DpTrace;
+
+    fn wide_trace() -> DpTrace {
+        DpTrace {
+            levels: vec![vec![4; 32], vec![4; 48], vec![4; 32], vec![4; 8]],
+        }
+    }
+
+    fn zero_overhead(p: usize) -> SimParams {
+        SimParams {
+            processors: p,
+            barrier_overhead: 0,
+            dispatch_overhead: 0,
+        }
+    }
+
+    #[test]
+    fn single_processor_metrics_are_trivial() {
+        let m = metrics(&wide_trace(), &zero_overhead(1));
+        assert!((m.speedup - 1.0).abs() < 1e-12);
+        assert!((m.efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(m.serial_fraction, 0.0);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_processors() {
+        let sweep = metric_sweep(&wide_trace(), &[1, 2, 4, 8, 16]);
+        for w in sweep.windows(2) {
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_divisible_levels_have_unit_efficiency() {
+        // 32/48/32/8 tasks of equal cost on 8 procs: every level divides
+        // evenly -> speedup 8, efficiency 1 (zero overheads).
+        let m = metrics(&wide_trace(), &zero_overhead(8));
+        assert!((m.speedup - 8.0).abs() < 1e-9);
+        assert!((m.efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_fraction_detects_imbalance() {
+        // One monster task per level caps speedup at ~1: serial fraction ~1.
+        let t = DpTrace {
+            levels: vec![vec![1000, 1, 1], vec![1000, 1, 1]],
+        };
+        let m = metrics(&t, &zero_overhead(4));
+        assert!(m.serial_fraction > 0.9, "{}", m.serial_fraction);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        for p in [1usize, 3, 7, 64] {
+            let m = metrics(&wide_trace(), &SimParams::with_processors(p));
+            assert!(m.utilization <= 1.0 + 1e-9);
+            assert!(m.utilization > 0.0);
+        }
+    }
+}

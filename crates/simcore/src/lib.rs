@@ -1,0 +1,24 @@
+//! Deterministic simulated `P`-processor shared-memory executor — the
+//! hardware substitution of this reproduction (see DESIGN.md §2).
+//!
+//! The paper measures speedup on a 16-core machine; this repository must
+//! reproduce those curves on whatever host it runs on (possibly a single
+//! core). The executor replays the *exact* schedule of the paper's parallel
+//! DP (Algorithm 3): subproblems on anti-diagonal level `l` are assigned
+//! round-robin to `P` processors, every processor's level time is the sum of
+//! its subproblems' costs, the level completes at the slowest processor
+//! (barrier), and levels run in sequence. Costs are operation counts
+//! captured by `pcmax_ptas::dp_trace` (configurations examined per entry),
+//! so the whole simulation is deterministic and host-independent.
+//!
+//! Sub-linear speedup emerges for precisely the reasons the paper cites:
+//! narrow anti-diagonals near the table's corners leave processors idle, and
+//! every level pays a synchronization cost.
+
+pub mod analysis;
+pub mod executor;
+pub mod ptas_sim;
+
+pub use analysis::{metric_sweep, metrics, ParallelMetrics};
+pub use executor::{simulate_trace, SimParams, SimReport};
+pub use ptas_sim::{simulate_ptas, speedup_curve, PtasSimReport};

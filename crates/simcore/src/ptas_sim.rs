@@ -1,0 +1,137 @@
+//! End-to-end simulation of the parallel PTAS: run the real bisection once,
+//! capture the DP trace of every probe, and replay the whole sequence on the
+//! simulated machine.
+
+use crate::executor::{simulate_trace, SimParams, SimReport};
+use pcmax_core::{Instance, Result};
+use pcmax_ptas::{dp_trace, rounded_problem, DpProblem, EpsilonParams, Ptas};
+
+/// Aggregate simulation of a full PTAS run (all bisection probes).
+#[derive(Debug, Clone)]
+pub struct PtasSimReport {
+    /// Per-probe reports in bisection order.
+    pub probes: Vec<SimReport>,
+    /// The parameters the simulation used.
+    pub params: SimParams,
+}
+
+impl PtasSimReport {
+    /// Total simulated parallel time across all probes.
+    pub fn time(&self) -> u64 {
+        self.probes.iter().map(|r| r.time).sum()
+    }
+
+    /// Total sequential DP work across all probes.
+    pub fn sequential_time(&self) -> u64 {
+        self.probes.iter().map(|r| r.sequential_time).sum()
+    }
+
+    /// End-to-end speedup over the sequential PTAS (DP-dominated, as the
+    /// paper argues in Section III's closing paragraph).
+    pub fn speedup(&self) -> f64 {
+        let t = self.time();
+        if t == 0 {
+            return 1.0;
+        }
+        self.sequential_time() as f64 / t as f64
+    }
+}
+
+/// Runs the (sequential) PTAS on `inst` to discover the probe sequence, then
+/// simulates every probe's DP on a machine with `params`.
+pub fn simulate_ptas(inst: &Instance, epsilon: f64, params: SimParams) -> Result<PtasSimReport> {
+    let eps = EpsilonParams::new(epsilon)?;
+    let driver = Ptas::new(epsilon)?;
+    let out = driver.solve_detailed(inst)?;
+    let mut probes = Vec::with_capacity(out.log.probes.len());
+    for probe in &out.log.probes {
+        let (problem, _, _) = rounded_problem(
+            inst,
+            &eps,
+            probe.target,
+            DpProblem::DEFAULT_MAX_ENTRIES,
+        );
+        let trace = dp_trace(&problem)?;
+        probes.push(simulate_trace(&trace, &params));
+    }
+    Ok(PtasSimReport { probes, params })
+}
+
+/// Convenience: the speedup curve over a list of processor counts.
+pub fn speedup_curve(
+    inst: &Instance,
+    epsilon: f64,
+    processor_counts: &[usize],
+) -> Result<Vec<(usize, f64)>> {
+    processor_counts
+        .iter()
+        .map(|&p| {
+            let report = simulate_ptas(inst, epsilon, SimParams::with_processors(p))?;
+            Ok((p, report.speedup()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::Instance;
+
+    fn instance() -> Instance {
+        // Enough long jobs for a non-trivial DP table at ε = 0.3.
+        Instance::new(
+            vec![
+                19, 18, 17, 17, 16, 15, 14, 13, 12, 11, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2,
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probe_count_matches_bisection_log() {
+        let report = simulate_ptas(&instance(), 0.3, SimParams::with_processors(4)).unwrap();
+        assert!(!report.probes.is_empty());
+        let out = Ptas::new(0.3).unwrap().solve_detailed(&instance()).unwrap();
+        assert_eq!(report.probes.len(), out.log.evaluations());
+    }
+
+    #[test]
+    fn speedup_curve_is_roughly_monotone_and_bounded() {
+        let curve = speedup_curve(&instance(), 0.3, &[1, 2, 4, 8, 16]).unwrap();
+        for &(p, s) in &curve {
+            assert!(s <= p as f64 + 1e-9, "superlinear speedup at P={p}: {s}");
+            assert!(s > 0.0);
+        }
+        // With overheads the curve may flatten but should rise from 1 to 2.
+        assert!(curve[1].1 >= curve[0].1 * 0.9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate_ptas(&instance(), 0.3, SimParams::with_processors(8)).unwrap();
+        let b = simulate_ptas(&instance(), 0.3, SimParams::with_processors(8)).unwrap();
+        assert_eq!(a.time(), b.time());
+        assert_eq!(a.sequential_time(), b.sequential_time());
+    }
+
+    #[test]
+    fn zero_overhead_single_proc_equals_sequential() {
+        let params = SimParams {
+            processors: 1,
+            barrier_overhead: 0,
+            dispatch_overhead: 0,
+        };
+        let report = simulate_ptas(&instance(), 0.3, params).unwrap();
+        assert_eq!(report.time(), report.sequential_time());
+        assert!((report.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance_simulates_trivially() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        let report = simulate_ptas(&inst, 0.3, SimParams::with_processors(4)).unwrap();
+        assert_eq!(report.probes.len(), 0);
+        assert_eq!(report.speedup(), 1.0);
+    }
+}

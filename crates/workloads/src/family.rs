@@ -1,0 +1,257 @@
+//! Instance families: a distribution of processing times plus `(m, n)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// `rand` is used by `Distribution::sample`.
+
+/// The processing-time distributions used in Section V of the paper.
+///
+/// The interval bounds of the first and last variants depend on the instance
+/// shape (`m` or `n`), mirroring the paper's `U(1, 2m−1)` and `U(1, 10n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distribution {
+    /// `U(1, 2m−1)` — times scale with the number of machines.
+    U1TwoMMinus1,
+    /// `U(1, 100)` — the "medium values" family.
+    U1To100,
+    /// `U(1, 10)` — the "small values" family (best speedups in the paper).
+    U1To10,
+    /// `U(1, 10n)` — times scale with the number of jobs ("large values").
+    U1To10N,
+    /// `U(m, 2m−1)` — the LPT-adversarial range used with `n = 2m+1`.
+    UMTo2MMinus1,
+    /// `U(95, 105)` — the narrow-range worst-case family of Fig. 5(b).
+    U95To105,
+    /// Arbitrary inclusive interval `U(lo, hi)` for custom experiments.
+    Uniform {
+        /// Inclusive lower bound (must be ≥ 1).
+        lo: u64,
+        /// Inclusive upper bound (must be ≥ `lo`).
+        hi: u64,
+    },
+    /// Bimodal workload: mostly short jobs with a heavy-job minority —
+    /// the shape of real cluster traces (interactive tasks + batch jobs).
+    Bimodal {
+        /// Short-job interval.
+        short: (u64, u64),
+        /// Long-job interval.
+        long: (u64, u64),
+        /// Probability of drawing a long job, in permille (0..=1000).
+        long_permille: u16,
+    },
+    /// Geometric distribution with the given mean (support `1..`), a
+    /// memoryless heavy-ish tail.
+    Geometric {
+        /// Mean processing time (must be ≥ 1).
+        mean: u64,
+    },
+}
+
+impl Distribution {
+    /// Resolves the inclusive sampling interval for an instance with `m`
+    /// machines and `n` jobs.
+    pub fn interval(&self, m: usize, n: usize) -> (u64, u64) {
+        match *self {
+            Distribution::U1TwoMMinus1 => (1, (2 * m as u64).saturating_sub(1).max(1)),
+            Distribution::U1To100 => (1, 100),
+            Distribution::U1To10 => (1, 10),
+            Distribution::U1To10N => (1, (10 * n as u64).max(1)),
+            Distribution::UMTo2MMinus1 => (m as u64, (2 * m as u64).saturating_sub(1).max(m as u64)),
+            Distribution::U95To105 => (95, 105),
+            Distribution::Uniform { lo, hi } => (lo, hi),
+            Distribution::Bimodal { short, long, .. } => (short.0.min(long.0), short.1.max(long.1)),
+            // Unbounded support; the hull below covers > 99.99% of the mass.
+            Distribution::Geometric { mean } => (1, mean.saturating_mul(12).max(1)),
+        }
+    }
+
+    /// Draws one processing time. All variants guarantee a result ≥ 1.
+    pub fn sample(&self, rng: &mut impl rand::Rng, m: usize, n: usize) -> u64 {
+        match *self {
+            Distribution::Bimodal {
+                short,
+                long,
+                long_permille,
+            } => {
+                assert!(short.0 >= 1 && short.0 <= short.1, "bad short interval");
+                assert!(long.0 >= 1 && long.0 <= long.1, "bad long interval");
+                if rng.gen_range(0..1000) < long_permille as u32 {
+                    rng.gen_range(long.0..=long.1)
+                } else {
+                    rng.gen_range(short.0..=short.1)
+                }
+            }
+            Distribution::Geometric { mean } => {
+                assert!(mean >= 1, "geometric mean must be >= 1");
+                // Inverse-CDF sampling of Geometric(p = 1/mean) on {1, 2, …}.
+                if mean == 1 {
+                    return 1;
+                }
+                let p = 1.0 / mean as f64;
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let v = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
+                v.max(1)
+            }
+            _ => {
+                let (lo, hi) = self.interval(m, n);
+                assert!(lo >= 1 && lo <= hi, "invalid interval [{lo}, {hi}]");
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+
+    /// The four families of the paper's running-time/speedup experiments
+    /// (Figures 2–4), in the order the figures list them.
+    pub fn figure_families() -> [Distribution; 4] {
+        [
+            Distribution::U1TwoMMinus1,
+            Distribution::U1To100,
+            Distribution::U1To10,
+            Distribution::U1To10N,
+        ]
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::U1TwoMMinus1 => write!(f, "U(1,2m-1)"),
+            Distribution::U1To100 => write!(f, "U(1,100)"),
+            Distribution::U1To10 => write!(f, "U(1,10)"),
+            Distribution::U1To10N => write!(f, "U(1,10n)"),
+            Distribution::UMTo2MMinus1 => write!(f, "U(m,2m-1)"),
+            Distribution::U95To105 => write!(f, "U(95,105)"),
+            Distribution::Uniform { lo, hi } => write!(f, "U({lo},{hi})"),
+            Distribution::Bimodal {
+                short,
+                long,
+                long_permille,
+            } => write!(
+                f,
+                "Bimodal(U({},{}),U({},{}),{}%)",
+                short.0,
+                short.1,
+                long.0,
+                long.1,
+                *long_permille as f64 / 10.0
+            ),
+            Distribution::Geometric { mean } => write!(f, "Geom(mean={mean})"),
+        }
+    }
+}
+
+/// An instance family: machine count, job count and a distribution. Every
+/// experiment in the harness is defined over families, then averaged over a
+/// number of seeded instances per family (20 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Family {
+    /// Number of machines `m`.
+    pub machines: usize,
+    /// Number of jobs `n`.
+    pub jobs: usize,
+    /// Processing-time distribution.
+    pub dist: Distribution,
+}
+
+impl Family {
+    /// Shorthand constructor.
+    pub fn new(machines: usize, jobs: usize, dist: Distribution) -> Self {
+        Self {
+            machines,
+            jobs,
+            dist,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m={} n={} {}", self.machines, self.jobs, self.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_resolve_shape_dependence() {
+        assert_eq!(Distribution::U1TwoMMinus1.interval(10, 50), (1, 19));
+        assert_eq!(Distribution::U1To10N.interval(10, 50), (1, 500));
+        assert_eq!(Distribution::UMTo2MMinus1.interval(10, 21), (10, 19));
+        assert_eq!(Distribution::U1To100.interval(99, 99), (1, 100));
+        assert_eq!(Distribution::U95To105.interval(3, 3), (95, 105));
+    }
+
+    #[test]
+    fn degenerate_one_machine_interval_stays_valid() {
+        let (lo, hi) = Distribution::U1TwoMMinus1.interval(1, 5);
+        assert!(lo >= 1 && lo <= hi);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Distribution::U1To10N.to_string(), "U(1,10n)");
+        assert_eq!(
+            Family::new(20, 100, Distribution::U1To100).to_string(),
+            "m=20 n=100 U(1,100)"
+        );
+    }
+
+    #[test]
+    fn bimodal_samples_stay_in_their_intervals() {
+        use rand::SeedableRng;
+        let d = Distribution::Bimodal {
+            short: (1, 10),
+            long: (100, 200),
+            long_permille: 200,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut saw_short = false;
+        let mut saw_long = false;
+        for _ in 0..500 {
+            let t = d.sample(&mut rng, 4, 10);
+            assert!((1..=10).contains(&t) || (100..=200).contains(&t));
+            saw_short |= t <= 10;
+            saw_long |= t >= 100;
+        }
+        assert!(saw_short && saw_long, "both modes must appear");
+    }
+
+    #[test]
+    fn geometric_mean_is_roughly_right() {
+        use rand::SeedableRng;
+        let d = Distribution::Geometric { mean: 50 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let total: u64 = (0..20_000).map(|_| d.sample(&mut rng, 1, 1)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((40.0..60.0).contains(&mean), "empirical mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_one_is_constant() {
+        use rand::SeedableRng;
+        let d = Distribution::Geometric { mean: 1 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| d.sample(&mut rng, 1, 1) == 1));
+    }
+
+    #[test]
+    fn display_of_new_variants() {
+        let d = Distribution::Bimodal {
+            short: (1, 10),
+            long: (100, 200),
+            long_permille: 150,
+        };
+        assert_eq!(d.to_string(), "Bimodal(U(1,10),U(100,200),15%)");
+        assert_eq!(Distribution::Geometric { mean: 9 }.to_string(), "Geom(mean=9)");
+    }
+
+    #[test]
+    fn figure_families_order() {
+        let fams = Distribution::figure_families();
+        assert_eq!(fams[0], Distribution::U1TwoMMinus1);
+        assert_eq!(fams[3], Distribution::U1To10N);
+    }
+}

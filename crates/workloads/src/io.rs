@@ -1,0 +1,146 @@
+//! Plain-text instance formats, so the library interoperates with the
+//! scheduling-literature conventions and spreadsheet exports:
+//!
+//! * **text format** — first line `m n`, second line the `n` processing
+//!   times, whitespace-separated (the layout used by classic `P||Cmax`
+//!   benchmark sets);
+//! * **CSV** — a header line `time` (or `job,time`) then one row per job,
+//!   with the machine count passed separately.
+
+use pcmax_core::{Error, Instance, Result};
+
+/// Parses the `m n \n t1 … tn` text format. Tolerates extra whitespace and
+/// newlines between numbers; everything after the first `2 + n` numbers is
+/// rejected as garbage.
+pub fn parse_text(input: &str) -> Result<Instance> {
+    let mut numbers = input.split_whitespace().map(|tok| {
+        tok.parse::<u64>()
+            .map_err(|e| Error::BadModel(format!("bad number {tok:?}: {e}")))
+    });
+    let m = numbers
+        .next()
+        .ok_or_else(|| Error::BadModel("empty instance file".into()))?? as usize;
+    let n = numbers
+        .next()
+        .ok_or_else(|| Error::BadModel("missing job count".into()))?? as usize;
+    let times: Vec<u64> = numbers.by_ref().take(n).collect::<Result<_>>()?;
+    if times.len() != n {
+        return Err(Error::BadModel(format!(
+            "expected {n} processing times, found {}",
+            times.len()
+        )));
+    }
+    if let Some(extra) = numbers.next() {
+        return Err(Error::BadModel(format!(
+            "trailing data after the {n} processing times: {:?}",
+            extra?
+        )));
+    }
+    Instance::new(times, m)
+}
+
+/// Serializes an instance in the text format.
+pub fn to_text(inst: &Instance) -> String {
+    let times: Vec<String> = inst.times().iter().map(|t| t.to_string()).collect();
+    format!(
+        "{} {}\n{}\n",
+        inst.machines(),
+        inst.jobs(),
+        times.join(" ")
+    )
+}
+
+/// Parses CSV with either a single `time` column or `job,time` columns
+/// (the `job` column is ignored — ids are positional). A header row is
+/// required. `machines` is supplied by the caller.
+pub fn parse_csv(input: &str, machines: usize) -> Result<Instance> {
+    let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::BadModel("empty CSV".into()))?;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    let time_col = cols
+        .iter()
+        .position(|&c| c.eq_ignore_ascii_case("time"))
+        .ok_or_else(|| Error::BadModel("CSV header must contain a 'time' column".into()))?;
+    let mut times = Vec::new();
+    for (row, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let field = fields.get(time_col).ok_or_else(|| {
+            Error::BadModel(format!("row {}: missing time column", row + 2))
+        })?;
+        times.push(field.parse::<u64>().map_err(|e| {
+            Error::BadModel(format!("row {}: bad time {field:?}: {e}", row + 2))
+        })?);
+    }
+    Instance::new(times, machines)
+}
+
+/// Serializes an instance as `job,time` CSV.
+pub fn to_csv(inst: &Instance) -> String {
+    let mut out = String::from("job,time\n");
+    for (j, &t) in inst.times().iter().enumerate() {
+        out.push_str(&format!("{j},{t}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let inst = Instance::new(vec![5, 3, 8, 1], 2).unwrap();
+        let text = to_text(&inst);
+        assert_eq!(text, "2 4\n5 3 8 1\n");
+        assert_eq!(parse_text(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn text_tolerates_odd_whitespace() {
+        let inst = parse_text("  3\n5\n 1 2 3\n4 5 ").unwrap();
+        assert_eq!(inst.machines(), 3);
+        assert_eq!(inst.times(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn text_rejects_short_and_long_inputs() {
+        assert!(parse_text("2 3\n1 2").is_err());
+        assert!(parse_text("2 2\n1 2 3").is_err());
+        assert!(parse_text("").is_err());
+        assert!(parse_text("2 1\nxyz").is_err());
+    }
+
+    #[test]
+    fn text_rejects_zero_time_via_instance_validation() {
+        assert!(parse_text("2 2\n3 0").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let inst = Instance::new(vec![7, 2, 9], 4).unwrap();
+        let csv = to_csv(&inst);
+        assert_eq!(parse_csv(&csv, 4).unwrap(), inst);
+    }
+
+    #[test]
+    fn csv_single_column_variant() {
+        let inst = parse_csv("time\n10\n20\n30\n", 2).unwrap();
+        assert_eq!(inst.times(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn csv_finds_time_column_case_insensitively() {
+        let inst = parse_csv("Job,Time\n0,4\n1,6\n", 2).unwrap();
+        assert_eq!(inst.times(), &[4, 6]);
+    }
+
+    #[test]
+    fn csv_errors_carry_row_numbers() {
+        let err = parse_csv("time\n5\nbogus\n", 2).unwrap_err();
+        assert!(err.to_string().contains("row 3"), "{err}");
+        assert!(parse_csv("job\n1\n", 2).is_err(), "no time column");
+        assert!(parse_csv("", 2).is_err());
+    }
+}

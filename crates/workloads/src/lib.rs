@@ -1,0 +1,23 @@
+//! Seeded workload generators for the evaluation of Ghalami & Grosu (2017).
+//!
+//! Section V of the paper draws processing times from four uniform families —
+//! `U(1, 2m−1)`, `U(1, 100)`, `U(1, 10)`, `U(1, 10n)` — crossed with
+//! `m ∈ {10, 20}` and `n ∈ {30, 50, 100}` (24 instance types, 20 instances
+//! each). The best/worst-case approximation-ratio experiments additionally use
+//! the LPT-adversarial family (`n = 2m+1`, times from `U(m, 2m−1)`) and the
+//! narrow-range family `U(95, 105)`.
+//!
+//! All generators are deterministic functions of a `u64` seed so every
+//! experiment in this repository is exactly replayable.
+
+pub mod family;
+pub mod generator;
+pub mod io;
+pub mod special;
+pub mod suite;
+
+pub use family::{Distribution, Family};
+pub use generator::{generate, generate_batch};
+pub use io::{parse_csv, parse_text, to_csv, to_text};
+pub use special::{lpt_adversarial, narrow_range, two_long_classes};
+pub use suite::{paper_families, ExperimentSet, FamilyInstances};

@@ -1,0 +1,88 @@
+//! Special instance constructions used in the best/worst-case
+//! approximation-ratio analysis (Fig. 5 and Tables II/III of the paper).
+
+use crate::{generate, Distribution, Family};
+use pcmax_core::Instance;
+
+/// The near-worst-case family for LPT identified by Graham: `n = 2m + 1` jobs
+/// with processing times from `U(m, 2m−1)`. On these instances LPT's ratio
+/// approaches its 4/3 bound while the PTAS stays near optimal, which is what
+/// makes them the paper's "best case" for the parallel algorithm.
+pub fn lpt_adversarial(m: usize, seed: u64) -> Instance {
+    let fam = Family::new(m, 2 * m + 1, Distribution::UMTo2MMinus1);
+    generate(fam, seed)
+}
+
+/// The deterministic textbook LPT worst case: jobs
+/// `{2m−1, 2m−1, 2m−2, 2m−2, …, m+1, m+1, m, m, m}` on `m` machines.
+/// LPT yields makespan `4m−1` while the optimum is `3m`, i.e. the ratio is
+/// exactly `4/3 − 1/(3m)`.
+pub fn lpt_worst_case_deterministic(m: usize) -> Instance {
+    assert!(m >= 2, "the construction needs at least two machines");
+    let mut times = Vec::with_capacity(2 * m + 1);
+    for v in (m + 1)..=(2 * m - 1) {
+        times.push(v as u64);
+        times.push(v as u64);
+    }
+    times.extend_from_slice(&[m as u64; 3]);
+    Instance::new(times, m).expect("positive times")
+}
+
+/// Narrow-range instances `U(95, 105)` — the paper's worst-case family for
+/// the PTAS's actual approximation ratio (rounding cannot separate jobs whose
+/// sizes differ by a few percent).
+pub fn narrow_range(m: usize, n: usize, seed: u64) -> Instance {
+    generate(Family::new(m, n, Distribution::U95To105), seed)
+}
+
+/// The worked example of Section III of the paper: two long jobs of rounded
+/// size 6 and three of rounded size 11, with target makespan `T = 30` and
+/// `ε = 0.3` (`k = 4`). Returned as raw processing times so the PTAS crates
+/// can use it in unit tests against the hand-computed DP table.
+pub fn two_long_classes() -> (Vec<u64>, u64, f64) {
+    (vec![6, 6, 11, 11, 11], 30, 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_shape() {
+        let inst = lpt_adversarial(10, 1);
+        assert_eq!(inst.jobs(), 21);
+        assert_eq!(inst.machines(), 10);
+        assert!(inst.times().iter().all(|&t| (10..=19).contains(&t)));
+    }
+
+    #[test]
+    fn deterministic_worst_case_has_expected_multiset() {
+        let inst = lpt_worst_case_deterministic(3);
+        let mut ts = inst.times().to_vec();
+        ts.sort_unstable();
+        assert_eq!(ts, vec![3, 3, 3, 4, 4, 5, 5]);
+    }
+
+    #[test]
+    fn deterministic_worst_case_area_is_perfectly_divisible() {
+        // Total work is 3m^2, so the optimum 3m has zero idle time.
+        for m in 2..8 {
+            let inst = lpt_worst_case_deterministic(m);
+            assert_eq!(inst.total_time(), 3 * (m as u64) * (m as u64));
+        }
+    }
+
+    #[test]
+    fn narrow_range_respects_bounds() {
+        let inst = narrow_range(10, 30, 5);
+        assert!(inst.times().iter().all(|&t| (95..=105).contains(&t)));
+    }
+
+    #[test]
+    fn worked_example_shape() {
+        let (times, t, eps) = two_long_classes();
+        assert_eq!(times.len(), 5);
+        assert_eq!(t, 30);
+        assert!((eps - 0.3).abs() < 1e-12);
+    }
+}

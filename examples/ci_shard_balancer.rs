@@ -1,0 +1,71 @@
+//! CI shard balancing: assign test suites to parallel CI runners so the
+//! pipeline's wall-clock (the makespan) is minimal.
+//!
+//! Test suites have measured durations from previous runs; runners are
+//! identical containers. Shaving a minute off the slowest shard shaves a
+//! minute off every pipeline run, so the quality difference between a
+//! greedy split and a near-optimal one compounds quickly. This example also
+//! demonstrates the epsilon knob: tighter epsilon, better certified bound,
+//! bigger DP.
+//!
+//! ```text
+//! cargo run --release --example ci_shard_balancer
+//! ```
+
+use pcmax::prelude::*;
+
+fn main() {
+    // Durations (seconds) of 26 test suites from a realistic pipeline:
+    // a few monsters, a middle class, and a long tail of small suites.
+    let suites = vec![
+        840, 620, 510, 480, 455, 390, 310, 280, 260, 240, 220, 180, 160, 150, 130, 120, 95, 80,
+        70, 60, 45, 40, 30, 25, 20, 15,
+    ];
+    let runners = 6;
+    let inst = Instance::new(suites, runners).expect("valid instance");
+    println!(
+        "{} suites, {} runners, {} s total work, area bound {} s\n",
+        inst.jobs(),
+        inst.machines(),
+        inst.total_time(),
+        lower_bound(&inst)
+    );
+
+    let exact = BranchAndBound::default().solve_detailed(&inst).unwrap();
+    println!("optimal pipeline wall-clock: {} s (proven)\n", exact.best);
+
+    println!(
+        "{:<24}{:>12}{:>14}{:>12}",
+        "strategy", "wall-clock", "vs optimal", "DP probes"
+    );
+    for (name, ms, probes) in [
+        ("alphabetical (LS)", Ls.makespan(&inst).unwrap(), 0usize),
+        ("longest-first (LPT)", Lpt.makespan(&inst).unwrap(), 0),
+        ("MULTIFIT", Multifit::default().makespan(&inst).unwrap(), 0),
+    ] {
+        println!(
+            "{name:<24}{ms:>10} s{:>13.1}%{probes:>12}",
+            (ms as f64 / exact.best as f64 - 1.0) * 100.0
+        );
+    }
+    for eps in [0.5, 0.3, 0.2] {
+        let ptas = Ptas::new(eps).unwrap();
+        let out = ptas.solve_detailed(&inst).unwrap();
+        let ms = out.schedule.makespan(&inst);
+        println!(
+            "{:<24}{ms:>10} s{:>13.1}%{:>12}",
+            format!("PTAS eps={eps}"),
+            (ms as f64 / exact.best as f64 - 1.0) * 100.0,
+            out.log.evaluations()
+        );
+    }
+
+    // Print the winning shard layout.
+    let schedule = Ptas::new(0.2).unwrap().schedule(&inst).unwrap();
+    let loads = schedule.loads(&inst);
+    println!("\nPTAS eps=0.2 shard layout:");
+    for (runner, jobs) in schedule.jobs_per_machine().iter().enumerate() {
+        let durations: Vec<u64> = jobs.iter().map(|&j| inst.time(j)).collect();
+        println!("  runner {runner}: {durations:?} -> {} s", loads[runner]);
+    }
+}

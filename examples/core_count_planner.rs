@@ -1,0 +1,60 @@
+//! Core-count planning with the simulated executor: how many cores is the
+//! parallel PTAS worth on *your* workload?
+//!
+//! The simulated executor replays the paper's wavefront DP schedule
+//! (Algorithm 3) under an operation-count cost model, so you can sweep
+//! processor counts without owning the hardware — the substitution this
+//! reproduction uses for the paper's 16-core testbed (DESIGN.md §2).
+//!
+//! ```text
+//! cargo run --release --example core_count_planner
+//! ```
+
+use pcmax::prelude::*;
+
+fn main() {
+    let procs = [1usize, 2, 4, 8, 16, 32];
+    println!("simulated speedup of the parallel PTAS (eps = 0.3)\n");
+    print!("{:<28}", "workload");
+    for p in procs {
+        print!("{:>8}", format!("P={p}"));
+    }
+    println!();
+
+    for (label, family, seed) in [
+        (
+            "cluster m=20 n=100 small",
+            Family::new(20, 100, Distribution::U1To10),
+            1,
+        ),
+        (
+            "cluster m=20 n=100 large",
+            Family::new(20, 100, Distribution::U1To10N),
+            1,
+        ),
+        (
+            "dept server m=10 n=50",
+            Family::new(10, 50, Distribution::U1To100),
+            1,
+        ),
+        (
+            "workstation m=10 n=30",
+            Family::new(10, 30, Distribution::U1To100),
+            1,
+        ),
+    ] {
+        let inst = generate(family, seed);
+        print!("{label:<28}");
+        for (_, speedup) in speedup_curve(&inst, 0.3, &procs).expect("simulation") {
+            print!("{speedup:>8.2}");
+        }
+        println!();
+    }
+
+    println!(
+        "\nreading the curve: the knee is where an extra core stops paying for\n\
+         itself — narrow DP anti-diagonals near the table corners and the\n\
+         per-level barrier put a ceiling on useful parallelism, which is why\n\
+         the paper's measured speedup saturates near 11.7x on 16 cores."
+    );
+}

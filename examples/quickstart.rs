@@ -1,0 +1,70 @@
+//! Quickstart: schedule a batch of jobs on identical machines with the
+//! parallel PTAS and compare against the classical baselines and the exact
+//! optimum.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pcmax::prelude::*;
+
+fn main() {
+    // A small mixed workload: 14 jobs on 4 identical machines.
+    let times = vec![37, 29, 28, 24, 21, 19, 17, 14, 12, 9, 7, 5, 3, 2];
+    let inst = Instance::new(times, 4).expect("valid instance");
+
+    println!(
+        "instance: n = {} jobs on m = {} machines (total work {}, longest job {})",
+        inst.jobs(),
+        inst.machines(),
+        inst.total_time(),
+        inst.max_time()
+    );
+    let bounds = MakespanBounds::of(&inst);
+    println!(
+        "makespan bounds: LB = {}, UB = {} (Graham)",
+        bounds.lower, bounds.upper
+    );
+
+    // The exact optimum, for reference.
+    let exact = BranchAndBound::default()
+        .solve_detailed(&inst)
+        .expect("exact solve");
+    println!(
+        "\nexact optimum: {} ({} B&B nodes, {} probes)",
+        exact.best, exact.nodes, exact.probes
+    );
+
+    // Every approximation algorithm in the workspace.
+    let algorithms: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("LS", Box::new(Ls)),
+        ("LPT", Box::new(Lpt)),
+        ("MULTIFIT", Box::new(Multifit::default())),
+        ("PTAS(0.3)", Box::new(Ptas::new(0.3).unwrap())),
+        ("ParallelPTAS(0.3)", Box::new(ParallelPtas::new(0.3).unwrap())),
+    ];
+    println!("\n{:<20}{:>10}{:>10}", "algorithm", "makespan", "ratio");
+    for (name, algo) in &algorithms {
+        let schedule = algo.schedule(&inst).expect("schedules valid instances");
+        schedule.validate(&inst).expect("valid schedule");
+        let ms = schedule.makespan(&inst);
+        println!(
+            "{:<20}{:>10}{:>10.3}",
+            name,
+            ms,
+            ApproxRatio::new(ms, exact.best).value()
+        );
+    }
+
+    // Show the actual assignment the parallel PTAS produced.
+    let schedule = ParallelPtas::new(0.3)
+        .unwrap()
+        .schedule(&inst)
+        .expect("schedule");
+    println!("\nparallel PTAS assignment (machine: jobs -> load):");
+    let loads = schedule.loads(&inst);
+    for (machine, jobs) in schedule.jobs_per_machine().iter().enumerate() {
+        let times: Vec<u64> = jobs.iter().map(|&j| inst.time(j)).collect();
+        println!("  machine {machine}: {times:?} -> {}", loads[machine]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Work/depth analysis on the PRAM cost model: why the PRAM-theoretic view
+//! (Mayr's O(log^2 n) algorithm, the paper's related work [7]) is the wrong
+//! lens for multicore machines.
+//!
+//! The wavefront DP has polylog-ish depth per probe, so with *polynomially
+//! many* processors Brent's theorem promises tiny runtimes. But at
+//! multicore scale (p <= 64) the W/p term dwarfs D, so only total work and
+//! constant factors matter -- exactly the paper's argument for designing
+//! against real shared-memory machines instead of PRAMs.
+//!
+//! ```text
+//! cargo run --release --example work_depth_analysis
+//! ```
+
+use pcmax::prelude::*;
+use pcmax::ptas::{rounded_problem, DpProblem};
+
+fn main() {
+    for (m, n, dist) in [
+        (10usize, 30usize, Distribution::U1To100),
+        (10, 50, Distribution::U1To100),
+        (20, 100, Distribution::U1To10),
+    ] {
+        let inst = generate(Family::new(m, n, dist), 1);
+        let eps = EpsilonParams::new(0.3).unwrap();
+        let (problem, _, _) = rounded_problem(
+            &inst,
+            &eps,
+            lower_bound(&inst),
+            DpProblem::DEFAULT_MAX_ENTRIES,
+        );
+        let cost = wavefront_dp(&problem).expect("table fits");
+        println!(
+            "m={m} n={n} {dist}: OPT(N)={} | work W = {}, depth D = {}, W/D = {:.0}",
+            cost.machines,
+            cost.pram.work,
+            cost.pram.depth,
+            cost.pram.work as f64 / cost.pram.depth.max(1) as f64
+        );
+        print!("  Brent bound T_p <= W/p + D:");
+        for p in [1u64, 4, 16, 64, 1 << 10, 1 << 20] {
+            print!("  p={p}: {}", brent_time(&cost.pram, p));
+        }
+        println!("\n");
+    }
+    println!(
+        "reading: between p = 1 and p = 64 the bound falls almost linearly\n\
+         (work-dominated); the polylog depth only pays off past thousands of\n\
+         processors -- the regime Mayr's PRAM algorithm was designed for and\n\
+         the reason the paper targets real multicores instead."
+    );
+}

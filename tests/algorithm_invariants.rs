@@ -1,0 +1,93 @@
+//! Property-based invariants that every scheduling algorithm in the
+//! workspace must satisfy, on randomized instances.
+
+use pcmax::prelude::*;
+use proptest::prelude::*;
+
+/// Random instances: 1..=24 jobs with times 1..=60, on 1..=6 machines.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(1u64..=60, 1..=24),
+        1usize..=6,
+    )
+        .prop_map(|(times, m)| Instance::new(times, m).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_algorithms_produce_valid_schedules(inst in arb_instance()) {
+        let algos: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Ls),
+            Box::new(Lpt),
+            Box::new(Multifit::default()),
+            Box::new(Ptas::new(0.3).unwrap()),
+            Box::new(ParallelPtas::new(0.3).unwrap()),
+        ];
+        for algo in &algos {
+            let s = algo.schedule(&inst).unwrap();
+            s.validate(&inst).unwrap();
+            prop_assert!(s.makespan(&inst) >= lower_bound(&inst));
+            prop_assert!(s.makespan(&inst) <= upper_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn ls_respects_graham_bound(inst in arb_instance()) {
+        let ms = Ls.makespan(&inst).unwrap() as f64;
+        let opt = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assume!(opt.proven);
+        let m = inst.machines() as f64;
+        prop_assert!(ms <= (2.0 - 1.0 / m) * opt.best as f64 + 1e-9);
+    }
+
+    #[test]
+    fn lpt_respects_four_thirds_bound(inst in arb_instance()) {
+        let ms = Lpt.makespan(&inst).unwrap() as f64;
+        let opt = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assume!(opt.proven);
+        let m = inst.machines() as f64;
+        prop_assert!(ms <= (4.0/3.0 - 1.0/(3.0*m)) * opt.best as f64 + 1e-9);
+    }
+
+    #[test]
+    fn ptas_respects_epsilon_guarantee(inst in arb_instance()) {
+        let ms = Ptas::new(0.3).unwrap().makespan(&inst).unwrap() as f64;
+        let opt = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assume!(opt.proven);
+        // 1 + eps plus the integer-rounding slack of k units.
+        prop_assert!(
+            ms <= 1.3 * opt.best as f64 + 4.0,
+            "ms = {ms}, opt = {}", opt.best
+        );
+    }
+
+    #[test]
+    fn parallel_ptas_matches_sequential_exactly(inst in arb_instance()) {
+        let seq = Ptas::new(0.3).unwrap().solve_detailed(&inst).unwrap();
+        let par = ParallelPtas::new(0.3).unwrap()
+            .driver().solve_detailed(&inst).unwrap();
+        prop_assert_eq!(seq.target, par.target);
+        prop_assert_eq!(seq.schedule.makespan(&inst), par.schedule.makespan(&inst));
+    }
+
+    #[test]
+    fn multifit_never_below_area_bound(inst in arb_instance()) {
+        let ms = Multifit::default().makespan(&inst).unwrap();
+        prop_assert!(ms >= inst.mean_load_ceil().min(inst.max_time()));
+    }
+
+    #[test]
+    fn bounds_bracket_every_heuristic(inst in arb_instance()) {
+        let b = MakespanBounds::of(&inst);
+        prop_assert!(b.lower <= b.upper);
+        for ms in [
+            Ls.makespan(&inst).unwrap(),
+            Lpt.makespan(&inst).unwrap(),
+        ] {
+            prop_assert!(ms <= b.upper);
+            prop_assert!(ms >= b.lower);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-validation of the independent exact solvers (combinatorial
+//! branch-and-bound vs the simplex-based MILP) and of the PTAS's certified
+//! target against the true optimum.
+
+use pcmax::prelude::*;
+use proptest::prelude::*;
+
+/// Small instances the MILP solver handles comfortably.
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (prop::collection::vec(1u64..=15, 2..=8), 2usize..=3)
+        .prop_map(|(times, m)| Instance::new(times, m).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn milp_and_branch_and_bound_agree(inst in small_instance()) {
+        let bb = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assert!(bb.proven);
+        let (milp_schedule, milp_opt) =
+            AssignmentIp::default().solve_detailed(&inst).unwrap();
+        milp_schedule.validate(&inst).unwrap();
+        prop_assert_eq!(milp_opt, bb.best);
+        prop_assert_eq!(milp_schedule.makespan(&inst), milp_opt);
+    }
+
+    #[test]
+    fn ptas_certified_target_is_a_lower_bound_on_opt(inst in small_instance()) {
+        let out = Ptas::new(0.3).unwrap().solve_detailed(&inst).unwrap();
+        let bb = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assert!(bb.proven);
+        // The bisection's converged target never exceeds the true optimum
+        // (infeasible probes are proofs; see DESIGN.md §4).
+        prop_assert!(out.target <= bb.best,
+            "target {} > opt {}", out.target, bb.best);
+    }
+
+    #[test]
+    fn exact_solver_is_idempotent(inst in small_instance()) {
+        let a = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        let b = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assert_eq!(a.best, b.best);
+        prop_assert_eq!(a.schedule, b.schedule);
+    }
+}
+
+#[test]
+fn all_exact_paths_agree_on_fixed_instances() {
+    for (times, m) in [
+        (vec![4u64, 5, 6, 7, 8], 2usize),
+        (vec![5, 5, 4, 4, 3, 3, 3], 3),
+        (vec![10, 9, 8, 1, 1], 2),
+        (vec![7, 7, 7, 7], 2),
+        (vec![1, 1, 1, 1, 1, 1, 1], 3),
+    ] {
+        let inst = Instance::new(times.clone(), m).unwrap();
+        let bb = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        assert!(bb.proven);
+        let (_, milp_opt) = AssignmentIp::default().solve_detailed(&inst).unwrap();
+        assert_eq!(bb.best, milp_opt, "times={times:?} m={m}");
+    }
+}
+
+#[test]
+fn lp_relaxation_never_exceeds_ilp_optimum() {
+    let inst = Instance::new(vec![9, 7, 5, 4, 2], 2).unwrap();
+    let model = pcmax::milp::formulation::assignment_model(&inst);
+    let relax = model.lp.solve().unwrap();
+    let bb = BranchAndBound::default().solve_detailed(&inst).unwrap();
+    assert!(relax.objective <= bb.best as f64 + 1e-6);
+    // The relaxation is at least the area bound.
+    assert!(relax.objective >= inst.total_time() as f64 / inst.machines() as f64 - 1e-6);
+}

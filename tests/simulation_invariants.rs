@@ -1,0 +1,69 @@
+//! Invariants of the simulated multicore executor against the real PTAS.
+
+use pcmax::prelude::*;
+use pcmax::simcore::simulate_trace;
+use pcmax::ptas::{dp_trace, rounded_problem, DpProblem};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (prop::collection::vec(1u64..=40, 4..=20), 2usize..=5)
+        .prop_map(|(times, m)| Instance::new(times, m).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_time_is_bounded_by_work_and_critical_path(inst in arb_instance()) {
+        let eps = EpsilonParams::new(0.3).unwrap();
+        let target = lower_bound(&inst);
+        let (problem, _, _) =
+            rounded_problem(&inst, &eps, target, DpProblem::DEFAULT_MAX_ENTRIES);
+        let trace = dp_trace(&problem).unwrap();
+        for p in [1usize, 3, 8, 64] {
+            let zero_overhead = pcmax::simcore::SimParams {
+                processors: p,
+                barrier_overhead: 0,
+                dispatch_overhead: 0,
+            };
+            let r = simulate_trace(&trace, &zero_overhead);
+            prop_assert!(r.time <= r.sequential_time, "P={p}");
+            prop_assert!(r.time >= r.critical_path, "P={p}");
+            prop_assert!(r.time >= r.sequential_time / p as u64, "work law, P={p}");
+        }
+    }
+
+    #[test]
+    fn speedup_never_exceeds_processor_count(inst in arb_instance()) {
+        for p in [2usize, 4, 16] {
+            let report = simulate_ptas(&inst, 0.3, SimParams::with_processors(p)).unwrap();
+            prop_assert!(report.speedup() <= p as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn overheads_only_slow_the_simulation_down(inst in arb_instance()) {
+        let cheap = SimParams { processors: 4, barrier_overhead: 0, dispatch_overhead: 0 };
+        let costly = SimParams { processors: 4, barrier_overhead: 50, dispatch_overhead: 3 };
+        let a = simulate_ptas(&inst, 0.3, cheap).unwrap();
+        let b = simulate_ptas(&inst, 0.3, costly).unwrap();
+        prop_assert!(a.time() <= b.time());
+    }
+
+    #[test]
+    fn probe_sequence_matches_real_bisection(inst in arb_instance()) {
+        let report = simulate_ptas(&inst, 0.3, SimParams::with_processors(2)).unwrap();
+        let real = Ptas::new(0.3).unwrap().solve_detailed(&inst).unwrap();
+        prop_assert_eq!(report.probes.len(), real.log.evaluations());
+    }
+}
+
+#[test]
+fn sixteen_core_speedup_lands_in_the_papers_range_on_fig2_family() {
+    // Calibration pin: U(1,10) at m=20, n=100 gave the paper ~11.7× on 16
+    // cores; the simulated executor must stay in that neighbourhood.
+    let inst = generate(Family::new(20, 100, Distribution::U1To10), 1);
+    let report = simulate_ptas(&inst, 0.3, SimParams::with_processors(16)).unwrap();
+    let s = report.speedup();
+    assert!((9.0..=16.0).contains(&s), "16-core speedup drifted: {s}");
+}

@@ -1,0 +1,71 @@
+//! Workload-generator determinism and serialization round-trips across
+//! crate boundaries.
+
+use pcmax::prelude::*;
+use pcmax::workloads::{paper_families, ExperimentSet};
+use proptest::prelude::*;
+
+#[test]
+fn the_24_paper_families_generate_valid_instances() {
+    for family in paper_families() {
+        let inst = generate(family, 42);
+        assert_eq!(inst.jobs(), family.jobs);
+        assert_eq!(inst.machines(), family.machines);
+        let (lo, hi) = family.dist.interval(family.machines, family.jobs);
+        assert!(inst.times().iter().all(|&t| (lo..=hi).contains(&t)));
+    }
+}
+
+#[test]
+fn experiment_sets_are_replayable() {
+    let a = ExperimentSet::fig2(3).materialize();
+    let b = ExperimentSet::fig2(3).materialize();
+    for (fa, fb) in a.iter().zip(&b) {
+        assert_eq!(fa.family, fb.family);
+        assert_eq!(fa.instances, fb.instances);
+    }
+}
+
+#[test]
+fn instance_and_schedule_roundtrip_through_json() {
+    let inst = generate(Family::new(5, 12, Distribution::U1To100), 7);
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+
+    let schedule = Lpt.schedule(&inst).unwrap();
+    let json = serde_json::to_string(&schedule).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(schedule, back);
+    assert_eq!(back.makespan(&inst), schedule.makespan(&inst));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generation_is_a_pure_function_of_family_and_seed(
+        m in 1usize..=30, n in 1usize..=120, seed in any::<u64>()
+    ) {
+        let family = Family::new(m, n, Distribution::U1To100);
+        prop_assert_eq!(generate(family, seed), generate(family, seed));
+    }
+
+    #[test]
+    fn adversarial_instances_expose_lpt(m in 3usize..=12, seed in any::<u64>()) {
+        let inst = pcmax::workloads::lpt_adversarial(m, seed);
+        prop_assert_eq!(inst.jobs(), 2 * m + 1);
+        let lpt = Lpt.makespan(&inst).unwrap();
+        prop_assert!(lpt >= lower_bound(&inst));
+    }
+
+    #[test]
+    fn deterministic_graham_instance_hits_the_exact_lpt_ratio(m in 2usize..=10) {
+        let inst = pcmax::workloads::special::lpt_worst_case_deterministic(m);
+        let lpt = Lpt.makespan(&inst).unwrap();
+        prop_assert_eq!(lpt, (4 * m - 1) as u64);
+        let exact = BranchAndBound::default().solve_detailed(&inst).unwrap();
+        prop_assert!(exact.proven);
+        prop_assert_eq!(exact.best, (3 * m) as u64);
+    }
+}
