@@ -1,7 +1,8 @@
 //! Longest processing time first (LPT).
 
 use crate::assign_in_order;
-use pcmax_core::{Instance, Result, Schedule, Scheduler};
+use pcmax_core::{Result, SolveReport, SolveRequest, SolveStats, Solver};
+use std::time::Instant;
 
 /// LPT: list scheduling on the jobs sorted by non-increasing processing time.
 ///
@@ -11,13 +12,21 @@ use pcmax_core::{Instance, Result, Schedule, Scheduler};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lpt;
 
-impl Scheduler for Lpt {
-    fn name(&self) -> &'static str {
+impl Solver for Lpt {
+    fn solver_name(&self) -> &'static str {
         "LPT"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
-        Ok(assign_in_order(inst, &inst.jobs_by_decreasing_time()))
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        let inst = req.instance;
+        let schedule = assign_in_order(inst, &inst.jobs_by_decreasing_time());
+        let stats = SolveStats {
+            wall: start.elapsed(),
+            ..SolveStats::default()
+        };
+        Ok(SolveReport::heuristic(schedule, inst, stats))
     }
 }
 

@@ -1,7 +1,8 @@
 //! Graham's list scheduling (LS).
 
 use crate::assign_in_order;
-use pcmax_core::{Instance, Result, Schedule, Scheduler};
+use pcmax_core::{Result, SolveReport, SolveRequest, SolveStats, Solver};
+use std::time::Instant;
 
 /// List scheduling: walk the jobs in their given (arbitrary) order and place
 /// each on a currently least-loaded machine.
@@ -12,21 +13,29 @@ use pcmax_core::{Instance, Result, Schedule, Scheduler};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ls;
 
-impl Scheduler for Ls {
-    fn name(&self) -> &'static str {
+impl Solver for Ls {
+    fn solver_name(&self) -> &'static str {
         "LS"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        let inst = req.instance;
         let order: Vec<usize> = (0..inst.jobs()).collect();
-        Ok(assign_in_order(inst, &order))
+        let schedule = assign_in_order(inst, &order);
+        let stats = SolveStats {
+            wall: start.elapsed(),
+            ..SolveStats::default()
+        };
+        Ok(SolveReport::heuristic(schedule, inst, stats))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcmax_core::{lower_bound, Instance};
+    use pcmax_core::{lower_bound, Instance, Scheduler};
 
     #[test]
     fn schedules_all_jobs_validly() {
@@ -63,5 +72,14 @@ mod tests {
     fn empty_instance() {
         let inst = Instance::new(vec![], 2).unwrap();
         assert_eq!(Ls.makespan(&inst).unwrap(), 0);
+    }
+
+    #[test]
+    fn report_has_no_certificate() {
+        let inst = Instance::new(vec![5, 3, 8], 2).unwrap();
+        let report = Ls.solve(&SolveRequest::new(&inst)).unwrap();
+        assert_eq!(report.makespan, report.schedule.makespan(&inst));
+        assert_eq!(report.certified_target, None);
+        assert!(!report.proven_optimal);
     }
 }

@@ -5,7 +5,11 @@
 //! into `m` bins of size `C`. After `k` bisection steps the makespan is within
 //! `1.22 + 2^{-k}` of optimal (the tight constant is 13/11).
 
-use pcmax_core::{Instance, Result, Schedule, ScheduleBuilder, Scheduler, Time};
+use pcmax_core::{
+    Instance, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest, SolveStats, Solver,
+    Time,
+};
+use std::time::Instant;
 
 /// MULTIFIT with a configurable number of bisection iterations (the paper's
 /// `k`; 7 is the customary default giving `1.22 + 2^{-7} ≈ 1.228`).
@@ -50,14 +54,20 @@ fn ffd_fits<'a>(inst: &'a Instance, order: &[usize], cap: Time) -> Option<Schedu
     Some(builder)
 }
 
-impl Scheduler for Multifit {
-    fn name(&self) -> &'static str {
+impl Solver for Multifit {
+    fn solver_name(&self) -> &'static str {
         "MULTIFIT"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        let inst = req.instance;
+        let mut stats = SolveStats::default();
         if inst.jobs() == 0 {
-            return Schedule::from_assignment(vec![], inst.machines());
+            let schedule = Schedule::from_assignment(vec![], inst.machines())?;
+            stats.wall = start.elapsed();
+            return Ok(SolveReport::heuristic(schedule, inst, stats));
         }
         let order = inst.jobs_by_decreasing_time();
         // Classic capacity bracket: FFD provably fits at CU and the optimum
@@ -71,6 +81,7 @@ impl Scheduler for Multifit {
             if lo >= hi {
                 break;
             }
+            stats.bisection_probes += 1;
             let cap = (lo + hi) / 2;
             match ffd_fits(inst, &order, cap) {
                 Some(builder) => {
@@ -80,22 +91,25 @@ impl Scheduler for Multifit {
                 None => lo = cap + 1,
             }
         }
-        match best {
-            Some(s) => Ok(s),
+        let schedule = match best {
+            Some(s) => s,
             // Bisection never found a fitting capacity within the iteration
             // budget; the upper end of the bracket always fits.
             None => {
+                stats.bisection_probes += 1;
                 let builder = ffd_fits(inst, &order, hi).expect("FFD fits at the upper capacity");
-                builder.build()
+                builder.build()?
             }
-        }
+        };
+        stats.wall = start.elapsed();
+        Ok(SolveReport::heuristic(schedule, inst, stats))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcmax_core::{lower_bound, Instance};
+    use pcmax_core::{lower_bound, Instance, Scheduler};
 
     #[test]
     fn packs_equal_jobs_perfectly() {
@@ -116,8 +130,7 @@ mod tests {
         // MULTIFIT's signature advantage: FFD considers bins in index order
         // so it can pack instances LPT spreads badly. Known example where
         // MULTIFIT finds 60 and LPT 65 on 3 machines.
-        let inst =
-            Instance::new(vec![30, 30, 22, 22, 20, 20, 18, 18], 3).unwrap();
+        let inst = Instance::new(vec![30, 30, 22, 22, 20, 20, 18, 18], 3).unwrap();
         let mf = Multifit::default().makespan(&inst).unwrap();
         let lpt = crate::Lpt.makespan(&inst).unwrap();
         assert!(mf <= lpt, "MULTIFIT {mf} vs LPT {lpt}");
@@ -143,5 +156,15 @@ mod tests {
         let ms = Multifit::default().makespan(&inst).unwrap() as f64;
         let lb = lower_bound(&inst) as f64;
         assert!(ms <= 1.23 * lb);
+    }
+
+    #[test]
+    fn stats_count_capacity_probes() {
+        let inst = Instance::new(vec![13, 11, 9, 8, 8, 7, 5, 4, 2, 2], 3).unwrap();
+        let report = Multifit::default()
+            .solve(&SolveRequest::new(&inst))
+            .unwrap();
+        assert!(report.stats.bisection_probes >= 1);
+        assert_eq!(report.certified_target, None);
     }
 }

@@ -2,11 +2,10 @@
 //! implementation) vs regenerating C_v for every entry (Line 17 of
 //! Algorithm 3, what the paper's implementation does).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_bench::micro;
 use pcmax_ptas::dp::DpSolver;
 use pcmax_ptas::{rounded_problem, DpProblem, EpsilonParams, IterativeDp, RegenerateConfigsDp};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
 fn representative_problem() -> DpProblem {
     let inst = generate(Family::new(10, 30, Distribution::U1To100), 1);
@@ -15,24 +14,13 @@ fn representative_problem() -> DpProblem {
     rounded_problem(&inst, &eps, target, DpProblem::DEFAULT_MAX_ENTRIES).0
 }
 
-fn bench_configs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_configs");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let group = micro::group("ablation_configs");
     let problem = representative_problem();
-    group.bench_with_input(
-        BenchmarkId::new("global_filtered", "m10n30"),
-        &problem,
-        |b, p| b.iter(|| IterativeDp.solve(p).unwrap()),
-    );
-    group.bench_with_input(
-        BenchmarkId::new("regenerate_per_entry", "m10n30"),
-        &problem,
-        |b, p| b.iter(|| RegenerateConfigsDp.solve(p).unwrap()),
-    );
-    group.finish();
+    group.bench("global_filtered", "m10n30", || {
+        IterativeDp.solve(&problem).unwrap()
+    });
+    group.bench("regenerate_per_entry", "m10n30", || {
+        RegenerateConfigsDp.solve(&problem).unwrap()
+    });
 }
-
-criterion_group!(benches, bench_configs);
-criterion_main!(benches);

@@ -2,12 +2,11 @@
 //! memoized top-down (only reachable states; the shape of Algorithm 2) and
 //! the wavefront-parallel sweep (Algorithm 3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_bench::micro;
 use pcmax_parallel::ParallelDp;
 use pcmax_ptas::dp::DpSolver;
 use pcmax_ptas::{rounded_problem, DpProblem, EpsilonParams, IterativeDp, MemoizedDp};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
 fn representative_problem() -> DpProblem {
     let inst = generate(Family::new(20, 100, Distribution::U1To100), 1);
@@ -16,24 +15,15 @@ fn representative_problem() -> DpProblem {
     rounded_problem(&inst, &eps, target, DpProblem::DEFAULT_MAX_ENTRIES).0
 }
 
-fn bench_dp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_dp");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let group = micro::group("ablation_dp");
     let problem = representative_problem();
-    group.bench_with_input(BenchmarkId::new("iterative", "m20n100"), &problem, |b, p| {
-        b.iter(|| IterativeDp.solve(p).unwrap())
+    group.bench("iterative", "m20n100", || {
+        IterativeDp.solve(&problem).unwrap()
     });
-    group.bench_with_input(BenchmarkId::new("memoized", "m20n100"), &problem, |b, p| {
-        b.iter(|| MemoizedDp.solve(p).unwrap())
+    group.bench("memoized", "m20n100", || {
+        MemoizedDp.solve(&problem).unwrap()
     });
-    group.bench_with_input(BenchmarkId::new("parallel", "m20n100"), &problem, |b, p| {
-        let solver = ParallelDp::default();
-        b.iter(|| solver.solve(p).unwrap())
-    });
-    group.finish();
+    let parallel = ParallelDp::default();
+    group.bench("parallel", "m20n100", || parallel.solve(&problem).unwrap());
 }
-
-criterion_group!(benches, bench_dp);
-criterion_main!(benches);

@@ -2,30 +2,18 @@
 //! eps = 0.3; this sweep shows why (k = ceil(1/eps) size classes blow the
 //! DP table up superpolynomially as eps shrinks).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_bench::micro;
 use pcmax_core::Scheduler;
-use pcmax_ptas::Ptas;
+use pcmax_engine::{build, SolverParams};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
-fn bench_epsilon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_epsilon");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let group = micro::group("ablation_epsilon");
     let inst = generate(Family::new(10, 30, Distribution::U1To100), 1);
     for eps in [0.5, 0.34, 0.3, 0.25] {
-        group.bench_with_input(
-            BenchmarkId::new("ptas", format!("eps{eps}")),
-            &inst,
-            |b, inst| {
-                let ptas = Ptas::new(eps).unwrap();
-                b.iter(|| ptas.schedule(inst).unwrap());
-            },
-        );
+        let ptas = build("ptas", &SolverParams::with_epsilon(eps)).unwrap();
+        group.bench("ptas", format!("eps{eps}"), || {
+            ptas.schedule(&inst).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_epsilon);
-criterion_main!(benches);

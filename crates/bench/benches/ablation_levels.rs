@@ -3,12 +3,11 @@
 //! scoped-thread executor. Quantifies the O(sigma * n') scan overhead the
 //! paper's formulation carries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_bench::micro;
 use pcmax_parallel::{ParallelDp, ScopedDp};
 use pcmax_ptas::dp::DpSolver;
 use pcmax_ptas::{rounded_problem, DpProblem, EpsilonParams};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
 fn representative_problem() -> DpProblem {
     let inst = generate(Family::new(10, 30, Distribution::U1To100), 1);
@@ -17,30 +16,15 @@ fn representative_problem() -> DpProblem {
     rounded_problem(&inst, &eps, target, DpProblem::DEFAULT_MAX_ENTRIES).0
 }
 
-fn bench_levels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_levels");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let group = micro::group("ablation_levels");
     let problem = representative_problem();
-    group.bench_with_input(BenchmarkId::new("bucketed", "m10n30"), &problem, |b, p| {
-        let solver = ParallelDp::default();
-        b.iter(|| solver.solve(p).unwrap());
+    let bucketed = ParallelDp::default();
+    group.bench("bucketed", "m10n30", || bucketed.solve(&problem).unwrap());
+    let faithful = ParallelDp::faithful();
+    group.bench("faithful", "m10n30", || faithful.solve(&problem).unwrap());
+    let scoped = ScopedDp::new(2);
+    group.bench("scoped_static", "m10n30", || {
+        scoped.solve(&problem).unwrap()
     });
-    group.bench_with_input(BenchmarkId::new("faithful", "m10n30"), &problem, |b, p| {
-        let solver = ParallelDp::faithful();
-        b.iter(|| solver.solve(p).unwrap());
-    });
-    group.bench_with_input(
-        BenchmarkId::new("scoped_static", "m10n30"),
-        &problem,
-        |b, p| {
-            let solver = ScopedDp::new(2);
-            b.iter(|| solver.solve(p).unwrap());
-        },
-    );
-    group.finish();
 }
-
-criterion_group!(benches, bench_levels);
-criterion_main!(benches);

@@ -2,32 +2,22 @@
 //! O(n log n)-ish and MULTIFIT adds a bisection factor, so they stay in
 //! microseconds where the PTAS pays for its guarantee in milliseconds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcmax_baselines::{Lpt, Ls, Multifit};
+use pcmax_bench::micro;
 use pcmax_core::Scheduler;
+use pcmax_engine::{registry, SolverKind, SolverParams};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baselines_scaling");
-    group
-        .sample_size(20)
-        .measurement_time(Duration::from_secs(1))
-        .warm_up_time(Duration::from_millis(200));
+fn main() {
+    let group = micro::group("baselines_scaling").min_secs(0.2);
+    let params = SolverParams::default();
     for n in [100usize, 1000, 10_000] {
         let inst = generate(Family::new(32, n, Distribution::U1To100), 1);
-        group.bench_with_input(BenchmarkId::new("ls", n), &inst, |b, inst| {
-            b.iter(|| Ls.schedule(inst).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("lpt", n), &inst, |b, inst| {
-            b.iter(|| Lpt.schedule(inst).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("multifit", n), &inst, |b, inst| {
-            b.iter(|| Multifit::default().schedule(inst).unwrap())
-        });
+        for spec in registry()
+            .iter()
+            .filter(|s| s.kind == SolverKind::Heuristic)
+        {
+            let solver = spec.build(&params).unwrap();
+            group.bench(spec.name, n, || solver.schedule(&inst).unwrap());
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

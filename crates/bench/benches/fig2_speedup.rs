@@ -1,42 +1,34 @@
 //! Figure 2 micro-benchmark (m=20, n=100): the computational kernels behind
-//! the speedup figure — the sequential PTAS, the real rayon-parallel PTAS
-//! and the exact (IP) solver on one representative instance per family.
+//! the speedup figure — every PTAS-family solver in the engine registry plus
+//! the exact (IP) solver on one representative instance per family.
 //!
 //! The full figure (averaged series over all processor counts) is produced
 //! by `cargo run -p pcmax-bench --release --bin repro -- fig2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcmax_core::Scheduler;
-use pcmax_exact::BranchAndBound;
-use pcmax_parallel::ParallelPtas;
-use pcmax_ptas::Ptas;
+use pcmax_bench::micro;
+use pcmax_core::{Budget, Scheduler, SolveRequest};
+use pcmax_engine::{build, SolverParams};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_m20_n100");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
-    for dist in Distribution::figure_families() {
-        let inst = generate(Family::new(20, 100, dist), 1);
-        let label = dist.to_string();
-        group.bench_with_input(BenchmarkId::new("ptas_seq", &label), &inst, |b, inst| {
-            let ptas = Ptas::new(0.3).unwrap();
-            b.iter(|| ptas.schedule(inst).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("ptas_par", &label), &inst, |b, inst| {
-            let ptas = ParallelPtas::new(0.3).unwrap();
-            b.iter(|| ptas.schedule(inst).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("ip_exact", &label), &inst, |b, inst| {
-            let ip = BranchAndBound::with_budget(2_000_000);
-            b.iter(|| ip.solve_detailed(inst).unwrap());
-        });
+fn main() {
+    {
+        let group = micro::group("fig2_m20_n100");
+        let params = SolverParams::default();
+        let ptas = build("ptas", &params).unwrap();
+        let pptas = build("par-ptas", &params).unwrap();
+        let ip = build("exact", &params).unwrap();
+        for dist in Distribution::figure_families() {
+            {
+                let inst = generate(Family::new(20, 100, dist), 1);
+                let label = dist.to_string();
+                group.bench("ptas_seq", &label, || ptas.schedule(&inst).unwrap());
+                group.bench("ptas_par", &label, || pptas.schedule(&inst).unwrap());
+                group.bench("ip_exact", &label, || {
+                    let req =
+                        SolveRequest::new(&inst).with_budget(Budget::unlimited().nodes(2_000_000));
+                    ip.solve(&req).unwrap()
+                });
+            }
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

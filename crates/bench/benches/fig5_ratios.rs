@@ -1,22 +1,16 @@
-//! Figure 5 / Tables II-III micro-benchmark: the four algorithms compared in
-//! the approximation-ratio experiment, on the best-case and worst-case
-//! instance sets. Full ratio tables:
-//! `cargo run -p pcmax-bench --release --bin repro -- fig5`.
+//! Figure 5 / Tables II-III micro-benchmark: every comparator solver of the
+//! approximation-ratio experiment (enumerated from the engine registry) plus
+//! the exact solver, on the best-case and worst-case instance sets. Full
+//! ratio tables: `cargo run -p pcmax-bench --release --bin repro -- fig5`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcmax_baselines::{Lpt, Ls};
+use pcmax_bench::micro;
 use pcmax_bench::tables::{best_case_instances, worst_case_instances};
-use pcmax_core::Scheduler;
-use pcmax_exact::BranchAndBound;
-use pcmax_parallel::ParallelPtas;
-use std::time::Duration;
+use pcmax_core::{Budget, Scheduler, SolveRequest};
+use pcmax_engine::{build, comparators, SolverParams};
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_ratio_cases");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(1))
-        .warm_up_time(Duration::from_millis(200));
+fn main() {
+    let group = micro::group("fig5_ratio_cases").min_secs(0.2);
+    let params = SolverParams::default();
     let cases: Vec<_> = best_case_instances()
         .into_iter()
         .chain(worst_case_instances())
@@ -25,27 +19,14 @@ fn bench_fig5(c: &mut Criterion) {
         .collect();
     for case in &cases {
         let inst = &case.instance;
-        group.bench_with_input(
-            BenchmarkId::new("parallel_ptas", &case.label),
-            inst,
-            |b, inst| {
-                let a = ParallelPtas::new(0.3).unwrap();
-                b.iter(|| a.schedule(inst).unwrap());
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("lpt", &case.label), inst, |b, inst| {
-            b.iter(|| Lpt.schedule(inst).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("ls", &case.label), inst, |b, inst| {
-            b.iter(|| Ls.schedule(inst).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("ip", &case.label), inst, |b, inst| {
-            let ip = BranchAndBound::with_budget(2_000_000);
-            b.iter(|| ip.solve_detailed(inst).unwrap());
+        for spec in comparators() {
+            let solver = spec.build(&params).unwrap();
+            group.bench(spec.name, &case.label, || solver.schedule(inst).unwrap());
+        }
+        let ip = build("exact", &params).unwrap();
+        group.bench("ip", &case.label, || {
+            let req = SolveRequest::new(inst).with_budget(Budget::unlimited().nodes(2_000_000));
+            ip.solve(&req).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

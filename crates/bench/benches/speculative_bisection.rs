@@ -2,35 +2,24 @@
 //! inside the parallel PTAS. Wider search trades redundant DP probes for
 //! fewer sequential rounds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcmax_bench::micro;
 use pcmax_core::Scheduler;
-use pcmax_parallel::{ParallelPtas, SpeculativePtas};
+use pcmax_engine::{build, SolverParams};
 use pcmax_workloads::{generate, Distribution, Family};
-use std::time::Duration;
 
-fn bench_speculative(c: &mut Criterion) {
-    let mut group = c.benchmark_group("speculative_bisection");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
+fn main() {
+    let group = micro::group("speculative_bisection");
     let inst = generate(Family::new(10, 30, Distribution::U1To100), 1);
-    group.bench_with_input(BenchmarkId::new("binary", "m10n30"), &inst, |b, inst| {
-        let algo = ParallelPtas::new(0.3).unwrap();
-        b.iter(|| algo.schedule(inst).unwrap())
-    });
+    let binary = build("par-ptas", &SolverParams::default()).unwrap();
+    group.bench("binary", "m10n30", || binary.schedule(&inst).unwrap());
     for width in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("speculative", format!("w{width}")),
-            &inst,
-            |b, inst| {
-                let algo = SpeculativePtas::new(0.3, width).unwrap();
-                b.iter(|| algo.schedule(inst).unwrap())
-            },
-        );
+        let params = SolverParams {
+            width,
+            ..SolverParams::default()
+        };
+        let spec = build("spec-ptas", &params).unwrap();
+        group.bench("speculative", format!("w{width}"), || {
+            spec.schedule(&inst).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_speculative);
-criterion_main!(benches);

@@ -17,8 +17,8 @@ use pcmax_bench::experiments::{speedup_figure, SpeedupConfig, SpeedupFigure};
 use pcmax_bench::ratios::{ratio_figure, RatioFigure};
 use pcmax_bench::report::{render_ratios, render_speedup};
 use pcmax_bench::tables::{best_case_instances, worst_case_instances};
+use pcmax_core::json::{self, Value};
 use pcmax_workloads::ExperimentSet;
-use serde::Serialize;
 use std::process::ExitCode;
 
 #[derive(Debug, Clone)]
@@ -58,13 +58,38 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig2|fig3|fig4|fig5|tables|families|all> [--reps N] [--paper] [--json FILE]".to_string()
+    "usage: repro <fig2|fig3|fig4|fig5|tables|families|all> [--reps N] [--paper] [--json FILE]"
+        .to_string()
 }
 
-#[derive(Serialize)]
 struct JsonOutput {
     speedup_figures: Vec<SpeedupFigure>,
     ratio_figures: Vec<RatioFigure>,
+}
+
+impl JsonOutput {
+    fn to_json(&self) -> Value {
+        json::object(vec![
+            (
+                "speedup_figures",
+                Value::Array(
+                    self.speedup_figures
+                        .iter()
+                        .map(SpeedupFigure::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "ratio_figures",
+                Value::Array(
+                    self.ratio_figures
+                        .iter()
+                        .map(RatioFigure::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn main() -> ExitCode {
@@ -131,11 +156,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
     if all || args.command == "families" {
-        let rows = pcmax_bench::families::family_ratio_sweep(
-            args.reps.min(5),
-            0xFA_77,
-            20_000_000,
-        )?;
+        let rows =
+            pcmax_bench::families::family_ratio_sweep(args.reps.min(5), 0xFA_77, 20_000_000)?;
         print!("{}", pcmax_bench::families::render_family_ratios(&rows));
         println!();
     }
@@ -156,14 +178,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         json.ratio_figures.push(b);
     }
     if !all
-        && !["fig2", "fig3", "fig4", "fig5", "tables", "families"]
-            .contains(&args.command.as_str())
+        && !["fig2", "fig3", "fig4", "fig5", "tables", "families"].contains(&args.command.as_str())
     {
         return Err(usage().into());
     }
 
     if let Some(path) = &args.json {
-        std::fs::write(path, serde_json::to_string_pretty(&json)?)?;
+        std::fs::write(path, json.to_json().to_string_pretty())?;
         eprintln!("wrote {path}");
     }
     Ok(())

@@ -2,9 +2,11 @@
 //!
 //! Per instance family (the four distributions at a fixed `(m, n)` shape):
 //!
-//! * **sequential PTAS time** — measured wall-clock of `pcmax_ptas::Ptas`,
-//! * **IP time** — measured wall-clock of the exact branch-and-bound solver
-//!   (the CPLEX substitute; budget-limited exactly like a MIP time limit),
+//! * **sequential PTAS time** — measured wall-clock of the registry's
+//!   `ptas` solver,
+//! * **IP time** — measured wall-clock of the registry's `exact` solver
+//!   (the CPLEX substitute; its node budget set through the engine's
+//!   [`Budget`], exactly like a MIP time limit),
 //! * **parallel time at `P` cores** — the measured sequential PTAS time
 //!   divided by the *simulated* speedup of the wavefront DP on `P`
 //!   processors (`pcmax-simcore`; see DESIGN.md §2 — the build host need not
@@ -12,17 +14,16 @@
 //! * **speedup vs PTAS / vs IP** — ratios of the above, averaged over the
 //!   seeded instances of the family.
 
-use pcmax_core::{stats, Instance, Result, Scheduler};
-use pcmax_exact::BranchAndBound;
-use pcmax_ptas::Ptas;
+use pcmax_core::json::{self, Value};
+use pcmax_core::{stats, Budget, Instance, Result, Scheduler, SolveRequest};
+use pcmax_engine::{build as registry_build, SolverParams};
 use pcmax_simcore::{simulate_ptas, SimParams};
 use pcmax_workloads::{ExperimentSet, Family};
-use serde::Serialize;
 
 use crate::timing::{time_secs, time_stable};
 
 /// One family's averaged measurements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FamilyRow {
     /// The instance family.
     pub family: Family,
@@ -44,8 +45,31 @@ pub struct FamilyRow {
     pub ip_proven_frac: f64,
 }
 
+fn f64_array(items: &[f64]) -> Value {
+    Value::Array(items.iter().map(|&v| Value::Float(v)).collect())
+}
+
+impl FamilyRow {
+    /// JSON rendering for `repro --json`.
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("family", Value::Str(self.family.to_string())),
+            (
+                "procs",
+                json::u64_array(self.procs.iter().map(|&p| p as u64)),
+            ),
+            ("speedup_vs_ptas", f64_array(&self.speedup_vs_ptas)),
+            ("speedup_vs_ip", f64_array(&self.speedup_vs_ip)),
+            ("time_ip_s", Value::Float(self.time_ip_s)),
+            ("time_ptas_s", Value::Float(self.time_ptas_s)),
+            ("time_par_s", f64_array(&self.time_par_s)),
+            ("ip_proven_frac", Value::Float(self.ip_proven_frac)),
+        ])
+    }
+}
+
 /// A full speedup figure: one row per family at a fixed `(m, n)` shape.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupFigure {
     /// Figure label ("Figure 2" etc).
     pub label: String,
@@ -57,6 +81,22 @@ pub struct SpeedupFigure {
     pub reps: usize,
     /// Rows per family.
     pub rows: Vec<FamilyRow>,
+}
+
+impl SpeedupFigure {
+    /// JSON rendering for `repro --json`.
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("label", Value::Str(self.label.clone())),
+            ("machines", Value::UInt(self.machines as u64)),
+            ("jobs", Value::UInt(self.jobs as u64)),
+            ("reps", Value::UInt(self.reps as u64)),
+            (
+                "rows",
+                Value::Array(self.rows.iter().map(FamilyRow::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Configuration of a speedup experiment run.
@@ -104,8 +144,9 @@ pub fn speedup_figure(
 }
 
 fn family_row(family: Family, instances: &[Instance], config: &SpeedupConfig) -> Result<FamilyRow> {
-    let ptas = Ptas::new(config.epsilon)?;
-    let ip = BranchAndBound::with_budget(config.ip_budget);
+    let params = SolverParams::with_epsilon(config.epsilon);
+    let ptas = registry_build("ptas", &params)?;
+    let ip = registry_build("exact", &params)?;
 
     let mut ip_times = Vec::new();
     let mut ptas_times = Vec::new();
@@ -114,8 +155,9 @@ fn family_row(family: Family, instances: &[Instance], config: &SpeedupConfig) ->
     let mut speedups = vec![Vec::new(); config.procs.len()];
 
     for inst in instances {
-        let (out, ip_s) = time_secs(|| ip.solve_detailed(inst));
-        if out?.proven {
+        let req = SolveRequest::new(inst).with_budget(Budget::unlimited().nodes(config.ip_budget));
+        let (out, ip_s) = time_secs(|| ip.solve(&req));
+        if out?.proven_optimal {
             proven += 1;
         }
         ip_times.push(ip_s);
@@ -186,5 +228,7 @@ mod tests {
                 assert!(s > 0.0 && s <= 4.0 + 1e-9);
             }
         }
+        let v = fig.to_json();
+        assert_eq!(v.get("machines").and_then(|m| m.as_u64()), Some(4));
     }
 }

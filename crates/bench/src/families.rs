@@ -1,33 +1,43 @@
 //! The cross-family ratio sweep: Section V's claim that "for all other
 //! instances in our experiments our parallel approximation algorithm obtains
 //! actual approximation ratios at least as good as those of LPT". This
-//! experiment runs all 24 paper families and tabulates mean ratios.
+//! experiment runs all 24 paper families and tabulates mean ratios for every
+//! polynomial approximation solver in the engine registry.
 
-use pcmax_baselines::{Lpt, Ls};
-use pcmax_core::{stats, Result, Scheduler};
-use pcmax_exact::BranchAndBound;
-use pcmax_parallel::ParallelPtas;
+use pcmax_core::{stats, Budget, Result, SolveRequest};
+use pcmax_engine::{build as registry_build, comparators, SolverParams};
 use pcmax_workloads::{generate_batch, paper_families, Family};
-use serde::Serialize;
 
-/// Mean ratios for one family.
-#[derive(Debug, Clone, Serialize)]
+/// Mean ratios for one family, one entry per compared registry solver.
+#[derive(Debug, Clone)]
 pub struct FamilyRatioRow {
     /// The family.
     pub family: Family,
-    /// Mean parallel-PTAS ratio.
-    pub pptas: f64,
-    /// Mean LPT ratio.
-    pub lpt: f64,
-    /// Mean LS ratio.
-    pub ls: f64,
+    /// Registry names of the compared solvers (column order).
+    pub solvers: Vec<&'static str>,
+    /// Mean ratio per solver, aligned with `solvers`.
+    pub ratios: Vec<f64>,
     /// Fraction of instances whose optimum was proven (unproven instances
     /// use the exact solver's lower bound, making ratios upper bounds).
     pub proven_frac: f64,
 }
 
+impl FamilyRatioRow {
+    /// The mean ratio of the registry solver `name` (`None` if absent).
+    pub fn ratio_of(&self, name: &str) -> Option<f64> {
+        self.solvers
+            .iter()
+            .position(|s| s.eq_ignore_ascii_case(name))
+            .map(|i| self.ratios[i])
+    }
+}
+
 /// Runs the sweep over all 24 paper families with `reps` instances each.
-pub fn family_ratio_sweep(reps: usize, base_seed: u64, ip_budget: u64) -> Result<Vec<FamilyRatioRow>> {
+pub fn family_ratio_sweep(
+    reps: usize,
+    base_seed: u64,
+    ip_budget: u64,
+) -> Result<Vec<FamilyRatioRow>> {
     family_ratio_sweep_over(&paper_families(), reps, base_seed, ip_budget)
 }
 
@@ -39,32 +49,37 @@ pub fn family_ratio_sweep_over(
     base_seed: u64,
     ip_budget: u64,
 ) -> Result<Vec<FamilyRatioRow>> {
-    let pptas = ParallelPtas::new(0.3)?;
-    let exact = BranchAndBound::with_budget(ip_budget);
+    let params = SolverParams::default();
+    let exact = registry_build("exact", &params)?;
+    let solvers: Vec<(&'static str, _)> = comparators()
+        .map(|spec| Ok((spec.name, spec.build(&params)?)))
+        .collect::<Result<_>>()?;
     let mut rows = Vec::new();
     for &family in families {
         let instances = generate_batch(family, base_seed, reps);
-        let mut r_pptas = Vec::new();
-        let mut r_lpt = Vec::new();
-        let mut r_ls = Vec::new();
+        let mut per_solver: Vec<Vec<f64>> = vec![Vec::new(); solvers.len()];
         let mut proven = 0usize;
         for inst in &instances {
-            let out = exact.solve_detailed(inst)?;
-            let denom = if out.proven {
+            let req = SolveRequest::new(inst).with_budget(Budget::unlimited().nodes(ip_budget));
+            let out = exact.solve(&req)?;
+            let denom = if out.proven_optimal {
                 proven += 1;
-                out.best
+                out.makespan
             } else {
-                out.lower_bound
+                out.certified_target.unwrap_or(out.makespan)
             } as f64;
-            r_pptas.push(pptas.makespan(inst)? as f64 / denom);
-            r_lpt.push(Lpt.makespan(inst)? as f64 / denom);
-            r_ls.push(Ls.makespan(inst)? as f64 / denom);
+            for (i, (_, solver)) in solvers.iter().enumerate() {
+                let ms = solver.solve(&SolveRequest::new(inst))?.makespan;
+                per_solver[i].push(ms as f64 / denom);
+            }
         }
         rows.push(FamilyRatioRow {
             family,
-            pptas: stats::mean(&r_pptas).unwrap_or(1.0),
-            lpt: stats::mean(&r_lpt).unwrap_or(1.0),
-            ls: stats::mean(&r_ls).unwrap_or(1.0),
+            solvers: solvers.iter().map(|(n, _)| *n).collect(),
+            ratios: per_solver
+                .iter()
+                .map(|r| stats::mean(r).unwrap_or(1.0))
+                .collect(),
             proven_frac: proven as f64 / instances.len().max(1) as f64,
         });
     }
@@ -79,24 +94,22 @@ pub fn render_family_ratios(rows: &[FamilyRatioRow]) -> String {
         out,
         "== mean actual approximation ratios across the 24 paper families =="
     );
-    let _ = writeln!(
-        out,
-        "{:<26}{:>9}{:>9}{:>9}{:>10}",
-        "family", "PPTAS", "LPT", "LS", "proven"
-    );
+    let solvers: Vec<&str> = rows.first().map(|r| r.solvers.clone()).unwrap_or_default();
+    let header: String = solvers.iter().map(|s| format!("{s:>10}")).collect();
+    let _ = writeln!(out, "{:<26}{header}{:>10}", "family", "proven");
     let mut pptas_no_worse = 0;
     for r in rows {
+        let cells: String = r.ratios.iter().map(|v| format!("{v:>10.3}")).collect();
         let _ = writeln!(
             out,
-            "{:<26}{:>9.3}{:>9.3}{:>9.3}{:>9.0}%",
+            "{:<26}{cells}{:>9.0}%",
             r.family.to_string(),
-            r.pptas,
-            r.lpt,
-            r.ls,
             r.proven_frac * 100.0
         );
-        if r.pptas <= r.lpt + 1e-9 {
-            pptas_no_worse += 1;
+        if let (Some(pptas), Some(lpt)) = (r.ratio_of("par-ptas"), r.ratio_of("lpt")) {
+            if pptas <= lpt + 1e-9 {
+                pptas_no_worse += 1;
+            }
         }
     }
     let _ = writeln!(
@@ -125,8 +138,10 @@ mod tests {
         let rows = family_ratio_sweep_over(&families, 1, 99, 100_000).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.pptas >= 0.99, "{}: {}", r.family, r.pptas);
-            assert!(r.ls >= r.pptas - 0.35, "LS should not dominate");
+            let pptas = r.ratio_of("par-ptas").unwrap();
+            let ls = r.ratio_of("ls").unwrap();
+            assert!(pptas >= 0.99, "{}: {}", r.family, pptas);
+            assert!(ls >= pptas - 0.35, "LS should not dominate");
         }
         let text = render_family_ratios(&rows);
         assert!(text.contains("families"));

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod families;
+pub mod micro;
 pub mod ratios;
 pub mod report;
 pub mod tables;
@@ -18,6 +19,6 @@ pub mod timing;
 
 pub use experiments::{speedup_figure, FamilyRow, SpeedupFigure};
 pub use families::{family_ratio_sweep, render_family_ratios, FamilyRatioRow};
-pub use ratios::{ratio_figure, RatioCase, RatioFigure};
+pub use ratios::{ratio_figure, RatioCase, RatioFigure, SolverRatio};
 pub use tables::{best_case_instances, worst_case_instances, CaseInstance};
 pub use timing::time_secs;

@@ -1,0 +1,74 @@
+//! Minimal micro-benchmark runner for the `benches/` targets (all declared
+//! with `harness = false`). Each target is a plain binary: it warms up,
+//! times the closure with [`time_stable`], and prints one aligned line per
+//! benchmark — no external benchmarking framework required.
+//!
+//! [`time_stable`]: crate::timing::time_stable
+
+use crate::timing::time_stable;
+use std::fmt::Display;
+
+/// A named group of related measurements (one per bench target, usually).
+pub struct Group {
+    name: String,
+    min_secs: f64,
+}
+
+/// Starts a group; prints its header immediately.
+pub fn group(name: &str) -> Group {
+    println!("== {name} ==");
+    Group {
+        name: name.to_string(),
+        min_secs: 0.3,
+    }
+}
+
+impl Group {
+    /// Overrides the minimum measurement time per benchmark (seconds).
+    pub fn min_secs(mut self, secs: f64) -> Self {
+        self.min_secs = secs;
+        self
+    }
+
+    /// Runs one benchmark: a warm-up call, then repeated timed runs.
+    pub fn bench<R>(&self, name: &str, label: impl Display, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let per_run = time_stable(self.min_secs, f);
+        println!(
+            "{:<52}{:>14}",
+            format!("{}/{name}/{label}", self.name),
+            format_time(per_run)
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.3} us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(0.0000025), "2.500 us");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u64;
+        group("test")
+            .min_secs(0.0)
+            .bench("noop", "x", || calls += 1);
+        assert!(calls >= 2, "warm-up plus at least one timed run");
+    }
+}

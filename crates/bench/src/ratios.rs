@@ -1,16 +1,23 @@
-//! The actual-approximation-ratio experiment of Figure 5: the parallel PTAS
-//! (same ratios as the sequential PTAS — they compute identical schedules),
-//! LPT and LS, each divided by the optimal makespan from the exact solver.
+//! The actual-approximation-ratio experiment of Figure 5: every polynomial
+//! approximation solver in the engine registry, divided by the optimal
+//! makespan from the exact solver.
 
 use crate::tables::CaseInstance;
-use pcmax_baselines::{Lpt, Ls};
-use pcmax_core::{ApproxRatio, Result, Scheduler};
-use pcmax_exact::BranchAndBound;
-use pcmax_parallel::ParallelPtas;
-use serde::Serialize;
+use pcmax_core::json::{self, Value};
+use pcmax_core::{ApproxRatio, Result, SolveRequest};
+use pcmax_engine::{build as registry_build, comparators, SolverParams};
+
+/// One comparator's measured ratio on one instance.
+#[derive(Debug, Clone)]
+pub struct SolverRatio {
+    /// Registry name of the solver.
+    pub solver: &'static str,
+    /// Its makespan divided by the (proven) optimum.
+    pub ratio: f64,
+}
 
 /// One instance's measured ratios.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RatioCase {
     /// Instance label (I1..I6 / I1'..I6').
     pub label: String,
@@ -21,48 +28,112 @@ pub struct RatioCase {
     /// Whether the exact solver proved optimality. If false the denominator
     /// is the solver's proven *lower bound*, making the ratios upper bounds.
     pub optimum_proven: bool,
-    /// Parallel PTAS makespan / optimum.
-    pub ratio_parallel_ptas: f64,
-    /// LPT makespan / optimum.
-    pub ratio_lpt: f64,
-    /// LS makespan / optimum.
-    pub ratio_ls: f64,
+    /// Per-solver ratios, in registry order.
+    pub ratios: Vec<SolverRatio>,
+}
+
+impl RatioCase {
+    /// The measured ratio of the registry solver `name` (`None` if absent).
+    pub fn ratio_of(&self, name: &str) -> Option<f64> {
+        self.ratios
+            .iter()
+            .find(|r| r.solver.eq_ignore_ascii_case(name))
+            .map(|r| r.ratio)
+    }
 }
 
 /// A full ratio figure (one of Fig. 5's two panels).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RatioFigure {
     /// Panel label.
     pub label: String,
+    /// Registry names of the compared solvers (column order).
+    pub solvers: Vec<&'static str>,
     /// Per-instance rows.
     pub cases: Vec<RatioCase>,
 }
 
-/// Runs the ratio experiment over `cases` with PTAS accuracy `epsilon`.
+impl RatioFigure {
+    /// JSON rendering for `repro --json`.
+    pub fn to_json(&self) -> Value {
+        json::object(vec![
+            ("label", Value::Str(self.label.clone())),
+            (
+                "solvers",
+                Value::Array(
+                    self.solvers
+                        .iter()
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "cases",
+                Value::Array(
+                    self.cases
+                        .iter()
+                        .map(|c| {
+                            json::object(vec![
+                                ("label", Value::Str(c.label.clone())),
+                                ("description", Value::Str(c.description.clone())),
+                                ("optimum", Value::UInt(c.optimum)),
+                                ("optimum_proven", Value::Bool(c.optimum_proven)),
+                                (
+                                    "ratios",
+                                    Value::Object(
+                                        c.ratios
+                                            .iter()
+                                            .map(|r| (r.solver.to_string(), Value::Float(r.ratio)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the ratio experiment over `cases` with PTAS accuracy `epsilon`,
+/// comparing every solver the registry marks as a polynomial approximation
+/// algorithm ([`comparators`]).
 pub fn ratio_figure(label: &str, cases: &[CaseInstance], epsilon: f64) -> Result<RatioFigure> {
-    let pptas = ParallelPtas::new(epsilon)?;
-    let exact = BranchAndBound::default();
+    let params = SolverParams::with_epsilon(epsilon);
+    let exact = registry_build("exact", &params)?;
+    let solvers: Vec<(&'static str, _)> = comparators()
+        .map(|spec| Ok((spec.name, spec.build(&params)?)))
+        .collect::<Result<_>>()?;
     let mut rows = Vec::new();
     for c in cases {
-        let out = exact.solve_detailed(&c.instance)?;
+        let out = exact.solve(&SolveRequest::new(&c.instance))?;
         // Denominator: the proven optimum, or the proven lower bound when the
         // budget ran out (then the reported ratios are upper bounds).
-        let denom = if out.proven { out.best } else { out.lower_bound };
-        let pptas_ms = pptas.makespan(&c.instance)?;
-        let lpt_ms = Lpt.makespan(&c.instance)?;
-        let ls_ms = Ls.makespan(&c.instance)?;
+        let denom = if out.proven_optimal {
+            out.makespan
+        } else {
+            out.certified_target.unwrap_or(out.makespan)
+        };
+        let mut ratios = Vec::new();
+        for (name, solver) in &solvers {
+            let ms = solver.solve(&SolveRequest::new(&c.instance))?.makespan;
+            ratios.push(SolverRatio {
+                solver: name,
+                ratio: ApproxRatio::new(ms, denom).value(),
+            });
+        }
         rows.push(RatioCase {
             label: c.label.clone(),
             description: c.description.clone(),
             optimum: denom,
-            optimum_proven: out.proven,
-            ratio_parallel_ptas: ApproxRatio::new(pptas_ms, denom).value(),
-            ratio_lpt: ApproxRatio::new(lpt_ms, denom).value(),
-            ratio_ls: ApproxRatio::new(ls_ms, denom).value(),
+            optimum_proven: out.proven_optimal,
+            ratios,
         });
     }
     Ok(RatioFigure {
         label: label.to_string(),
+        solvers: solvers.iter().map(|(n, _)| *n).collect(),
         cases: rows,
     })
 }
@@ -80,14 +151,25 @@ mod tests {
             .filter(|c| c.label == "I6")
             .collect();
         let fig = ratio_figure("test", &cases, 0.3).unwrap();
+        // Columns come straight from the registry, not a hard-coded list.
+        assert_eq!(
+            fig.solvers,
+            pcmax_engine::comparators()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+        );
         let row = &fig.cases[0];
         assert!(row.optimum_proven);
-        assert!(row.ratio_parallel_ptas >= 1.0 - 1e-12);
-        assert!(row.ratio_lpt >= row.ratio_parallel_ptas - 1e-12);
+        let pptas = row.ratio_of("par-ptas").unwrap();
+        let lpt = row.ratio_of("lpt").unwrap();
+        assert!(pptas >= 1.0 - 1e-12);
+        assert!(lpt >= pptas - 1e-12);
         // Graham's construction: LPT ratio is exactly (4m−1)/(3m) = 1.3.
-        assert!((row.ratio_lpt - 1.3).abs() < 1e-9, "{}", row.ratio_lpt);
+        assert!((lpt - 1.3).abs() < 1e-9, "{lpt}");
         // The PTAS with ε = 0.3 certifies ≤ 1.25; on this instance it should
         // be optimal or near-optimal.
-        assert!(row.ratio_parallel_ptas <= 1.25 + 1e-9);
+        assert!(pptas <= 1.25 + 1e-9);
+        // The parallel PTAS computes the same schedule as the sequential one.
+        assert_eq!(row.ratio_of("ptas"), Some(pptas));
     }
 }

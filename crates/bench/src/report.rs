@@ -19,7 +19,10 @@ pub fn render_speedup(fig: &SpeedupFigure) -> String {
         .first()
         .map(|r| r.procs.clone())
         .unwrap_or_default();
-    let header: String = procs.iter().map(|p| format!("{:>8}", format!("P={p}"))).collect();
+    let header: String = procs
+        .iter()
+        .map(|p| format!("{:>8}", format!("P={p}")))
+        .collect();
 
     let _ = writeln!(out, "\n(a) average speedup vs sequential PTAS");
     let _ = writeln!(out, "{:<22}{header}", "family");
@@ -64,26 +67,25 @@ pub fn render_speedup(fig: &SpeedupFigure) -> String {
 }
 
 /// Renders a ratio figure (one panel of Fig. 5) plus its Table II/III-style
-/// instance listing.
+/// instance listing. The solver columns come from the figure itself, which
+/// enumerated the engine registry.
 pub fn render_ratios(fig: &RatioFigure) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {} ==", fig.label);
-    let _ = writeln!(
-        out,
-        "{:<5}{:<46}{:>9}{:>9}{:>9}{:>9}",
-        "inst", "family", "OPT", "PPTAS", "LPT", "LS"
-    );
+    let header: String = fig.solvers.iter().map(|s| format!("{s:>10}")).collect();
+    let _ = writeln!(out, "{:<5}{:<46}{:>9}{header}", "inst", "family", "OPT");
     for c in &fig.cases {
         let opt = if c.optimum_proven {
             format!("{}", c.optimum)
         } else {
             format!("{}*", c.optimum)
         };
-        let _ = writeln!(
-            out,
-            "{:<5}{:<46}{:>9}{:>9.3}{:>9.3}{:>9.3}",
-            c.label, c.description, opt, c.ratio_parallel_ptas, c.ratio_lpt, c.ratio_ls
-        );
+        let cells: String = c
+            .ratios
+            .iter()
+            .map(|r| format!("{:>10.3}", r.ratio))
+            .collect();
+        let _ = writeln!(out, "{:<5}{:<46}{opt:>9}{cells}", c.label, c.description);
     }
     if fig.cases.iter().any(|c| !c.optimum_proven) {
         let _ = writeln!(
@@ -98,6 +100,7 @@ pub fn render_ratios(fig: &RatioFigure) -> String {
 mod tests {
     use super::*;
     use crate::experiments::FamilyRow;
+    use crate::ratios::{RatioCase, SolverRatio};
     use pcmax_workloads::{Distribution, Family};
 
     #[test]
@@ -128,18 +131,31 @@ mod tests {
     fn ratio_rendering_flags_unproven() {
         let fig = RatioFigure {
             label: "panel".into(),
-            cases: vec![crate::ratios::RatioCase {
+            solvers: vec!["par-ptas", "lpt", "ls"],
+            cases: vec![RatioCase {
                 label: "I1".into(),
                 description: "d".into(),
                 optimum: 100,
                 optimum_proven: false,
-                ratio_parallel_ptas: 1.01,
-                ratio_lpt: 1.1,
-                ratio_ls: 1.3,
+                ratios: vec![
+                    SolverRatio {
+                        solver: "par-ptas",
+                        ratio: 1.01,
+                    },
+                    SolverRatio {
+                        solver: "lpt",
+                        ratio: 1.1,
+                    },
+                    SolverRatio {
+                        solver: "ls",
+                        ratio: 1.3,
+                    },
+                ],
             }],
         };
         let s = render_ratios(&fig);
         assert!(s.contains("100*"));
         assert!(s.contains("upper bounds"));
+        assert!(s.contains("par-ptas") && s.contains("lpt"));
     }
 }

@@ -9,10 +9,9 @@
 
 use pcmax_core::Instance;
 use pcmax_workloads::{generate, lpt_adversarial, narrow_range, Distribution, Family};
-use serde::Serialize;
 
 /// A named instance of the best/worst-case experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CaseInstance {
     /// Instance label (I1..I6 best, I1'..I6' worst).
     pub label: String,
@@ -78,16 +77,8 @@ pub fn worst_case_instances() -> Vec<CaseInstance> {
             "m=10 n=30 U(1,100)",
             generate(Family::new(10, 30, Distribution::U1To100), 914),
         ),
-        case(
-            "I5'",
-            "m=10 n=25 U(95,105)",
-            narrow_range(10, 25, 15),
-        ),
-        case(
-            "I6'",
-            "m=20 n=55 U(95,105)",
-            narrow_range(20, 55, 26),
-        ),
+        case("I5'", "m=10 n=25 U(95,105)", narrow_range(10, 25, 15)),
+        case("I6'", "m=20 n=55 U(95,105)", narrow_range(20, 55, 26)),
     ]
 }
 

@@ -21,10 +21,11 @@ common options:
   --seed S          RNG seed (default 1)
 
 solve options:
-  --algo A          ls | lpt | multifit | ptas | pptas | fptas | spec | exact | milp
+  --algo A          engine registry name: ls | lpt | multifit | ptas | par-ptas |
+                    spec-ptas | fptas | exact | milp (aliases: pptas, spec)
   --eps E           PTAS accuracy (default 0.3)
-  --threads T       rayon threads for pptas
-  --budget B        node budget for exact/milp
+  --threads T       worker threads for the parallel solvers
+  --budget B        search-node budget for exact/milp
   --schedule        also print the full per-machine assignment
 
 simulate options:
@@ -103,10 +104,12 @@ pub fn parse_dist(s: &str) -> Result<Distribution, String> {
             let (lo, hi) = inner
                 .split_once(',')
                 .ok_or_else(|| format!("bad interval {s}"))?;
-            Distribution::Uniform {
-                lo: lo.parse().map_err(|e| format!("bad lo: {e}"))?,
-                hi: hi.parse().map_err(|e| format!("bad hi: {e}"))?,
+            let lo: u64 = lo.parse().map_err(|e| format!("bad lo: {e}"))?;
+            let hi: u64 = hi.parse().map_err(|e| format!("bad hi: {e}"))?;
+            if lo < 1 || lo > hi {
+                return Err(format!("bad interval U({lo},{hi}): need 1 <= lo <= hi"));
             }
+            Distribution::Uniform { lo, hi }
         }
     })
 }
@@ -319,7 +322,10 @@ mod tests {
     fn rejects_unknown_command_and_stray_args() {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("bounds -i x.json --bogus")).is_err());
-        assert!(parse(&argv("generate --dist U(1,10)")).is_err(), "missing -m/-n");
+        assert!(
+            parse(&argv("generate --dist U(1,10)")).is_err(),
+            "missing -m/-n"
+        );
     }
 
     #[test]

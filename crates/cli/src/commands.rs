@@ -1,13 +1,13 @@
-//! Command implementations.
+//! Command implementations, all routed through the engine registry
+//! (`pcmax-engine`): `solve` builds whatever `--algo` names, `compare`
+//! enumerates every polynomial comparator the registry knows about.
 
 use crate::args::Command;
 use crate::io::load;
-use pcmax_baselines::{Lpt, Ls, Multifit};
-use pcmax_core::{ApproxRatio, Instance, MakespanBounds, Schedule, Scheduler};
-use pcmax_exact::BranchAndBound;
-use pcmax_milp::AssignmentIp;
-use pcmax_parallel::ParallelPtas;
-use pcmax_ptas::Ptas;
+use pcmax_core::{
+    json, ApproxRatio, Budget, Instance, MakespanBounds, Schedule, SolveRequest, Solver,
+};
+use pcmax_engine::{build as registry_build, comparators, lookup, SolverKind, SolverParams};
 use pcmax_simcore::{simulate_ptas, SimParams};
 use std::time::Instant;
 
@@ -16,10 +16,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Generate(source) => {
             let inst = load(&source)?;
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?
-            );
+            println!("{}", json::to_string_pretty(&inst));
             Ok(())
         }
         Command::Bounds(source) => {
@@ -77,106 +74,92 @@ fn solve_one(
     threads: Option<usize>,
     budget: Option<u64>,
 ) -> Result<(Schedule, String), String> {
-    let err = |e: pcmax_core::Error| e.to_string();
-    Ok(match algo {
-        "ls" => (Ls.schedule(inst).map_err(err)?, "LS".into()),
-        "lpt" => (Lpt.schedule(inst).map_err(err)?, "LPT".into()),
-        "multifit" => (
-            Multifit::default().schedule(inst).map_err(err)?,
-            "MULTIFIT".into(),
-        ),
-        "ptas" => (
-            Ptas::new(eps).map_err(err)?.schedule(inst).map_err(err)?,
-            format!("PTAS(eps={eps})"),
-        ),
-        "pptas" => {
-            let solver = match threads {
-                Some(t) => ParallelPtas::with_threads(eps, t).map_err(err)?,
-                None => ParallelPtas::new(eps).map_err(err)?,
-            };
-            (
-                solver.schedule(inst).map_err(err)?,
-                format!("ParallelPTAS(eps={eps})"),
-            )
+    let spec = lookup(algo).ok_or_else(|| {
+        format!(
+            "unknown algorithm {algo} (known: {})",
+            pcmax_engine::names().join(", ")
+        )
+    })?;
+    let params = SolverParams {
+        epsilon: eps,
+        threads,
+        node_budget: budget,
+        width: threads.unwrap_or(4),
+    };
+    let solver = spec.build(&params).map_err(|e| e.to_string())?;
+    let mut req = SolveRequest::new(inst);
+    if let Some(b) = budget {
+        req = req.with_budget(Budget::unlimited().nodes(b));
+    }
+    if let Some(t) = threads {
+        req = req.with_threads(t);
+    }
+    let report = solver.solve(&req).map_err(|e| e.to_string())?;
+
+    let mut label = match spec.kind {
+        SolverKind::DualApprox | SolverKind::FixedMachines => format!("{}(eps={eps})", spec.name),
+        _ => spec.name.to_string(),
+    };
+    if report.proven_optimal {
+        if report.stats.bb_nodes > 0 {
+            label.push_str(&format!(
+                " (proven optimal, {} nodes)",
+                report.stats.bb_nodes
+            ));
+        } else {
+            label.push_str(" (proven optimal)");
         }
-        "fptas" => (
-            pcmax_fptas::FixedMachinesFptas::new(eps)
-                .map_err(err)?
-                .schedule(inst)
-                .map_err(err)?,
-            format!("Sahni-FPTAS(eps={eps})"),
-        ),
-        "spec" => (
-            pcmax_parallel::SpeculativePtas::new(eps, threads.unwrap_or(4))
-                .map_err(err)?
-                .schedule(inst)
-                .map_err(err)?,
-            format!("SpeculativePTAS(eps={eps})"),
-        ),
-        "exact" => {
-            let solver = match budget {
-                Some(b) => BranchAndBound::with_budget(b),
-                None => BranchAndBound::default(),
-            };
-            let out = solver.solve_detailed(inst).map_err(err)?;
-            let label = if out.proven {
-                format!("exact (proven optimal, {} nodes)", out.nodes)
-            } else {
-                format!(
-                    "exact (budget hit: incumbent {}, lower bound {})",
-                    out.best, out.lower_bound
-                )
-            };
-            (out.schedule, label)
+    } else if let Some(t) = report.certified_target {
+        match spec.kind {
+            SolverKind::Exact => label.push_str(&format!(
+                " (budget hit: incumbent {}, lower bound {t})",
+                report.makespan
+            )),
+            _ => label.push_str(&format!(" (certified target {t})")),
         }
-        "milp" => {
-            let (s, opt) = AssignmentIp::default()
-                .solve_detailed(inst)
-                .map_err(err)?;
-            (s, format!("assignment MILP (optimal {opt})"))
-        }
-        other => return Err(format!("unknown algorithm {other}")),
-    })
+    }
+    Ok((report.schedule, label))
 }
 
 fn compare(inst: &Instance) -> Result<(), String> {
-    let exact = BranchAndBound::default()
-        .solve_detailed(inst)
+    let exact = registry_build("exact", &SolverParams::default())
+        .and_then(|s| s.solve(&SolveRequest::new(inst)))
         .map_err(|e| e.to_string())?;
-    let denom = if exact.proven {
-        exact.best
+    let denom = if exact.proven_optimal {
+        exact.makespan
     } else {
-        exact.lower_bound
+        exact.certified_target.unwrap_or(exact.makespan)
     };
     println!(
         "n={} m={} | optimum {}{}",
         inst.jobs(),
         inst.machines(),
         denom,
-        if exact.proven { "" } else { " (lower bound)" }
+        if exact.proven_optimal {
+            ""
+        } else {
+            " (lower bound)"
+        }
     );
     println!(
         "{:<22}{:>10}{:>9}{:>12}",
         "algorithm", "makespan", "ratio", "time"
     );
-    let algos: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("LS", Box::new(Ls)),
-        ("LPT", Box::new(Lpt)),
-        ("MULTIFIT", Box::new(Multifit::default())),
-        ("PTAS(0.3)", Box::new(Ptas::new(0.3).unwrap())),
-        (
-            "ParallelPTAS(0.3)",
-            Box::new(ParallelPtas::new(0.3).unwrap()),
-        ),
-    ];
-    for (name, algo) in &algos {
+    let params = SolverParams::default();
+    for spec in comparators() {
+        let solver = spec.build(&params).map_err(|e| e.to_string())?;
+        let req = SolveRequest::new(inst);
         let t0 = Instant::now();
-        let s = algo.schedule(inst).map_err(|e| e.to_string())?;
+        let report = solver.solve(&req).map_err(|e| e.to_string())?;
         let dt = t0.elapsed();
-        let ms = s.makespan(inst);
+        let name = match spec.kind {
+            SolverKind::DualApprox => format!("{}(eps={})", spec.name, params.epsilon),
+            _ => spec.name.to_string(),
+        };
         println!(
-            "{name:<22}{ms:>10}{:>9.3}{:>12.2?}",
-            ApproxRatio::new(ms, denom).value(),
+            "{name:<22}{:>10}{:>9.3}{:>12.2?}",
+            report.makespan,
+            ApproxRatio::new(report.makespan, denom).value(),
             dt
         );
     }
@@ -187,7 +170,10 @@ fn print_schedule(inst: &Instance, s: &Schedule) {
     let loads = s.loads(inst);
     for (machine, jobs) in s.jobs_per_machine().iter().enumerate() {
         let times: Vec<u64> = jobs.iter().map(|&j| inst.time(j)).collect();
-        println!("machine {machine}: jobs {jobs:?} times {times:?} load {}", loads[machine]);
+        println!(
+            "machine {machine}: jobs {jobs:?} times {times:?} load {}",
+            loads[machine]
+        );
     }
 }
 
@@ -195,6 +181,7 @@ fn print_schedule(inst: &Instance, s: &Schedule) {
 mod tests {
     use super::*;
     use crate::args::Source;
+    use pcmax_engine::registry;
     use pcmax_workloads::Distribution;
 
     fn tiny() -> Source {
@@ -207,13 +194,31 @@ mod tests {
     }
 
     #[test]
-    fn every_algorithm_name_resolves() {
+    fn every_registry_name_and_alias_resolves() {
         let inst = load(&tiny()).unwrap();
-        for algo in ["ls", "lpt", "multifit", "ptas", "pptas", "fptas", "spec", "exact", "milp"] {
-            let (s, _) = solve_one(&inst, algo, 0.3, None, None).unwrap();
-            s.validate(&inst).unwrap();
+        for spec in registry() {
+            for name in std::iter::once(&spec.name).chain(spec.aliases) {
+                let (s, label) = solve_one(&inst, name, 0.3, None, None).unwrap();
+                s.validate(&inst).unwrap();
+                assert!(
+                    label.starts_with(spec.name),
+                    "label {label:?} should lead with the primary name {}",
+                    spec.name
+                );
+            }
         }
-        assert!(solve_one(&inst, "quantum", 0.3, None, None).is_err());
+        let err = solve_one(&inst, "quantum", 0.3, None, None).unwrap_err();
+        assert!(err.contains("unknown algorithm"), "got {err}");
+        assert!(err.contains("par-ptas"), "error lists known names: {err}");
+    }
+
+    #[test]
+    fn exact_labels_announce_proof_or_budget() {
+        let inst = Instance::new(vec![9, 8, 7, 7, 6, 5, 5, 4, 3], 3).unwrap();
+        let (_, label) = solve_one(&inst, "exact", 0.3, None, None).unwrap();
+        assert!(label.contains("proven optimal"), "got {label}");
+        let (_, label) = solve_one(&inst, "exact", 0.3, None, Some(1)).unwrap();
+        assert!(label.contains("budget hit"), "got {label}");
     }
 
     #[test]

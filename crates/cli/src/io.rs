@@ -1,7 +1,7 @@
 //! Instance input/output for the CLI.
 
 use crate::args::Source;
-use pcmax_core::Instance;
+use pcmax_core::{json, Instance};
 use pcmax_workloads::{generate, Family};
 use std::io::Read;
 
@@ -21,7 +21,7 @@ pub fn load(source: &Source) -> Result<Instance, String> {
             if path.ends_with(".txt") || path.ends_with(".dat") {
                 pcmax_workloads::parse_text(&raw).map_err(|e| e.to_string())
             } else {
-                serde_json::from_str(&raw).map_err(|e| format!("parsing instance JSON: {e}"))
+                json::from_str(&raw).map_err(|e| format!("parsing instance JSON: {e}"))
             }
         }
         Source::Generated {
@@ -55,7 +55,7 @@ mod tests {
     fn loads_instance_from_file() {
         let inst = Instance::new(vec![3, 5, 8], 2).unwrap();
         let path = std::env::temp_dir().join("pcmax_cli_io_test.json");
-        std::fs::write(&path, serde_json::to_string(&inst).unwrap()).unwrap();
+        std::fs::write(&path, json::to_string(&inst)).unwrap();
         let loaded = load(&Source::File(path.to_string_lossy().into_owned())).unwrap();
         assert_eq!(loaded, inst);
         let _ = std::fs::remove_file(&path);

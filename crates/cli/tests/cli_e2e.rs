@@ -12,7 +12,9 @@ fn pcmax(args: &[&str]) -> std::process::Output {
 
 #[test]
 fn bounds_prints_lb_and_ub() {
-    let out = pcmax(&["bounds", "--dist", "U(1,10)", "-m", "2", "-n", "6", "--seed", "1"]);
+    let out = pcmax(&[
+        "bounds", "--dist", "U(1,10)", "-m", "2", "-n", "6", "--seed", "1",
+    ]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("LB=") && stdout.contains("UB="), "{stdout}");
@@ -22,7 +24,8 @@ fn bounds_prints_lb_and_ub() {
 fn generate_emits_parseable_instance_json() {
     let out = pcmax(&["generate", "--dist", "U(1,100)", "-m", "3", "-n", "7"]);
     assert!(out.status.success());
-    let inst: pcmax_core::Instance = serde_json::from_slice(&out.stdout).unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let inst: pcmax_core::Instance = pcmax_core::json::from_str(&stdout).unwrap();
     assert_eq!(inst.jobs(), 7);
     assert_eq!(inst.machines(), 3);
 }
@@ -31,7 +34,7 @@ fn generate_emits_parseable_instance_json() {
 fn solve_reads_instance_from_file() {
     let inst = pcmax_core::Instance::new(vec![5, 4, 3, 2, 1], 2).unwrap();
     let path = std::env::temp_dir().join("pcmax_e2e_solve.json");
-    std::fs::write(&path, serde_json::to_string(&inst).unwrap()).unwrap();
+    std::fs::write(&path, pcmax_core::json::to_string(&inst)).unwrap();
     let out = pcmax(&[
         "solve",
         "-i",
@@ -64,15 +67,7 @@ fn missing_command_fails() {
 #[test]
 fn simulate_prints_a_speedup_row_per_proc_count() {
     let out = pcmax(&[
-        "simulate",
-        "--dist",
-        "U(1,10)",
-        "-m",
-        "4",
-        "-n",
-        "16",
-        "--procs",
-        "1,2,4",
+        "simulate", "--dist", "U(1,10)", "-m", "4", "-n", "16", "--procs", "1,2,4",
     ]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
@@ -87,6 +82,19 @@ fn simulate_prints_a_speedup_row_per_proc_count() {
 fn custom_uniform_distribution_roundtrips() {
     let out = pcmax(&["generate", "--dist", "U(7,9)", "-m", "2", "-n", "20"]);
     assert!(out.status.success());
-    let inst: pcmax_core::Instance = serde_json::from_slice(&out.stdout).unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let inst: pcmax_core::Instance = pcmax_core::json::from_str(&stdout).unwrap();
     assert!(inst.times().iter().all(|&t| (7..=9).contains(&t)));
+}
+
+#[test]
+fn every_registry_name_is_reachable_from_the_command_line() {
+    for algo in pcmax_engine::names() {
+        let out = pcmax(&[
+            "solve", "--dist", "U(1,10)", "-m", "2", "-n", "6", "--algo", algo,
+        ]);
+        assert!(out.status.success(), "--algo {algo} failed");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("makespan"), "--algo {algo}: {stdout}");
+    }
 }

@@ -2,11 +2,10 @@
 //! paper), which bracket the Hochbaum–Shmoys bisection search.
 
 use crate::{Instance, Time};
-use serde::{Deserialize, Serialize};
 
 /// The `[LB, UB]` bracket used to bisect for the smallest feasible target
 /// makespan `T`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MakespanBounds {
     /// `LB = max(⌈Σ tⱼ / m⌉, max tⱼ)` — every schedule needs at least the
     /// average load on some machine and must fit the longest job somewhere.

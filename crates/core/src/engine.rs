@@ -1,0 +1,353 @@
+//! The solver-engine layer: budgeted, cancellable, stats-reporting solves.
+//!
+//! Every algorithm in the workspace implements [`Solver`], taking a
+//! [`SolveRequest`] (instance + [`Budget`] + [`CancelToken`] + thread
+//! configuration) and returning a [`SolveReport`] (schedule, makespan,
+//! certified target where applicable, and structured [`SolveStats`]).
+//! The legacy [`Scheduler`] trait is kept alive through a blanket impl, so
+//! `solver.schedule(&inst)` keeps working everywhere.
+//!
+//! The engine exists for the reasons production schedulers need it:
+//! time/work budgets, early termination and per-phase cost accounting are
+//! first-class concerns, not per-solver afterthoughts.
+//!
+//! [`Scheduler`]: crate::Scheduler
+
+use crate::{Instance, Result, Schedule, Scheduler, Time};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one solve. `Default` is unlimited.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock deadline; solvers check it between phases/probes.
+    pub deadline: Option<Instant>,
+    /// Search-node limit (branch-and-bound nodes, MILP nodes).
+    pub node_limit: Option<u64>,
+    /// DP-table entry limit (caps the PTAS table size σ).
+    pub entry_limit: Option<usize>,
+}
+
+impl Budget {
+    /// Unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Budget with a wall-clock limit of `d` from now.
+    pub fn with_timeout(d: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + d),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the search-node limit.
+    pub fn nodes(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Sets the DP-entry limit.
+    pub fn entries(mut self, limit: usize) -> Self {
+        self.entry_limit = Some(limit);
+        self
+    }
+
+    /// Whether the wall-clock deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Cooperative cancellation handle. Clones share the same flag, so a token
+/// handed to a solver can be cancelled from another thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// One unit of work handed to a [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SolveRequest<'a> {
+    /// The problem instance.
+    pub instance: &'a Instance,
+    /// Resource limits (default: unlimited).
+    pub budget: Budget,
+    /// Cooperative cancellation flag (default: never cancelled).
+    pub cancel: CancelToken,
+    /// Worker-thread count for parallel solvers (`None` = solver default).
+    pub threads: Option<usize>,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A request with default budget, token and thread count.
+    pub fn new(instance: &'a Instance) -> Self {
+        Self {
+            instance,
+            budget: Budget::default(),
+            cancel: CancelToken::new(),
+            threads: None,
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Returns `Err(Error::Cancelled)` if the token is raised — the check
+    /// solvers are expected to run between phases and bisection probes.
+    pub fn check_cancelled(&self) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            return Err(crate::Error::Cancelled);
+        }
+        Ok(())
+    }
+}
+
+/// Wall time spent in one named phase of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTime {
+    /// Phase name (`"bisection"`, `"dp"`, `"reconstruct"`, `"warm-start"`…).
+    pub name: &'static str,
+    /// Wall time spent in the phase.
+    pub wall: Duration,
+}
+
+/// Structured counters reported by every solve. Fields irrelevant to a
+/// given solver stay zero (e.g. `bb_nodes` for LS).
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Bisection probes over the target makespan (PTAS family, exact).
+    pub bisection_probes: u64,
+    /// DP-table entries touched across all probes (PTAS family).
+    pub dp_entries_touched: u64,
+    /// Dense DP tables whose backing storage was freshly allocated.
+    pub dp_tables_allocated: u64,
+    /// Dense DP tables served from the reusable [`DpScratch`]-style arena
+    /// without a fresh allocation.
+    pub dp_tables_reused: u64,
+    /// Branch-and-bound / MILP search nodes expanded.
+    pub bb_nodes: u64,
+    /// Wall time per phase, in execution order.
+    pub phases: Vec<PhaseTime>,
+    /// Total wall time of the solve.
+    pub wall: Duration,
+}
+
+impl SolveStats {
+    /// Records a phase duration.
+    pub fn push_phase(&mut self, name: &'static str, wall: Duration) {
+        self.phases.push(PhaseTime { name, wall });
+    }
+
+    /// Wall time of phase `name` (zero if absent).
+    pub fn phase_wall(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.wall)
+            .sum()
+    }
+}
+
+/// The outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The produced schedule.
+    pub schedule: Schedule,
+    /// Makespan of `schedule`.
+    pub makespan: Time,
+    /// For dual-approximation solvers: the converged bisection target `T`,
+    /// which certifies `makespan ≤ (1 + ε)·T` with `T ≤ OPT`. For exact
+    /// solvers: the proven optimum (when proven). `None` for heuristics.
+    pub certified_target: Option<Time>,
+    /// Whether the result is proven optimal (exact solvers only).
+    pub proven_optimal: bool,
+    /// Structured counters.
+    pub stats: SolveStats,
+}
+
+impl SolveReport {
+    /// A report for a heuristic solve: schedule + makespan, no certificate.
+    pub fn heuristic(schedule: Schedule, inst: &Instance, stats: SolveStats) -> Self {
+        let makespan = schedule.makespan(inst);
+        Self {
+            schedule,
+            makespan,
+            certified_target: None,
+            proven_optimal: false,
+            stats,
+        }
+    }
+}
+
+/// The uniform algorithm interface of the engine layer.
+///
+/// Implementors get the legacy [`Scheduler`] API for free through a blanket
+/// impl (so `Box<dyn Solver>` and concrete solver types can be used wherever
+/// a `Scheduler` is expected); `Scheduler::schedule` forwards to
+/// [`solve`](Self::solve) with an unlimited request.
+///
+/// [`Scheduler`]: crate::Scheduler
+pub trait Solver: Send + Sync {
+    /// Stable display name of the algorithm.
+    fn solver_name(&self) -> &'static str;
+
+    /// Runs the algorithm under the request's budget/cancellation regime.
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport>;
+}
+
+impl<T: Solver + ?Sized> Solver for Box<T> {
+    fn solver_name(&self) -> &'static str {
+        (**self).solver_name()
+    }
+
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        (**self).solve(req)
+    }
+}
+
+impl<T: Solver + ?Sized> Solver for &T {
+    fn solver_name(&self) -> &'static str {
+        (**self).solver_name()
+    }
+
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        (**self).solve(req)
+    }
+}
+
+impl<T: Solver> Scheduler for T {
+    fn name(&self) -> &'static str {
+        self.solver_name()
+    }
+
+    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+        Ok(self.solve(&SolveRequest::new(inst))?.schedule)
+    }
+}
+
+/// Measures the wall time of `f`, returning its output and the duration.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Error, ScheduleBuilder};
+
+    /// A toy solver: everything on machine 0, honouring cancellation.
+    struct PileUp;
+
+    impl Solver for PileUp {
+        fn solver_name(&self) -> &'static str {
+            "pile-up"
+        }
+
+        fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+            req.check_cancelled()?;
+            let mut b = ScheduleBuilder::new(req.instance);
+            for j in 0..req.instance.jobs() {
+                b.assign(j, 0);
+            }
+            let mut stats = SolveStats::default();
+            stats.push_phase("assign", Duration::ZERO);
+            Ok(SolveReport::heuristic(b.build()?, req.instance, stats))
+        }
+    }
+
+    fn inst() -> Instance {
+        Instance::new(vec![3, 2, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn blanket_scheduler_impl_forwards() {
+        let inst = inst();
+        let s = PileUp.schedule(&inst).unwrap();
+        assert_eq!(s.makespan(&inst), 6);
+        assert_eq!(Scheduler::name(&PileUp), "pile-up");
+    }
+
+    #[test]
+    fn boxed_dyn_solver_is_a_scheduler() {
+        let inst = inst();
+        let boxed: Box<dyn Solver> = Box::new(PileUp);
+        assert_eq!(boxed.schedule(&inst).unwrap().makespan(&inst), 6);
+    }
+
+    #[test]
+    fn precancelled_token_aborts() {
+        let inst = inst();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let req = SolveRequest::new(&inst).with_cancel(cancel.clone());
+        assert!(matches!(PileUp.solve(&req), Err(Error::Cancelled)));
+        assert!(cancel.is_cancelled());
+    }
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = Budget::unlimited().nodes(10).entries(100);
+        assert_eq!(b.node_limit, Some(10));
+        assert_eq!(b.entry_limit, Some(100));
+        assert!(b.deadline.is_none());
+        assert!(!b.deadline_exceeded());
+        let timed_out = Budget::with_timeout(Duration::ZERO);
+        assert!(timed_out.deadline_exceeded());
+    }
+
+    #[test]
+    fn stats_phase_accounting() {
+        let mut stats = SolveStats::default();
+        stats.push_phase("dp", Duration::from_millis(5));
+        stats.push_phase("dp", Duration::from_millis(3));
+        stats.push_phase("reconstruct", Duration::from_millis(1));
+        assert_eq!(stats.phase_wall("dp"), Duration::from_millis(8));
+        assert_eq!(stats.phase_wall("missing"), Duration::ZERO);
+    }
+}

@@ -42,12 +42,27 @@ pub enum Error {
         /// Best proven lower bound on the optimum.
         lower_bound: u64,
     },
+    /// The solve was cancelled through its [`CancelToken`] before finishing.
+    ///
+    /// [`CancelToken`]: crate::engine::CancelToken
+    Cancelled,
+    /// The DP's witness (the reconstructed configuration multiset) violates
+    /// an invariant — a solver bug surfaced as an error instead of a panic.
+    InvalidWitness {
+        /// What the witness got wrong.
+        reason: String,
+    },
     /// The LP/MILP model is infeasible.
     Infeasible,
     /// The LP relaxation is unbounded (cannot happen for well-formed P||Cmax models).
     Unbounded,
     /// Malformed model supplied to the LP/MILP solver.
     BadModel(String),
+    /// A solver name not present in the engine registry.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -75,9 +90,16 @@ impl fmt::Display for Error {
                 f,
                 "search budget exhausted (incumbent {incumbent}, lower bound {lower_bound})"
             ),
+            Error::Cancelled => write!(f, "solve cancelled before completion"),
+            Error::InvalidWitness { reason } => {
+                write!(f, "DP witness violates an invariant: {reason}")
+            }
             Error::Infeasible => write!(f, "model is infeasible"),
             Error::Unbounded => write!(f, "LP relaxation is unbounded"),
             Error::BadModel(msg) => write!(f, "malformed model: {msg}"),
+            Error::UnknownSolver { name } => {
+                write!(f, "unknown solver name {name:?} (see the engine registry)")
+            }
         }
     }
 }

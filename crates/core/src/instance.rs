@@ -1,7 +1,7 @@
 //! Problem instances of `P||Cmax`.
 
+use crate::json::{self, FromJson, ToJson, Value};
 use crate::{Error, Result, Time};
-use serde::{Deserialize, Serialize};
 
 /// An immutable, validated instance of `P||Cmax`.
 ///
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(inst.total_time(), 17);
 /// assert_eq!(inst.max_time(), 7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Instance {
     times: Vec<Time>,
     machines: usize,
@@ -91,6 +91,23 @@ impl Instance {
     }
 }
 
+impl ToJson for Instance {
+    fn to_json(&self) -> Value {
+        json::object(vec![
+            ("times", json::u64_array(self.times.iter().copied())),
+            ("machines", Value::UInt(self.machines as u64)),
+        ])
+    }
+}
+
+impl FromJson for Instance {
+    fn from_json(v: &Value) -> Result<Self> {
+        let times = json::field_u64_array(v, "times")?;
+        let machines = json::field_u64(v, "machines")? as usize;
+        Self::new(times, machines)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,11 +154,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let inst = Instance::new(vec![2, 8, 6], 3).unwrap();
-        let json = serde_json::to_string(&inst).unwrap();
-        let back: Instance = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&inst);
+        let back: Instance = crate::json::from_str(&json).unwrap();
         assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn json_validates_on_load() {
+        assert!(crate::json::from_str::<Instance>(r#"{"times":[1,0],"machines":2}"#).is_err());
+        assert!(crate::json::from_str::<Instance>(r#"{"times":[1],"machines":0}"#).is_err());
     }
 
     #[test]

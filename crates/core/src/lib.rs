@@ -15,19 +15,28 @@
 //!   validation against an instance,
 //! * [`bounds`] — the lower/upper bounds on the optimal makespan used by the
 //!   Hochbaum–Shmoys bisection (Equations 1 and 2 of Ghalami & Grosu 2017),
-//! * [`Scheduler`] — the common trait implemented by every algorithm in the
-//!   workspace,
-//! * small statistics helpers shared by the experiment harness.
+//! * [`engine`] — the solver-engine layer: [`Solver`], [`SolveRequest`]
+//!   (budget + cancellation + threads) and [`SolveReport`] (schedule +
+//!   certified target + [`SolveStats`]) — the uniform interface every
+//!   algorithm in the workspace implements,
+//! * [`Scheduler`] — the legacy thin trait, blanket-implemented for every
+//!   [`Solver`],
+//! * small statistics, JSON and RNG helpers shared by the harness and the
+//!   workload generators.
 
 pub mod bounds;
+pub mod engine;
 pub mod error;
 pub mod gantt;
 pub mod instance;
+pub mod json;
+pub mod rng;
 pub mod schedule;
 pub mod scheduler;
 pub mod stats;
 
 pub use bounds::{lower_bound, upper_bound, MakespanBounds};
+pub use engine::{Budget, CancelToken, PhaseTime, SolveReport, SolveRequest, SolveStats, Solver};
 pub use error::{Error, Result};
 pub use gantt::render_gantt;
 pub use instance::Instance;

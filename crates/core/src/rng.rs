@@ -1,0 +1,116 @@
+//! A small deterministic RNG (SplitMix64) for seeded workload generation.
+//!
+//! The workspace needs portable, cross-platform reproducibility for its
+//! seeded instance families ("the same `(family, seed)` always yields the
+//! same instance"); a self-contained SplitMix64 stream gives exactly that
+//! with no external dependency. Not cryptographic — test/workload use only.
+
+/// SplitMix64 stream (Steele, Lea & Flood 2014): passes BigCrush, one
+/// `u64` of state, trivially seedable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` via Lemire rejection (unbiased).
+    /// `bound = 0` yields 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * bound as u128;
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+            // Rejected: lands in the biased sliver; redraw.
+        }
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(99);
+        let mut b = SplitMix64::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            SplitMix64::seed_from_u64(1).next_u64(),
+            SplitMix64::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn range_inclusive_covers_and_respects_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let v = rng.range_inclusive(1, 10);
+            assert!((1..=10).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of U(1,10) appear");
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(rng.range_inclusive(7, 7), 7);
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+    }
+
+    #[test]
+    fn f64_draws_live_in_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn mean_of_uniform_draws_is_centered() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let total: u64 = (0..20_000).map(|_| rng.range_inclusive(1, 101)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((48.0..54.0).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Schedules (job → machine assignments) and their validation.
 
+use crate::json::{self, FromJson, ToJson, Value};
 use crate::{Error, Instance, MachineId, Result, Time};
-use serde::{Deserialize, Serialize};
 
 /// A complete non-preemptive schedule: every job is assigned to exactly one
 /// machine. Because machines are identical and jobs are released at time zero,
@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(sched.loads(&inst), vec![5, 5]);
 /// assert_eq!(sched.makespan(&inst), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// `assignment[j]` is the machine executing job `j`.
     assignment: Vec<MachineId>,
@@ -103,6 +103,29 @@ impl Schedule {
             });
         }
         Ok(())
+    }
+}
+
+impl ToJson for Schedule {
+    fn to_json(&self) -> Value {
+        json::object(vec![
+            (
+                "assignment",
+                json::u64_array(self.assignment.iter().map(|&m| m as u64)),
+            ),
+            ("machines", Value::UInt(self.machines as u64)),
+        ])
+    }
+}
+
+impl FromJson for Schedule {
+    fn from_json(v: &Value) -> Result<Self> {
+        let assignment = json::field_u64_array(v, "assignment")?
+            .into_iter()
+            .map(|m| m as usize)
+            .collect();
+        let machines = json::field_u64(v, "machines")? as usize;
+        Self::from_assignment(assignment, machines)
     }
 }
 
@@ -268,10 +291,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = Schedule::from_assignment(vec![0, 1, 1], 2).unwrap();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Schedule = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&s);
+        let back: Schedule = crate::json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -1,0 +1,358 @@
+//! The solver registry: stable names to boxed [`Solver`] constructors for
+//! every `P||Cmax` algorithm in the workspace.
+//!
+//! The CLI (`pcmax solve --algo <name>`), the comparison command and the
+//! bench harness all enumerate *this* table instead of hard-coding solver
+//! lists, so adding an algorithm here makes it reachable everywhere at once.
+//!
+//! Stable names (aliases in parentheses):
+//!
+//! | name        | algorithm                                   | guarantee          |
+//! |-------------|---------------------------------------------|--------------------|
+//! | `ls`        | Graham list scheduling                      | `2 − 1/m`          |
+//! | `lpt`       | longest processing time first               | `4/3 − 1/(3m)`     |
+//! | `multifit`  | Coffman–Garey–Johnson MULTIFIT              | `1.22 + 2⁻⁷`       |
+//! | `ptas`      | sequential Hochbaum–Shmoys PTAS             | `1 + ε`            |
+//! | `par-ptas` (`pptas`) | wavefront-parallel PTAS (the paper) | `1 + ε`            |
+//! | `spec-ptas` (`spec`) | speculative `w`-ary bisection PTAS  | `1 + ε`            |
+//! | `exact` (`ip`, `bb`) | combinatorial branch-and-bound     | optimal (anytime)  |
+//! | `milp` (`ip-milp`)   | assignment-IP via from-scratch MILP | optimal           |
+//! | `fptas` (`sahni`)    | Sahni's fixed-`m` FPTAS             | `1 + ε`           |
+
+use pcmax_baselines::{Lpt, Ls, Multifit};
+use pcmax_core::{Error, Result, Solver};
+use pcmax_exact::BranchAndBound;
+use pcmax_fptas::FixedMachinesFptas;
+use pcmax_milp::AssignmentIp;
+use pcmax_parallel::{ParallelPtas, SpeculativePtas};
+use pcmax_ptas::Ptas;
+
+/// Construction-time parameters shared by every registry constructor.
+/// Fields irrelevant to a solver are ignored (ε for LS, threads for exact…).
+#[derive(Debug, Clone)]
+pub struct SolverParams {
+    /// Relative error for the PTAS family and the FPTAS.
+    pub epsilon: f64,
+    /// Worker threads for the parallel solvers (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Search-node budget for the exact and MILP solvers.
+    pub node_budget: Option<u64>,
+    /// Concurrent probes per round for the speculative PTAS.
+    pub width: usize,
+}
+
+impl Default for SolverParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.3,
+            threads: None,
+            node_budget: None,
+            width: 4,
+        }
+    }
+}
+
+impl SolverParams {
+    /// Params with relative error `epsilon`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            ..Self::default()
+        }
+    }
+}
+
+/// Broad class of a registered solver. The bench harness and the CLI use
+/// this to pick solver sets by property (e.g. "every polynomial
+/// approximation algorithm") instead of hard-coding name lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Constant-factor heuristic; scales to any instance shape.
+    Heuristic,
+    /// Dual-approximation `(1+ε)`-scheme (the PTAS family).
+    DualApprox,
+    /// Polynomial only when the machine count is a fixed constant.
+    FixedMachines,
+    /// Proves optimality (possibly within a node budget).
+    Exact,
+}
+
+/// The worst-case guarantee a registered solver carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Guarantee {
+    /// Approximation ratio `makespan ≤ ratio · OPT`.
+    Ratio(f64),
+    /// `(1 + ε)`-approximation for the configured ε.
+    Epsilon,
+    /// Proven optimal (within budget).
+    Optimal,
+}
+
+impl Guarantee {
+    /// An upper bound on the makespan this guarantee permits against a known
+    /// optimum, for the configured `epsilon`. The PTAS family's bound
+    /// carries the integer rounding slack `k = ⌈1/ε⌉` of the dual
+    /// approximation (the FPTAS is strictly within `(1+ε)·OPT`, which the
+    /// looser bound also covers).
+    pub fn makespan_bound(&self, opt: u64, epsilon: f64) -> f64 {
+        match self {
+            Guarantee::Ratio(r) => r * opt as f64,
+            Guarantee::Epsilon => {
+                let k = (1.0 / epsilon).ceil();
+                (1.0 + epsilon) * opt as f64 + k
+            }
+            Guarantee::Optimal => opt as f64,
+        }
+    }
+}
+
+/// One registry row: the stable name, its aliases, and a constructor.
+pub struct SolverSpec {
+    /// Stable primary name (`"ls"`, `"ptas"`, …).
+    pub name: &'static str,
+    /// Accepted alternative names.
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--help` output.
+    pub summary: &'static str,
+    /// Broad algorithm class.
+    pub kind: SolverKind,
+    /// Worst-case guarantee.
+    pub guarantee: Guarantee,
+    build: fn(&SolverParams) -> Result<Box<dyn Solver>>,
+}
+
+impl SolverSpec {
+    /// Instantiates the solver with `params`.
+    pub fn build(&self, params: &SolverParams) -> Result<Box<dyn Solver>> {
+        (self.build)(params)
+    }
+
+    /// Whether `name` (case-insensitively) names this spec.
+    pub fn matches(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Debug for SolverSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverSpec")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .field("guarantee", &self.guarantee)
+            .finish()
+    }
+}
+
+static REGISTRY: &[SolverSpec] = &[
+    SolverSpec {
+        name: "ls",
+        kind: SolverKind::Heuristic,
+        aliases: &[],
+        summary: "Graham list scheduling (2 - 1/m approximation)",
+        guarantee: Guarantee::Ratio(2.0),
+        build: |_| Ok(Box::new(Ls)),
+    },
+    SolverSpec {
+        name: "lpt",
+        kind: SolverKind::Heuristic,
+        aliases: &[],
+        summary: "longest processing time first (4/3 - 1/(3m))",
+        guarantee: Guarantee::Ratio(4.0 / 3.0),
+        build: |_| Ok(Box::new(Lpt)),
+    },
+    SolverSpec {
+        name: "multifit",
+        kind: SolverKind::Heuristic,
+        aliases: &[],
+        summary: "MULTIFIT dual bin packing (1.22 + 2^-7)",
+        guarantee: Guarantee::Ratio(1.23),
+        build: |_| Ok(Box::new(Multifit::default())),
+    },
+    SolverSpec {
+        name: "ptas",
+        kind: SolverKind::DualApprox,
+        aliases: &[],
+        summary: "sequential Hochbaum-Shmoys PTAS (1 + eps)",
+        guarantee: Guarantee::Epsilon,
+        build: |p| Ok(Box::new(Ptas::new(p.epsilon)?)),
+    },
+    SolverSpec {
+        name: "par-ptas",
+        kind: SolverKind::DualApprox,
+        aliases: &["pptas"],
+        summary: "wavefront-parallel PTAS, Algorithm 3 of the paper (1 + eps)",
+        guarantee: Guarantee::Epsilon,
+        build: |p| {
+            Ok(Box::new(match p.threads {
+                Some(t) => ParallelPtas::with_threads(p.epsilon, t)?,
+                None => ParallelPtas::new(p.epsilon)?,
+            }))
+        },
+    },
+    SolverSpec {
+        name: "spec-ptas",
+        kind: SolverKind::DualApprox,
+        aliases: &["spec"],
+        summary: "speculative w-ary bisection PTAS (1 + eps)",
+        guarantee: Guarantee::Epsilon,
+        build: |p| Ok(Box::new(SpeculativePtas::new(p.epsilon, p.width)?)),
+    },
+    SolverSpec {
+        name: "exact",
+        kind: SolverKind::Exact,
+        aliases: &["ip", "bb"],
+        summary: "combinatorial branch-and-bound, anytime (optimal)",
+        guarantee: Guarantee::Optimal,
+        build: |p| {
+            Ok(Box::new(match p.node_budget {
+                Some(b) => BranchAndBound::with_budget(b.max(1)),
+                None => BranchAndBound::default(),
+            }))
+        },
+    },
+    SolverSpec {
+        name: "milp",
+        kind: SolverKind::Exact,
+        aliases: &["ip-milp"],
+        summary: "assignment integer program via from-scratch MILP (optimal)",
+        guarantee: Guarantee::Optimal,
+        build: |_| Ok(Box::new(AssignmentIp::default())),
+    },
+    SolverSpec {
+        name: "fptas",
+        kind: SolverKind::FixedMachines,
+        aliases: &["sahni"],
+        summary: "Sahni's fixed-m FPTAS (1 + eps; eps = 0 is exact)",
+        guarantee: Guarantee::Epsilon,
+        build: |p| Ok(Box::new(FixedMachinesFptas::new(p.epsilon)?)),
+    },
+];
+
+/// The full registry, in canonical order.
+pub fn registry() -> &'static [SolverSpec] {
+    REGISTRY
+}
+
+/// Resolves `name` (primary or alias, case-insensitive) to its spec.
+pub fn lookup(name: &str) -> Option<&'static SolverSpec> {
+    REGISTRY.iter().find(|s| s.matches(name))
+}
+
+/// Builds the solver registered under `name` with `params`.
+pub fn build(name: &str, params: &SolverParams) -> Result<Box<dyn Solver>> {
+    match lookup(name) {
+        Some(spec) => spec.build(params),
+        None => Err(Error::UnknownSolver {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// All primary registry names, in canonical order.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// The solvers the experiment harness compares against the optimum: every
+/// polynomial approximation algorithm that scales to the paper's shapes
+/// (heuristics and the PTAS family; the fixed-`m` FPTAS and the exact
+/// solvers are excluded — the latter provide the denominator).
+pub fn comparators() -> impl Iterator<Item = &'static SolverSpec> {
+    REGISTRY
+        .iter()
+        .filter(|s| matches!(s.kind, SolverKind::Heuristic | SolverKind::DualApprox))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::{Instance, Scheduler, SolveRequest};
+
+    #[test]
+    fn every_primary_name_resolves_and_builds() {
+        let inst = Instance::new(vec![9, 7, 6, 5, 4, 3, 2, 1], 3).unwrap();
+        for spec in registry() {
+            let solver = spec.build(&SolverParams::default()).unwrap();
+            let report = solver.solve(&SolveRequest::new(&inst)).unwrap();
+            report.schedule.validate(&inst).unwrap();
+            assert_eq!(
+                report.makespan,
+                report.schedule.makespan(&inst),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_spec() {
+        assert_eq!(lookup("pptas").unwrap().name, "par-ptas");
+        assert_eq!(lookup("spec").unwrap().name, "spec-ptas");
+        assert_eq!(lookup("ip").unwrap().name, "exact");
+        assert_eq!(lookup("ip-milp").unwrap().name, "milp");
+        assert_eq!(lookup("PTAS").unwrap().name, "ptas", "case-insensitive");
+    }
+
+    #[test]
+    fn unknown_name_is_a_dedicated_error() {
+        match build("no-such-algo", &SolverParams::default()) {
+            Err(Error::UnknownSolver { name }) => assert_eq!(name, "no-such-algo"),
+            Err(other) => panic!("expected UnknownSolver, got {other:?}"),
+            Ok(_) => panic!("expected UnknownSolver, got a solver"),
+        }
+    }
+
+    #[test]
+    fn names_are_unique_across_primaries_and_aliases() {
+        let mut all: Vec<&str> = Vec::new();
+        for spec in registry() {
+            all.push(spec.name);
+            all.extend(spec.aliases);
+        }
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "duplicate registry name");
+    }
+
+    #[test]
+    fn boxed_solvers_still_speak_the_legacy_scheduler_api() {
+        let inst = Instance::new(vec![5, 4, 3, 2, 1], 2).unwrap();
+        let solver = build("lpt", &SolverParams::default()).unwrap();
+        let schedule = solver.schedule(&inst).unwrap();
+        schedule.validate(&inst).unwrap();
+        assert_eq!(Scheduler::name(&solver), "LPT");
+    }
+
+    #[test]
+    fn epsilon_flows_through_to_the_ptas() {
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3], 4).unwrap();
+        let loose = build("ptas", &SolverParams::with_epsilon(0.5)).unwrap();
+        let tight = build("ptas", &SolverParams::with_epsilon(0.1)).unwrap();
+        let l = loose.solve(&SolveRequest::new(&inst)).unwrap();
+        let t = tight.solve(&SolveRequest::new(&inst)).unwrap();
+        assert!(t.makespan <= l.makespan + 2);
+        assert!(build("ptas", &SolverParams::with_epsilon(-1.0)).is_err());
+    }
+
+    #[test]
+    fn comparators_are_the_polynomial_approximation_solvers() {
+        let names: Vec<&str> = comparators().map(|s| s.name).collect();
+        assert!(names.contains(&"lpt") && names.contains(&"par-ptas"));
+        assert!(!names.contains(&"exact") && !names.contains(&"milp"));
+        assert!(
+            !names.contains(&"fptas"),
+            "fixed-m FPTAS cannot scale to m=20"
+        );
+    }
+
+    #[test]
+    fn guarantee_bounds_are_ordered() {
+        let opt = 100;
+        assert_eq!(Guarantee::Optimal.makespan_bound(opt, 0.3), 100.0);
+        assert!(Guarantee::Ratio(2.0).makespan_bound(opt, 0.3) >= 199.0);
+        let eps = Guarantee::Epsilon.makespan_bound(opt, 0.3);
+        assert!(eps > 100.0 && eps < 200.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Satellite budget/cancellation test: every registered solver honours a
+//! pre-cancelled token, and tiny budgets surface as the dedicated
+//! budget-exhausted error (or an anytime incumbent) — never a hang or panic.
+
+use pcmax_core::{Budget, CancelToken, Error, Instance, SolveRequest};
+use pcmax_engine::{build, registry, SolverParams};
+
+fn instance() -> Instance {
+    Instance::new(vec![9, 8, 7, 7, 6, 5, 5, 4, 3], 3).unwrap()
+}
+
+#[test]
+fn precancelled_token_stops_every_registered_solver() {
+    let inst = instance();
+    for spec in registry() {
+        let solver = spec.build(&SolverParams::default()).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let req = SolveRequest::new(&inst).with_cancel(cancel);
+        match solver.solve(&req) {
+            Err(Error::Cancelled) => {}
+            Err(other) => panic!("{}: expected Cancelled, got {other:?}", spec.name),
+            Ok(_) => panic!("{}: expected Cancelled, got a schedule", spec.name),
+        }
+    }
+}
+
+#[test]
+fn ptas_entry_budget_is_a_dedicated_error() {
+    let inst = instance();
+    // One entry of budget: the first probe consumes it, the next check trips.
+    let req = SolveRequest::new(&inst).with_budget(Budget::unlimited().entries(1));
+    for name in ["ptas", "par-ptas", "spec-ptas"] {
+        let solver = build(name, &SolverParams::default()).unwrap();
+        match solver.solve(&req) {
+            Err(Error::BudgetExhausted {
+                incumbent,
+                lower_bound,
+            }) => assert!(lower_bound <= incumbent, "{name}"),
+            Err(other) => panic!("{name}: expected BudgetExhausted, got {other:?}"),
+            Ok(_) => panic!("{name}: expected BudgetExhausted, got a schedule"),
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_is_a_dedicated_error() {
+    let inst = instance();
+    let req = SolveRequest::new(&inst).with_budget(Budget::with_timeout(std::time::Duration::ZERO));
+    let solver = build("ptas", &SolverParams::default()).unwrap();
+    assert!(matches!(
+        solver.solve(&req),
+        Err(Error::BudgetExhausted { .. })
+    ));
+}
+
+#[test]
+fn exact_tiny_node_budget_returns_anytime_incumbent() {
+    let inst = instance();
+    let req = SolveRequest::new(&inst).with_budget(Budget::unlimited().nodes(1));
+    let report = build("exact", &SolverParams::default())
+        .unwrap()
+        .solve(&req)
+        .unwrap();
+    report.schedule.validate(&inst).unwrap();
+    assert_eq!(report.makespan, report.schedule.makespan(&inst));
+    // One node cannot prove optimality here, but the incumbent and its
+    // proven lower bound still bracket the optimum.
+    assert!(!report.proven_optimal);
+    assert!(report.certified_target.unwrap() <= report.makespan);
+}
+
+#[test]
+fn milp_tiny_node_budget_is_a_dedicated_error() {
+    let inst = instance();
+    let req = SolveRequest::new(&inst).with_budget(Budget::unlimited().nodes(1));
+    match build("milp", &SolverParams::default()).unwrap().solve(&req) {
+        Err(Error::BudgetExhausted { .. }) => {}
+        Err(other) => panic!("expected BudgetExhausted, got {other:?}"),
+        Ok(_) => panic!("expected BudgetExhausted, got a schedule"),
+    }
+}
+
+#[test]
+fn unlimited_requests_still_succeed_for_every_solver() {
+    let inst = instance();
+    for spec in registry() {
+        let report = spec
+            .build(&SolverParams::default())
+            .unwrap()
+            .solve(&SolveRequest::new(&inst))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+        report.schedule.validate(&inst).unwrap();
+    }
+}

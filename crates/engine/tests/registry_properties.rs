@@ -1,0 +1,74 @@
+//! Satellite property test: every solver in the registry, on random small
+//! instances, produces a valid schedule covering every job whose makespan
+//! respects the guarantee the registry advertises for it.
+
+use pcmax_core::{Instance, SolveRequest, Time};
+use pcmax_engine::{registry, SolverParams};
+use pcmax_exact::BranchAndBound;
+use proptest::prelude::*;
+
+/// Proven optimum via the combinatorial branch-and-bound (unlimited budget;
+/// instances here are small enough that it always proves).
+fn proven_opt(inst: &Instance) -> Time {
+    let out = BranchAndBound::default().solve_detailed(inst).unwrap();
+    assert!(out.proven, "branch-and-bound must prove on tiny instances");
+    out.best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_registered_solver_respects_its_guarantee(
+        times in prop::collection::vec(1u64..=30, 1..=7),
+        machines in 1usize..=3,
+    ) {
+        let inst = Instance::new(times, machines).unwrap();
+        let opt = proven_opt(&inst);
+        let params = SolverParams::default();
+        for spec in registry() {
+            let solver = spec.build(&params).unwrap();
+            let report = solver
+                .solve(&SolveRequest::new(&inst))
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+
+            // The schedule is well-formed and covers every job.
+            report.schedule.validate(&inst).unwrap();
+            prop_assert_eq!(
+                report.schedule.jobs(),
+                inst.jobs(),
+                "{} must cover all jobs",
+                spec.name
+            );
+            prop_assert_eq!(
+                report.makespan,
+                report.schedule.makespan(&inst),
+                "{} must report its schedule's makespan",
+                spec.name
+            );
+
+            // No solver beats the proven optimum, and each stays within the
+            // guarantee the registry advertises.
+            prop_assert!(report.makespan >= opt, "{} beat the optimum", spec.name);
+            let bound = spec.guarantee.makespan_bound(opt, params.epsilon);
+            prop_assert!(
+                report.makespan as f64 <= bound + 1e-9,
+                "{}: makespan {} exceeds guarantee bound {} (opt {})",
+                spec.name,
+                report.makespan,
+                bound,
+                opt
+            );
+
+            // A certificate, when present, never exceeds the makespan and
+            // lower-bounds the proven optimum it certifies against.
+            if let Some(target) = report.certified_target {
+                prop_assert!(target <= report.makespan, "{}", spec.name);
+                prop_assert!(target <= opt, "{} certified above OPT", spec.name);
+            }
+            if report.proven_optimal {
+                prop_assert_eq!(report.makespan, opt, "{} claimed a false optimum", spec.name);
+            }
+        }
+    }
+}

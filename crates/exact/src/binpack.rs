@@ -134,11 +134,7 @@ impl FeasibilityOracle {
         // smaller than the smallest remaining job can never receive another
         // job, so its space does not count.
         let t_min = *self.times.last().expect("p < len");
-        let free: Time = loads
-            .iter()
-            .map(|&w| cap - w)
-            .filter(|&r| r >= t_min)
-            .sum();
+        let free: Time = loads.iter().map(|&w| cap - w).filter(|&r| r >= t_min).sum();
         if self.suffix[p] > free {
             return Some(false);
         }

@@ -82,7 +82,11 @@ mod tests {
             let out = BranchAndBound::default().solve_detailed(&inst).unwrap();
             assert!(out.proven);
             let lb = combinatorial_lower_bound(&inst);
-            assert!(lb <= out.best, "times={times:?} m={m}: lb {lb} > opt {}", out.best);
+            assert!(
+                lb <= out.best,
+                "times={times:?} m={m}: lb {lb} > opt {}",
+                out.best
+            );
         }
     }
 

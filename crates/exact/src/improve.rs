@@ -15,9 +15,7 @@ pub fn local_search(inst: &Instance, schedule: &Schedule) -> Schedule {
     let mut jobs_of: Vec<Vec<usize>> = schedule.jobs_per_machine();
 
     loop {
-        let src = (0..loads.len())
-            .max_by_key(|&i| loads[i])
-            .expect("m >= 1");
+        let src = (0..loads.len()).max_by_key(|&i| loads[i]).expect("m >= 1");
         let src_load = loads[src];
         // Best action: (new pair max, description). Lower is better.
         let mut best: Option<(Time, Action)> = None;

@@ -16,7 +16,10 @@ use crate::binpack::{FeasibilityOracle, PackingVerdict};
 use crate::bounds::combinatorial_lower_bound;
 use crate::improve::local_search;
 use pcmax_baselines::Lpt;
-use pcmax_core::{Instance, Result, Schedule, Scheduler, Time};
+use pcmax_core::{
+    Instance, Result, Schedule, Scheduler, SolveReport, SolveRequest, SolveStats, Solver, Time,
+};
+use std::time::Instant;
 
 /// Exact branch-and-bound solver for `P||Cmax` (the "IP" baseline).
 #[derive(Debug, Clone, Copy)]
@@ -143,13 +146,35 @@ impl BranchAndBound {
     }
 }
 
-impl Scheduler for BranchAndBound {
-    fn name(&self) -> &'static str {
+impl Solver for BranchAndBound {
+    fn solver_name(&self) -> &'static str {
         "IP"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
-        Ok(self.solve_detailed(inst)?.schedule)
+    /// Anytime semantics under a budget: a request-level node limit shrinks
+    /// the search budget, and the solver still returns its incumbent with
+    /// `proven_optimal = false` rather than erroring out.
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        let solver = match req.budget.node_limit {
+            Some(limit) => Self::with_budget(limit.min(self.node_budget).max(1)),
+            None => *self,
+        };
+        let out = solver.solve_detailed(req.instance)?;
+        let stats = SolveStats {
+            bb_nodes: out.nodes,
+            bisection_probes: out.probes as u64,
+            wall: start.elapsed(),
+            ..SolveStats::default()
+        };
+        Ok(SolveReport {
+            makespan: out.best,
+            certified_target: Some(out.lower_bound),
+            proven_optimal: out.proven,
+            schedule: out.schedule,
+            stats,
+        })
     }
 }
 
@@ -252,6 +277,31 @@ mod tests {
     #[test]
     fn empty_instance() {
         assert_eq!(opt(vec![], 3), 0);
+    }
+
+    #[test]
+    fn request_node_limit_yields_anytime_incumbent() {
+        use pcmax_core::Budget;
+        let inst = Instance::new(vec![9, 8, 7, 7, 6, 5, 5, 4, 3], 3).unwrap();
+        let req = SolveRequest::new(&inst).with_budget(Budget::unlimited().nodes(1));
+        let report = BranchAndBound::default().solve(&req).unwrap();
+        report.schedule.validate(&inst).unwrap();
+        assert_eq!(report.makespan, report.schedule.makespan(&inst));
+        assert!(report.certified_target.unwrap() <= report.makespan);
+        // One node cannot prove optimality on this instance.
+        assert!(!report.proven_optimal);
+        assert!(report.stats.bisection_probes >= 1);
+    }
+
+    #[test]
+    fn unlimited_request_proves_optimality() {
+        let inst = Instance::new(vec![5, 5, 4, 4, 3, 3, 3], 3).unwrap();
+        let report = BranchAndBound::default()
+            .solve(&SolveRequest::new(&inst))
+            .unwrap();
+        assert!(report.proven_optimal);
+        assert_eq!(report.makespan, 9);
+        assert_eq!(report.certified_target, Some(9));
     }
 
     #[test]

@@ -34,7 +34,11 @@ fn brute_opt(times: &[u64], m: usize) -> u64 {
     if times.is_empty() {
         return 0;
     }
-    let lb = times.iter().sum::<u64>().div_ceil(m as u64).max(*times.iter().max().unwrap());
+    let lb = times
+        .iter()
+        .sum::<u64>()
+        .div_ceil(m as u64)
+        .max(*times.iter().max().unwrap());
     let mut sorted = times.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     (lb..).find(|&cap| brute_feasible(&sorted, m, cap)).unwrap()

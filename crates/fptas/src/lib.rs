@@ -21,8 +21,12 @@
 //! With `epsilon = 0` the trim step is skipped entirely and the algorithm
 //! becomes an exact (exponential-state) DP — handy for cross-validation.
 
-use pcmax_core::{lower_bound, Error, Instance, Result, Schedule, Scheduler, Time};
+use pcmax_core::{
+    lower_bound, Error, Instance, Result, Schedule, SolveReport, SolveRequest, SolveStats, Solver,
+    Time,
+};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Sahni's FPTAS. `epsilon = 0` disables trimming (exact mode).
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +73,9 @@ struct State {
 }
 
 impl FixedMachinesFptas {
-    fn solve(&self, inst: &Instance) -> Result<(Vec<usize>, Time)> {
+    /// The trim-the-state-space DP itself; returns the assignment and the
+    /// makespan the DP claims for it.
+    fn run_dp(&self, inst: &Instance) -> Result<(Vec<usize>, Time)> {
         let m = inst.machines();
         let n = inst.jobs();
         // Quantization grid; 0 disables trimming.
@@ -175,29 +181,52 @@ impl FixedMachinesFptas {
     }
 }
 
-impl Scheduler for FixedMachinesFptas {
-    fn name(&self) -> &'static str {
+impl Solver for FixedMachinesFptas {
+    fn solver_name(&self) -> &'static str {
         "Sahni-FPTAS"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        let inst = req.instance;
+        let mut stats = SolveStats::default();
         if inst.jobs() == 0 {
-            return Schedule::from_assignment(vec![], inst.machines());
+            let schedule = Schedule::from_assignment(vec![], inst.machines())?;
+            stats.wall = start.elapsed();
+            return Ok(SolveReport {
+                makespan: 0,
+                schedule,
+                certified_target: Some(0),
+                proven_optimal: true,
+                stats,
+            });
         }
-        let (assignment, claimed) = self.solve(inst)?;
+        let (assignment, claimed) = self.run_dp(inst)?;
         let schedule = Schedule::from_assignment(assignment, inst.machines())?;
         debug_assert_eq!(
             schedule.makespan(inst),
             claimed,
             "reconstruction must reproduce the DP's makespan"
         );
-        Ok(schedule)
+        stats.wall = start.elapsed();
+        // epsilon = 0 skips trimming, so the DP is exhaustive and the result
+        // is a proven optimum.
+        let exact = self.epsilon == 0.0;
+        Ok(SolveReport {
+            makespan: claimed,
+            schedule,
+            certified_target: exact.then_some(claimed),
+            proven_optimal: exact,
+            stats,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcmax_core::Scheduler;
     use pcmax_exact::BranchAndBound;
 
     fn exact_opt(inst: &Instance) -> Time {
@@ -243,8 +272,14 @@ mod tests {
     #[test]
     fn tighter_epsilon_is_never_worse_on_this_instance() {
         let inst = Instance::new(vec![40, 31, 30, 23, 17, 12, 9, 5, 5, 2], 2).unwrap();
-        let loose = FixedMachinesFptas::new(0.5).unwrap().makespan(&inst).unwrap();
-        let tight = FixedMachinesFptas::new(0.05).unwrap().makespan(&inst).unwrap();
+        let loose = FixedMachinesFptas::new(0.5)
+            .unwrap()
+            .makespan(&inst)
+            .unwrap();
+        let tight = FixedMachinesFptas::new(0.05)
+            .unwrap()
+            .makespan(&inst)
+            .unwrap();
         assert!(tight <= loose);
         assert_eq!(tight, exact_opt(&inst));
     }
@@ -266,10 +301,7 @@ mod tests {
     #[test]
     fn empty_and_single_job() {
         let empty = Instance::new(vec![], 3).unwrap();
-        assert_eq!(
-            FixedMachinesFptas::exact().makespan(&empty).unwrap(),
-            0
-        );
+        assert_eq!(FixedMachinesFptas::exact().makespan(&empty).unwrap(), 0);
         let one = Instance::new(vec![9], 3).unwrap();
         assert_eq!(FixedMachinesFptas::exact().makespan(&one).unwrap(), 9);
     }
@@ -296,7 +328,10 @@ mod tests {
         let inst = Instance::new(times, 3).unwrap();
         // With eps = 0.3 the state space stays tiny; the default cap is far
         // from being hit and the answer is near-optimal.
-        let ms = FixedMachinesFptas::new(0.3).unwrap().makespan(&inst).unwrap();
+        let ms = FixedMachinesFptas::new(0.3)
+            .unwrap()
+            .makespan(&inst)
+            .unwrap();
         let opt = exact_opt(&inst);
         assert!(ms as f64 <= 1.3 * opt as f64);
     }

@@ -1,9 +1,12 @@
 //! The paper's assignment integer program for `P||Cmax`, and a
-//! [`Scheduler`] that solves it with the from-scratch MILP solver.
+//! [`Solver`] that solves it with the from-scratch MILP solver.
 
 use crate::lp::{Cmp, LinearProgram};
 use crate::milp::{MilpProblem, MilpSolver};
-use pcmax_core::{Error, Instance, Result, Schedule, Scheduler, Time};
+use pcmax_core::{
+    Error, Instance, Result, Schedule, SolveReport, SolveRequest, SolveStats, Solver, Time,
+};
+use std::time::Instant;
 
 /// Builds the assignment formulation:
 /// variables `x_{ij}` (job `j` on machine `i`, binary, laid out row-major by
@@ -51,13 +54,11 @@ pub fn assignment_model(inst: &Instance) -> MilpProblem {
 /// Scheduler that solves the assignment IP with the branch-and-bound MILP
 /// solver. Exponentially slower than `pcmax_exact::BranchAndBound` — use it
 /// on small instances (cross-validation, examples).
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AssignmentIp {
     /// Node budget for the MILP search.
     pub solver: MilpSolver,
 }
-
 
 impl AssignmentIp {
     /// Solves and returns both the schedule and the proven optimal makespan.
@@ -86,13 +87,35 @@ impl AssignmentIp {
     }
 }
 
-impl Scheduler for AssignmentIp {
-    fn name(&self) -> &'static str {
+impl Solver for AssignmentIp {
+    fn solver_name(&self) -> &'static str {
         "IP-MILP"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
-        Ok(self.solve_detailed(inst)?.0)
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        // A request-level node limit shrinks the MILP search budget.
+        let solver = match req.budget.node_limit {
+            Some(limit) => Self {
+                solver: MilpSolver {
+                    node_budget: limit.min(self.solver.node_budget).max(1),
+                },
+            },
+            None => *self,
+        };
+        let (schedule, opt) = solver.solve_detailed(req.instance)?;
+        let stats = SolveStats {
+            wall: start.elapsed(),
+            ..SolveStats::default()
+        };
+        Ok(SolveReport {
+            makespan: schedule.makespan(req.instance),
+            schedule,
+            certified_target: Some(opt),
+            proven_optimal: true,
+            stats,
+        })
     }
 }
 
@@ -106,7 +129,7 @@ mod tests {
         let inst = Instance::new(vec![3, 5, 2], 2).unwrap();
         let model = assignment_model(&inst);
         assert_eq!(model.lp.vars(), 7); // 6 binaries + C_max
-        // 3 job rows + 2 machine rows + 6 upper bounds.
+                                        // 3 job rows + 2 machine rows + 6 upper bounds.
         assert_eq!(model.lp.constraints.len(), 11);
         assert_eq!(model.integers.len(), 6);
     }
@@ -157,5 +180,27 @@ mod tests {
         let inst = Instance::new(vec![2, 3, 4], 1).unwrap();
         let (_, opt) = AssignmentIp::default().solve_detailed(&inst).unwrap();
         assert_eq!(opt, 9);
+    }
+
+    #[test]
+    fn tiny_node_budget_is_a_dedicated_error() {
+        use pcmax_core::Budget;
+        let inst = Instance::new(vec![3, 5, 2, 4, 6, 7], 3).unwrap();
+        let req = SolveRequest::new(&inst).with_budget(Budget::unlimited().nodes(1));
+        match AssignmentIp::default().solve(&req) {
+            Err(Error::BudgetExhausted { .. }) => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solver_report_is_proven_optimal() {
+        let inst = Instance::new(vec![3, 5, 2, 4], 2).unwrap();
+        let report = AssignmentIp::default()
+            .solve(&SolveRequest::new(&inst))
+            .unwrap();
+        assert!(report.proven_optimal);
+        assert_eq!(report.certified_target, Some(7));
+        assert_eq!(report.makespan, 7);
     }
 }

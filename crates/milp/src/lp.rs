@@ -167,9 +167,7 @@ impl Tableau {
             // Drive any remaining artificial out of the basis.
             for r in 0..self.a.len() {
                 if self.basis[r] >= self.art_start {
-                    if let Some(j) = (0..self.art_start)
-                        .find(|&j| self.a[r][j].abs() > EPS)
-                    {
+                    if let Some(j) = (0..self.art_start).find(|&j| self.a[r][j].abs() > EPS) {
                         self.pivot(r, j);
                     }
                     // Otherwise the row is all-zero (redundant) — harmless.

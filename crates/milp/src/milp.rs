@@ -40,7 +40,9 @@ pub struct MilpSolver {
 
 impl Default for MilpSolver {
     fn default() -> Self {
-        Self { node_budget: 20_000 }
+        Self {
+            node_budget: 20_000,
+        }
     }
 }
 

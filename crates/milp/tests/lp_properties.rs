@@ -10,20 +10,16 @@ use proptest::prelude::*;
 fn arb_lp2() -> impl Strategy<Value = LinearProgram> {
     let row = (-4i32..=4, -4i32..=4, 0i32..=12)
         .prop_map(|(a, b, r)| (vec![a as f64, b as f64], Cmp::Le, r as f64));
-    (
-        (-3i32..=3, -3i32..=3),
-        prop::collection::vec(row, 1..=4),
-    )
-        .prop_map(|((c0, c1), rows)| {
-            let mut lp = LinearProgram::minimize(vec![c0 as f64, c1 as f64]);
-            // Keep the region bounded so grid search is sound.
-            lp.constrain(vec![1.0, 0.0], Cmp::Le, 10.0);
-            lp.constrain(vec![0.0, 1.0], Cmp::Le, 10.0);
-            for (coeffs, cmp, rhs) in rows {
-                lp.constrain(coeffs, cmp, rhs);
-            }
-            lp
-        })
+    ((-3i32..=3, -3i32..=3), prop::collection::vec(row, 1..=4)).prop_map(|((c0, c1), rows)| {
+        let mut lp = LinearProgram::minimize(vec![c0 as f64, c1 as f64]);
+        // Keep the region bounded so grid search is sound.
+        lp.constrain(vec![1.0, 0.0], Cmp::Le, 10.0);
+        lp.constrain(vec![0.0, 1.0], Cmp::Le, 10.0);
+        for (coeffs, cmp, rhs) in rows {
+            lp.constrain(coeffs, cmp, rhs);
+        }
+        lp
+    })
 }
 
 fn satisfies(lp: &LinearProgram, x: &[f64], tol: f64) -> bool {

@@ -6,18 +6,19 @@
 //! job-count vectors have equal digit sums) are mutually independent and
 //! depend only on strictly lower anti-diagonals, so each anti-diagonal is a
 //! parallel level and levels are processed in order with a barrier between
-//! them. Three interchangeable executors are provided:
+//! them. Three interchangeable executors are provided, all built on scoped
+//! std threads (see [`pool`]):
 //!
-//! * [`ParallelDp`] (rayon, bucketed levels) — the production variant: level
-//!   index buckets are precomputed once, then each level is a
-//!   `par_iter().map().collect()` over its bucket followed by a sequential
-//!   scatter (writes are disjoint; reads touch lower levels only),
+//! * [`ParallelDp`] (bucketed levels) — the production variant: level index
+//!   buckets are precomputed once, then each level is a chunked parallel map
+//!   over its bucket followed by a sequential scatter (writes are disjoint;
+//!   reads touch lower levels only),
 //! * [`ParallelDp`] with [`LevelStrategy::Faithful`] — the paper-literal
 //!   variant: every level scans *all* σ entries and filters `d_i = l`,
 //!   exactly like Lines 11–12 of Algorithm 3 (an ablation bench quantifies
 //!   the cost of that extra scan),
-//! * [`ScopedDp`] (crossbeam scoped threads, static round-robin) — the
-//!   closest analogue of the paper's OpenMP static schedule.
+//! * [`ScopedDp`] (static round-robin) — the closest analogue of the paper's
+//!   OpenMP static schedule.
 //!
 //! All three produce bit-identical tables to the sequential solvers; the
 //! tests assert it.
@@ -27,12 +28,12 @@ pub mod scoped;
 pub mod speculative;
 pub mod wavefront;
 
-pub use pool::with_threads;
+pub use pool::effective_threads;
 pub use scoped::ScopedDp;
 pub use speculative::SpeculativePtas;
 pub use wavefront::{LevelStrategy, ParallelDp};
 
-use pcmax_core::{Instance, Result, Schedule, Scheduler};
+use pcmax_core::{Result, SolveReport, SolveRequest, Solver};
 use pcmax_ptas::Ptas;
 
 /// The parallel PTAS: the sequential bisection driver with the wavefront DP
@@ -43,7 +44,7 @@ pub struct ParallelPtas {
 }
 
 impl ParallelPtas {
-    /// Parallel PTAS with relative error `epsilon` on the global rayon pool.
+    /// Parallel PTAS with relative error `epsilon`, using all cores.
     pub fn new(epsilon: f64) -> Result<Self> {
         Ok(Self {
             inner: Ptas::with_solver(epsilon, ParallelDp::default())?,
@@ -64,13 +65,35 @@ impl ParallelPtas {
     }
 }
 
-impl Scheduler for ParallelPtas {
-    fn name(&self) -> &'static str {
+impl Solver for ParallelPtas {
+    fn solver_name(&self) -> &'static str {
         "ParallelPTAS"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
-        self.inner.schedule(inst)
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        match req.threads {
+            // A request-level thread count overrides the construction-time
+            // pinning: rebuild the driver around a re-pinned wavefront DP.
+            Some(threads) => {
+                let dp = ParallelDp {
+                    threads: Some(threads),
+                    ..*self.inner.solver()
+                };
+                let repinned = Ptas::with_solver(self.inner.params().epsilon, dp)?;
+                let (out, stats) = repinned.solve_with(req)?;
+                Ok(SolveReport {
+                    makespan: out.schedule.makespan(req.instance),
+                    schedule: out.schedule,
+                    certified_target: Some(out.target),
+                    proven_optimal: false,
+                    stats,
+                })
+            }
+            None => {
+                let report = self.inner.solve(req)?;
+                Ok(report)
+            }
+        }
     }
 }
 
@@ -94,10 +117,7 @@ mod tests {
             .solve_detailed(&inst)
             .unwrap();
         assert_eq!(seq.target, par.target);
-        assert_eq!(
-            seq.schedule.makespan(&inst),
-            par.schedule.makespan(&inst)
-        );
+        assert_eq!(seq.schedule.makespan(&inst), par.schedule.makespan(&inst));
     }
 
     #[test]
@@ -110,6 +130,20 @@ mod tests {
                 .makespan(&inst)
                 .unwrap();
             assert_eq!(ms, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn request_thread_override_matches_default() {
+        let inst = Instance::new(vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 10, 11, 12, 13, 14], 3).unwrap();
+        let algo = ParallelPtas::new(0.3).unwrap();
+        let default = algo.solve(&SolveRequest::new(&inst)).unwrap();
+        for threads in [1, 2] {
+            let pinned = algo
+                .solve(&SolveRequest::new(&inst).with_threads(threads))
+                .unwrap();
+            assert_eq!(pinned.makespan, default.makespan, "threads = {threads}");
+            assert_eq!(pinned.certified_target, default.certified_target);
         }
     }
 

@@ -1,42 +1,139 @@
-//! Thread-pool helpers: run a closure on a dedicated rayon pool of a given
-//! size, which is how the harness sweeps the paper's "number of cores" axis.
+//! Fork/join helpers for the wavefront executors: worker-count resolution
+//! and scoped-thread chunked maps, the std-thread replacement for a
+//! dedicated thread pool. Every helper preserves input order, so the
+//! executors built on top stay bit-identical to the sequential DP.
 
-use rayon::ThreadPool;
-
-/// Builds a rayon pool with exactly `threads` workers and runs `f` inside
-/// it. Parallel iterators inside `f` use this pool instead of the global one.
-pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    pool(threads).install(f)
+/// Resolves a configured worker count: `None` means all available cores,
+/// explicit values are clamped to at least 1.
+pub fn effective_threads(threads: Option<usize>) -> usize {
+    match threads {
+        Some(t) => t.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
 }
 
-/// A dedicated pool of `threads` workers.
-pub fn pool(threads: usize) -> ThreadPool {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("building a rayon pool cannot fail with a positive thread count")
+/// Maps every element of `items` with `f` across up to `threads` scoped
+/// worker threads (contiguous chunks), returning results in input order.
+/// Falls back to a plain sequential map when one worker suffices.
+pub fn map_chunked<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let p = threads.min(items.len()).max(1);
+    if p == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(p);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|ch| scope.spawn(move || ch.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("wavefront worker panicked"));
+        }
+    });
+    out
+}
+
+/// Maps every index of `0..n` with `f` across worker threads (contiguous
+/// ranges), returning results in index order.
+pub fn map_range<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let p = threads.min(n).max(1);
+    if p == 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(p);
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("wavefront worker panicked"));
+        }
+    });
+    out
+}
+
+/// Filter-maps every index of `0..n` across worker threads, returning the
+/// surviving results in index order.
+pub fn filter_map_range<R: Send>(
+    threads: usize,
+    n: usize,
+    f: impl Fn(usize) -> Option<R> + Sync,
+) -> Vec<R> {
+    let p = threads.min(n).max(1);
+    if p == 1 {
+        return (0..n).filter_map(f).collect();
+    }
+    let chunk = n.div_ceil(p);
+    let f = &f;
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || (start..end).filter_map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("wavefront worker panicked"));
+        }
+    });
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
 
     #[test]
-    fn with_threads_runs_on_requested_pool() {
-        let n = with_threads(3, rayon::current_num_threads);
-        assert_eq!(n, 3);
+    fn effective_threads_clamps_and_defaults() {
+        assert_eq!(effective_threads(Some(0)), 1);
+        assert_eq!(effective_threads(Some(3)), 3);
+        assert!(effective_threads(None) >= 1);
     }
 
     #[test]
-    fn zero_threads_is_clamped_to_one() {
-        let n = with_threads(0, rayon::current_num_threads);
-        assert_eq!(n, 1);
+    fn map_chunked_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 3, 7, 200] {
+            let doubled = map_chunked(threads, &items, |&x| x * 2);
+            assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]
-    fn parallel_iterators_use_the_pool() {
-        let sum: u64 = with_threads(2, || (0..1000u64).into_par_iter().sum());
-        assert_eq!(sum, 499_500);
+    fn map_range_matches_sequential() {
+        for threads in [1, 2, 5] {
+            let sq = map_range(threads, 50, |i| i * i);
+            assert_eq!(sq, (0..50).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn filter_map_range_keeps_index_order() {
+        for threads in [1, 3, 8] {
+            let evens = filter_map_range(threads, 40, |i| (i % 2 == 0).then_some(i));
+            assert_eq!(evens, (0..40).step_by(2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(map_chunked(4, &[] as &[u32], |&x| x).is_empty());
+        assert!(map_range(4, 0, |i| i).is_empty());
     }
 }

@@ -2,14 +2,15 @@
 //! the closest analogue of the paper's OpenMP implementation, where each
 //! level's `parallel for` hands iteration `i` to processor `i mod P`.
 //!
-//! Kept alongside the rayon executor for the ablation study: rayon
-//! work-steals (dynamic), this executor does exactly what Algorithm 3's
-//! analysis assumes (static `⌈q_l/P⌉` chunks per processor).
+//! Kept alongside the chunked executor for the ablation study: [`crate::ParallelDp`]
+//! hands each worker one contiguous chunk, this executor does exactly what
+//! Algorithm 3's analysis assumes (static `⌈q_l/P⌉` round-robin slices per
+//! processor).
 
 use pcmax_ptas::dp::{fits, DpOutcome, DpProblem, DpSolver};
-use pcmax_ptas::table::INFEASIBLE;
+use pcmax_ptas::table::{DpScratch, INFEASIBLE};
 
-/// Crossbeam scoped-thread DP with static round-robin level scheduling.
+/// Scoped-thread DP with static round-robin level scheduling.
 #[derive(Debug, Clone, Copy)]
 pub struct ScopedDp {
     /// Number of worker threads `P`.
@@ -30,11 +31,16 @@ impl DpSolver for ScopedDp {
         "dp-scoped-static"
     }
 
-    fn solve(&self, problem: &DpProblem) -> pcmax_core::Result<DpOutcome> {
-        let mut table = problem.build_table()?;
+    fn solve_in(
+        &self,
+        problem: &DpProblem,
+        scratch: &mut DpScratch,
+    ) -> pcmax_core::Result<DpOutcome> {
+        let mut table = problem.build_table_in(scratch)?;
         let configs = problem.configs_with_offsets(&table);
         table.values[0] = 0;
-        let buckets = table.level_buckets();
+        let mut buckets = scratch.take_buckets();
+        table.fill_level_buckets(&mut buckets);
         for bucket in buckets.iter().skip(1) {
             let p = self.threads.min(bucket.len()).max(1);
             // Each worker computes the entries at positions
@@ -43,10 +49,10 @@ impl DpSolver for ScopedDp {
             let table_ref = &table;
             let configs_ref = &configs;
             let mut partials: Vec<Vec<(u32, u16)>> = Vec::with_capacity(p);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..p)
                     .map(|worker| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             bucket
                                 .iter()
                                 .skip(worker)
@@ -69,23 +75,28 @@ impl DpSolver for ScopedDp {
                 for h in handles {
                     partials.push(h.join().expect("worker panicked"));
                 }
-            })
-            .expect("scope panicked");
+            });
             for (idx, val) in partials.into_iter().flatten() {
                 table.values[idx as usize] = val;
             }
         }
+        scratch.return_buckets(buckets);
         let opt = table.values[table.last_index()];
-        let machines = if opt == INFEASIBLE { u32::MAX } else { opt as u32 };
+        let machines = if opt == INFEASIBLE {
+            u32::MAX
+        } else {
+            opt as u32
+        };
         let schedule = if machines as usize <= problem.max_machines {
             Some(pcmax_ptas::dp::extract_schedule(
                 &table,
                 &configs,
                 problem.counts.len(),
-            ))
+            )?)
         } else {
             None
         };
+        scratch.recycle(table);
         Ok(DpOutcome { machines, schedule })
     }
 }

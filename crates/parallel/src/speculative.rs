@@ -18,14 +18,19 @@
 //! carries the identical `(1+ε)` guarantee. With `width = 1` this *is*
 //! binary search.
 
+use crate::pool;
 use crate::wavefront::ParallelDp;
-use pcmax_core::{Instance, MakespanBounds, Result, Schedule, Scheduler, Time};
+use pcmax_core::{
+    Error, Instance, MakespanBounds, Result, Schedule, SolveReport, SolveRequest, SolveStats,
+    Solver, Time,
+};
 use pcmax_ptas::config::Config;
 use pcmax_ptas::dp::{DpProblem, DpSolver};
 use pcmax_ptas::driver::reconstruct;
 use pcmax_ptas::rounding::{JobPartition, RoundedLongJobs};
+use pcmax_ptas::table::DpScratch;
 use pcmax_ptas::{rounded_problem, EpsilonParams};
-use rayon::prelude::*;
+use std::time::Instant;
 
 /// The speculative-bisection parallel PTAS.
 #[derive(Debug, Clone)]
@@ -35,6 +40,9 @@ pub struct SpeculativePtas {
     pub width: usize,
     max_entries: usize,
 }
+
+/// A feasible probe's payload: configs, rounding, partition, target.
+type Witness = (Vec<Config>, RoundedLongJobs, JobPartition, Time);
 
 impl SpeculativePtas {
     /// Speculative PTAS probing `width` targets per round.
@@ -62,18 +70,91 @@ impl SpeculativePtas {
     /// Full solve, returning the schedule, the certified target and the
     /// number of probe rounds executed.
     pub fn solve_detailed(&self, inst: &Instance) -> Result<(Schedule, Time, u32)> {
+        self.run(&SolveRequest::new(inst))
+            .map(|(schedule, target, rounds, _)| (schedule, target, rounds))
+    }
+
+    /// Probes all `candidates` concurrently (one scoped thread each, each
+    /// with a private scratch arena), merging the scratch counters into the
+    /// run's stats.
+    fn probe_round(
+        &self,
+        req: &SolveRequest<'_>,
+        candidates: &[Time],
+        stats: &mut SolveStats,
+    ) -> Result<Vec<(Time, Option<Witness>)>> {
+        let inst = req.instance;
+        let dp = ParallelDp {
+            threads: req.threads,
+            ..ParallelDp::default()
+        };
+        let probes = pool::map_chunked(candidates.len().max(1), candidates, |&t| {
+            let (problem, rounded, partition) =
+                rounded_problem(inst, &self.params, t, self.max_entries);
+            let mut scratch = DpScratch::new();
+            let outcome = dp.solve_in(&problem, &mut scratch)?;
+            let witness = outcome
+                .schedule
+                .map(|configs| (configs, rounded, partition, t));
+            Ok::<_, Error>((t, witness, scratch))
+        });
+        let mut out = Vec::with_capacity(probes.len());
+        for probe in probes {
+            let (t, witness, scratch) = probe?;
+            stats.dp_entries_touched += scratch.entries_touched;
+            stats.dp_tables_allocated += scratch.tables_allocated;
+            stats.dp_tables_reused += scratch.tables_reused;
+            stats.bisection_probes += 1;
+            out.push((t, witness));
+        }
+        Ok(out)
+    }
+
+    /// Budget gate evaluated between rounds.
+    fn check_budget(
+        &self,
+        req: &SolveRequest<'_>,
+        stats: &SolveStats,
+        lower: Time,
+        upper: Time,
+    ) -> Result<()> {
+        req.check_cancelled()?;
+        let entries_exhausted = req
+            .budget
+            .entry_limit
+            .is_some_and(|limit| stats.dp_entries_touched >= limit as u64);
+        if req.budget.deadline_exceeded() || entries_exhausted {
+            return Err(Error::BudgetExhausted {
+                incumbent: upper,
+                lower_bound: lower,
+            });
+        }
+        Ok(())
+    }
+
+    /// Full solve under an engine request: cancellation and budget are
+    /// checked between probe rounds; the returned stats account every
+    /// concurrent probe of every round.
+    pub fn run(&self, req: &SolveRequest<'_>) -> Result<(Schedule, Time, u32, SolveStats)> {
+        let inst = req.instance;
+        let run_start = Instant::now();
+        let mut stats = SolveStats::default();
+        req.check_cancelled()?;
         if inst.jobs() == 0 {
-            return Ok((Schedule::from_assignment(vec![], inst.machines())?, 0, 0));
+            stats.wall = run_start.elapsed();
+            let schedule = Schedule::from_assignment(vec![], inst.machines())?;
+            return Ok((schedule, 0, 0, stats));
         }
         let MakespanBounds {
             mut lower,
             mut upper,
         } = MakespanBounds::of(inst);
-        type Witness = (Vec<Config>, RoundedLongJobs, JobPartition, Time);
         let mut best: Option<Witness> = None;
         let mut rounds = 0u32;
 
+        let search_start = Instant::now();
         while lower < upper {
+            self.check_budget(req, &stats, lower, upper)?;
             rounds += 1;
             // Candidates strictly inside [lower, upper), always including
             // the midpoint so each round at least halves the bracket.
@@ -89,25 +170,11 @@ impl SpeculativePtas {
                 candidates.push(lower);
             }
 
-            let probes: Vec<Result<(Time, Option<Witness>)>> = candidates
-                .par_iter()
-                .map(|&t| {
-                    let (problem, rounded, partition) =
-                        rounded_problem(inst, &self.params, t, self.max_entries);
-                    let outcome = ParallelDp::default().solve(&problem)?;
-                    Ok((
-                        t,
-                        outcome
-                            .schedule
-                            .map(|configs| (configs, rounded, partition, t)),
-                    ))
-                })
-                .collect();
+            let probes = self.probe_round(req, &candidates, &mut stats)?;
 
             let mut feasible_min: Option<Witness> = None;
             let mut infeasible_max: Option<Time> = None;
-            for probe in probes {
-                let (t, witness) = probe?;
+            for (t, witness) in probes {
                 match witness {
                     Some(w) => {
                         if feasible_min.as_ref().is_none_or(|f| t < f.3) {
@@ -138,27 +205,43 @@ impl SpeculativePtas {
                 // Zero-width bracket or the converged value was never probed
                 // feasible: certify it directly (always feasible, see the
                 // bisection invariant in pcmax-ptas).
-                let (problem, rounded, partition) =
-                    rounded_problem(inst, &self.params, upper, self.max_entries);
-                let outcome = ParallelDp::default().solve(&problem)?;
-                let configs = outcome
-                    .schedule
-                    .expect("the converged target is feasible by the bracket invariant");
-                (configs, rounded, partition, upper)
+                self.check_budget(req, &stats, lower, upper)?;
+                let mut probes = self.probe_round(req, &[upper], &mut stats)?;
+                let (_, witness) = probes.pop().expect("one candidate yields one probe");
+                let (configs, rounded, partition, t) =
+                    witness.ok_or_else(|| Error::InvalidWitness {
+                        reason: format!(
+                            "converged target {upper} probed infeasible, breaking the \
+                             bracket invariant"
+                        ),
+                    })?;
+                (configs, rounded, partition, t)
             }
         };
+        stats.push_phase("speculative-search", search_start.elapsed());
+
+        let recon_start = Instant::now();
         let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
-        Ok((schedule, target, rounds))
+        stats.push_phase("reconstruct", recon_start.elapsed());
+        stats.wall = run_start.elapsed();
+        Ok((schedule, target, rounds, stats))
     }
 }
 
-impl Scheduler for SpeculativePtas {
-    fn name(&self) -> &'static str {
+impl Solver for SpeculativePtas {
+    fn solver_name(&self) -> &'static str {
         "SpeculativePTAS"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
-        Ok(self.solve_detailed(inst)?.0)
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        let (schedule, target, _rounds, stats) = self.run(req)?;
+        Ok(SolveReport {
+            makespan: schedule.makespan(req.instance),
+            schedule,
+            certified_target: Some(target),
+            proven_optimal: false,
+            stats,
+        })
     }
 }
 
@@ -249,5 +332,27 @@ mod tests {
             .solve_detailed(&inst)
             .unwrap();
         assert_eq!((s.jobs(), t, r), (0, 0, 0));
+    }
+
+    #[test]
+    fn solver_report_accounts_every_probe() {
+        let inst = instance();
+        let algo = SpeculativePtas::new(0.3, 3).unwrap();
+        let report = algo.solve(&SolveRequest::new(&inst)).unwrap();
+        assert_eq!(report.makespan, report.schedule.makespan(&inst));
+        assert!(report.stats.bisection_probes >= 1);
+        assert!(report.stats.dp_entries_touched > 0);
+        assert!(report.certified_target.is_some());
+    }
+
+    #[test]
+    fn precancelled_request_aborts() {
+        use pcmax_core::CancelToken;
+        let inst = instance();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let req = SolveRequest::new(&inst).with_cancel(cancel);
+        let algo = SpeculativePtas::new(0.3, 2).unwrap();
+        assert!(matches!(algo.run(&req), Err(Error::Cancelled)));
     }
 }

@@ -1,9 +1,11 @@
-//! The wavefront-parallel DP (Algorithm 3 of the paper), on rayon.
+//! The wavefront-parallel DP (Algorithm 3 of the paper), on scoped std
+//! threads: anti-diagonal levels are processed in order with a barrier
+//! between them; inside a level, subproblem values are computed in parallel
+//! from the (immutable) lower levels and then scattered into the table.
 
 use crate::pool;
-use pcmax_ptas::dp::{fits, DpOutcome, DpProblem, DpSolver};
-use pcmax_ptas::table::{DpTable, INFEASIBLE};
-use rayon::prelude::*;
+use pcmax_ptas::dp::{extract_schedule, fits, DpOutcome, DpProblem, DpSolver};
+use pcmax_ptas::table::{DpScratch, DpTable, INFEASIBLE};
 
 /// How each anti-diagonal level finds its subproblems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,14 +20,14 @@ pub enum LevelStrategy {
     Faithful,
 }
 
-/// Rayon-based wavefront DP: anti-diagonal levels processed in order; inside
-/// a level, subproblem values are computed in parallel from the (immutable)
-/// lower levels and then scattered into the table.
+/// Wavefront DP on scoped threads: anti-diagonal levels processed in order;
+/// inside a level, subproblem values are computed in parallel from the
+/// (immutable) lower levels and then scattered into the table.
 ///
 /// Produces bit-identical tables to `pcmax_ptas::IterativeDp`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelDp {
-    /// Worker threads; `None` = the global rayon pool.
+    /// Worker threads; `None` = all available cores.
     pub threads: Option<usize>,
     /// Level iteration strategy.
     pub strategy: LevelStrategy,
@@ -47,28 +49,6 @@ impl ParallelDp {
             strategy: LevelStrategy::Faithful,
         }
     }
-
-    fn solve_inner(&self, problem: &DpProblem) -> pcmax_core::Result<DpOutcome> {
-        let mut table = problem.build_table()?;
-        let configs = problem.configs_with_offsets(&table);
-        table.values[0] = 0;
-        match self.strategy {
-            LevelStrategy::Bucketed => bucketed_sweep(&mut table, &configs),
-            LevelStrategy::Faithful => faithful_sweep(&mut table, &configs),
-        }
-        let opt = table.values[table.last_index()];
-        let machines = if opt == INFEASIBLE { u32::MAX } else { opt as u32 };
-        let schedule = if machines as usize <= problem.max_machines {
-            Some(pcmax_ptas::dp::extract_schedule(
-                &table,
-                &configs,
-                problem.counts.len(),
-            ))
-        } else {
-            None
-        };
-        Ok(DpOutcome { machines, schedule })
-    }
 }
 
 impl DpSolver for ParallelDp {
@@ -79,11 +59,32 @@ impl DpSolver for ParallelDp {
         }
     }
 
-    fn solve(&self, problem: &DpProblem) -> pcmax_core::Result<DpOutcome> {
-        match self.threads {
-            Some(t) => pool::with_threads(t, || self.solve_inner(problem)),
-            None => self.solve_inner(problem),
+    fn solve_in(
+        &self,
+        problem: &DpProblem,
+        scratch: &mut DpScratch,
+    ) -> pcmax_core::Result<DpOutcome> {
+        let mut table = problem.build_table_in(scratch)?;
+        let configs = problem.configs_with_offsets(&table);
+        table.values[0] = 0;
+        let threads = pool::effective_threads(self.threads);
+        match self.strategy {
+            LevelStrategy::Bucketed => bucketed_sweep(&mut table, &configs, threads, scratch),
+            LevelStrategy::Faithful => faithful_sweep(&mut table, &configs, threads),
         }
+        let opt = table.values[table.last_index()];
+        let machines = if opt == INFEASIBLE {
+            u32::MAX
+        } else {
+            opt as u32
+        };
+        let schedule = if machines as usize <= problem.max_machines {
+            Some(extract_schedule(&table, &configs, problem.counts.len())?)
+        } else {
+            None
+        };
+        scratch.recycle(table);
+        Ok(DpOutcome { machines, schedule })
     }
 }
 
@@ -99,46 +100,46 @@ fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32
     best.saturating_add(1)
 }
 
-/// Level sweep over precomputed per-level buckets.
-fn bucketed_sweep(table: &mut DpTable, configs: &[(Vec<u32>, usize)]) {
-    let buckets = table.level_buckets();
+/// Level sweep over precomputed per-level buckets. The bucket storage comes
+/// from (and returns to) the scratch arena, so bisection probes reuse it.
+pub(crate) fn bucketed_sweep(
+    table: &mut DpTable,
+    configs: &[(Vec<u32>, usize)],
+    threads: usize,
+    scratch: &mut DpScratch,
+) {
+    let mut buckets = scratch.take_buckets();
+    table.fill_level_buckets(&mut buckets);
     for bucket in buckets.iter().skip(1) {
         // Parallel read phase: all dependencies live on lower levels, so the
         // immutable borrow of `table` is race-free by construction.
-        let results: Vec<u16> = bucket
-            .par_iter()
-            .map(|&idx| {
-                let idx = idx as usize;
-                let v = table.decode(idx);
-                value_of(table, configs, idx, &v)
-            })
-            .collect();
+        let results = pool::map_chunked(threads, bucket, |&idx| {
+            let idx = idx as usize;
+            let v = table.decode(idx);
+            value_of(table, configs, idx, &v)
+        });
         // Sequential scatter phase: disjoint writes within the level.
         for (&idx, val) in bucket.iter().zip(results) {
             table.values[idx as usize] = val;
         }
     }
+    scratch.return_buckets(buckets);
 }
 
 /// The paper-literal sweep: compute the digit-sum array `D` in parallel
 /// (Lines 4–8), then for each level scan all σ entries and process those on
 /// the level (Lines 10–25).
-fn faithful_sweep(table: &mut DpTable, configs: &[(Vec<u32>, usize)]) {
+fn faithful_sweep(table: &mut DpTable, configs: &[(Vec<u32>, usize)], threads: usize) {
     // Lines 4-8: d_i = digit sum of v^i, computed in parallel.
-    let d: Vec<u32> = (0..table.len)
-        .into_par_iter()
-        .map(|idx| table.decode(idx).iter().sum())
-        .collect();
+    let d: Vec<u32> = pool::map_range(threads, table.len, |idx| table.decode(idx).iter().sum());
     let levels = table.levels();
     for l in 1..levels {
-        let results: Vec<(usize, u16)> = (0..table.len)
-            .into_par_iter()
-            .filter(|&idx| d[idx] == l)
-            .map(|idx| {
+        let results = pool::filter_map_range(threads, table.len, |idx| {
+            (d[idx] == l).then(|| {
                 let v = table.decode(idx);
                 (idx, value_of(table, configs, idx, &v))
             })
-            .collect();
+        });
         for (idx, val) in results {
             table.values[idx] = val;
         }
@@ -201,6 +202,20 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_keeps_results_identical() {
+        let mut scratch = DpScratch::new();
+        for problem in problems() {
+            let fresh = ParallelDp::default().solve(&problem).unwrap();
+            let reused = ParallelDp::default()
+                .solve_in(&problem, &mut scratch)
+                .unwrap();
+            assert_eq!(fresh.machines, reused.machines);
+            assert_eq!(fresh.schedule, reused.schedule);
+        }
+        assert!(scratch.tables_reused >= 1, "later problems reuse the arena");
+    }
+
+    #[test]
     fn paper_example_table_values() {
         // Table I of the paper: with capacity 30, unit 2, sizes {6, 10} and
         // N = (2, 3) the full DP values in row-major order are:
@@ -214,10 +229,7 @@ mod tests {
         let mut table = problem.build_table().unwrap();
         let configs = problem.configs_with_offsets(&table);
         table.values[0] = 0;
-        bucketed_sweep(&mut table, &configs);
-        assert_eq!(
-            table.values,
-            vec![0, 1, 1, 1, 1, 1, 1, 2, 1, 1, 2, 2],
-        );
+        bucketed_sweep(&mut table, &configs, 2, &mut DpScratch::new());
+        assert_eq!(table.values, vec![0, 1, 1, 1, 1, 1, 1, 2, 1, 1, 2, 2],);
     }
 }

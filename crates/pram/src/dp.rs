@@ -58,7 +58,11 @@ pub fn wavefront_dp(problem: &DpProblem) -> Result<WavefrontCost> {
     }
     let opt = table.values[table.last_index()];
     Ok(WavefrontCost {
-        machines: if opt == INFEASIBLE { u32::MAX } else { opt as u32 },
+        machines: if opt == INFEASIBLE {
+            u32::MAX
+        } else {
+            opt as u32
+        },
         pram,
         levels: buckets.len() as u64,
     })
@@ -89,7 +93,10 @@ mod tests {
     fn depth_is_far_below_work() {
         let cost = wavefront_dp(&paper_problem()).unwrap();
         assert!(cost.pram.depth < cost.pram.work);
-        assert!(cost.pram.depth >= cost.levels - 1, "each level is ≥ 1 round");
+        assert!(
+            cost.pram.depth >= cost.levels - 1,
+            "each level is ≥ 1 round"
+        );
     }
 
     #[test]

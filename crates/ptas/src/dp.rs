@@ -11,7 +11,7 @@
 //! ```
 
 use crate::config::{enumerate_configs_sized, Config};
-use crate::table::{DpTable, INFEASIBLE};
+use crate::table::{DpScratch, DpTable, INFEASIBLE};
 use pcmax_core::{Error, Result, Time};
 
 /// One rounded scheduling subproblem handed to a [`DpSolver`]: the class
@@ -48,12 +48,20 @@ impl DpProblem {
 
     /// Builds the (empty) dense table for this problem.
     pub fn build_table(&self) -> Result<DpTable> {
-        DpTable::new(&self.counts, self.unit, self.max_entries).ok_or_else(|| {
-            Error::BadModel(format!(
-                "DP table would exceed {} entries; increase max_entries or epsilon",
-                self.max_entries
-            ))
-        })
+        DpTable::new(&self.counts, self.unit, self.max_entries).ok_or_else(|| self.table_error())
+    }
+
+    /// Builds the dense table with storage from (and accounted to) `scratch`.
+    pub fn build_table_in(&self, scratch: &mut DpScratch) -> Result<DpTable> {
+        DpTable::new_in(&self.counts, self.unit, self.max_entries, scratch)
+            .ok_or_else(|| self.table_error())
+    }
+
+    fn table_error(&self) -> Error {
+        Error::BadModel(format!(
+            "DP table would exceed {} entries; increase max_entries or epsilon",
+            self.max_entries
+        ))
     }
 
     /// Enumerates the machine configurations over *active* classes together
@@ -96,8 +104,15 @@ pub trait DpSolver {
     /// Stable name for harness output.
     fn name(&self) -> &'static str;
 
-    /// Computes `OPT(N)` and, if feasible, a witness schedule.
-    fn solve(&self, problem: &DpProblem) -> Result<DpOutcome>;
+    /// Computes `OPT(N)` and, if feasible, a witness schedule, drawing the
+    /// dense table's storage from the reusable `scratch` arena — the form
+    /// the bisection driver calls so repeated probes share one allocation.
+    fn solve_in(&self, problem: &DpProblem, scratch: &mut DpScratch) -> Result<DpOutcome>;
+
+    /// Computes `OPT(N)` with a private one-shot arena.
+    fn solve(&self, problem: &DpProblem) -> Result<DpOutcome> {
+        self.solve_in(problem, &mut DpScratch::new())
+    }
 }
 
 /// Extracts a witness schedule by walking the optimal path backwards from
@@ -108,24 +123,30 @@ pub fn extract_schedule(
     table: &DpTable,
     configs: &[(Config, usize)],
     classes: usize,
-) -> Vec<Config> {
+) -> Result<Vec<Config>> {
     let mut out = Vec::new();
     let mut idx = table.last_index();
     let mut v = table.decode(idx);
     while idx != 0 {
         let current = table.values[idx];
-        debug_assert_ne!(current, INFEASIBLE, "extracting from infeasible entry");
-        let step = configs.iter().find(|(c, offset)| {
-            fits(c, &v) && table.values[idx - offset] == current - 1
-        });
-        let (c, offset) = step.expect("DP invariant: some config decreases OPT by one");
+        if current >= UNVISITED {
+            return Err(Error::InvalidWitness {
+                reason: format!("walked into an unevaluated entry at index {idx}"),
+            });
+        }
+        let step = configs
+            .iter()
+            .find(|(c, offset)| fits(c, &v) && table.values[idx - offset] == current - 1);
+        let (c, offset) = step.ok_or_else(|| Error::InvalidWitness {
+            reason: format!("no configuration decreases OPT below index {idx}"),
+        })?;
         out.push(table.expand(c, classes));
         idx -= offset;
         for (va, ca) in v.iter_mut().zip(c) {
             *va -= ca;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Componentwise `c ≤ v`.
@@ -146,8 +167,8 @@ impl DpSolver for IterativeDp {
         "dp-iterative"
     }
 
-    fn solve(&self, problem: &DpProblem) -> Result<DpOutcome> {
-        let mut table = problem.build_table()?;
+    fn solve_in(&self, problem: &DpProblem, scratch: &mut DpScratch) -> Result<DpOutcome> {
+        let mut table = problem.build_table_in(scratch)?;
         let configs = problem.configs_with_offsets(&table);
         table.values[0] = 0;
         // Incremental mixed-radix counter tracking the current vector.
@@ -162,7 +183,7 @@ impl DpSolver for IterativeDp {
             }
             table.values[idx] = best.saturating_add(1);
         }
-        finish(problem, table, &configs)
+        finish(problem, table, &configs, scratch)
     }
 }
 
@@ -181,8 +202,8 @@ impl DpSolver for MemoizedDp {
         "dp-memoized"
     }
 
-    fn solve(&self, problem: &DpProblem) -> Result<DpOutcome> {
-        let mut table = problem.build_table()?;
+    fn solve_in(&self, problem: &DpProblem, scratch: &mut DpScratch) -> Result<DpOutcome> {
+        let mut table = problem.build_table_in(scratch)?;
         let configs = problem.configs_with_offsets(&table);
         table.values.fill(UNVISITED);
         table.values[0] = 0;
@@ -213,15 +234,17 @@ impl DpSolver for MemoizedDp {
                 }
             }
         }
-        finish(problem, table, &configs)
+        finish(problem, table, &configs, scratch)
     }
 }
 
-/// Shared epilogue: read `OPT(N)`, extract the witness if feasible.
+/// Shared epilogue: read `OPT(N)`, extract the witness if feasible, then
+/// recycle the table's storage into the arena for the next probe.
 fn finish(
     problem: &DpProblem,
     table: DpTable,
     configs: &[(Config, usize)],
+    scratch: &mut DpScratch,
 ) -> Result<DpOutcome> {
     let opt = table.values[table.last_index()];
     let machines = if opt >= UNVISITED {
@@ -230,10 +253,11 @@ fn finish(
         opt as u32
     };
     let schedule = if machines as usize <= problem.max_machines {
-        Some(extract_schedule(&table, configs, problem.counts.len()))
+        Some(extract_schedule(&table, configs, problem.counts.len())?)
     } else {
         None
     };
+    scratch.recycle(table);
     Ok(DpOutcome { machines, schedule })
 }
 
@@ -251,8 +275,8 @@ impl DpSolver for RegenerateConfigsDp {
         "dp-regenerate-configs"
     }
 
-    fn solve(&self, problem: &DpProblem) -> Result<DpOutcome> {
-        let mut table = problem.build_table()?;
+    fn solve_in(&self, problem: &DpProblem, scratch: &mut DpScratch) -> Result<DpOutcome> {
+        let mut table = problem.build_table_in(scratch)?;
         table.values[0] = 0;
         let mut v = vec![0u32; table.dims.len()];
         for idx in 1..table.len {
@@ -268,7 +292,7 @@ impl DpSolver for RegenerateConfigsDp {
             table.values[idx] = best.saturating_add(1);
         }
         let configs = problem.configs_with_offsets(&table);
-        finish(problem, table, &configs)
+        finish(problem, table, &configs, scratch)
     }
 }
 

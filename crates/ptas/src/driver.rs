@@ -6,9 +6,12 @@ use crate::config::Config;
 use crate::dp::{DpProblem, DpSolver, IterativeDp};
 use crate::params::EpsilonParams;
 use crate::rounding::{JobPartition, RoundedLongJobs};
+use crate::table::{DpScratch, DpTable};
 use pcmax_core::{
-    Instance, MakespanBounds, Result, Schedule, ScheduleBuilder, Scheduler, Time,
+    Error, Instance, MakespanBounds, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest,
+    SolveStats, Solver, Time,
 };
+use std::time::Instant;
 
 /// One bisection probe: the target tried and what the DP said.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +93,11 @@ impl<S: DpSolver> Ptas<S> {
         &self.params
     }
 
+    /// The DP solver plugged into the bisection.
+    pub fn solver(&self) -> &S {
+        &self.solver
+    }
+
     /// Builds the rounded DP problem for `inst` at target `t`.
     fn problem_at(&self, inst: &Instance, t: Time) -> (DpProblem, RoundedLongJobs, JobPartition) {
         rounded_problem(inst, &self.params, t, self.max_entries)
@@ -97,22 +105,55 @@ impl<S: DpSolver> Ptas<S> {
 
     /// Runs the full PTAS and returns the schedule plus diagnostics.
     pub fn solve_detailed(&self, inst: &Instance) -> Result<PtasOutput> {
+        self.solve_with(&SolveRequest::new(inst))
+            .map(|(out, _)| out)
+    }
+
+    /// Runs the full PTAS under an engine request: the cancellation token
+    /// and the budget's deadline/entry limits are checked before every
+    /// bisection probe, and the returned [`SolveStats`] account probes, DP
+    /// entries, table (re)allocations and per-phase wall time.
+    pub fn solve_with(&self, req: &SolveRequest<'_>) -> Result<(PtasOutput, SolveStats)> {
+        let inst = req.instance;
+        let run_start = Instant::now();
+        let mut stats = SolveStats::default();
+        req.check_cancelled()?;
         if inst.jobs() == 0 {
-            return Ok(PtasOutput {
-                schedule: Schedule::from_assignment(vec![], inst.machines())?,
-                target: 0,
-                log: BisectionLog::default(),
-            });
+            stats.wall = run_start.elapsed();
+            return Ok((
+                PtasOutput {
+                    schedule: Schedule::from_assignment(vec![], inst.machines())?,
+                    target: 0,
+                    log: BisectionLog::default(),
+                },
+                stats,
+            ));
         }
-        let MakespanBounds { mut lower, mut upper } = MakespanBounds::of(inst);
+        let MakespanBounds {
+            mut lower,
+            mut upper,
+        } = MakespanBounds::of(inst);
         let mut log = BisectionLog::default();
         // Last feasible witness: (per-machine configs, rounding, partition, T).
         let mut best: Option<(Vec<Config>, RoundedLongJobs, JobPartition, Time)> = None;
 
+        // One arena for the whole run. Reserving the largest table of the
+        // bracket (table size grows as the target shrinks, and no probe goes
+        // below the initial lower bound) makes every probe a reuse.
+        let mut scratch = DpScratch::new();
+        let (low_problem, _, _) = self.problem_at(inst, lower.max(1));
+        if let Some(entries) =
+            DpTable::entries_needed(&low_problem.counts, low_problem.unit, self.max_entries)
+        {
+            scratch.reserve(entries);
+        }
+
+        let bisect_start = Instant::now();
         while lower < upper {
+            self.check_budget(req, &scratch, lower, upper)?;
             let t = (lower + upper) / 2;
             let (problem, rounded, partition) = self.problem_at(inst, t);
-            let outcome = self.solver.solve(&problem)?;
+            let outcome = self.solver.solve_in(&problem, &mut scratch)?;
             log.probes.push(BisectionProbe {
                 target: t,
                 dp_machines: outcome.machines,
@@ -135,36 +176,83 @@ impl<S: DpSolver> Ptas<S> {
         let (configs, rounded, partition, t_star) = match best {
             Some(b) if b.3 == target => b,
             _ => {
+                self.check_budget(req, &scratch, lower, upper)?;
                 let (problem, rounded, partition) = self.problem_at(inst, target);
-                let outcome = self.solver.solve(&problem)?;
+                let outcome = self.solver.solve_in(&problem, &mut scratch)?;
                 log.probes.push(BisectionProbe {
                     target,
                     dp_machines: outcome.machines,
                     feasible: outcome.feasible(),
                 });
-                let configs = outcome
-                    .schedule
-                    .expect("the converged target is feasible by the bisection invariant");
+                let configs = outcome.schedule.ok_or_else(|| Error::InvalidWitness {
+                    reason: format!(
+                        "converged target {target} probed infeasible, breaking the \
+                         bisection invariant"
+                    ),
+                })?;
                 (configs, rounded, partition, target)
             }
         };
+        stats.push_phase("bisection", bisect_start.elapsed());
 
+        let recon_start = Instant::now();
         let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
-        Ok(PtasOutput {
-            schedule,
-            target: t_star,
-            log,
-        })
+        stats.push_phase("reconstruct", recon_start.elapsed());
+
+        stats.bisection_probes = log.evaluations() as u64;
+        stats.dp_entries_touched = scratch.entries_touched;
+        stats.dp_tables_allocated = scratch.tables_allocated;
+        stats.dp_tables_reused = scratch.tables_reused;
+        stats.wall = run_start.elapsed();
+        Ok((
+            PtasOutput {
+                schedule,
+                target: t_star,
+                log,
+            },
+            stats,
+        ))
+    }
+
+    /// Pre-probe budget gate: cancellation, wall-clock deadline and the
+    /// DP-entry limit. `[lower, upper]` is the current bracket, reported in
+    /// the budget-exhausted error as the best-known bounds.
+    fn check_budget(
+        &self,
+        req: &SolveRequest<'_>,
+        scratch: &DpScratch,
+        lower: Time,
+        upper: Time,
+    ) -> Result<()> {
+        req.check_cancelled()?;
+        let entries_exhausted = req
+            .budget
+            .entry_limit
+            .is_some_and(|limit| scratch.entries_touched >= limit as u64);
+        if req.budget.deadline_exceeded() || entries_exhausted {
+            return Err(Error::BudgetExhausted {
+                incumbent: upper,
+                lower_bound: lower,
+            });
+        }
+        Ok(())
     }
 }
 
-impl<S: DpSolver> Scheduler for Ptas<S> {
-    fn name(&self) -> &'static str {
+impl<S: DpSolver + Send + Sync> Solver for Ptas<S> {
+    fn solver_name(&self) -> &'static str {
         "PTAS"
     }
 
-    fn schedule(&self, inst: &Instance) -> Result<Schedule> {
-        Ok(self.solve_detailed(inst)?.schedule)
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        let (out, stats) = self.solve_with(req)?;
+        Ok(SolveReport {
+            makespan: out.schedule.makespan(req.instance),
+            schedule: out.schedule,
+            certified_target: Some(out.target),
+            proven_optimal: false,
+            stats,
+        })
     }
 }
 
@@ -207,21 +295,39 @@ pub fn reconstruct(
         .iter()
         .map(|v| v.iter().copied().collect())
         .collect();
-    assert!(
-        configs.len() <= inst.machines(),
-        "witness uses more machines than available"
-    );
+    if configs.len() > inst.machines() {
+        return Err(Error::InvalidWitness {
+            reason: format!(
+                "witness uses {} machines but only {} are available",
+                configs.len(),
+                inst.machines()
+            ),
+        });
+    }
     for (machine, config) in configs.iter().enumerate() {
         for (class_idx, &count) in config.iter().enumerate() {
             for _ in 0..count {
                 let j = queues[class_idx]
                     .pop_front()
-                    .expect("witness covers exactly the rounded class counts");
+                    .ok_or_else(|| Error::InvalidWitness {
+                        reason: format!(
+                            "witness config counts exceed the population of class {}",
+                            class_idx + 1
+                        ),
+                    })?;
                 builder.assign(j, machine);
             }
         }
     }
-    debug_assert!(queues.iter().all(|q| q.is_empty()), "long jobs left over");
+    if let Some(class_idx) = queues.iter().position(|q| !q.is_empty()) {
+        return Err(Error::InvalidWitness {
+            reason: format!(
+                "witness leaves {} long jobs of class {} unscheduled",
+                queues[class_idx].len(),
+                class_idx + 1
+            ),
+        });
+    }
 
     // Short jobs in non-increasing processing time (Lines 41–51).
     let mut shorts = partition.short.clone();
@@ -314,7 +420,12 @@ mod tests {
         let inst = Instance::new(vec![17, 14, 12, 11, 9, 8, 8, 6, 5, 4, 3, 1], 3).unwrap();
         let loose = Ptas::new(0.5).unwrap().solve_detailed(&inst).unwrap();
         let tight = Ptas::new(0.2).unwrap().solve_detailed(&inst).unwrap();
-        assert!(tight.target <= loose.target + 1, "tight {} loose {}", tight.target, loose.target);
+        assert!(
+            tight.target <= loose.target + 1,
+            "tight {} loose {}",
+            tight.target,
+            loose.target
+        );
     }
 
     #[test]
@@ -343,5 +454,58 @@ mod tests {
         let inst = Instance::new(vec![5, 3], 6).unwrap();
         let out = ptas().solve_detailed(&inst).unwrap();
         assert_eq!(out.schedule.makespan(&inst), 5);
+    }
+
+    #[test]
+    fn stats_prove_table_reuse_across_probes() {
+        use pcmax_core::SolveRequest;
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3], 4).unwrap();
+        let (out, stats) = ptas().solve_with(&SolveRequest::new(&inst)).unwrap();
+        assert_eq!(stats.bisection_probes, out.log.evaluations() as u64);
+        assert!(stats.bisection_probes > 1, "want multiple probes");
+        // The arena is pre-sized for the largest table of the bracket, so
+        // the whole run performs exactly one allocation and every probe's
+        // table is a reuse.
+        assert_eq!(stats.dp_tables_allocated, 1);
+        assert_eq!(stats.dp_tables_reused, stats.bisection_probes);
+        assert!(stats.dp_entries_touched > 0);
+        assert!(stats.phase_wall("bisection") <= stats.wall);
+        assert!(stats.phase_wall("reconstruct") <= stats.wall);
+    }
+
+    #[test]
+    fn precancelled_request_aborts_immediately() {
+        use pcmax_core::{CancelToken, Error, SolveRequest};
+        let inst = Instance::new(vec![9, 8, 7, 6, 5], 2).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let req = SolveRequest::new(&inst).with_cancel(cancel);
+        assert!(matches!(ptas().solve_with(&req), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn entry_budget_exhaustion_is_a_dedicated_error() {
+        use pcmax_core::{Budget, Error, SolveRequest};
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3], 4).unwrap();
+        // One entry of budget: the first probe consumes it, the second trips.
+        let req = SolveRequest::new(&inst).with_budget(Budget::unlimited().entries(1));
+        match ptas().solve_with(&req) {
+            Err(Error::BudgetExhausted {
+                incumbent,
+                lower_bound,
+            }) => assert!(lower_bound <= incumbent),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solver_report_certifies_the_target() {
+        use pcmax_core::{SolveRequest, Solver};
+        let inst = Instance::new(vec![13, 11, 9, 8, 8, 7, 5, 4, 2, 2, 1, 1], 3).unwrap();
+        let report = ptas().solve(&SolveRequest::new(&inst)).unwrap();
+        assert_eq!(report.makespan, report.schedule.makespan(&inst));
+        let detailed = ptas().solve_detailed(&inst).unwrap();
+        assert_eq!(report.certified_target, Some(detailed.target));
+        assert!(!report.proven_optimal);
     }
 }

@@ -31,7 +31,10 @@ impl EpsilonParams {
                 reason: "epsilon too small: k = ceil(1/eps) exceeds 4096",
             });
         }
-        Ok(Self { epsilon, k: k.max(1) })
+        Ok(Self {
+            epsilon,
+            k: k.max(1),
+        })
     }
 
     /// Number of rounded size classes, `k²`.
@@ -93,7 +96,7 @@ mod tests {
     #[test]
     fn long_threshold_is_strict() {
         let p = EpsilonParams::new(0.3).unwrap(); // k = 4
-        // T = 30 -> T/k = 7.5; long iff t > 7.5.
+                                                  // T = 30 -> T/k = 7.5; long iff t > 7.5.
         assert!(!p.is_long(7, 30));
         assert!(p.is_long(8, 30));
         // T = 28 -> threshold exactly 7; t = 7 is NOT long (strict >).

@@ -134,7 +134,7 @@ mod tests {
         assert_eq!(p.long.len(), 5);
         let r = RoundedLongJobs::round(&inst, &params(), &p);
         assert_eq!(r.unit, 2); // ceil(22/16)
-        // class(6) = 3, class(11) = 5.
+                               // class(6) = 3, class(11) = 5.
         assert_eq!(r.counts[2], 2);
         assert_eq!(r.counts[4], 3);
         assert_eq!(r.counts.iter().sum::<u32>(), 5);

@@ -11,6 +11,76 @@ use pcmax_core::Time;
 /// Value stored for an unreachable/infeasible subproblem.
 pub const INFEASIBLE: u16 = u16::MAX;
 
+/// Reusable allocation arena threaded through `DpSolver::solve_in`: the
+/// dense value table and the per-level index buckets are allocated once per
+/// PTAS run and recycled across bisection probes, so repeated probes stop
+/// paying the `O(σ)` allocation cost. The counters surface in
+/// `SolveStats`, making the reuse observable from the outside.
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    /// Recycled backing store for [`DpTable::values`].
+    values: Vec<u16>,
+    /// Recycled per-level index buckets (outer vec and inner vecs both keep
+    /// their capacity between probes).
+    buckets: Vec<Vec<u32>>,
+    /// Table builds that had to grow the backing allocation.
+    pub tables_allocated: u64,
+    /// Table builds served entirely from recycled capacity.
+    pub tables_reused: u64,
+    /// Total DP entries initialized across all builds using this scratch.
+    pub entries_touched: u64,
+}
+
+impl DpScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-grows the value store to hold `entries` entries. Counts as one
+    /// allocation if it actually grows — the PTAS driver reserves the
+    /// largest table of the bracket up front so every probe then reuses.
+    pub fn reserve(&mut self, entries: usize) {
+        if self.values.capacity() < entries {
+            self.values.reserve(entries - self.values.len());
+            self.tables_allocated += 1;
+        }
+    }
+
+    /// Returns a finished table's backing store for the next probe.
+    pub fn recycle(&mut self, table: DpTable) {
+        if table.values.capacity() > self.values.capacity() {
+            self.values = table.values;
+        }
+    }
+
+    /// Hands out the recycled level-bucket storage (give it back with
+    /// [`return_buckets`](Self::return_buckets)).
+    pub fn take_buckets(&mut self) -> Vec<Vec<u32>> {
+        std::mem::take(&mut self.buckets)
+    }
+
+    /// Returns bucket storage for reuse by the next probe.
+    pub fn return_buckets(&mut self, buckets: Vec<Vec<u32>>) {
+        self.buckets = buckets;
+    }
+
+    /// Takes a value buffer of exactly `len` entries, all [`INFEASIBLE`],
+    /// reusing recycled capacity when possible.
+    fn take_values(&mut self, len: usize) -> Vec<u16> {
+        let mut values = std::mem::take(&mut self.values);
+        if values.capacity() >= len {
+            self.tables_reused += 1;
+        } else {
+            self.tables_allocated += 1;
+        }
+        values.clear();
+        values.resize(len, INFEASIBLE);
+        self.entries_touched += len as u64;
+        values
+    }
+}
+
 /// Mixed-radix index space over the active classes of a rounded vector `N`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpTable {
@@ -33,6 +103,50 @@ impl DpTable {
     /// rounding unit `unit`. Returns `None` if σ would exceed `max_entries`
     /// (a guard against pathological ε/instance combinations).
     pub fn new(counts: &[u32], unit: Time, max_entries: usize) -> Option<Self> {
+        let (active, dims, strides, len, sizes) = Self::layout(counts, unit, max_entries)?;
+        Some(Self {
+            active,
+            dims,
+            strides,
+            len,
+            sizes,
+            values: vec![INFEASIBLE; len],
+        })
+    }
+
+    /// Like [`new`](Self::new), but the value store comes from (and its
+    /// allocation is accounted to) the reusable `scratch` arena.
+    pub fn new_in(
+        counts: &[u32],
+        unit: Time,
+        max_entries: usize,
+        scratch: &mut DpScratch,
+    ) -> Option<Self> {
+        let (active, dims, strides, len, sizes) = Self::layout(counts, unit, max_entries)?;
+        Some(Self {
+            active,
+            dims,
+            strides,
+            len,
+            sizes,
+            values: scratch.take_values(len),
+        })
+    }
+
+    /// Number of entries σ the table for `counts` would need, without
+    /// building it (`None` if over `max_entries`). Used to pre-size the
+    /// scratch arena for the largest table of a bisection bracket.
+    pub fn entries_needed(counts: &[u32], unit: Time, max_entries: usize) -> Option<usize> {
+        Self::layout(counts, unit, max_entries).map(|(_, _, _, len, _)| len)
+    }
+
+    /// Computes the active classes, radices, strides, σ and class sizes.
+    #[allow(clippy::type_complexity)]
+    fn layout(
+        counts: &[u32],
+        unit: Time,
+        max_entries: usize,
+    ) -> Option<(Vec<usize>, Vec<u32>, Vec<usize>, usize, Vec<Time>)> {
         let mut active = Vec::new();
         let mut dims = Vec::new();
         let mut sizes = Vec::new();
@@ -53,14 +167,7 @@ impl DpTable {
                 return None;
             }
         }
-        Some(Self {
-            active,
-            dims,
-            strides,
-            len,
-            sizes,
-            values: vec![INFEASIBLE; len],
-        })
+        Some((active, dims, strides, len, sizes))
     }
 
     /// Index of a vector over active classes.
@@ -131,7 +238,20 @@ impl DpTable {
     /// Buckets all indices by anti-diagonal level. `buckets[l]` lists the
     /// table indices whose digit sum is `l`, in increasing index order.
     pub fn level_buckets(&self) -> Vec<Vec<u32>> {
-        let mut buckets = vec![Vec::new(); self.levels() as usize];
+        let mut buckets = Vec::new();
+        self.fill_level_buckets(&mut buckets);
+        buckets
+    }
+
+    /// Like [`level_buckets`](Self::level_buckets), but writing into
+    /// `buckets`, reusing the outer and inner allocations — the form the
+    /// wavefront executors use together with [`DpScratch`].
+    pub fn fill_level_buckets(&self, buckets: &mut Vec<Vec<u32>>) {
+        let levels = self.levels() as usize;
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        buckets.resize_with(levels, Vec::new);
         // Incremental mixed-radix counter with running digit sum: O(σ).
         let mut v = vec![0u32; self.dims.len()];
         let mut sum = 0u32;
@@ -148,7 +268,6 @@ impl DpTable {
                 v[a] = 0;
             }
         }
-        buckets
     }
 }
 
@@ -235,5 +354,48 @@ mod tests {
         let mut config = vec![0u32; 16];
         config[0] = 1; // class 1 is inactive
         assert!(t.project_config(&config).is_none());
+    }
+
+    #[test]
+    fn scratch_reuses_capacity_across_builds() {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        let mut scratch = DpScratch::new();
+        let t1 = DpTable::new_in(&counts, 2, 1 << 20, &mut scratch).unwrap();
+        assert_eq!((scratch.tables_allocated, scratch.tables_reused), (1, 0));
+        scratch.recycle(t1);
+        let t2 = DpTable::new_in(&counts, 2, 1 << 20, &mut scratch).unwrap();
+        assert_eq!((scratch.tables_allocated, scratch.tables_reused), (1, 1));
+        assert!(t2.values.iter().all(|&v| v == INFEASIBLE));
+        assert_eq!(scratch.entries_touched, 24);
+    }
+
+    #[test]
+    fn scratch_reserve_makes_first_build_a_reuse() {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        let needed = DpTable::entries_needed(&counts, 2, 1 << 20).unwrap();
+        assert_eq!(needed, 12);
+        let mut scratch = DpScratch::new();
+        scratch.reserve(needed);
+        assert_eq!(scratch.tables_allocated, 1);
+        let _t = DpTable::new_in(&counts, 2, 1 << 20, &mut scratch).unwrap();
+        assert_eq!((scratch.tables_allocated, scratch.tables_reused), (1, 1));
+    }
+
+    #[test]
+    fn fill_level_buckets_matches_fresh_and_reuses_storage() {
+        let t = paper_table();
+        let fresh = t.level_buckets();
+        let mut scratch = DpScratch::new();
+        let mut buckets = scratch.take_buckets();
+        t.fill_level_buckets(&mut buckets);
+        assert_eq!(buckets, fresh);
+        // A second fill (e.g. the next probe) reuses and stays correct.
+        t.fill_level_buckets(&mut buckets);
+        assert_eq!(buckets, fresh);
+        scratch.return_buckets(buckets);
     }
 }

@@ -117,11 +117,7 @@ mod tests {
         // The last entry dominates every other entry's config count.
         let trace = dp_trace(&paper_problem()).unwrap();
         let last = *trace.levels.last().unwrap().last().unwrap();
-        assert!(trace
-            .levels
-            .iter()
-            .flatten()
-            .all(|&c| c <= last));
+        assert!(trace.levels.iter().flatten().all(|&c| c <= last));
     }
 
     #[test]

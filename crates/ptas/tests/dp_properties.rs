@@ -2,7 +2,9 @@
 //! each other and with a brute-force bin-packing reference on randomized
 //! rounded problems.
 
-use pcmax_ptas::dp::{verify_witness, DpProblem, DpSolver, IterativeDp, MemoizedDp, RegenerateConfigsDp};
+use pcmax_ptas::dp::{
+    verify_witness, DpProblem, DpSolver, IterativeDp, MemoizedDp, RegenerateConfigsDp,
+};
 use proptest::prelude::*;
 
 /// Brute force: minimum machines to pack the rounded jobs (expanded to a
@@ -52,11 +54,7 @@ fn brute_min_machines(counts: &[u32], unit: u64, target: u64) -> Option<u32> {
 }
 
 fn arb_problem() -> impl Strategy<Value = DpProblem> {
-    (
-        prop::collection::vec(0u32..=3, 2..=4),
-        1u64..=4,
-        5u64..=30,
-    )
+    (prop::collection::vec(0u32..=3, 2..=4), 1u64..=4, 5u64..=30)
         .prop_map(|(counts, unit, target)| DpProblem::new(counts, unit, target, 1000))
 }
 

@@ -5,10 +5,9 @@
 
 use crate::executor::{simulate_trace, SimParams, SimReport};
 use pcmax_ptas::DpTrace;
-use serde::Serialize;
 
 /// Derived metrics for one `(trace, P)` pair.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ParallelMetrics {
     /// Processor count.
     pub processors: usize,

@@ -1,11 +1,10 @@
 //! Level-synchronized simulation of one DP evaluation.
 
 use pcmax_ptas::DpTrace;
-use serde::{Deserialize, Serialize};
 
 /// Cost-model parameters of the simulated machine, in the same abstract
 /// cost units as the trace (≈ one configuration scan each).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimParams {
     /// Number of processors `P`.
     pub processors: usize,
@@ -37,7 +36,7 @@ impl SimParams {
 }
 
 /// Result of simulating one trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimReport {
     /// Simulated parallel time (cost units) on `P` processors.
     pub time: u64,

@@ -45,12 +45,8 @@ pub fn simulate_ptas(inst: &Instance, epsilon: f64, params: SimParams) -> Result
     let out = driver.solve_detailed(inst)?;
     let mut probes = Vec::with_capacity(out.log.probes.len());
     for probe in &out.log.probes {
-        let (problem, _, _) = rounded_problem(
-            inst,
-            &eps,
-            probe.target,
-            DpProblem::DEFAULT_MAX_ENTRIES,
-        );
+        let (problem, _, _) =
+            rounded_problem(inst, &eps, probe.target, DpProblem::DEFAULT_MAX_ENTRIES);
         let trace = dp_trace(&problem)?;
         probes.push(simulate_trace(&trace, &params));
     }

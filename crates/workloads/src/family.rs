@@ -1,15 +1,13 @@
 //! Instance families: a distribution of processing times plus `(m, n)`.
 
-use serde::{Deserialize, Serialize};
+use pcmax_core::rng::SplitMix64;
 use std::fmt;
-
-// `rand` is used by `Distribution::sample`.
 
 /// The processing-time distributions used in Section V of the paper.
 ///
 /// The interval bounds of the first and last variants depend on the instance
 /// shape (`m` or `n`), mirroring the paper's `U(1, 2m−1)` and `U(1, 10n)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Distribution {
     /// `U(1, 2m−1)` — times scale with the number of machines.
     U1TwoMMinus1,
@@ -57,7 +55,9 @@ impl Distribution {
             Distribution::U1To100 => (1, 100),
             Distribution::U1To10 => (1, 10),
             Distribution::U1To10N => (1, (10 * n as u64).max(1)),
-            Distribution::UMTo2MMinus1 => (m as u64, (2 * m as u64).saturating_sub(1).max(m as u64)),
+            Distribution::UMTo2MMinus1 => {
+                (m as u64, (2 * m as u64).saturating_sub(1).max(m as u64))
+            }
             Distribution::U95To105 => (95, 105),
             Distribution::Uniform { lo, hi } => (lo, hi),
             Distribution::Bimodal { short, long, .. } => (short.0.min(long.0), short.1.max(long.1)),
@@ -67,7 +67,7 @@ impl Distribution {
     }
 
     /// Draws one processing time. All variants guarantee a result ≥ 1.
-    pub fn sample(&self, rng: &mut impl rand::Rng, m: usize, n: usize) -> u64 {
+    pub fn sample(&self, rng: &mut SplitMix64, m: usize, n: usize) -> u64 {
         match *self {
             Distribution::Bimodal {
                 short,
@@ -76,10 +76,10 @@ impl Distribution {
             } => {
                 assert!(short.0 >= 1 && short.0 <= short.1, "bad short interval");
                 assert!(long.0 >= 1 && long.0 <= long.1, "bad long interval");
-                if rng.gen_range(0..1000) < long_permille as u32 {
-                    rng.gen_range(long.0..=long.1)
+                if rng.below(1000) < long_permille as u64 {
+                    rng.range_inclusive(long.0, long.1)
                 } else {
-                    rng.gen_range(short.0..=short.1)
+                    rng.range_inclusive(short.0, short.1)
                 }
             }
             Distribution::Geometric { mean } => {
@@ -89,14 +89,14 @@ impl Distribution {
                     return 1;
                 }
                 let p = 1.0 / mean as f64;
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
                 let v = (u.ln() / (1.0 - p).ln()).floor() as u64 + 1;
                 v.max(1)
             }
             _ => {
                 let (lo, hi) = self.interval(m, n);
                 assert!(lo >= 1 && lo <= hi, "invalid interval [{lo}, {hi}]");
-                rng.gen_range(lo..=hi)
+                rng.range_inclusive(lo, hi)
             }
         }
     }
@@ -144,7 +144,7 @@ impl fmt::Display for Distribution {
 /// An instance family: machine count, job count and a distribution. Every
 /// experiment in the harness is defined over families, then averaged over a
 /// number of seeded instances per family (20 in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Family {
     /// Number of machines `m`.
     pub machines: usize,
@@ -201,13 +201,12 @@ mod tests {
 
     #[test]
     fn bimodal_samples_stay_in_their_intervals() {
-        use rand::SeedableRng;
         let d = Distribution::Bimodal {
             short: (1, 10),
             long: (100, 200),
             long_permille: 200,
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let mut saw_short = false;
         let mut saw_long = false;
         for _ in 0..500 {
@@ -221,9 +220,8 @@ mod tests {
 
     #[test]
     fn geometric_mean_is_roughly_right() {
-        use rand::SeedableRng;
         let d = Distribution::Geometric { mean: 50 };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         let total: u64 = (0..20_000).map(|_| d.sample(&mut rng, 1, 1)).sum();
         let mean = total as f64 / 20_000.0;
         assert!((40.0..60.0).contains(&mean), "empirical mean {mean}");
@@ -231,9 +229,8 @@ mod tests {
 
     #[test]
     fn geometric_mean_one_is_constant() {
-        use rand::SeedableRng;
         let d = Distribution::Geometric { mean: 1 };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         assert!((0..100).all(|_| d.sample(&mut rng, 1, 1) == 1));
     }
 
@@ -245,7 +242,10 @@ mod tests {
             long_permille: 150,
         };
         assert_eq!(d.to_string(), "Bimodal(U(1,10),U(100,200),15%)");
-        assert_eq!(Distribution::Geometric { mean: 9 }.to_string(), "Geom(mean=9)");
+        assert_eq!(
+            Distribution::Geometric { mean: 9 }.to_string(),
+            "Geom(mean=9)"
+        );
     }
 
     #[test]

@@ -1,18 +1,17 @@
 //! Deterministic seeded instance generation.
 
 use crate::Family;
+use pcmax_core::rng::SplitMix64;
 use pcmax_core::Instance;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Generates one instance of `family`, deterministically from `seed`.
 ///
 /// The same `(family, seed)` pair always yields the same instance, across
-/// platforms, because we use the portable `StdRng` and a derived stream that
-/// also hashes the family parameters (so adjacent seeds of different families
-/// do not alias).
+/// platforms, because we use a portable self-contained SplitMix64 stream
+/// derived from a hash of the family parameters (so adjacent seeds of
+/// different families do not alias).
 pub fn generate(family: Family, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(mix(family, seed));
+    let mut rng = SplitMix64::seed_from_u64(mix(family, seed));
     let times = (0..family.jobs)
         .map(|_| family.dist.sample(&mut rng, family.machines, family.jobs))
         .collect::<Vec<u64>>();

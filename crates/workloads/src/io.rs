@@ -42,12 +42,7 @@ pub fn parse_text(input: &str) -> Result<Instance> {
 /// Serializes an instance in the text format.
 pub fn to_text(inst: &Instance) -> String {
     let times: Vec<String> = inst.times().iter().map(|t| t.to_string()).collect();
-    format!(
-        "{} {}\n{}\n",
-        inst.machines(),
-        inst.jobs(),
-        times.join(" ")
-    )
+    format!("{} {}\n{}\n", inst.machines(), inst.jobs(), times.join(" "))
 }
 
 /// Parses CSV with either a single `time` column or `job,time` columns
@@ -66,12 +61,14 @@ pub fn parse_csv(input: &str, machines: usize) -> Result<Instance> {
     let mut times = Vec::new();
     for (row, line) in lines.enumerate() {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        let field = fields.get(time_col).ok_or_else(|| {
-            Error::BadModel(format!("row {}: missing time column", row + 2))
-        })?;
-        times.push(field.parse::<u64>().map_err(|e| {
-            Error::BadModel(format!("row {}: bad time {field:?}: {e}", row + 2))
-        })?);
+        let field = fields
+            .get(time_col)
+            .ok_or_else(|| Error::BadModel(format!("row {}: missing time column", row + 2)))?;
+        times.push(
+            field.parse::<u64>().map_err(|e| {
+                Error::BadModel(format!("row {}: bad time {field:?}: {e}", row + 2))
+            })?,
+        );
     }
     Instance::new(times, machines)
 }

@@ -3,7 +3,6 @@
 
 use crate::{generator::generate_batch, Distribution, Family};
 use pcmax_core::Instance;
-use serde::{Deserialize, Serialize};
 
 /// All 24 instance families of Section V:
 /// `{m=10,20} × {n=30,50,100} × {U(1,2m−1), U(1,100), U(1,10), U(1,10n)}`.
@@ -30,7 +29,7 @@ pub struct FamilyInstances {
 
 /// Parameters of an experiment sweep: which `(m, n)` shape, how many seeded
 /// repetitions per family, and the base seed.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentSet {
     /// Number of machines `m`.
     pub machines: usize,

@@ -18,8 +18,8 @@ fn main() {
     // Durations (seconds) of 26 test suites from a realistic pipeline:
     // a few monsters, a middle class, and a long tail of small suites.
     let suites = vec![
-        840, 620, 510, 480, 455, 390, 310, 280, 260, 240, 220, 180, 160, 150, 130, 120, 95, 80,
-        70, 60, 45, 40, 30, 25, 20, 15,
+        840, 620, 510, 480, 455, 390, 310, 280, 260, 240, 220, 180, 160, 150, 130, 120, 95, 80, 70,
+        60, 45, 40, 30, 25, 20, 15,
     ];
     let runners = 6;
     let inst = Instance::new(suites, runners).expect("valid instance");

@@ -1,0 +1,52 @@
+//! The solver-engine surface: build solvers from the registry by name,
+//! attach a budget, and read the structured `SolveStats` back — including
+//! the DP-scratch reuse counters that show the PTAS allocates its dense
+//! table once per run and reuses it across every bisection probe.
+
+use pcmax::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let inst = generate(Family::new(10, 50, Distribution::U1To100), 42);
+    println!(
+        "instance: n = {} jobs on m = {} machines\n",
+        inst.jobs(),
+        inst.machines()
+    );
+
+    println!(
+        "{:<12}{:>10}{:>8}{:>14}{:>10}{:>8}",
+        "solver", "makespan", "probes", "dp entries", "tables", "reused"
+    );
+    for spec in comparators() {
+        let solver = spec.build(&SolverParams::default())?;
+        let req =
+            SolveRequest::new(&inst).with_budget(Budget::with_timeout(Duration::from_secs(30)));
+        let report = solver.solve(&req)?;
+        report.schedule.validate(&inst)?;
+        let s = &report.stats;
+        println!(
+            "{:<12}{:>10}{:>8}{:>14}{:>10}{:>8}",
+            spec.name,
+            report.makespan,
+            s.bisection_probes,
+            s.dp_entries_touched,
+            s.dp_tables_allocated,
+            s.dp_tables_reused
+        );
+    }
+
+    // The headline invariant: one table allocation per PTAS run, shared by
+    // every probe of the bisection.
+    let report =
+        pcmax::engine::build("ptas", &SolverParams::default())?.solve(&SolveRequest::new(&inst))?;
+    assert_eq!(report.stats.dp_tables_allocated, 1);
+    assert!(report.stats.bisection_probes > 1);
+    println!(
+        "\nptas: {} bisection probes shared {} table allocation (reused {}x)",
+        report.stats.bisection_probes,
+        report.stats.dp_tables_allocated,
+        report.stats.dp_tables_reused
+    );
+    Ok(())
+}

@@ -32,7 +32,11 @@ fn main() {
     println!(
         "\noptimal makespan: {} ({})",
         exact.best,
-        if exact.proven { "proven" } else { "lower bound" }
+        if exact.proven {
+            "proven"
+        } else {
+            "lower bound"
+        }
     );
     for (name, ms) in [
         ("LPT", Lpt.makespan(&inst).unwrap()),

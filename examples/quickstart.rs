@@ -41,7 +41,10 @@ fn main() {
         ("LPT", Box::new(Lpt)),
         ("MULTIFIT", Box::new(Multifit::default())),
         ("PTAS(0.3)", Box::new(Ptas::new(0.3).unwrap())),
-        ("ParallelPTAS(0.3)", Box::new(ParallelPtas::new(0.3).unwrap())),
+        (
+            "ParallelPTAS(0.3)",
+            Box::new(ParallelPtas::new(0.3).unwrap()),
+        ),
     ];
     println!("\n{:<20}{:>10}{:>10}", "algorithm", "makespan", "ratio");
     for (name, algo) in &algorithms {

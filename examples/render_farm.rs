@@ -17,10 +17,7 @@ fn main() {
     // 48 frame batches for a 12-node farm; durations in minutes, drawn from
     // the paper's large-value family (deterministic seed).
     let farm_nodes = 12;
-    let inst = generate(
-        Family::new(farm_nodes, 48, Distribution::U1To10N),
-        2024,
-    );
+    let inst = generate(Family::new(farm_nodes, 48, Distribution::U1To10N), 2024);
     println!(
         "render farm: {} batches on {} nodes, total {} minutes of work",
         inst.jobs(),
@@ -48,9 +45,7 @@ fn main() {
         let ms = schedule.makespan(&inst);
         let loads = schedule.loads(&inst);
         let idle: u64 = loads.iter().map(|&w| ms - w).sum();
-        println!(
-            "{name:<26} finish {ms:>5} min, {idle:>5} node-minutes idle",
-        );
+        println!("{name:<26} finish {ms:>5} min, {idle:>5} node-minutes idle",);
     }
 
     // What would the exact optimum cost to compute? (This is the hard

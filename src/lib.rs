@@ -30,9 +30,27 @@
 //! assert!(exact.proven);
 //! assert!((schedule.makespan(&inst) as f64) <= 1.3 * exact.best as f64);
 //! ```
+//!
+//! ## The solver engine
+//!
+//! Every solver is also reachable through the engine registry by a stable
+//! name (`"ls"`, `"lpt"`, `"multifit"`, `"ptas"`, `"par-ptas"`,
+//! `"spec-ptas"`, `"fptas"`, `"exact"`, `"milp"`), with budgets,
+//! cancellation and structured statistics:
+//!
+//! ```
+//! use pcmax::prelude::*;
+//!
+//! let inst = Instance::new(vec![9, 8, 7, 7, 6, 5, 5, 4, 3], 3).unwrap();
+//! let solver = pcmax::engine::build("par-ptas", &SolverParams::default()).unwrap();
+//! let report = solver.solve(&SolveRequest::new(&inst).with_budget(Budget::unlimited())).unwrap();
+//! report.schedule.validate(&inst).unwrap();
+//! assert!(report.stats.bisection_probes >= 1);
+//! ```
 
 pub use pcmax_baselines as baselines;
 pub use pcmax_core as core;
+pub use pcmax_engine as engine;
 pub use pcmax_exact as exact;
 pub use pcmax_fptas as fptas;
 pub use pcmax_milp as milp;
@@ -46,7 +64,11 @@ pub use pcmax_workloads as workloads;
 pub mod prelude {
     pub use pcmax_baselines::{Lpt, Ls, Multifit};
     pub use pcmax_core::{
-        lower_bound, upper_bound, ApproxRatio, Instance, MakespanBounds, Schedule, Scheduler,
+        lower_bound, upper_bound, ApproxRatio, Budget, CancelToken, Instance, MakespanBounds,
+        Schedule, Scheduler, SolveReport, SolveRequest, SolveStats, Solver,
+    };
+    pub use pcmax_engine::{
+        comparators, registry, Guarantee, SolverKind, SolverParams, SolverSpec,
     };
     pub use pcmax_exact::BranchAndBound;
     pub use pcmax_fptas::FixedMachinesFptas;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_configs-6604882e571c710b.d: crates/bench/benches/ablation_configs.rs
+
+/root/repo/target/debug/deps/ablation_configs-6604882e571c710b: crates/bench/benches/ablation_configs.rs
+
+crates/bench/benches/ablation_configs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_configs-a75d51bb1d6585d5.d: crates/bench/benches/ablation_configs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_configs-a75d51bb1d6585d5.rmeta: crates/bench/benches/ablation_configs.rs Cargo.toml
+
+crates/bench/benches/ablation_configs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dp-157414e572cdfddf.d: crates/bench/benches/ablation_dp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dp-157414e572cdfddf.rmeta: crates/bench/benches/ablation_dp.rs Cargo.toml
+
+crates/bench/benches/ablation_dp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dp-fe7d16ccbb1c7066.d: crates/bench/benches/ablation_dp.rs
+
+/root/repo/target/debug/deps/ablation_dp-fe7d16ccbb1c7066: crates/bench/benches/ablation_dp.rs
+
+crates/bench/benches/ablation_dp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epsilon-030e269f2c371f0b.d: crates/bench/benches/ablation_epsilon.rs
+
+/root/repo/target/debug/deps/ablation_epsilon-030e269f2c371f0b: crates/bench/benches/ablation_epsilon.rs
+
+crates/bench/benches/ablation_epsilon.rs:

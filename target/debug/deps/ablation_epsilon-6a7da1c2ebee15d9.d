@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_epsilon-6a7da1c2ebee15d9.d: crates/bench/benches/ablation_epsilon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_epsilon-6a7da1c2ebee15d9.rmeta: crates/bench/benches/ablation_epsilon.rs Cargo.toml
+
+crates/bench/benches/ablation_epsilon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

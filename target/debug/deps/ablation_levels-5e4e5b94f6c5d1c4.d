@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_levels-5e4e5b94f6c5d1c4.d: crates/bench/benches/ablation_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_levels-5e4e5b94f6c5d1c4.rmeta: crates/bench/benches/ablation_levels.rs Cargo.toml
+
+crates/bench/benches/ablation_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_levels-e32781f1b7ce8b9f.d: crates/bench/benches/ablation_levels.rs
+
+/root/repo/target/debug/deps/ablation_levels-e32781f1b7ce8b9f: crates/bench/benches/ablation_levels.rs
+
+crates/bench/benches/ablation_levels.rs:

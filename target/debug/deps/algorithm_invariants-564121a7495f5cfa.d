@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_invariants-564121a7495f5cfa.d: tests/algorithm_invariants.rs
+
+/root/repo/target/debug/deps/algorithm_invariants-564121a7495f5cfa: tests/algorithm_invariants.rs
+
+tests/algorithm_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithm_invariants-dc996975d5ba8513.d: tests/algorithm_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithm_invariants-dc996975d5ba8513.rmeta: tests/algorithm_invariants.rs Cargo.toml
+
+tests/algorithm_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

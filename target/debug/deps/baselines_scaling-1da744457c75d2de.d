@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_scaling-1da744457c75d2de.d: crates/bench/benches/baselines_scaling.rs
+
+/root/repo/target/debug/deps/baselines_scaling-1da744457c75d2de: crates/bench/benches/baselines_scaling.rs
+
+crates/bench/benches/baselines_scaling.rs:

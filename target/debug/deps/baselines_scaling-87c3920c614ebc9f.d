@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_scaling-87c3920c614ebc9f.d: crates/bench/benches/baselines_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_scaling-87c3920c614ebc9f.rmeta: crates/bench/benches/baselines_scaling.rs Cargo.toml
+
+crates/bench/benches/baselines_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/budget_cancel-089e9beab018d35a.d: crates/engine/tests/budget_cancel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbudget_cancel-089e9beab018d35a.rmeta: crates/engine/tests/budget_cancel.rs Cargo.toml
+
+crates/engine/tests/budget_cancel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

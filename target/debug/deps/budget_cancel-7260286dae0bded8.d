@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget_cancel-7260286dae0bded8.d: crates/engine/tests/budget_cancel.rs
+
+/root/repo/target/debug/deps/budget_cancel-7260286dae0bded8: crates/engine/tests/budget_cancel.rs
+
+crates/engine/tests/budget_cancel.rs:

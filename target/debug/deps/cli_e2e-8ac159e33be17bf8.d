@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-8ac159e33be17bf8.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-8ac159e33be17bf8: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_pcmax=/root/repo/target/debug/pcmax

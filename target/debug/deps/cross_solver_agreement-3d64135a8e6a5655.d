@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_solver_agreement-3d64135a8e6a5655.d: tests/cross_solver_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_solver_agreement-3d64135a8e6a5655.rmeta: tests/cross_solver_agreement.rs Cargo.toml
+
+tests/cross_solver_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

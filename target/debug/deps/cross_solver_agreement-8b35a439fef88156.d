@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_solver_agreement-8b35a439fef88156.d: tests/cross_solver_agreement.rs
+
+/root/repo/target/debug/deps/cross_solver_agreement-8b35a439fef88156: tests/cross_solver_agreement.rs
+
+tests/cross_solver_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dp_properties-79af52e9aba30067.d: crates/ptas/tests/dp_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_properties-79af52e9aba30067.rmeta: crates/ptas/tests/dp_properties.rs Cargo.toml
+
+crates/ptas/tests/dp_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dp_properties-7a694d7d8befc17c.d: crates/ptas/tests/dp_properties.rs
+
+/root/repo/target/debug/deps/dp_properties-7a694d7d8befc17c: crates/ptas/tests/dp_properties.rs
+
+crates/ptas/tests/dp_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1f4d89264cef57d0.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1f4d89264cef57d0: tests/extensions.rs
+
+tests/extensions.rs:

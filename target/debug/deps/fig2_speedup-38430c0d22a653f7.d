@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_speedup-38430c0d22a653f7.d: crates/bench/benches/fig2_speedup.rs
+
+/root/repo/target/debug/deps/fig2_speedup-38430c0d22a653f7: crates/bench/benches/fig2_speedup.rs
+
+crates/bench/benches/fig2_speedup.rs:

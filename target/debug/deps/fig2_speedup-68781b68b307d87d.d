@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_speedup-68781b68b307d87d.d: crates/bench/benches/fig2_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_speedup-68781b68b307d87d.rmeta: crates/bench/benches/fig2_speedup.rs Cargo.toml
+
+crates/bench/benches/fig2_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_speedup-25476e0ff90fa3e2.d: crates/bench/benches/fig3_speedup.rs
+
+/root/repo/target/debug/deps/fig3_speedup-25476e0ff90fa3e2: crates/bench/benches/fig3_speedup.rs
+
+crates/bench/benches/fig3_speedup.rs:

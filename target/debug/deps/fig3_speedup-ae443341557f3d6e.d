@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_speedup-ae443341557f3d6e.d: crates/bench/benches/fig3_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_speedup-ae443341557f3d6e.rmeta: crates/bench/benches/fig3_speedup.rs Cargo.toml
+
+crates/bench/benches/fig3_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_speedup-891f4349eccc4340.d: crates/bench/benches/fig4_speedup.rs
+
+/root/repo/target/debug/deps/fig4_speedup-891f4349eccc4340: crates/bench/benches/fig4_speedup.rs
+
+crates/bench/benches/fig4_speedup.rs:

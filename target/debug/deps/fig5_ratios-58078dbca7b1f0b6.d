@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_ratios-58078dbca7b1f0b6.d: crates/bench/benches/fig5_ratios.rs
+
+/root/repo/target/debug/deps/fig5_ratios-58078dbca7b1f0b6: crates/bench/benches/fig5_ratios.rs
+
+crates/bench/benches/fig5_ratios.rs:

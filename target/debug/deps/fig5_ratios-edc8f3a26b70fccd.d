@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_ratios-edc8f3a26b70fccd.d: crates/bench/benches/fig5_ratios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_ratios-edc8f3a26b70fccd.rmeta: crates/bench/benches/fig5_ratios.rs Cargo.toml
+
+crates/bench/benches/fig5_ratios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

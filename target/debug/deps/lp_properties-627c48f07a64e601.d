@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_properties-627c48f07a64e601.d: crates/milp/tests/lp_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_properties-627c48f07a64e601.rmeta: crates/milp/tests/lp_properties.rs Cargo.toml
+
+crates/milp/tests/lp_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

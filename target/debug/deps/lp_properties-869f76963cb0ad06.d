@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_properties-869f76963cb0ad06.d: crates/milp/tests/lp_properties.rs
+
+/root/repo/target/debug/deps/lp_properties-869f76963cb0ad06: crates/milp/tests/lp_properties.rs
+
+crates/milp/tests/lp_properties.rs:

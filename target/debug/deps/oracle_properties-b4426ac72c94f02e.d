@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_properties-b4426ac72c94f02e.d: crates/exact/tests/oracle_properties.rs
+
+/root/repo/target/debug/deps/oracle_properties-b4426ac72c94f02e: crates/exact/tests/oracle_properties.rs
+
+crates/exact/tests/oracle_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_properties-cdc036363d55c8c9.d: crates/exact/tests/oracle_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_properties-cdc036363d55c8c9.rmeta: crates/exact/tests/oracle_properties.rs Cargo.toml
+
+crates/exact/tests/oracle_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-0130de845c4162ab.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-0130de845c4162ab: tests/paper_example.rs
+
+tests/paper_example.rs:

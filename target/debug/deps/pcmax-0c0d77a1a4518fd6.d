@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax-0c0d77a1a4518fd6.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/pcmax-0c0d77a1a4518fd6: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax-42f90b9a84ea0399.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax-42f90b9a84ea0399.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax-6297d0a2b1131bd3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax-6297d0a2b1131bd3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

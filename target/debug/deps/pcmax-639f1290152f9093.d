@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcmax-639f1290152f9093.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax-639f1290152f9093.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax-639f1290152f9093.rmeta: src/lib.rs
+
+src/lib.rs:

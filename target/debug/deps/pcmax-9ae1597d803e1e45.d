@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax-9ae1597d803e1e45.d: src/lib.rs
+
+/root/repo/target/debug/deps/pcmax-9ae1597d803e1e45: src/lib.rs
+
+src/lib.rs:

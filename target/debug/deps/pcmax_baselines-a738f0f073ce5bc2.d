@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcmax_baselines-a738f0f073ce5bc2.d: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+/root/repo/target/debug/deps/libpcmax_baselines-a738f0f073ce5bc2.rlib: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+/root/repo/target/debug/deps/libpcmax_baselines-a738f0f073ce5bc2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lpt.rs:
+crates/baselines/src/ls.rs:
+crates/baselines/src/multifit.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_baselines-e3b5744ed7c3121b.d: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+/root/repo/target/debug/deps/pcmax_baselines-e3b5744ed7c3121b: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lpt.rs:
+crates/baselines/src/ls.rs:
+crates/baselines/src/multifit.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_baselines-ec241e7bc50c6851.d: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_baselines-ec241e7bc50c6851.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lpt.rs:
+crates/baselines/src/ls.rs:
+crates/baselines/src/multifit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

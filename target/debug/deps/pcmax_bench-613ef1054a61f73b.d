@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcmax_bench-613ef1054a61f73b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpcmax_bench-613ef1054a61f73b.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpcmax_bench-613ef1054a61f73b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/families.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/ratios.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcmax_bench-b6a9bb7ee5abc93d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_bench-b6a9bb7ee5abc93d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/families.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/ratios.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

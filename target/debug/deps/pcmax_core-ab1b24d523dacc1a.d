@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pcmax_core-ab1b24d523dacc1a.d: crates/core/src/lib.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gantt.rs crates/core/src/instance.rs crates/core/src/json.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_core-ab1b24d523dacc1a.rmeta: crates/core/src/lib.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gantt.rs crates/core/src/instance.rs crates/core/src/json.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bounds.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/gantt.rs:
+crates/core/src/instance.rs:
+crates/core/src/json.rs:
+crates/core/src/rng.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_engine-266321118f530f39.d: crates/engine/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_engine-266321118f530f39.rmeta: crates/engine/src/lib.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcmax_engine-817284ef9158ca0d.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_engine-817284ef9158ca0d.rlib: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_engine-817284ef9158ca0d.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

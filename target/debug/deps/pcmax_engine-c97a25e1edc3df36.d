@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax_engine-c97a25e1edc3df36.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/pcmax_engine-c97a25e1edc3df36: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

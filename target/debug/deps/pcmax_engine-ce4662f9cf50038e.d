@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_engine-ce4662f9cf50038e.d: crates/engine/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_engine-ce4662f9cf50038e.rmeta: crates/engine/src/lib.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcmax_exact-0827b37a4c15e37f.d: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+/root/repo/target/debug/deps/libpcmax_exact-0827b37a4c15e37f.rlib: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+/root/repo/target/debug/deps/libpcmax_exact-0827b37a4c15e37f.rmeta: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/binpack.rs:
+crates/exact/src/bounds.rs:
+crates/exact/src/improve.rs:
+crates/exact/src/solver.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcmax_exact-53b5bd37b619b999.d: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_exact-53b5bd37b619b999.rmeta: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs Cargo.toml
+
+crates/exact/src/lib.rs:
+crates/exact/src/binpack.rs:
+crates/exact/src/bounds.rs:
+crates/exact/src/improve.rs:
+crates/exact/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_exact-e0a0c7495ec725ea.d: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+/root/repo/target/debug/deps/pcmax_exact-e0a0c7495ec725ea: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/binpack.rs:
+crates/exact/src/bounds.rs:
+crates/exact/src/improve.rs:
+crates/exact/src/solver.rs:

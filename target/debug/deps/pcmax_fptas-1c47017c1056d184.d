@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_fptas-1c47017c1056d184.d: crates/fptas/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_fptas-1c47017c1056d184.rmeta: crates/fptas/src/lib.rs Cargo.toml
+
+crates/fptas/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax_fptas-4eb80e1d0595be2a.d: crates/fptas/src/lib.rs
+
+/root/repo/target/debug/deps/pcmax_fptas-4eb80e1d0595be2a: crates/fptas/src/lib.rs
+
+crates/fptas/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcmax_fptas-9b8514f81b299a98.d: crates/fptas/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_fptas-9b8514f81b299a98.rlib: crates/fptas/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_fptas-9b8514f81b299a98.rmeta: crates/fptas/src/lib.rs
+
+crates/fptas/src/lib.rs:

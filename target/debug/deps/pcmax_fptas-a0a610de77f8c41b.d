@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_fptas-a0a610de77f8c41b.d: crates/fptas/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_fptas-a0a610de77f8c41b.rmeta: crates/fptas/src/lib.rs Cargo.toml
+
+crates/fptas/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

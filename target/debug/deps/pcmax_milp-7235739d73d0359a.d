@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcmax_milp-7235739d73d0359a.d: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/debug/deps/libpcmax_milp-7235739d73d0359a.rlib: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/debug/deps/libpcmax_milp-7235739d73d0359a.rmeta: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/formulation.rs:
+crates/milp/src/lp.rs:
+crates/milp/src/milp.rs:

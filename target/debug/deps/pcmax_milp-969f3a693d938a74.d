@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_milp-969f3a693d938a74.d: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_milp-969f3a693d938a74.rmeta: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs Cargo.toml
+
+crates/milp/src/lib.rs:
+crates/milp/src/formulation.rs:
+crates/milp/src/lp.rs:
+crates/milp/src/milp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

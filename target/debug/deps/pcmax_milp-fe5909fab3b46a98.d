@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_milp-fe5909fab3b46a98.d: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/debug/deps/pcmax_milp-fe5909fab3b46a98: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/formulation.rs:
+crates/milp/src/lp.rs:
+crates/milp/src/milp.rs:

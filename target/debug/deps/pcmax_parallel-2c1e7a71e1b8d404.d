@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_parallel-2c1e7a71e1b8d404.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/debug/deps/pcmax_parallel-2c1e7a71e1b8d404: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/scoped.rs:
+crates/parallel/src/speculative.rs:
+crates/parallel/src/wavefront.rs:

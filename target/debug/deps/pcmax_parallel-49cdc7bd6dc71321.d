@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcmax_parallel-49cdc7bd6dc71321.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/debug/deps/libpcmax_parallel-49cdc7bd6dc71321.rlib: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/debug/deps/libpcmax_parallel-49cdc7bd6dc71321.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/scoped.rs:
+crates/parallel/src/speculative.rs:
+crates/parallel/src/wavefront.rs:

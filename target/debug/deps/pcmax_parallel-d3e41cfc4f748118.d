@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcmax_parallel-d3e41cfc4f748118.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_parallel-d3e41cfc4f748118.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/scoped.rs:
+crates/parallel/src/speculative.rs:
+crates/parallel/src/wavefront.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcmax_pram-3139624980970fce.d: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+/root/repo/target/debug/deps/libpcmax_pram-3139624980970fce.rlib: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+/root/repo/target/debug/deps/libpcmax_pram-3139624980970fce.rmeta: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/dp.rs:
+crates/pram/src/machine.rs:
+crates/pram/src/primitives.rs:

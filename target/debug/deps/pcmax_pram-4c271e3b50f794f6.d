@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_pram-4c271e3b50f794f6.d: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_pram-4c271e3b50f794f6.rmeta: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs Cargo.toml
+
+crates/pram/src/lib.rs:
+crates/pram/src/dp.rs:
+crates/pram/src/machine.rs:
+crates/pram/src/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_pram-57f8ac956234e86a.d: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+/root/repo/target/debug/deps/pcmax_pram-57f8ac956234e86a: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/dp.rs:
+crates/pram/src/machine.rs:
+crates/pram/src/primitives.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_pram-95b0f392a13fdbaf.d: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_pram-95b0f392a13fdbaf.rmeta: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs Cargo.toml
+
+crates/pram/src/lib.rs:
+crates/pram/src/dp.rs:
+crates/pram/src/machine.rs:
+crates/pram/src/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcmax_ptas-0300a7b58e1b30d5.d: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_ptas-0300a7b58e1b30d5.rmeta: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs Cargo.toml
+
+crates/ptas/src/lib.rs:
+crates/ptas/src/config.rs:
+crates/ptas/src/dp.rs:
+crates/ptas/src/driver.rs:
+crates/ptas/src/params.rs:
+crates/ptas/src/rounding.rs:
+crates/ptas/src/table.rs:
+crates/ptas/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

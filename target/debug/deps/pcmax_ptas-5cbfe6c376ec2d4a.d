@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_ptas-5cbfe6c376ec2d4a.d: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+/root/repo/target/debug/deps/pcmax_ptas-5cbfe6c376ec2d4a: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+crates/ptas/src/lib.rs:
+crates/ptas/src/config.rs:
+crates/ptas/src/dp.rs:
+crates/ptas/src/driver.rs:
+crates/ptas/src/params.rs:
+crates/ptas/src/rounding.rs:
+crates/ptas/src/table.rs:
+crates/ptas/src/trace.rs:

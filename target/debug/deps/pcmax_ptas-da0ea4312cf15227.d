@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcmax_ptas-da0ea4312cf15227.d: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+/root/repo/target/debug/deps/libpcmax_ptas-da0ea4312cf15227.rlib: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+/root/repo/target/debug/deps/libpcmax_ptas-da0ea4312cf15227.rmeta: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+crates/ptas/src/lib.rs:
+crates/ptas/src/config.rs:
+crates/ptas/src/dp.rs:
+crates/ptas/src/driver.rs:
+crates/ptas/src/params.rs:
+crates/ptas/src/rounding.rs:
+crates/ptas/src/table.rs:
+crates/ptas/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_simcore-0d758f1565352ca7.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_simcore-0d758f1565352ca7.rmeta: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

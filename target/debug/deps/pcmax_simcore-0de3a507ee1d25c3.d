@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcmax_simcore-0de3a507ee1d25c3.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/debug/deps/libpcmax_simcore-0de3a507ee1d25c3.rlib: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/debug/deps/libpcmax_simcore-0de3a507ee1d25c3.rmeta: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:

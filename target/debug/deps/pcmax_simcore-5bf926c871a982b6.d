@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_simcore-5bf926c871a982b6.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/debug/deps/pcmax_simcore-5bf926c871a982b6: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:

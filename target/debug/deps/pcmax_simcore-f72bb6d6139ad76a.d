@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_simcore-f72bb6d6139ad76a.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_simcore-f72bb6d6139ad76a.rmeta: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

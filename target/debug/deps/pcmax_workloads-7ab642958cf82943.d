@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_workloads-7ab642958cf82943.d: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpcmax_workloads-7ab642958cf82943.rlib: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpcmax_workloads-7ab642958cf82943.rmeta: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/family.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/special.rs:
+crates/workloads/src/suite.rs:

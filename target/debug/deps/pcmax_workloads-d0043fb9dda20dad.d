@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcmax_workloads-d0043fb9dda20dad.d: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcmax_workloads-d0043fb9dda20dad.rmeta: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/family.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/special.rs:
+crates/workloads/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/registry_properties-54c09d711850f938.d: crates/engine/tests/registry_properties.rs
+
+/root/repo/target/debug/deps/registry_properties-54c09d711850f938: crates/engine/tests/registry_properties.rs
+
+crates/engine/tests/registry_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/registry_properties-5a8810782232b66a.d: crates/engine/tests/registry_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregistry_properties-5a8810782232b66a.rmeta: crates/engine/tests/registry_properties.rs Cargo.toml
+
+crates/engine/tests/registry_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

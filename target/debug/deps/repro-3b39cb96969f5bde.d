@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3b39cb96969f5bde.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-3b39cb96969f5bde: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

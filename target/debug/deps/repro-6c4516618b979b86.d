@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6c4516618b979b86.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6c4516618b979b86: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

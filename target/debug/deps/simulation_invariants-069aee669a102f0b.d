@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_invariants-069aee669a102f0b.d: tests/simulation_invariants.rs
+
+/root/repo/target/debug/deps/simulation_invariants-069aee669a102f0b: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

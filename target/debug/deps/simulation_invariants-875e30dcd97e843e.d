@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_invariants-875e30dcd97e843e.d: tests/simulation_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_invariants-875e30dcd97e843e.rmeta: tests/simulation_invariants.rs Cargo.toml
+
+tests/simulation_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speculative_bisection-37948481ef310e27.d: crates/bench/benches/speculative_bisection.rs
+
+/root/repo/target/debug/deps/speculative_bisection-37948481ef310e27: crates/bench/benches/speculative_bisection.rs
+
+crates/bench/benches/speculative_bisection.rs:

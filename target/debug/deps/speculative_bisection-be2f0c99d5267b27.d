@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speculative_bisection-be2f0c99d5267b27.d: crates/bench/benches/speculative_bisection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeculative_bisection-be2f0c99d5267b27.rmeta: crates/bench/benches/speculative_bisection.rs Cargo.toml
+
+crates/bench/benches/speculative_bisection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

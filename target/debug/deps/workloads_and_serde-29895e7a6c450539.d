@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads_and_serde-29895e7a6c450539.d: tests/workloads_and_serde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads_and_serde-29895e7a6c450539.rmeta: tests/workloads_and_serde.rs Cargo.toml
+
+tests/workloads_and_serde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

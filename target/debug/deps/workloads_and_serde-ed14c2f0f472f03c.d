@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_and_serde-ed14c2f0f472f03c.d: tests/workloads_and_serde.rs
+
+/root/repo/target/debug/deps/workloads_and_serde-ed14c2f0f472f03c: tests/workloads_and_serde.rs
+
+tests/workloads_and_serde.rs:

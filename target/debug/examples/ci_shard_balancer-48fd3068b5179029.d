@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ci_shard_balancer-48fd3068b5179029.d: examples/ci_shard_balancer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libci_shard_balancer-48fd3068b5179029.rmeta: examples/ci_shard_balancer.rs Cargo.toml
+
+examples/ci_shard_balancer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

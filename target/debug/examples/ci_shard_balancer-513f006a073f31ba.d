@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ci_shard_balancer-513f006a073f31ba.d: examples/ci_shard_balancer.rs
+
+/root/repo/target/debug/examples/ci_shard_balancer-513f006a073f31ba: examples/ci_shard_balancer.rs
+
+examples/ci_shard_balancer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/core_count_planner-1e3bed0fec1e71ee.d: examples/core_count_planner.rs
+
+/root/repo/target/debug/examples/core_count_planner-1e3bed0fec1e71ee: examples/core_count_planner.rs
+
+examples/core_count_planner.rs:

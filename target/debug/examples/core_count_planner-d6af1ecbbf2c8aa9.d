@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/core_count_planner-d6af1ecbbf2c8aa9.d: examples/core_count_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcore_count_planner-d6af1ecbbf2c8aa9.rmeta: examples/core_count_planner.rs Cargo.toml
+
+examples/core_count_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

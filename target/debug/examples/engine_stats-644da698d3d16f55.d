@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_stats-644da698d3d16f55.d: examples/engine_stats.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_stats-644da698d3d16f55.rmeta: examples/engine_stats.rs Cargo.toml
+
+examples/engine_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_stats-bd97259c20e1af7e.d: examples/engine_stats.rs
+
+/root/repo/target/debug/examples/engine_stats-bd97259c20e1af7e: examples/engine_stats.rs
+
+examples/engine_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hpc_cluster-5c6ffcf29e3381cb.d: examples/hpc_cluster.rs
+
+/root/repo/target/debug/examples/hpc_cluster-5c6ffcf29e3381cb: examples/hpc_cluster.rs
+
+examples/hpc_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hpc_cluster-bfd4220037568484.d: examples/hpc_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhpc_cluster-bfd4220037568484.rmeta: examples/hpc_cluster.rs Cargo.toml
+
+examples/hpc_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

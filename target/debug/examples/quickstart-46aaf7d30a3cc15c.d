@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-46aaf7d30a3cc15c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-46aaf7d30a3cc15c: examples/quickstart.rs
+
+examples/quickstart.rs:

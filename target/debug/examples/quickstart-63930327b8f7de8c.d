@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-63930327b8f7de8c.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-63930327b8f7de8c.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

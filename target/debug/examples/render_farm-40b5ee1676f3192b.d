@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/render_farm-40b5ee1676f3192b.d: examples/render_farm.rs
+
+/root/repo/target/debug/examples/render_farm-40b5ee1676f3192b: examples/render_farm.rs
+
+examples/render_farm.rs:

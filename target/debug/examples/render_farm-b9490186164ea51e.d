@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/render_farm-b9490186164ea51e.d: examples/render_farm.rs Cargo.toml
+
+/root/repo/target/debug/examples/librender_farm-b9490186164ea51e.rmeta: examples/render_farm.rs Cargo.toml
+
+examples/render_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

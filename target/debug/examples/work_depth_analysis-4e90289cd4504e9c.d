@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/work_depth_analysis-4e90289cd4504e9c.d: examples/work_depth_analysis.rs
+
+/root/repo/target/debug/examples/work_depth_analysis-4e90289cd4504e9c: examples/work_depth_analysis.rs
+
+examples/work_depth_analysis.rs:

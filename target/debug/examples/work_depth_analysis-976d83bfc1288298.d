@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/work_depth_analysis-976d83bfc1288298.d: examples/work_depth_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwork_depth_analysis-976d83bfc1288298.rmeta: examples/work_depth_analysis.rs Cargo.toml
+
+examples/work_depth_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

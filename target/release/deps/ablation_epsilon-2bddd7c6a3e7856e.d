@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_epsilon-2bddd7c6a3e7856e.d: crates/bench/benches/ablation_epsilon.rs
+
+/root/repo/target/release/deps/ablation_epsilon-2bddd7c6a3e7856e: crates/bench/benches/ablation_epsilon.rs
+
+crates/bench/benches/ablation_epsilon.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcmax-1c2a4c9791d468f9.d: src/lib.rs
+
+/root/repo/target/release/deps/libpcmax-1c2a4c9791d468f9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpcmax-1c2a4c9791d468f9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pcmax-bfb88a8adbc7c90a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/release/deps/pcmax-bfb88a8adbc7c90a: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pcmax_baselines-84453444b3fa691d.d: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+/root/repo/target/release/deps/libpcmax_baselines-84453444b3fa691d.rlib: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+/root/repo/target/release/deps/libpcmax_baselines-84453444b3fa691d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lpt.rs:
+crates/baselines/src/ls.rs:
+crates/baselines/src/multifit.rs:

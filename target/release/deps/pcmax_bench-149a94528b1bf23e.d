@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pcmax_bench-149a94528b1bf23e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpcmax_bench-149a94528b1bf23e.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpcmax_bench-149a94528b1bf23e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/families.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/ratios.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcmax_engine-ee4eee6100846988.d: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/libpcmax_engine-ee4eee6100846988.rlib: crates/engine/src/lib.rs
+
+/root/repo/target/release/deps/libpcmax_engine-ee4eee6100846988.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcmax_exact-77b7eb01b7261929.d: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+/root/repo/target/release/deps/libpcmax_exact-77b7eb01b7261929.rlib: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+/root/repo/target/release/deps/libpcmax_exact-77b7eb01b7261929.rmeta: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/binpack.rs:
+crates/exact/src/bounds.rs:
+crates/exact/src/improve.rs:
+crates/exact/src/solver.rs:

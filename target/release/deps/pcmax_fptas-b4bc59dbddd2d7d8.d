@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcmax_fptas-b4bc59dbddd2d7d8.d: crates/fptas/src/lib.rs
+
+/root/repo/target/release/deps/libpcmax_fptas-b4bc59dbddd2d7d8.rlib: crates/fptas/src/lib.rs
+
+/root/repo/target/release/deps/libpcmax_fptas-b4bc59dbddd2d7d8.rmeta: crates/fptas/src/lib.rs
+
+crates/fptas/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pcmax_milp-fcbd9667b9db33dc.d: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/release/deps/libpcmax_milp-fcbd9667b9db33dc.rlib: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/release/deps/libpcmax_milp-fcbd9667b9db33dc.rmeta: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/formulation.rs:
+crates/milp/src/lp.rs:
+crates/milp/src/milp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcmax_parallel-c9ae6f118352600f.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/release/deps/libpcmax_parallel-c9ae6f118352600f.rlib: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/release/deps/libpcmax_parallel-c9ae6f118352600f.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/scoped.rs:
+crates/parallel/src/speculative.rs:
+crates/parallel/src/wavefront.rs:

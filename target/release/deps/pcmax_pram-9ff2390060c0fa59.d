@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pcmax_pram-9ff2390060c0fa59.d: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+/root/repo/target/release/deps/libpcmax_pram-9ff2390060c0fa59.rlib: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+/root/repo/target/release/deps/libpcmax_pram-9ff2390060c0fa59.rmeta: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/dp.rs:
+crates/pram/src/machine.rs:
+crates/pram/src/primitives.rs:

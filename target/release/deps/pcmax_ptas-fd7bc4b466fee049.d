@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pcmax_ptas-fd7bc4b466fee049.d: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+/root/repo/target/release/deps/libpcmax_ptas-fd7bc4b466fee049.rlib: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+/root/repo/target/release/deps/libpcmax_ptas-fd7bc4b466fee049.rmeta: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+crates/ptas/src/lib.rs:
+crates/ptas/src/config.rs:
+crates/ptas/src/dp.rs:
+crates/ptas/src/driver.rs:
+crates/ptas/src/params.rs:
+crates/ptas/src/rounding.rs:
+crates/ptas/src/table.rs:
+crates/ptas/src/trace.rs:

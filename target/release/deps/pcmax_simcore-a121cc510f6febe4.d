@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pcmax_simcore-a121cc510f6febe4.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/release/deps/libpcmax_simcore-a121cc510f6febe4.rlib: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/release/deps/libpcmax_simcore-a121cc510f6febe4.rmeta: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pcmax_workloads-75bbb62700e805f2.d: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libpcmax_workloads-75bbb62700e805f2.rlib: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libpcmax_workloads-75bbb62700e805f2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/family.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/special.rs:
+crates/workloads/src/suite.rs:

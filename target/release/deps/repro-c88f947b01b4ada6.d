@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c88f947b01b4ada6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c88f947b01b4ada6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

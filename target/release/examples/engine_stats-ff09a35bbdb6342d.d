@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_stats-ff09a35bbdb6342d.d: examples/engine_stats.rs
+
+/root/repo/target/release/examples/engine_stats-ff09a35bbdb6342d: examples/engine_stats.rs
+
+examples/engine_stats.rs:

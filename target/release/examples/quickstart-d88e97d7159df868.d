@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d88e97d7159df868.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d88e97d7159df868: examples/quickstart.rs
+
+examples/quickstart.rs:

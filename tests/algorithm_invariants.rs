@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 /// Random instances: 1..=24 jobs with times 1..=60, on 1..=6 machines.
 fn arb_instance() -> impl Strategy<Value = Instance> {
-    (
-        prop::collection::vec(1u64..=60, 1..=24),
-        1usize..=6,
-    )
+    (prop::collection::vec(1u64..=60, 1..=24), 1usize..=6)
         .prop_map(|(times, m)| Instance::new(times, m).unwrap())
 }
 
@@ -17,19 +14,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn all_algorithms_produce_valid_schedules(inst in arb_instance()) {
-        let algos: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(Ls),
-            Box::new(Lpt),
-            Box::new(Multifit::default()),
-            Box::new(Ptas::new(0.3).unwrap()),
-            Box::new(ParallelPtas::new(0.3).unwrap()),
-        ];
-        for algo in &algos {
-            let s = algo.schedule(&inst).unwrap();
-            s.validate(&inst).unwrap();
-            prop_assert!(s.makespan(&inst) >= lower_bound(&inst));
-            prop_assert!(s.makespan(&inst) <= upper_bound(&inst));
+    fn all_registered_comparators_produce_valid_schedules(inst in arb_instance()) {
+        // Enumerate the engine registry rather than a hard-coded list, so
+        // new polynomial solvers are covered the moment they are registered.
+        // (The exponential solvers — exact, milp, fptas — are exercised on
+        // suitably small instances in crates/engine/tests.)
+        for spec in comparators() {
+            let solver = spec.build(&SolverParams::default()).unwrap();
+            let report = solver.solve(&SolveRequest::new(&inst)).unwrap();
+            report.schedule.validate(&inst).unwrap();
+            prop_assert_eq!(report.makespan, report.schedule.makespan(&inst));
+            prop_assert!(report.makespan >= lower_bound(&inst), "{}", spec.name);
+            prop_assert!(report.makespan <= upper_bound(&inst), "{}", spec.name);
         }
     }
 

@@ -3,9 +3,9 @@
 //! of one rounded size and three of another, the 12-entry DP table of
 //! Table I, and the anti-diagonal level structure of Figure 1.
 
+use pcmax::parallel::{ParallelDp, ScopedDp};
 use pcmax::ptas::dp::DpSolver;
 use pcmax::ptas::{DpProblem, EpsilonParams, IterativeDp, MemoizedDp};
-use pcmax::parallel::{ParallelDp, ScopedDp};
 
 fn paper_problem() -> DpProblem {
     // N has two non-zero classes; with unit ⌈30/16⌉ = 2 the jobs of original

@@ -1,8 +1,8 @@
 //! Invariants of the simulated multicore executor against the real PTAS.
 
 use pcmax::prelude::*;
-use pcmax::simcore::simulate_trace;
 use pcmax::ptas::{dp_trace, rounded_problem, DpProblem};
+use pcmax::simcore::simulate_trace;
 use proptest::prelude::*;
 
 fn arb_instance() -> impl Strategy<Value = Instance> {

@@ -1,6 +1,7 @@
-//! Workload-generator determinism and serialization round-trips across
-//! crate boundaries.
+//! Workload-generator determinism and JSON round-trips across crate
+//! boundaries (via the dependency-free `pcmax_core::json` codec).
 
+use pcmax::core::json;
 use pcmax::prelude::*;
 use pcmax::workloads::{paper_families, ExperimentSet};
 use proptest::prelude::*;
@@ -29,13 +30,13 @@ fn experiment_sets_are_replayable() {
 #[test]
 fn instance_and_schedule_roundtrip_through_json() {
     let inst = generate(Family::new(5, 12, Distribution::U1To100), 7);
-    let json = serde_json::to_string(&inst).unwrap();
-    let back: Instance = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&inst);
+    let back: Instance = json::from_str(&text).unwrap();
     assert_eq!(inst, back);
 
     let schedule = Lpt.schedule(&inst).unwrap();
-    let json = serde_json::to_string(&schedule).unwrap();
-    let back: Schedule = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&schedule);
+    let back: Schedule = json::from_str(&text).unwrap();
     assert_eq!(schedule, back);
     assert_eq!(back.makespan(&inst), schedule.makespan(&inst));
 }
