@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_configs-60d2748f72933d50.d: crates/bench/benches/ablation_configs.rs
+
+/root/repo/target/debug/deps/libablation_configs-60d2748f72933d50.rmeta: crates/bench/benches/ablation_configs.rs
+
+crates/bench/benches/ablation_configs.rs:

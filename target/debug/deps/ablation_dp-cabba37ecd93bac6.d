@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dp-cabba37ecd93bac6.d: crates/bench/benches/ablation_dp.rs
+
+/root/repo/target/debug/deps/libablation_dp-cabba37ecd93bac6.rmeta: crates/bench/benches/ablation_dp.rs
+
+crates/bench/benches/ablation_dp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epsilon-6e949345a1398777.d: crates/bench/benches/ablation_epsilon.rs
+
+/root/repo/target/debug/deps/libablation_epsilon-6e949345a1398777.rmeta: crates/bench/benches/ablation_epsilon.rs
+
+crates/bench/benches/ablation_epsilon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_levels-8ee4ebf11a68d2a3.d: crates/bench/benches/ablation_levels.rs
+
+/root/repo/target/debug/deps/libablation_levels-8ee4ebf11a68d2a3.rmeta: crates/bench/benches/ablation_levels.rs
+
+crates/bench/benches/ablation_levels.rs:

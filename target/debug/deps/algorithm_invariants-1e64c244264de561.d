@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_invariants-1e64c244264de561.d: tests/algorithm_invariants.rs
+
+/root/repo/target/debug/deps/libalgorithm_invariants-1e64c244264de561.rmeta: tests/algorithm_invariants.rs
+
+tests/algorithm_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_scaling-e644b6410cdd4ec5.d: crates/bench/benches/baselines_scaling.rs
+
+/root/repo/target/debug/deps/libbaselines_scaling-e644b6410cdd4ec5.rmeta: crates/bench/benches/baselines_scaling.rs
+
+crates/bench/benches/baselines_scaling.rs:

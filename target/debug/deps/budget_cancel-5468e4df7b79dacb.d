@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget_cancel-5468e4df7b79dacb.d: crates/engine/tests/budget_cancel.rs
+
+/root/repo/target/debug/deps/libbudget_cancel-5468e4df7b79dacb.rmeta: crates/engine/tests/budget_cancel.rs
+
+crates/engine/tests/budget_cancel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-3a52b911c7bfcd72.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/libcli_e2e-3a52b911c7bfcd72.rmeta: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_pcmax=placeholder:pcmax

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_solver_agreement-6663618d39add307.d: tests/cross_solver_agreement.rs
+
+/root/repo/target/debug/deps/libcross_solver_agreement-6663618d39add307.rmeta: tests/cross_solver_agreement.rs
+
+tests/cross_solver_agreement.rs:

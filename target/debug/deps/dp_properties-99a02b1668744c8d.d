@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dp_properties-99a02b1668744c8d.d: crates/ptas/tests/dp_properties.rs
+
+/root/repo/target/debug/deps/libdp_properties-99a02b1668744c8d.rmeta: crates/ptas/tests/dp_properties.rs
+
+crates/ptas/tests/dp_properties.rs:

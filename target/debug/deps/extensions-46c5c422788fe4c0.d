@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-46c5c422788fe4c0.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-46c5c422788fe4c0.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

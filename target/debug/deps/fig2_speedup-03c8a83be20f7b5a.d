@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_speedup-03c8a83be20f7b5a.d: crates/bench/benches/fig2_speedup.rs
+
+/root/repo/target/debug/deps/libfig2_speedup-03c8a83be20f7b5a.rmeta: crates/bench/benches/fig2_speedup.rs
+
+crates/bench/benches/fig2_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_speedup-e5cf91b8e08cc463.d: crates/bench/benches/fig3_speedup.rs
+
+/root/repo/target/debug/deps/libfig3_speedup-e5cf91b8e08cc463.rmeta: crates/bench/benches/fig3_speedup.rs
+
+crates/bench/benches/fig3_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_speedup-11c44f1ec8864f21.d: crates/bench/benches/fig4_speedup.rs
+
+/root/repo/target/debug/deps/libfig4_speedup-11c44f1ec8864f21.rmeta: crates/bench/benches/fig4_speedup.rs
+
+crates/bench/benches/fig4_speedup.rs:

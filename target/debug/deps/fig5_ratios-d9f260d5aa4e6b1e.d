@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_ratios-d9f260d5aa4e6b1e.d: crates/bench/benches/fig5_ratios.rs
+
+/root/repo/target/debug/deps/libfig5_ratios-d9f260d5aa4e6b1e.rmeta: crates/bench/benches/fig5_ratios.rs
+
+crates/bench/benches/fig5_ratios.rs:

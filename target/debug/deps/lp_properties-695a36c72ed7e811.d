@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_properties-695a36c72ed7e811.d: crates/milp/tests/lp_properties.rs
+
+/root/repo/target/debug/deps/liblp_properties-695a36c72ed7e811.rmeta: crates/milp/tests/lp_properties.rs
+
+crates/milp/tests/lp_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_properties-5105ae38ac249f73.d: crates/exact/tests/oracle_properties.rs
+
+/root/repo/target/debug/deps/liboracle_properties-5105ae38ac249f73.rmeta: crates/exact/tests/oracle_properties.rs
+
+crates/exact/tests/oracle_properties.rs:

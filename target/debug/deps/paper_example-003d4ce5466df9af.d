@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-003d4ce5466df9af.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/libpaper_example-003d4ce5466df9af.rmeta: tests/paper_example.rs
+
+tests/paper_example.rs:

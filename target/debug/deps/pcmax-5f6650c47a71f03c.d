@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax-5f6650c47a71f03c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax-5f6650c47a71f03c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax-70e435806ae3e017.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/libpcmax-70e435806ae3e017.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax-e6345abcdee6c8ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax-e6345abcdee6c8ad.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_baselines-55ac4a88b42f07f1.d: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+/root/repo/target/debug/deps/libpcmax_baselines-55ac4a88b42f07f1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lpt.rs crates/baselines/src/ls.rs crates/baselines/src/multifit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lpt.rs:
+crates/baselines/src/ls.rs:
+crates/baselines/src/multifit.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_bench-1b9522b7c95fc6d1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpcmax_bench-1b9522b7c95fc6d1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/families.rs crates/bench/src/micro.rs crates/bench/src/ratios.rs crates/bench/src/report.rs crates/bench/src/tables.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/families.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/ratios.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcmax_core-52ebab64b7a7ca36.d: crates/core/src/lib.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gantt.rs crates/core/src/instance.rs crates/core/src/json.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libpcmax_core-52ebab64b7a7ca36.rmeta: crates/core/src/lib.rs crates/core/src/bounds.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gantt.rs crates/core/src/instance.rs crates/core/src/json.rs crates/core/src/rng.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bounds.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/gantt.rs:
+crates/core/src/instance.rs:
+crates/core/src/json.rs:
+crates/core/src/rng.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/stats.rs:

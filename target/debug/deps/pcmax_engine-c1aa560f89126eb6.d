@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax_engine-c1aa560f89126eb6.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_engine-c1aa560f89126eb6.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax_engine-ec01b53d496b7c53.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_engine-ec01b53d496b7c53.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_exact-c424b7622bfc1b7f.d: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+/root/repo/target/debug/deps/libpcmax_exact-c424b7622bfc1b7f.rmeta: crates/exact/src/lib.rs crates/exact/src/binpack.rs crates/exact/src/bounds.rs crates/exact/src/improve.rs crates/exact/src/solver.rs
+
+crates/exact/src/lib.rs:
+crates/exact/src/binpack.rs:
+crates/exact/src/bounds.rs:
+crates/exact/src/improve.rs:
+crates/exact/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax_fptas-973c2207558b582c.d: crates/fptas/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_fptas-973c2207558b582c.rmeta: crates/fptas/src/lib.rs
+
+crates/fptas/src/lib.rs:

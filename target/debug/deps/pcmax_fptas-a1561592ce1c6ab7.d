@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcmax_fptas-a1561592ce1c6ab7.d: crates/fptas/src/lib.rs
+
+/root/repo/target/debug/deps/libpcmax_fptas-a1561592ce1c6ab7.rmeta: crates/fptas/src/lib.rs
+
+crates/fptas/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_milp-2e96af2202122d3c.d: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/debug/deps/libpcmax_milp-2e96af2202122d3c.rmeta: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/formulation.rs:
+crates/milp/src/lp.rs:
+crates/milp/src/milp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_milp-e2d8a752fa9ec7bc.d: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+/root/repo/target/debug/deps/libpcmax_milp-e2d8a752fa9ec7bc.rmeta: crates/milp/src/lib.rs crates/milp/src/formulation.rs crates/milp/src/lp.rs crates/milp/src/milp.rs
+
+crates/milp/src/lib.rs:
+crates/milp/src/formulation.rs:
+crates/milp/src/lp.rs:
+crates/milp/src/milp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_parallel-7f6f10aea8a98923.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/debug/deps/libpcmax_parallel-7f6f10aea8a98923.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/scoped.rs:
+crates/parallel/src/speculative.rs:
+crates/parallel/src/wavefront.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcmax_parallel-c07ad253de3602a4.d: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+/root/repo/target/debug/deps/libpcmax_parallel-c07ad253de3602a4.rmeta: crates/parallel/src/lib.rs crates/parallel/src/pool.rs crates/parallel/src/scoped.rs crates/parallel/src/speculative.rs crates/parallel/src/wavefront.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/pool.rs:
+crates/parallel/src/scoped.rs:
+crates/parallel/src/speculative.rs:
+crates/parallel/src/wavefront.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_pram-681ec1c153e05184.d: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+/root/repo/target/debug/deps/libpcmax_pram-681ec1c153e05184.rmeta: crates/pram/src/lib.rs crates/pram/src/dp.rs crates/pram/src/machine.rs crates/pram/src/primitives.rs
+
+crates/pram/src/lib.rs:
+crates/pram/src/dp.rs:
+crates/pram/src/machine.rs:
+crates/pram/src/primitives.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcmax_ptas-a79340e4be26ff13.d: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+/root/repo/target/debug/deps/libpcmax_ptas-a79340e4be26ff13.rmeta: crates/ptas/src/lib.rs crates/ptas/src/config.rs crates/ptas/src/dp.rs crates/ptas/src/driver.rs crates/ptas/src/params.rs crates/ptas/src/rounding.rs crates/ptas/src/table.rs crates/ptas/src/trace.rs
+
+crates/ptas/src/lib.rs:
+crates/ptas/src/config.rs:
+crates/ptas/src/dp.rs:
+crates/ptas/src/driver.rs:
+crates/ptas/src/params.rs:
+crates/ptas/src/rounding.rs:
+crates/ptas/src/table.rs:
+crates/ptas/src/trace.rs:

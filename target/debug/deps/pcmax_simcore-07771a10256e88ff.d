@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_simcore-07771a10256e88ff.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/debug/deps/libpcmax_simcore-07771a10256e88ff.rmeta: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcmax_simcore-ce614f25d384223f.d: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+/root/repo/target/debug/deps/libpcmax_simcore-ce614f25d384223f.rmeta: crates/simcore/src/lib.rs crates/simcore/src/analysis.rs crates/simcore/src/executor.rs crates/simcore/src/ptas_sim.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/analysis.rs:
+crates/simcore/src/executor.rs:
+crates/simcore/src/ptas_sim.rs:

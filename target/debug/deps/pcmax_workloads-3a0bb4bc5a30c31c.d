@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcmax_workloads-3a0bb4bc5a30c31c.d: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpcmax_workloads-3a0bb4bc5a30c31c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/family.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/special.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcmax_workloads-a0ccba8bab2fc2f8.d: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpcmax_workloads-a0ccba8bab2fc2f8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/family.rs crates/workloads/src/generator.rs crates/workloads/src/io.rs crates/workloads/src/special.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/family.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/io.rs:
+crates/workloads/src/special.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/registry_properties-ce6b68e742c71590.d: crates/engine/tests/registry_properties.rs
+
+/root/repo/target/debug/deps/libregistry_properties-ce6b68e742c71590.rmeta: crates/engine/tests/registry_properties.rs
+
+crates/engine/tests/registry_properties.rs:

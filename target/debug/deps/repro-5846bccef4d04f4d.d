@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5846bccef4d04f4d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-5846bccef4d04f4d.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ecbeeb0c7c556bd1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-ecbeeb0c7c556bd1.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_invariants-c482dff8cce2903a.d: tests/simulation_invariants.rs
+
+/root/repo/target/debug/deps/libsimulation_invariants-c482dff8cce2903a.rmeta: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

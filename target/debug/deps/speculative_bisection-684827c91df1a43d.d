@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speculative_bisection-684827c91df1a43d.d: crates/bench/benches/speculative_bisection.rs
+
+/root/repo/target/debug/deps/libspeculative_bisection-684827c91df1a43d.rmeta: crates/bench/benches/speculative_bisection.rs
+
+crates/bench/benches/speculative_bisection.rs:

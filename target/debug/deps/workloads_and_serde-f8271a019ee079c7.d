@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_and_serde-f8271a019ee079c7.d: tests/workloads_and_serde.rs
+
+/root/repo/target/debug/deps/libworkloads_and_serde-f8271a019ee079c7.rmeta: tests/workloads_and_serde.rs
+
+tests/workloads_and_serde.rs:

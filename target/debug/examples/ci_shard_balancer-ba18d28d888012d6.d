@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ci_shard_balancer-ba18d28d888012d6.d: examples/ci_shard_balancer.rs
+
+/root/repo/target/debug/examples/libci_shard_balancer-ba18d28d888012d6.rmeta: examples/ci_shard_balancer.rs
+
+examples/ci_shard_balancer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/core_count_planner-d83bd1922f0b4648.d: examples/core_count_planner.rs
+
+/root/repo/target/debug/examples/libcore_count_planner-d83bd1922f0b4648.rmeta: examples/core_count_planner.rs
+
+examples/core_count_planner.rs:

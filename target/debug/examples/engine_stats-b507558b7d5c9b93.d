@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_stats-b507558b7d5c9b93.d: examples/engine_stats.rs
+
+/root/repo/target/debug/examples/libengine_stats-b507558b7d5c9b93.rmeta: examples/engine_stats.rs
+
+examples/engine_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hpc_cluster-90a32c6a260ae5a1.d: examples/hpc_cluster.rs
+
+/root/repo/target/debug/examples/libhpc_cluster-90a32c6a260ae5a1.rmeta: examples/hpc_cluster.rs
+
+examples/hpc_cluster.rs:

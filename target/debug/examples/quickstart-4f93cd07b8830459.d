@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f93cd07b8830459.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-4f93cd07b8830459.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/render_farm-95d5a4eac14a2c1e.d: examples/render_farm.rs
+
+/root/repo/target/debug/examples/librender_farm-95d5a4eac14a2c1e.rmeta: examples/render_farm.rs
+
+examples/render_farm.rs:

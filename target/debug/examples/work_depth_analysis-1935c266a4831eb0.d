@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/work_depth_analysis-1935c266a4831eb0.d: examples/work_depth_analysis.rs
+
+/root/repo/target/debug/examples/libwork_depth_analysis-1935c266a4831eb0.rmeta: examples/work_depth_analysis.rs
+
+examples/work_depth_analysis.rs:
