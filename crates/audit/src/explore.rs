@@ -1,0 +1,88 @@
+//! The seeded interleaving explorer: runs a workload under the turn-based
+//! scheduler of `pcmax_parallel::sync::audit` once per seed, race-checks
+//! every serialized trace, and aggregates the verdict.
+//!
+//! Each seed drives the scheduler's SplitMix64 differently, so distinct
+//! seeds exercise distinct thread interleavings of the *same* workload —
+//! a miniature model checker for the wavefront executors' fork/join and
+//! scatter/gather structure.
+
+use crate::race::{detect, Race};
+use pcmax_parallel::sync::audit::{explore, Trace};
+
+/// The outcome of one explored schedule.
+#[derive(Debug)]
+pub struct SeedRun<R> {
+    /// The schedule seed.
+    pub seed: u64,
+    /// The workload's return value under this schedule.
+    pub result: R,
+    /// The serialized event history.
+    pub trace: Trace,
+    /// Races found in the history (empty = this schedule is clean).
+    pub races: Vec<Race>,
+}
+
+/// Runs `workload` under the scheduler with `seed` and race-checks the trace.
+pub fn run_seed<R>(seed: u64, workload: impl FnOnce() -> R) -> SeedRun<R> {
+    let (result, trace) = explore(seed, workload);
+    let races = detect(&trace);
+    SeedRun {
+        seed,
+        result,
+        trace,
+        races,
+    }
+}
+
+/// Aggregate verdict over a batch of seeds.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of schedules explored.
+    pub schedules: usize,
+    /// Total events across all traces.
+    pub events: usize,
+    /// Largest thread count observed in any schedule.
+    pub max_threads: usize,
+    /// Every race found, tagged with its seed.
+    pub races: Vec<(u64, Race)>,
+    /// Distinct serialized histories seen (schedule diversity measure).
+    pub distinct_histories: usize,
+}
+
+/// Explores `seeds` schedules of `workload` (seeds `base..base + seeds`),
+/// checking each with [`run_seed`] and verifying every run's result equals
+/// `expected` via `check`. Panics (with the offending seed) if a result
+/// diverges — schedule-dependent output is as much a bug as a race.
+pub fn sweep<R>(
+    base: u64,
+    seeds: u64,
+    workload: impl Fn() -> R,
+    mut check: impl FnMut(u64, &R),
+) -> Report {
+    let mut report = Report::default();
+    let mut histories: Vec<Vec<(usize, usize)>> = Vec::new();
+    for seed in base..base + seeds {
+        let run = run_seed(seed, &workload);
+        check(seed, &run.result);
+        report.schedules += 1;
+        report.events += run.trace.events.len();
+        report.max_threads = report.max_threads.max(run.trace.threads);
+        // Thread-id sequence is a cheap fingerprint of the interleaving.
+        let fingerprint: Vec<(usize, usize)> = run
+            .trace
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.thread))
+            .collect();
+        if !histories.contains(&fingerprint) {
+            histories.push(fingerprint);
+        }
+        report
+            .races
+            .extend(run.races.into_iter().map(|r| (seed, r)));
+    }
+    report.distinct_histories = histories.len();
+    report
+}

@@ -1,0 +1,383 @@
+//! A lightweight Rust lexer — just enough token structure for the lint
+//! rules, with no `syn` (the workspace is offline and vendors everything).
+//!
+//! The lexer understands exactly the places naive `grep`-style linting goes
+//! wrong: line and (nested) block comments, string/raw-string/byte-string
+//! literals, char literals vs. lifetimes. Everything else becomes a flat
+//! token stream with line numbers.
+//!
+//! Comments are not discarded blindly: they are scanned for
+//! `audit:allow(<rule>): <reason>` directives, the in-source half of the
+//! lint's allowlisting mechanism.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `::` arrives as two `:`).
+    Punct(char),
+    /// Any literal (string, raw string, char, number) — contents elided.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// An `audit:allow(<rule>)` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive appears on.
+    pub line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty justification follows the closing parenthesis.
+    pub justified: bool,
+}
+
+/// The output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// All allow-directives found in comments, in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lexes `src` into tokens + allow-directives. Unterminated constructs are
+/// tolerated (the rest of the file is consumed as that construct); the lint
+/// runs on code that already compiles, so this never matters in practice.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_comment(&src[start..i], line, &mut out.allows);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                scan_comment(&src[start..i], start_line, &mut out.allows);
+            }
+            b'"' => {
+                let tok_line = line;
+                i = consume_string(b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line: tok_line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let tok_line = line;
+                i = consume_raw_or_byte(b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime iff an identifier char follows and the construct
+                // is not closed by another quote right after it.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && (i + 2 >= b.len() || b[i + 2] != b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    // Char literal, possibly escaped.
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` starts `r"`, `r#`, `b"`, `br"`, `b'`, or `br#`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => {
+            let mut j = i + 1;
+            while j < b.len() && b[j] == b'#' {
+                j += 1;
+            }
+            j < b.len() && b[j] == b'"'
+        }
+        b'b' => {
+            if i + 1 >= b.len() {
+                return false;
+            }
+            match b[i + 1] {
+                b'"' | b'\'' => true,
+                b'r' => {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] == b'#' {
+                        j += 1;
+                    }
+                    j < b.len() && b[j] == b'"'
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a normal (escaped) string starting after the opening quote;
+/// returns the index after the closing quote.
+fn consume_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw/byte string (or byte char) starting at its `r`/`b`.
+fn consume_raw_or_byte(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+        // Byte char literal.
+        i += 2;
+        if i < b.len() && b[i] == b'\\' {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return i + 1;
+    }
+    if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+        return consume_string(b, i + 2, line);
+    }
+    // Raw (byte) string: skip optional b, the r, count hashes.
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // the opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans one comment for `audit:allow(<rule>)` directives. Multi-line block
+/// comments attribute each directive to the comment's starting line plus the
+/// directive's offset within it.
+fn scan_comment(text: &str, start_line: u32, out: &mut Vec<AllowDirective>) {
+    for (off, comment_line) in text.lines().enumerate() {
+        let mut rest = comment_line;
+        while let Some(pos) = rest.find("audit:allow(") {
+            let after = &rest[pos + "audit:allow(".len()..];
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            let rule = after[..close].trim().to_string();
+            let tail = after[close + 1..].trim_start_matches(':').trim();
+            out.push(AllowDirective {
+                line: start_line + off as u32,
+                rule,
+                justified: !tail.is_empty(),
+            });
+            rest = &after[close + 1..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r###"
+            // calls unwrap() in a comment
+            /* block unwrap() /* nested unwrap() */ still comment */
+            let s = "string unwrap()";
+            let r = r#"raw "quoted" unwrap()"#;
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Literal)
+            .count();
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let c = '\''; let n = '\n'; after();";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\"two\nline\"\nc";
+        let lexed = lex(src);
+        let c = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("c".into()))
+            .map(|t| t.line);
+        assert_eq!(c, Some(5));
+    }
+
+    #[test]
+    fn allow_directives_parse_with_justification() {
+        let src = "// audit:allow(relaxed): monotonic flag\nx();\n// audit:allow(cast)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "relaxed");
+        assert!(lexed.allows[0].justified);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[1].rule, "cast");
+        assert!(!lexed.allows[1].justified);
+        assert_eq!(lexed.allows[1].line, 3);
+    }
+
+    #[test]
+    fn byte_strings_and_numbers() {
+        let src = "let b = b\"bytes unwrap()\"; let n = 0xFFu32; done();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+    }
+}

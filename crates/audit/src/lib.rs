@@ -1,0 +1,29 @@
+//! `pcmax-audit` — the workspace's in-tree soundness tooling.
+//!
+//! Two engines, one goal: back the informal "the wavefront DP is race-free
+//! because levels are barrier-separated and intra-level writes are disjoint"
+//! argument with machine-checked evidence.
+//!
+//! * **Lint** ([`lexer`], [`rules`], [`lint`]): a source-level pass over the
+//!   whole workspace built on a small in-tree Rust lexer (no `syn`; the
+//!   build is offline). Enforces: no `unwrap`/`expect` in non-test library
+//!   code, no `Ordering::Relaxed` without a justified site comment *and* an
+//!   allowlist entry, no unexplained narrowing casts in DP index arithmetic,
+//!   and no build artifacts tracked in git. Run with
+//!   `cargo run -p pcmax-audit -- lint`.
+//! * **Concurrency checker** ([`race`], [`explore`], `feature = "audit"`):
+//!   a happens-before race detector (per-thread vector clocks) over the
+//!   serialized traces produced by `pcmax_parallel::sync::audit`'s seeded
+//!   turn-based scheduler. The regression suite in `tests/` replays ≥64
+//!   interleavings of the instrumented executors on the paper's DP and
+//!   asserts zero races plus bit-identical tables against the sequential
+//!   solver.
+
+pub mod lexer;
+pub mod lint;
+pub mod rules;
+
+#[cfg(feature = "audit")]
+pub mod explore;
+#[cfg(feature = "audit")]
+pub mod race;

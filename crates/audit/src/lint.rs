@@ -1,0 +1,103 @@
+//! The workspace lint driver: finds the workspace root, loads the
+//! allowlist, walks every tracked `.rs` file through the rules, and runs
+//! the repo-level artifact check. Used by the CLI (`src/main.rs`) and the
+//! regression tests.
+
+use crate::rules::{check_tracked_artifacts, lint_source, AllowEntry, Allowlist, Violation};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Repo-relative path of the allowlist file.
+pub const ALLOWLIST_PATH: &str = "crates/audit/lint.allow";
+
+/// The result of a full workspace lint.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Violations that survived directives and the allowlist.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that suppressed nothing (burn-down candidates).
+    pub stale: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// Whether the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!("no workspace Cargo.toml above {}", start.display()));
+        }
+    }
+}
+
+/// The tracked-file list, repo-relative with `/` separators.
+pub fn tracked_files(root: &Path) -> Result<Vec<String>, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["ls-files", "-z"])
+        .output()
+        .map_err(|e| format!("git ls-files: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git ls-files failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .split('\0')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+/// Runs the full lint: allowlist load, per-file source rules over every
+/// tracked `.rs` file, then the artifact rule over the whole tracked set.
+pub fn run(root: &Path) -> Result<LintOutcome, String> {
+    let allow_path = root.join(ALLOWLIST_PATH);
+    let allow = if allow_path.is_file() {
+        let text = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::default()
+    };
+
+    let tracked = tracked_files(root)?;
+    let mut outcome = LintOutcome::default();
+    let mut allow_hits: Vec<(String, String)> = Vec::new();
+
+    for rel in tracked.iter().filter(|p| p.ends_with(".rs")) {
+        let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        let report = lint_source(rel, &src, &allow);
+        outcome.violations.extend(report.violations);
+        allow_hits.extend(report.allow_hits);
+        outcome.files_scanned += 1;
+    }
+
+    outcome.violations.extend(check_tracked_artifacts(&tracked));
+
+    outcome.stale = allow.stale(&allow_hits).into_iter().cloned().collect();
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(outcome)
+}

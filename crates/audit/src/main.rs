@@ -1,0 +1,145 @@
+//! CLI for `pcmax-audit`.
+//!
+//! * `cargo run -p pcmax-audit -- lint` — run the workspace lint; exits 1 on
+//!   violations, 0 when clean (stale allowlist entries are warnings).
+//! * `cargo run -p pcmax-audit --features audit -- race [SEEDS]` — explore
+//!   SEEDS (default 64) interleavings of the instrumented wavefront DP and
+//!   report the race verdict. Without the feature the subcommand explains
+//!   how to enable it.
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("race") => run_race(args.get(1).map(String::as_str)),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}");
+            eprintln!("usage: pcmax-audit <lint | race [SEEDS]>");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: pcmax-audit <lint | race [SEEDS]>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let cwd = match env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pcmax-audit: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match pcmax_audit::lint::workspace_root(&cwd) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pcmax-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match pcmax_audit::lint::run(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pcmax-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for entry in &outcome.stale {
+        eprintln!(
+            "warning: stale lint.allow entry `{} {}` ({}) suppressed nothing — delete it",
+            entry.rule, entry.path, entry.reason
+        );
+    }
+    for v in &outcome.violations {
+        println!("{v}");
+    }
+    if outcome.clean() {
+        println!(
+            "pcmax-audit lint: {} files scanned, 0 violations",
+            outcome.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pcmax-audit lint: {} files scanned, {} violation(s)",
+            outcome.files_scanned,
+            outcome.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(not(feature = "audit"))]
+fn run_race(_seeds: Option<&str>) -> ExitCode {
+    eprintln!(
+        "pcmax-audit: the race explorer needs the instrumented build:\n    \
+         cargo run -p pcmax-audit --features audit -- race"
+    );
+    ExitCode::from(2)
+}
+
+#[cfg(feature = "audit")]
+fn run_race(seeds: Option<&str>) -> ExitCode {
+    use pcmax_parallel::ParallelDp;
+    use pcmax_ptas::dp::{DpProblem, DpSolver, IterativeDp};
+
+    let seeds: u64 = match seeds.unwrap_or("64").parse() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("pcmax-audit: bad seed count: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The paper's worked example: 2 jobs of size 2 and 3 of size 4 (unit 2),
+    // target makespan 30 — small enough that every interleaving finishes in
+    // milliseconds, rich enough to exercise multi-entry levels.
+    let problem = {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        DpProblem::new(counts, 2, 30, 64)
+    };
+    let expected = match IterativeDp.solve(&problem) {
+        Ok(out) => out.machines,
+        Err(e) => {
+            eprintln!("pcmax-audit: sequential reference failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = pcmax_audit::explore::sweep(
+        1,
+        seeds,
+        || {
+            ParallelDp::with_threads(3)
+                .solve(&problem)
+                .map(|out| out.machines)
+                .unwrap_or(u32::MAX)
+        },
+        |seed, &got| {
+            if got != expected {
+                eprintln!("seed {seed}: OPT {got} != sequential {expected}");
+            }
+        },
+    );
+    println!(
+        "pcmax-audit race: {} schedules ({} distinct), {} events, {} threads max, {} race(s)",
+        report.schedules,
+        report.distinct_histories,
+        report.events,
+        report.max_threads,
+        report.races.len()
+    );
+    for (seed, race) in &report.races {
+        println!("  seed {seed}: {race}");
+    }
+    if report.races.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,354 @@
+//! Happens-before race detection over serialized [`Trace`]s.
+//!
+//! A FastTrack-style vector-clock pass: every thread carries a clock,
+//! spawn/join and release→acquire pairs merge clocks, and every plain
+//! `Read`/`Write` event is checked against the location's last write (and,
+//! for writes, all unordered reads). The schedule order of the trace is a
+//! total order *compatible* with happens-before, but two accesses adjacent
+//! in the schedule are only race-free if a chain of synchronization edges
+//! orders them — which is exactly what the clocks track.
+//!
+//! Crucially, `Relaxed` atomics create **no** edges: a payload published
+//! under a relaxed flag shows up as a race here (see the cancel-token model
+//! tests), while a payload-free monotonic flag is race-free by construction
+//! because there is no plain access to order.
+
+use pcmax_parallel::sync::audit::{Event, Op, Trace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A vector clock: component `t` is the count of thread `t`'s events known
+/// to have happened before.
+type Clock = Vec<u64>;
+
+fn join_into(dst: &mut Clock, src: &Clock) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// One detected data race: two accesses to the same location, at least one a
+/// write, with no happens-before path between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The contested logical location (DP table index).
+    pub loc: usize,
+    /// The earlier (in schedule order) access.
+    pub prior: Event,
+    /// The later access that was found unordered with `prior`.
+    pub current: Event,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race on loc {}: thread {} {:?} unordered with thread {} {:?}",
+            self.loc, self.prior.thread, self.prior.op, self.current.thread, self.current.op
+        )
+    }
+}
+
+/// Per-location access history.
+#[derive(Debug, Clone)]
+struct LocState {
+    /// Last write: `(thread, epoch, event)`.
+    write: Option<(usize, u64, Event)>,
+    /// Per-thread epoch of the most recent read since the last write
+    /// (0 = none; real epochs start at 1), plus the read event for reporting.
+    reads: Vec<(u64, Option<Event>)>,
+}
+
+/// Runs the detector over one trace and returns every race found, in
+/// schedule order of the offending (later) access.
+pub fn detect(trace: &Trace) -> Vec<Race> {
+    let n = trace.threads;
+    let mut clocks: Vec<Clock> = vec![vec![0; n]; n];
+    // Clock published by each sync object's last release-class operation.
+    let mut released: HashMap<usize, Clock> = HashMap::new();
+    let mut locs: HashMap<usize, LocState> = HashMap::new();
+    let mut races = Vec::new();
+
+    for &event in &trace.events {
+        let t = event.thread;
+        clocks[t][t] += 1;
+        match event.op {
+            Op::Read { loc } => {
+                let state = locs.entry(loc).or_insert_with(|| LocState {
+                    write: None,
+                    reads: vec![(0, None); n],
+                });
+                if let Some((wt, we, wev)) = state.write {
+                    if clocks[t][wt] < we {
+                        races.push(Race {
+                            loc,
+                            prior: wev,
+                            current: event,
+                        });
+                    }
+                }
+                state.reads[t] = (clocks[t][t], Some(event));
+            }
+            Op::Write { loc } => {
+                let state = locs.entry(loc).or_insert_with(|| LocState {
+                    write: None,
+                    reads: vec![(0, None); n],
+                });
+                if let Some((wt, we, wev)) = state.write {
+                    if clocks[t][wt] < we {
+                        races.push(Race {
+                            loc,
+                            prior: wev,
+                            current: event,
+                        });
+                    }
+                }
+                for (rt, &(re, rev)) in state.reads.iter().enumerate() {
+                    if re > 0 && clocks[t][rt] < re {
+                        if let Some(prior) = rev {
+                            races.push(Race {
+                                loc,
+                                prior,
+                                current: event,
+                            });
+                        }
+                    }
+                }
+                state.write = Some((t, clocks[t][t], event));
+                state.reads = vec![(0, None); n];
+            }
+            Op::AtomicLoad { obj, acquire } => {
+                if acquire {
+                    if let Some(pub_clock) = released.get(&obj) {
+                        let pub_clock = pub_clock.clone();
+                        join_into(&mut clocks[t], &pub_clock);
+                    }
+                }
+            }
+            Op::AtomicStore { obj, release } => {
+                if release {
+                    let snapshot = clocks[t].clone();
+                    released
+                        .entry(obj)
+                        .and_modify(|c| join_into(c, &snapshot))
+                        .or_insert(snapshot);
+                }
+            }
+            Op::AtomicRmw {
+                obj,
+                acquire,
+                release,
+            } => {
+                if acquire {
+                    if let Some(pub_clock) = released.get(&obj) {
+                        let pub_clock = pub_clock.clone();
+                        join_into(&mut clocks[t], &pub_clock);
+                    }
+                }
+                if release {
+                    let snapshot = clocks[t].clone();
+                    released
+                        .entry(obj)
+                        .and_modify(|c| join_into(c, &snapshot))
+                        .or_insert(snapshot);
+                }
+            }
+            Op::LockAcquire { obj } => {
+                if let Some(pub_clock) = released.get(&obj) {
+                    let pub_clock = pub_clock.clone();
+                    join_into(&mut clocks[t], &pub_clock);
+                }
+            }
+            Op::LockRelease { obj } => {
+                let snapshot = clocks[t].clone();
+                released
+                    .entry(obj)
+                    .and_modify(|c| join_into(c, &snapshot))
+                    .or_insert(snapshot);
+            }
+            Op::Spawn { child } => {
+                let snapshot = clocks[t].clone();
+                join_into(&mut clocks[child], &snapshot);
+            }
+            Op::Join { child } => {
+                let snapshot = clocks[child].clone();
+                join_into(&mut clocks[t], &snapshot);
+            }
+        }
+    }
+    races
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(threads: usize, events: Vec<Event>) -> Trace {
+        Trace {
+            events,
+            threads,
+            seed: 0,
+        }
+    }
+
+    fn ev(thread: usize, op: Op) -> Event {
+        Event { thread, op }
+    }
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::Write { loc: 7 }),
+                ev(2, Op::Write { loc: 7 }),
+            ],
+        );
+        let races = detect(&t);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].loc, 7);
+    }
+
+    #[test]
+    fn spawn_and_join_order_accesses() {
+        let t = trace(
+            2,
+            vec![
+                ev(0, Op::Write { loc: 3 }),
+                ev(0, Op::Spawn { child: 1 }),
+                ev(1, Op::Read { loc: 3 }),
+                ev(1, Op::Write { loc: 3 }),
+                ev(0, Op::Join { child: 1 }),
+                ev(0, Op::Read { loc: 3 }),
+            ],
+        );
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn read_write_race_without_join() {
+        let t = trace(
+            2,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(1, Op::Read { loc: 9 }),
+                ev(0, Op::Write { loc: 9 }),
+            ],
+        );
+        let races = detect(&t);
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn release_acquire_publishes() {
+        // Thread 1 writes the payload, release-stores a flag; thread 2
+        // acquire-loads the flag then reads the payload. No race.
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::Write { loc: 5 }),
+                ev(
+                    1,
+                    Op::AtomicStore {
+                        obj: 1,
+                        release: true,
+                    },
+                ),
+                ev(
+                    2,
+                    Op::AtomicLoad {
+                        obj: 1,
+                        acquire: true,
+                    },
+                ),
+                ev(2, Op::Read { loc: 5 }),
+            ],
+        );
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn relaxed_flag_does_not_publish() {
+        // Same shape but the flag is relaxed on both sides: the payload read
+        // is a race — this is the data-publication-via-relaxed-flag bug.
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::Write { loc: 5 }),
+                ev(
+                    1,
+                    Op::AtomicStore {
+                        obj: 1,
+                        release: false,
+                    },
+                ),
+                ev(
+                    2,
+                    Op::AtomicLoad {
+                        obj: 1,
+                        acquire: false,
+                    },
+                ),
+                ev(2, Op::Read { loc: 5 }),
+            ],
+        );
+        let races = detect(&t);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].loc, 5);
+    }
+
+    #[test]
+    fn lock_protocol_orders_critical_sections() {
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::LockAcquire { obj: 9 }),
+                ev(1, Op::Write { loc: 4 }),
+                ev(1, Op::LockRelease { obj: 9 }),
+                ev(2, Op::LockAcquire { obj: 9 }),
+                ev(2, Op::Write { loc: 4 }),
+                ev(2, Op::LockRelease { obj: 9 }),
+            ],
+        );
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn same_thread_never_races_with_itself() {
+        let t = trace(
+            1,
+            vec![
+                ev(0, Op::Write { loc: 1 }),
+                ev(0, Op::Read { loc: 1 }),
+                ev(0, Op::Write { loc: 1 }),
+            ],
+        );
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn sibling_disjoint_writes_do_not_race() {
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::Write { loc: 10 }),
+                ev(2, Op::Write { loc: 11 }),
+                ev(0, Op::Join { child: 1 }),
+                ev(0, Op::Join { child: 2 }),
+                ev(0, Op::Read { loc: 10 }),
+                ev(0, Op::Read { loc: 11 }),
+            ],
+        );
+        assert!(detect(&t).is_empty());
+    }
+}

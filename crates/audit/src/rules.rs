@@ -1,0 +1,604 @@
+//! The lint rules and their allowlisting machinery.
+//!
+//! Four rules, all driven by the token stream of [`crate::lexer`]:
+//!
+//! * **`unwrap`** — no `.unwrap()` / `.expect(…)` in non-test library code.
+//!   Test modules (`#[cfg(test)]`), `#[test]` functions, and `tests/` /
+//!   `benches/` / `examples/` trees are exempt. Doc-comment examples never
+//!   trigger (comments are not tokens).
+//! * **`relaxed`** — no `Ordering::Relaxed` unless the site carries a
+//!   justified `audit:allow(relaxed): <why>` comment **and** the file is
+//!   listed in the allowlist. Relaxed atomics are where informal
+//!   "it's just a flag" arguments go to die; both halves are mandatory.
+//! * **`cast`** — no narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) in
+//!   the DP index-arithmetic files ([`DP_CAST_FILES`]) without a justified
+//!   `audit:allow(cast)` comment. Index truncation is precisely the bug
+//!   class that silently corrupts a wavefront table.
+//! * **`artifacts`** — no build artifacts tracked in git (`target/`
+//!   anywhere, `*.profraw`, object/metadata files).
+//!
+//! A violation is suppressed by a *site directive* (a nearby
+//! `audit:allow(<rule>): reason` comment) or — for `unwrap` only — a
+//! *file-level allowlist entry* (`lint.allow`), which is how the not-yet
+//! burned-down crates are tracked explicitly instead of silently.
+
+use crate::lexer::{lex, AllowDirective, Lexed, Tok};
+use std::fmt;
+
+/// Repo-relative files subject to the `cast` rule: everywhere DP table
+/// indices are computed or narrowed.
+pub const DP_CAST_FILES: &[&str] = &[
+    "crates/ptas/src/table.rs",
+    "crates/ptas/src/dp.rs",
+    "crates/ptas/src/config.rs",
+    "crates/parallel/src/wavefront.rs",
+    "crates/parallel/src/scoped.rs",
+    "crates/pram/src/dp.rs",
+];
+
+/// Narrowing cast targets the `cast` rule rejects without justification.
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// How many lines above a violation a site directive may sit.
+const DIRECTIVE_REACH: u32 = 3;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line (0 for repo-level findings like tracked artifacts).
+    pub line: u32,
+    /// Rule name (`unwrap`, `relaxed`, `cast`, `artifacts`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule the entry applies to.
+    pub rule: String,
+    /// Repo-relative file path.
+    pub path: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The parsed `lint.allow` file.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one `rule path reason…` entry per line,
+    /// `#` comments and blank lines ignored. Every entry must carry a
+    /// non-empty reason — an allowlist without justifications is just a
+    /// second place to hide problems.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default().to_string();
+            let path = parts.next().unwrap_or_default().to_string();
+            let reason = parts.next().unwrap_or_default().trim().to_string();
+            if rule.is_empty() || path.is_empty() {
+                return Err(format!("lint.allow:{}: malformed entry {line:?}", i + 1));
+            }
+            if reason.is_empty() {
+                return Err(format!(
+                    "lint.allow:{}: entry for {path} has no justification",
+                    i + 1
+                ));
+            }
+            entries.push(AllowEntry { rule, path, reason });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Whether `(rule, path)` is allowlisted.
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && e.path == path)
+    }
+
+    /// Entries that matched no violation in the run (candidates for
+    /// deletion — the burn-down made them obsolete).
+    pub fn stale<'a>(&'a self, used: &[(String, String)]) -> Vec<&'a AllowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !used
+                    .iter()
+                    .any(|(rule, path)| *rule == e.rule && *path == e.path)
+            })
+            .collect()
+    }
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survive directives and the allowlist.
+    pub violations: Vec<Violation>,
+    /// `(rule, path)` pairs suppressed by the allowlist (stale-tracking).
+    pub allow_hits: Vec<(String, String)>,
+}
+
+/// Whether `path` is exempt from source rules altogether (test/bench/
+/// example/fixture trees are not library code).
+pub fn exempt_path(path: &str) -> bool {
+    let parts: Vec<&str> = path.split('/').collect();
+    parts.iter().any(|p| {
+        matches!(
+            *p,
+            "tests" | "benches" | "examples" | "fixtures" | "target" | ".git"
+        )
+    })
+}
+
+/// Lints one file's source. `path` must be repo-relative with `/` separators.
+pub fn lint_source(path: &str, src: &str, allow: &Allowlist) -> FileReport {
+    let mut report = FileReport::default();
+    if exempt_path(path) {
+        return report;
+    }
+    let lexed = lex(src);
+    let exempt = test_exempt_ranges(&lexed);
+
+    check_unwrap(path, &lexed, &exempt, allow, &mut report);
+    check_relaxed(path, &lexed, &exempt, allow, &mut report);
+    if DP_CAST_FILES.contains(&path) {
+        check_casts(path, &lexed, &exempt, &mut report);
+    }
+    report
+}
+
+/// True if `line` falls in any exempt `[start, end]` range.
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(s, e)| s <= line && line <= e)
+}
+
+/// Finds a site directive for `rule` within reach of `line`; returns whether
+/// one exists and whether it is justified.
+fn directive_for(allows: &[AllowDirective], rule: &str, line: u32) -> Option<bool> {
+    allows
+        .iter()
+        .filter(|d| d.rule == rule)
+        .filter(|d| d.line <= line && line - d.line <= DIRECTIVE_REACH)
+        .map(|d| d.justified)
+        .max()
+}
+
+/// Computes the line ranges covered by test-only items: any item annotated
+/// with an attribute whose token group mentions `test` (and not `not`), i.e.
+/// `#[test]`, `#[cfg(test)] mod …`. The range runs from the attribute to the
+/// item's closing brace (or terminating semicolon).
+fn test_exempt_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_attr_start = toks[i].tok == Tok::Punct('#')
+            && i + 1 < toks.len()
+            && toks[i + 1].tok == Tok::Punct('[');
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        // Scan the bracket group.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(s) if s == "test" => saw_test = true,
+                Tok::Ident(s) if s == "not" => saw_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !saw_test || saw_not {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then find the item's `{…}` or `;`.
+        let mut k = j;
+        while k + 1 < toks.len()
+            && toks[k].tok == Tok::Punct('#')
+            && toks[k + 1].tok == Tok::Punct('[')
+        {
+            let mut d = 1i32;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                match toks[k].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        let mut end_line = attr_line;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct(';') => {
+                    end_line = toks[k].line;
+                    k += 1;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    let mut d = 1i32;
+                    k += 1;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].tok {
+                            Tok::Punct('{') => d += 1,
+                            Tok::Punct('}') => d -= 1,
+                            _ => {}
+                        }
+                        end_line = toks[k].line;
+                        k += 1;
+                    }
+                    break;
+                }
+                _ => {
+                    k += 1;
+                }
+            }
+        }
+        ranges.push((attr_line, end_line));
+        i = k;
+    }
+    ranges
+}
+
+/// Rule `unwrap`: `.unwrap()` / `.expect(` outside tests.
+fn check_unwrap(
+    path: &str,
+    lexed: &Lexed,
+    exempt: &[(u32, u32)],
+    allow: &Allowlist,
+    report: &mut FileReport,
+) {
+    let toks = &lexed.tokens;
+    for w in 0..toks.len().saturating_sub(2) {
+        let Tok::Punct('.') = toks[w].tok else {
+            continue;
+        };
+        let Tok::Ident(name) = &toks[w + 1].tok else {
+            continue;
+        };
+        if name != "unwrap" && name != "expect" {
+            continue;
+        }
+        if toks[w + 2].tok != Tok::Punct('(') {
+            continue;
+        }
+        let line = toks[w + 1].line;
+        if in_ranges(exempt, line) {
+            continue;
+        }
+        if directive_for(&lexed.allows, "unwrap", line) == Some(true) {
+            continue;
+        }
+        if allow.allows("unwrap", path) {
+            report
+                .allow_hits
+                .push(("unwrap".to_string(), path.to_string()));
+            continue;
+        }
+        report.violations.push(Violation {
+            file: path.to_string(),
+            line,
+            rule: "unwrap",
+            message: format!(
+                ".{name}() in non-test library code; return a Result (or add the \
+                 file to lint.allow with a burn-down note)"
+            ),
+        });
+    }
+}
+
+/// Rule `relaxed`: `Ordering::Relaxed` needs a justified site directive AND
+/// an allowlist entry.
+fn check_relaxed(
+    path: &str,
+    lexed: &Lexed,
+    exempt: &[(u32, u32)],
+    allow: &Allowlist,
+    report: &mut FileReport,
+) {
+    let toks = &lexed.tokens;
+    for w in 0..toks.len().saturating_sub(3) {
+        let Tok::Ident(first) = &toks[w].tok else {
+            continue;
+        };
+        if first != "Ordering" {
+            continue;
+        }
+        if toks[w + 1].tok != Tok::Punct(':') || toks[w + 2].tok != Tok::Punct(':') {
+            continue;
+        }
+        let Tok::Ident(last) = &toks[w + 3].tok else {
+            continue;
+        };
+        if last != "Relaxed" {
+            continue;
+        }
+        let line = toks[w + 3].line;
+        if in_ranges(exempt, line) {
+            continue;
+        }
+        let directive = directive_for(&lexed.allows, "relaxed", line);
+        let listed = allow.allows("relaxed", path);
+        match (directive, listed) {
+            (Some(true), true) => {
+                report
+                    .allow_hits
+                    .push(("relaxed".to_string(), path.to_string()));
+            }
+            (Some(true), false) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "relaxed",
+                message: "Ordering::Relaxed has a site justification but no lint.allow \
+                          entry; add one"
+                    .to_string(),
+            }),
+            (Some(false), _) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "relaxed",
+                message: "audit:allow(relaxed) directive lacks a justification after \
+                          the colon"
+                    .to_string(),
+            }),
+            (None, _) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "relaxed",
+                message: "Ordering::Relaxed without an audit:allow(relaxed): <why> \
+                          comment; justify it or use Acquire/Release"
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+/// Rule `cast`: narrowing `as` casts in DP index files need a justified
+/// site directive.
+fn check_casts(path: &str, lexed: &Lexed, exempt: &[(u32, u32)], report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for w in 0..toks.len().saturating_sub(1) {
+        let Tok::Ident(kw) = &toks[w].tok else {
+            continue;
+        };
+        if kw != "as" {
+            continue;
+        }
+        let Tok::Ident(target) = &toks[w + 1].tok else {
+            continue;
+        };
+        if !NARROWING_TARGETS.contains(&target.as_str()) {
+            continue;
+        }
+        let line = toks[w].line;
+        if in_ranges(exempt, line) {
+            continue;
+        }
+        match directive_for(&lexed.allows, "cast", line) {
+            Some(true) => {}
+            Some(false) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "cast",
+                message: "audit:allow(cast) directive lacks a justification".to_string(),
+            }),
+            None => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "cast",
+                message: format!(
+                    "`as {target}` in DP index arithmetic; use a checked conversion or \
+                     justify with audit:allow(cast): <why>"
+                ),
+            }),
+        }
+    }
+}
+
+/// Rule `artifacts`: build artifacts in the tracked-file list.
+pub fn check_tracked_artifacts(tracked: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for path in tracked {
+        let in_target = path
+            .split('/')
+            .any(|component| component == "target" || component == ".git");
+        let bad_ext = [".profraw", ".rlib", ".rmeta", ".gcda", ".gcno", ".o"]
+            .iter()
+            .any(|ext| path.ends_with(ext));
+        if in_target || bad_ext {
+            out.push(Violation {
+                file: path.clone(),
+                line: 0,
+                rule: "artifacts",
+                message: "build artifact tracked in git; add to .gitignore and \
+                          `git rm --cached`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_allow() -> Allowlist {
+        Allowlist::default()
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "
+fn lib() { x.unwrap(); y.expect(\"m\"); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { z.unwrap(); }
+}
+";
+        let rep = lint_source("crates/foo/src/lib.rs", src, &no_allow());
+        assert_eq!(rep.violations.len(), 2);
+        assert!(rep.violations.iter().all(|v| v.rule == "unwrap"));
+        assert_eq!(rep.violations[0].line, 2);
+    }
+
+    #[test]
+    fn test_fn_attribute_exempts_function_body() {
+        let src = "
+#[test]
+fn check() {
+    a.unwrap();
+}
+fn lib() { b.unwrap(); }
+";
+        let rep = lint_source("crates/foo/src/lib.rs", src, &no_allow());
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].line, 6);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_exempt() {
+        let src = "
+#[cfg(not(test))]
+fn lib() { a.unwrap(); }
+";
+        let rep = lint_source("crates/foo/src/lib.rs", src, &no_allow());
+        assert_eq!(rep.violations.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_suppresses_unwrap_and_records_hit() {
+        let allow =
+            Allowlist::parse("unwrap crates/foo/src/lib.rs legacy, burn-down in PR 9").unwrap();
+        let rep = lint_source("crates/foo/src/lib.rs", "fn f() { x.unwrap(); }", &allow);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.allow_hits.len(), 1);
+    }
+
+    #[test]
+    fn relaxed_needs_both_halves() {
+        let bare = "fn f() { flag.store(true, Ordering::Relaxed); }";
+        let rep = lint_source("crates/foo/src/lib.rs", bare, &no_allow());
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, "relaxed");
+
+        let with_comment = "
+fn f() {
+    // audit:allow(relaxed): monotonic flag, no payload
+    flag.store(true, Ordering::Relaxed);
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", with_comment, &no_allow());
+        assert_eq!(rep.violations.len(), 1, "directive alone is not enough");
+
+        let allow = Allowlist::parse("relaxed crates/foo/src/lib.rs monotonic flag").unwrap();
+        let rep = lint_source("crates/foo/src/lib.rs", with_comment, &allow);
+        assert!(rep.violations.is_empty());
+
+        let rep = lint_source("crates/foo/src/lib.rs", bare, &allow);
+        assert_eq!(rep.violations.len(), 1, "allowlist alone is not enough");
+    }
+
+    #[test]
+    fn narrowing_casts_only_checked_in_dp_files() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }";
+        let rep = lint_source("crates/ptas/src/table.rs", src, &no_allow());
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, "cast");
+
+        let rep = lint_source("crates/foo/src/lib.rs", src, &no_allow());
+        assert!(rep.violations.is_empty());
+
+        let justified = "
+fn f(x: usize) -> u32 {
+    // audit:allow(cast): x < 2^20 by the table guard
+    x as u32
+}";
+        let rep = lint_source("crates/ptas/src/table.rs", justified, &no_allow());
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn widening_and_usize_casts_pass() {
+        let src = "fn f(x: u16) -> u64 { let a = x as u64; let b = x as usize; a + b as u64 }";
+        let rep = lint_source("crates/ptas/src/table.rs", src, &no_allow());
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn artifact_rule_flags_target_and_profraw() {
+        let tracked = vec![
+            "target/debug/foo.rlib".to_string(),
+            "crates/core/src/lib.rs".to_string(),
+            "perf/data.profraw".to_string(),
+        ];
+        let v = check_tracked_artifacts(&tracked);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn allowlist_rejects_reasonless_entries() {
+        assert!(Allowlist::parse("unwrap crates/foo/src/lib.rs").is_err());
+        assert!(Allowlist::parse("unwrap").is_err());
+        assert!(Allowlist::parse("# comment\n\nunwrap a/b.rs why not").is_ok());
+    }
+
+    #[test]
+    fn stale_entries_detected() {
+        let allow = Allowlist::parse("unwrap a.rs x\nunwrap b.rs y").unwrap();
+        let used = vec![("unwrap".to_string(), "a.rs".to_string())];
+        let stale = allow.stale(&used);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "b.rs");
+    }
+
+    #[test]
+    fn doc_examples_never_trigger() {
+        let src = "
+/// ```
+/// let x = foo().unwrap();
+/// ```
+fn documented() {}
+";
+        let rep = lint_source("crates/foo/src/lib.rs", src, &no_allow());
+        assert!(rep.violations.is_empty());
+    }
+}

@@ -75,12 +75,27 @@ impl CancelToken {
     }
 
     /// Raises the flag; every clone observes it.
+    ///
+    /// `Relaxed` is sufficient here, and deliberate. The flag is *monotonic*
+    /// (false→true, never reset) and carries no payload: a solver that
+    /// observes `true` returns `Error::Cancelled` without reading any memory
+    /// written by the cancelling thread, so no release/acquire edge is
+    /// needed to publish data — only the flag's own atomicity matters, and
+    /// coherence guarantees every clone eventually observes the store.
+    /// Upgrading to Release/Acquire would buy nothing and put a fence on the
+    /// hot `is_cancelled` poll. The `pcmax-audit` race suite pins this down:
+    /// publishing *data* through a relaxed flag is flagged as a race, while
+    /// this flag-only protocol is not (see `cancel_token_model` tests).
     pub fn cancel(&self) {
+        // audit:allow(relaxed): monotonic payload-free cancel flag; see the
+        // justification above and crates/audit/lint.allow.
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether [`cancel`](Self::cancel) has been called on any clone.
     pub fn is_cancelled(&self) -> bool {
+        // audit:allow(relaxed): monotonic payload-free cancel flag (see
+        // `cancel` above); Relaxed keeps the between-levels poll fence-free.
         self.flag.load(Ordering::Relaxed)
     }
 }

@@ -22,10 +22,16 @@
 //!
 //! All three produce bit-identical tables to the sequential solvers; the
 //! tests assert it.
+//!
+//! Shared-memory accesses (fork/join handoffs, the table scatter/gather)
+//! flow through the [`sync`] seam: zero-cost passthroughs normally, and —
+//! under `feature = "audit"` — an event log plus a seeded interleaving
+//! scheduler that `pcmax-audit` uses to prove the wavefront race-free.
 
 pub mod pool;
 pub mod scoped;
 pub mod speculative;
+pub mod sync;
 pub mod wavefront;
 
 pub use pool::effective_threads;

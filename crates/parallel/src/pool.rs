@@ -2,6 +2,15 @@
 //! and scoped-thread chunked maps, the std-thread replacement for a
 //! dedicated thread pool. Every helper preserves input order, so the
 //! executors built on top stay bit-identical to the sequential DP.
+//!
+//! All spawns and joins go through [`crate::sync::fork`]/[`crate::sync::join_with`]
+//! — the work-distribution handoff the `pcmax-audit` race detector observes.
+//! A worker panic is propagated to the caller via `resume_unwind`, preserving
+//! the original panic payload.
+
+use crate::sync;
+use std::panic::resume_unwind;
+use std::thread::ScopedJoinHandle;
 
 /// Resolves a configured worker count: `None` means all available cores,
 /// explicit values are clamped to at least 1.
@@ -11,6 +20,14 @@ pub fn effective_threads(threads: Option<usize>) -> usize {
         None => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+    }
+}
+
+/// Joins a worker, re-raising its panic in the calling thread if it had one.
+fn join_worker<R>(handle: ScopedJoinHandle<'_, R>, id: sync::SpawnId) -> R {
+    match sync::join_with(id, || handle.join()) {
+        Ok(out) => out,
+        Err(panic) => resume_unwind(panic),
     }
 }
 
@@ -32,10 +49,13 @@ pub fn map_chunked<T: Sync, R: Send>(
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|ch| scope.spawn(move || ch.iter().map(f).collect::<Vec<R>>()))
+            .map(|ch| {
+                let (task, id) = sync::fork(move || ch.iter().map(f).collect::<Vec<R>>());
+                (scope.spawn(task), id)
+            })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("wavefront worker panicked"));
+        for (h, id) in handles {
+            out.extend(join_worker(h, id));
         }
     });
     out
@@ -56,11 +76,12 @@ pub fn map_range<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Syn
             .step_by(chunk)
             .map(|start| {
                 let end = (start + chunk).min(n);
-                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+                let (task, id) = sync::fork(move || (start..end).map(f).collect::<Vec<R>>());
+                (scope.spawn(task), id)
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("wavefront worker panicked"));
+        for (h, id) in handles {
+            out.extend(join_worker(h, id));
         }
     });
     out
@@ -85,11 +106,12 @@ pub fn filter_map_range<R: Send>(
             .step_by(chunk)
             .map(|start| {
                 let end = (start + chunk).min(n);
-                scope.spawn(move || (start..end).filter_map(f).collect::<Vec<R>>())
+                let (task, id) = sync::fork(move || (start..end).filter_map(f).collect::<Vec<R>>());
+                (scope.spawn(task), id)
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("wavefront worker panicked"));
+        for (h, id) in handles {
+            out.extend(join_worker(h, id));
         }
     });
     out
@@ -135,5 +157,23 @@ mod tests {
     fn empty_input_is_fine() {
         assert!(map_chunked(4, &[] as &[u32], |&x| x).is_empty());
         assert!(map_range(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            map_range(2, 10, |i| {
+                if i == 7 {
+                    panic!("worker 7 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("worker 7 exploded"));
     }
 }

@@ -7,8 +7,10 @@
 //! Algorithm 3's analysis assumes (static `⌈q_l/P⌉` round-robin slices per
 //! processor).
 
+use crate::sync;
 use pcmax_ptas::dp::{fits, DpOutcome, DpProblem, DpSolver};
 use pcmax_ptas::table::{DpScratch, INFEASIBLE};
+use std::panic::resume_unwind;
 
 /// Scoped-thread DP with static round-robin level scheduling.
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +54,7 @@ impl DpSolver for ScopedDp {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..p)
                     .map(|worker| {
-                        scope.spawn(move || {
+                        let (task, id) = sync::fork(move || {
                             bucket
                                 .iter()
                                 .skip(worker)
@@ -63,20 +65,47 @@ impl DpSolver for ScopedDp {
                                     let mut best = INFEASIBLE;
                                     for (c, offset) in configs_ref {
                                         if fits(c, &v) {
+                                            debug_assert!(
+                                                *offset > 0
+                                                    && table_ref.level_of(i - offset)
+                                                        < table_ref.level_of(i),
+                                                "round-robin read {} must target a strictly \
+                                                 lower anti-diagonal than {i}",
+                                                i - offset
+                                            );
+                                            sync::trace_read(i - offset);
                                             best = best.min(table_ref.values[i - offset]);
                                         }
                                     }
                                     (idx, best.saturating_add(1))
                                 })
                                 .collect::<Vec<_>>()
-                        })
+                        });
+                        (scope.spawn(task), id)
                     })
                     .collect();
-                for h in handles {
-                    partials.push(h.join().expect("worker panicked"));
+                for (h, id) in handles {
+                    match sync::join_with(id, || h.join()) {
+                        Ok(part) => partials.push(part),
+                        Err(panic) => resume_unwind(panic),
+                    }
                 }
             });
+            // Disjoint-write precondition: the round-robin slices partition
+            // the level bucket, so scatter targets are pairwise distinct.
+            debug_assert!(
+                {
+                    let mut seen: Vec<u32> =
+                        partials.iter().flatten().map(|&(idx, _)| idx).collect();
+                    let before = seen.len();
+                    seen.sort_unstable();
+                    seen.dedup();
+                    seen.len() == before
+                },
+                "round-robin level scatter indices must be pairwise disjoint"
+            );
             for (idx, val) in partials.into_iter().flatten() {
+                sync::trace_write(idx as usize);
                 table.values[idx as usize] = val;
             }
         }
@@ -85,6 +114,7 @@ impl DpSolver for ScopedDp {
         let machines = if opt == INFEASIBLE {
             u32::MAX
         } else {
+            // audit:allow(cast): u16 -> u32 widening, lossless.
             opt as u32
         };
         let schedule = if machines as usize <= problem.max_machines {

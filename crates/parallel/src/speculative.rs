@@ -207,7 +207,9 @@ impl SpeculativePtas {
                 // bisection invariant in pcmax-ptas).
                 self.check_budget(req, &stats, lower, upper)?;
                 let mut probes = self.probe_round(req, &[upper], &mut stats)?;
-                let (_, witness) = probes.pop().expect("one candidate yields one probe");
+                let (_, witness) = probes.pop().ok_or_else(|| Error::InvalidWitness {
+                    reason: "probe round returned no result for the converged target".into(),
+                })?;
                 let (configs, rounded, partition, t) =
                     witness.ok_or_else(|| Error::InvalidWitness {
                         reason: format!(

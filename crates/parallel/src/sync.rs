@@ -1,0 +1,790 @@
+//! The shared-memory seam of the parallel executors.
+//!
+//! Every concurrency primitive the wavefront executors rely on — atomic
+//! flags/counters, mutex/condvar, the fork/join work-distribution handoff of
+//! [`crate::pool`], and the DP table's scatter/gather accesses — goes through
+//! this module. In normal builds everything here is a zero-cost passthrough
+//! to `std` (`#[inline]` wrappers with no extra state). Under
+//! `feature = "audit"` the same API additionally:
+//!
+//! * logs every shared-memory access as a typed [`audit::Event`] (reads,
+//!   writes, atomic loads/stores with their ordering class, lock
+//!   acquire/release, spawn/join edges), ready for the happens-before race
+//!   detector in `pcmax-audit`, and
+//! * serializes the participating threads through a seeded turn-based
+//!   scheduler (SplitMix64-driven), so the `pcmax-audit` interleaving
+//!   explorer can replay *many different* thread schedules deterministically
+//!   and assert that none of them races or changes the DP table.
+//!
+//! The instrumentation is opt-in twice over: the feature gates compilation,
+//! and at runtime events are only recorded by threads registered with an
+//! active [`audit::Session`] — `cargo test --features audit` does not slow
+//! down or alter unrelated tests.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Identifier handed back by [`fork`]; pass it to [`join_with`] so the audit
+/// runtime can draw the join (child-to-parent) happens-before edge. A unit
+/// struct in normal builds.
+#[derive(Debug)]
+pub struct SpawnId {
+    #[cfg(feature = "audit")]
+    child: Option<usize>,
+}
+
+/// Wraps a closure destined for a worker thread. Under audit the wrapper
+/// registers the child thread with the active session before running the
+/// payload (recording the spawn edge on the parent side), so the scheduler
+/// controls when the worker starts and the race detector sees the
+/// parent-to-child ordering. In normal builds this is the identity.
+#[cfg(not(feature = "audit"))]
+#[inline(always)]
+pub fn fork<R, F: FnOnce() -> R>(f: F) -> (F, SpawnId) {
+    (f, SpawnId {})
+}
+
+/// Audit-instrumented [`fork`]: allocates the child slot in the active
+/// session (if any) and wraps the task with register/finish bookkeeping.
+#[cfg(feature = "audit")]
+pub fn fork<R, F: FnOnce() -> R>(f: F) -> (impl FnOnce() -> R, SpawnId) {
+    let child = audit::announce_spawn();
+    let task = move || {
+        // The guard releases the child's turn even if `f` panics, so an
+        // assertion failure inside a worker can't wedge the whole schedule.
+        let _guard = child.map(|id| {
+            audit::child_begin(id);
+            audit::FinishGuard(id)
+        });
+        f()
+    };
+    (task, SpawnId { child })
+}
+
+/// Runs the (possibly blocking) join operation `f` for the worker spawned as
+/// `id`. Under audit the calling thread leaves the scheduler while blocked
+/// (so workers can be granted turns), re-enters afterwards, and records the
+/// join edge. In normal builds it just calls `f`.
+#[inline]
+pub fn join_with<R>(id: SpawnId, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "audit")]
+    if let Some(child) = id.child {
+        return audit::join_region(child, f);
+    }
+    let _ = &id;
+    f()
+}
+
+/// Records a plain shared-memory *read* of logical location `loc` (e.g. a DP
+/// table index). No-op in normal builds.
+#[inline(always)]
+pub fn trace_read(loc: usize) {
+    #[cfg(feature = "audit")]
+    audit::on_access(loc, false);
+    let _ = loc;
+}
+
+/// Records a plain shared-memory *write* of logical location `loc`. No-op in
+/// normal builds.
+#[inline(always)]
+pub fn trace_write(loc: usize) {
+    #[cfg(feature = "audit")]
+    audit::on_access(loc, true);
+    let _ = loc;
+}
+
+/// Allocates a fresh identity for an auditable sync object. Zero in normal
+/// builds (identities are only consumed by the audit log).
+fn next_object_id() -> usize {
+    #[cfg(feature = "audit")]
+    {
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        // audit:allow(relaxed): pure id allocation — the only requirement is
+        // uniqueness, which the RMW's atomicity gives; no data is published.
+        return NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    #[allow(unreachable_code)]
+    0
+}
+
+/// An auditable `AtomicBool`. The explicit-ordering API mirrors `std`; under
+/// audit every operation is logged with its acquire/release classification,
+/// which is exactly what the happens-before detector needs to tell a
+/// correctly published flag from a relaxed one.
+#[derive(Debug)]
+pub struct AtomicFlag {
+    inner: AtomicBool,
+    #[cfg_attr(not(feature = "audit"), allow(dead_code))]
+    id: usize,
+}
+
+impl AtomicFlag {
+    /// A new flag with the given initial value.
+    pub fn new(value: bool) -> Self {
+        Self {
+            inner: AtomicBool::new(value),
+            id: next_object_id(),
+        }
+    }
+
+    /// Atomic load with ordering `ord`.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> bool {
+        #[cfg(feature = "audit")]
+        audit::on_atomic(self.id, audit::AtomicKind::Load, ord);
+        self.inner.load(ord)
+    }
+
+    /// Atomic store with ordering `ord`.
+    #[inline]
+    pub fn store(&self, value: bool, ord: Ordering) {
+        #[cfg(feature = "audit")]
+        audit::on_atomic(self.id, audit::AtomicKind::Store, ord);
+        self.inner.store(value, ord);
+    }
+
+    /// Atomic swap with ordering `ord`.
+    #[inline]
+    pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+        #[cfg(feature = "audit")]
+        audit::on_atomic(self.id, audit::AtomicKind::Rmw, ord);
+        self.inner.swap(value, ord)
+    }
+}
+
+impl Default for AtomicFlag {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+/// An auditable `AtomicUsize` (same contract as [`AtomicFlag`]).
+#[derive(Debug)]
+pub struct AtomicCounter {
+    inner: AtomicUsize,
+    #[cfg_attr(not(feature = "audit"), allow(dead_code))]
+    id: usize,
+}
+
+impl AtomicCounter {
+    /// A new counter with the given initial value.
+    pub fn new(value: usize) -> Self {
+        Self {
+            inner: AtomicUsize::new(value),
+            id: next_object_id(),
+        }
+    }
+
+    /// Atomic load with ordering `ord`.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> usize {
+        #[cfg(feature = "audit")]
+        audit::on_atomic(self.id, audit::AtomicKind::Load, ord);
+        self.inner.load(ord)
+    }
+
+    /// Atomic store with ordering `ord`.
+    #[inline]
+    pub fn store(&self, value: usize, ord: Ordering) {
+        #[cfg(feature = "audit")]
+        audit::on_atomic(self.id, audit::AtomicKind::Store, ord);
+        self.inner.store(value, ord);
+    }
+
+    /// Atomic fetch-add with ordering `ord`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, value: usize, ord: Ordering) -> usize {
+        #[cfg(feature = "audit")]
+        audit::on_atomic(self.id, audit::AtomicKind::Rmw, ord);
+        self.inner.fetch_add(value, ord)
+    }
+}
+
+impl Default for AtomicCounter {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// An auditable mutex. Lock/unlock events carry the object identity, giving
+/// the race detector the release→acquire edges of the lock protocol. Under
+/// the interleaving scheduler, `lock` yields the turn between attempts
+/// instead of blocking, so a contended lock cannot deadlock the explorer.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    id: usize,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; logs the release on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    id: usize,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+            id: next_object_id(),
+        }
+    }
+
+    /// Acquires the lock (poisoning is ignored: a panicked holder's data is
+    /// still returned, matching the executors' fail-fast panic policy).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "audit")]
+        if audit::scheduled() {
+            // Under the explorer: spin with turn yields instead of blocking,
+            // so the holder can be granted the turn it needs to release.
+            loop {
+                audit::yield_turn();
+                if let Ok(guard) = self.inner.try_lock() {
+                    audit::on_lock(self.id, true);
+                    return MutexGuard {
+                        guard: Some(guard),
+                        id: self.id,
+                    };
+                }
+            }
+        }
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        #[cfg(feature = "audit")]
+        audit::on_lock(self.id, true);
+        MutexGuard {
+            guard: Some(guard),
+            id: self.id,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_deref().unwrap_or_else(|| {
+            // The Option is only vacated in drop; a None here is unreachable.
+            unreachable!("guard accessed after drop")
+        })
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard
+            .as_deref_mut()
+            .unwrap_or_else(|| unreachable!("guard accessed after drop"))
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard = None;
+        #[cfg(feature = "audit")]
+        audit::on_lock(self.id, false);
+        let _ = self.id;
+    }
+}
+
+/// An auditable condition variable. Waits leave the scheduler (like a join),
+/// so a waiting thread never wedges the explorer; wakeups re-enter it.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Waits on `guard`'s mutex until notified (spurious wakeups possible,
+    /// as with `std`). Returns the reacquired guard.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let id = guard.id;
+        let std_guard = guard
+            .guard
+            .take()
+            .unwrap_or_else(|| unreachable!("wait on dropped guard"));
+        #[cfg(feature = "audit")]
+        audit::on_lock(id, false);
+        #[cfg(feature = "audit")]
+        if audit::scheduled() {
+            let reacquired = audit::join_region(usize::MAX, || {
+                self.inner
+                    .wait(std_guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            });
+            audit::on_lock(id, true);
+            return MutexGuard {
+                guard: Some(reacquired),
+                id,
+            };
+        }
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        #[cfg(feature = "audit")]
+        audit::on_lock(id, true);
+        MutexGuard {
+            guard: Some(reacquired),
+            id,
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(feature = "audit")]
+pub mod audit {
+    //! The audit runtime: event log, session registry and the seeded
+    //! turn-based interleaving scheduler. Driven by `pcmax-audit`.
+
+    use pcmax_core::rng::SplitMix64;
+    use std::cell::Cell;
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+    /// Classification of an atomic operation for happens-before edges.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum AtomicKind {
+        /// Pure load (acquire side if the ordering says so).
+        Load,
+        /// Pure store (release side if the ordering says so).
+        Store,
+        /// Read-modify-write (potentially both sides).
+        Rmw,
+    }
+
+    /// One logged shared-memory operation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Op {
+        /// Plain (non-atomic) read of a logical location.
+        Read {
+            /// Caller-chosen location key (e.g. DP table index).
+            loc: usize,
+        },
+        /// Plain (non-atomic) write of a logical location.
+        Write {
+            /// Caller-chosen location key.
+            loc: usize,
+        },
+        /// Atomic load; `acquire` reflects the ordering argument.
+        AtomicLoad {
+            /// Sync-object identity.
+            obj: usize,
+            /// Whether the ordering has acquire semantics.
+            acquire: bool,
+        },
+        /// Atomic store; `release` reflects the ordering argument.
+        AtomicStore {
+            /// Sync-object identity.
+            obj: usize,
+            /// Whether the ordering has release semantics.
+            release: bool,
+        },
+        /// Atomic read-modify-write with its ordering classification.
+        AtomicRmw {
+            /// Sync-object identity.
+            obj: usize,
+            /// Acquire semantics on the read side.
+            acquire: bool,
+            /// Release semantics on the write side.
+            release: bool,
+        },
+        /// Mutex acquisition.
+        LockAcquire {
+            /// Sync-object identity.
+            obj: usize,
+        },
+        /// Mutex release.
+        LockRelease {
+            /// Sync-object identity.
+            obj: usize,
+        },
+        /// Thread `child` was forked by this event's thread.
+        Spawn {
+            /// Child thread id (dense, session-scoped).
+            child: usize,
+        },
+        /// Thread `child` was joined by this event's thread.
+        Join {
+            /// Child thread id.
+            child: usize,
+        },
+    }
+
+    /// One event of the serialized schedule.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Event {
+        /// Session-scoped dense thread id (0 = the session's main thread).
+        pub thread: usize,
+        /// The operation.
+        pub op: Op,
+    }
+
+    /// The full serialized history of one explored schedule.
+    #[derive(Debug, Clone)]
+    pub struct Trace {
+        /// Events in schedule (= happens-before-compatible total) order.
+        pub events: Vec<Event>,
+        /// Number of threads that participated (ids `0..threads`).
+        pub threads: usize,
+        /// The seed that produced this schedule.
+        pub seed: u64,
+    }
+
+    /// Per-thread scheduler state.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum TState {
+        /// Spawn announced, thread not yet registered.
+        Pending,
+        /// Waiting for the turn.
+        Wanting,
+        /// Holds the turn and is executing.
+        Running,
+        /// Blocked in a real operation (join, condvar) outside the scheduler.
+        Blocked,
+        /// Finished.
+        Done,
+    }
+
+    struct SessionState {
+        events: Vec<Event>,
+        rng: SplitMix64,
+        threads: Vec<TState>,
+        seed: u64,
+    }
+
+    impl SessionState {
+        /// Grants the turn to a random wanting thread, provided no thread is
+        /// currently running and no announced child is still unregistered
+        /// (stalling on stragglers keeps schedules deterministic per seed).
+        fn dispatch(&mut self) {
+            if self.threads.contains(&TState::Running) || self.threads.contains(&TState::Pending) {
+                return;
+            }
+            let wanting: Vec<usize> = (0..self.threads.len())
+                .filter(|&i| self.threads[i] == TState::Wanting)
+                .collect();
+            if wanting.is_empty() {
+                return;
+            }
+            let pick = wanting[self.rng.below(wanting.len() as u64) as usize];
+            self.threads[pick] = TState::Running;
+        }
+    }
+
+    struct Session {
+        state: Mutex<SessionState>,
+        turn: Condvar,
+    }
+
+    /// The (at most one) active session. A `Mutex<Option<Arc<…>>>` rather
+    /// than a thread-local because worker threads must find it too.
+    static ACTIVE: Mutex<Option<Arc<Session>>> = Mutex::new(None);
+
+    thread_local! {
+        /// This thread's dense id within the active session, if registered.
+        static MY_ID: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn active() -> Option<Arc<Session>> {
+        lock(&ACTIVE).clone()
+    }
+
+    /// Whether the calling thread is registered with an active session (and
+    /// thus subject to the interleaving scheduler).
+    pub fn scheduled() -> bool {
+        MY_ID.with(|id| id.get().is_some()) && active().is_some()
+    }
+
+    fn me() -> Option<usize> {
+        MY_ID.with(|id| id.get())
+    }
+
+    /// Blocks until the scheduler grants this thread the turn, releasing the
+    /// turn it currently holds (if any). The serialization point of every
+    /// instrumented operation.
+    pub fn yield_turn() {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let mut st = lock(&session.state);
+        if st.threads[id] == TState::Running {
+            st.threads[id] = TState::Wanting;
+        }
+        st.dispatch();
+        session.turn.notify_all();
+        while st.threads[id] != TState::Running {
+            st = session
+                .turn
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Yields for the turn, then records `op` while holding it.
+    fn turn_and_record(op_of: impl FnOnce(usize) -> Op) {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let mut st = lock(&session.state);
+        if st.threads[id] == TState::Running {
+            st.threads[id] = TState::Wanting;
+        }
+        st.dispatch();
+        session.turn.notify_all();
+        while st.threads[id] != TState::Running {
+            st = session
+                .turn
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let op = op_of(id);
+        st.events.push(Event { thread: id, op });
+    }
+
+    /// Hook for [`super::trace_read`]/[`super::trace_write`].
+    pub(super) fn on_access(loc: usize, write: bool) {
+        turn_and_record(|_| {
+            if write {
+                Op::Write { loc }
+            } else {
+                Op::Read { loc }
+            }
+        });
+    }
+
+    /// Hook for the atomic wrappers.
+    pub(super) fn on_atomic(obj: usize, kind: AtomicKind, ord: Ordering) {
+        let acquire = matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+        let release = matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+        turn_and_record(|_| match kind {
+            AtomicKind::Load => Op::AtomicLoad { obj, acquire },
+            AtomicKind::Store => Op::AtomicStore { obj, release },
+            AtomicKind::Rmw => Op::AtomicRmw {
+                obj,
+                acquire,
+                release,
+            },
+        });
+    }
+
+    /// Hook for the mutex wrapper (`acquire = true` on lock, `false` on
+    /// unlock).
+    pub(super) fn on_lock(obj: usize, acquire: bool) {
+        turn_and_record(|_| {
+            if acquire {
+                Op::LockAcquire { obj }
+            } else {
+                Op::LockRelease { obj }
+            }
+        });
+    }
+
+    /// Parent-side half of [`super::fork`]: allocates the child's dense id,
+    /// marks it pending and records the spawn edge. Returns `None` when the
+    /// calling thread is not part of a session.
+    pub(super) fn announce_spawn() -> Option<usize> {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return None;
+        };
+        let mut st = lock(&session.state);
+        let child = st.threads.len();
+        st.threads.push(TState::Pending);
+        st.events.push(Event {
+            thread: id,
+            op: Op::Spawn { child },
+        });
+        Some(child)
+    }
+
+    /// Child-side registration: adopt the pre-allocated id and wait for the
+    /// first turn before touching any shared state.
+    pub(super) fn child_begin(child: usize) {
+        let Some(session) = active() else {
+            return;
+        };
+        MY_ID.with(|id| id.set(Some(child)));
+        let mut st = lock(&session.state);
+        st.threads[child] = TState::Wanting;
+        st.dispatch();
+        session.turn.notify_all();
+        while st.threads[child] != TState::Running {
+            st = session
+                .turn
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drop guard marking a worker finished; releases its turn even on
+    /// unwind so a panicking worker cannot deadlock the schedule.
+    pub(super) struct FinishGuard(pub(super) usize);
+
+    impl Drop for FinishGuard {
+        fn drop(&mut self) {
+            child_finish(self.0);
+        }
+    }
+
+    /// Child-side completion: release the turn for good.
+    pub(super) fn child_finish(child: usize) {
+        let Some(session) = active() else {
+            return;
+        };
+        let mut st = lock(&session.state);
+        st.threads[child] = TState::Done;
+        st.dispatch();
+        session.turn.notify_all();
+        MY_ID.with(|id| id.set(None));
+    }
+
+    /// Runs blocking operation `f` outside the scheduler: the calling thread
+    /// gives up the turn, performs `f` (e.g. a real `JoinHandle::join`), then
+    /// re-enters the schedule and records the join edge. `child == usize::MAX`
+    /// marks an anonymous blocking region (condvar wait) with no join edge.
+    pub fn join_region<R>(child: usize, f: impl FnOnce() -> R) -> R {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return f();
+        };
+        {
+            let mut st = lock(&session.state);
+            st.threads[id] = TState::Blocked;
+            st.dispatch();
+            session.turn.notify_all();
+        }
+        let out = f();
+        let mut st = lock(&session.state);
+        st.threads[id] = TState::Wanting;
+        st.dispatch();
+        session.turn.notify_all();
+        while st.threads[id] != TState::Running {
+            st = session
+                .turn
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if child != usize::MAX {
+            st.events.push(Event {
+                thread: id,
+                op: Op::Join { child },
+            });
+        }
+        out
+    }
+
+    /// Global gate serializing sessions (concurrent test threads queue here).
+    static GATE: Mutex<()> = Mutex::new(());
+
+    /// Runs `workload` under a fresh session with the given schedule seed and
+    /// returns the serialized trace. The calling thread becomes thread 0;
+    /// every worker forked (transitively) through [`super::fork`] joins the
+    /// schedule. Sessions are globally serialized, so concurrent callers
+    /// simply queue.
+    ///
+    /// # Panics
+    /// Panics if the workload panics (the session is torn down first).
+    pub fn explore<R>(seed: u64, workload: impl FnOnce() -> R) -> (R, Trace) {
+        let _gate = lock(&GATE);
+        let session = Arc::new(Session {
+            state: Mutex::new(SessionState {
+                events: Vec::new(),
+                rng: SplitMix64::seed_from_u64(seed),
+                threads: vec![TState::Running],
+                seed,
+            }),
+            turn: Condvar::new(),
+        });
+        *lock(&ACTIVE) = Some(Arc::clone(&session));
+        MY_ID.with(|id| id.set(Some(0)));
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(workload));
+        MY_ID.with(|id| id.set(None));
+        *lock(&ACTIVE) = None;
+        let st = lock(&session.state);
+        let trace = Trace {
+            events: st.events.clone(),
+            threads: st.threads.len(),
+            seed: st.seed,
+        };
+        drop(st);
+        match out {
+            Ok(r) => (r, trace),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_flag_passthrough() {
+        let flag = AtomicFlag::new(false);
+        assert!(!flag.load(Ordering::Acquire));
+        flag.store(true, Ordering::Release);
+        assert!(flag.load(Ordering::Relaxed));
+        assert!(flag.swap(false, Ordering::AcqRel));
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn atomic_counter_passthrough() {
+        let ctr = AtomicCounter::new(5);
+        assert_eq!(ctr.fetch_add(3, Ordering::AcqRel), 5);
+        assert_eq!(ctr.load(Ordering::Acquire), 8);
+        ctr.store(1, Ordering::Release);
+        assert_eq!(ctr.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mutex_and_condvar_passthrough() {
+        let m = Mutex::new(0u32);
+        {
+            let mut g = m.lock();
+            *g += 7;
+        }
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn fork_join_roundtrip_without_session() {
+        let (task, id) = fork(|| 21 * 2);
+        let out = std::thread::scope(|s| {
+            let h = s.spawn(task);
+            join_with(id, || h.join()).unwrap_or_else(|p| std::panic::resume_unwind(p))
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn trace_hooks_are_noops_outside_sessions() {
+        trace_read(3);
+        trace_write(3);
+    }
+}

@@ -3,7 +3,7 @@
 //! between them; inside a level, subproblem values are computed in parallel
 //! from the (immutable) lower levels and then scattered into the table.
 
-use crate::pool;
+use crate::{pool, sync};
 use pcmax_ptas::dp::{extract_schedule, fits, DpOutcome, DpProblem, DpSolver};
 use pcmax_ptas::table::{DpScratch, DpTable, INFEASIBLE};
 
@@ -76,6 +76,7 @@ impl DpSolver for ParallelDp {
         let machines = if opt == INFEASIBLE {
             u32::MAX
         } else {
+            // audit:allow(cast): u16 -> u32 widening, lossless.
             opt as u32
         };
         let schedule = if machines as usize <= problem.max_machines {
@@ -89,11 +90,23 @@ impl DpSolver for ParallelDp {
 }
 
 /// Computes one subproblem's value from the already-filled lower levels.
+///
+/// Every read this function performs is the disjoint-write argument's *read
+/// precondition*: a nonzero config `c ≤ v` has digit sum ≥ 1, so `v − c`
+/// lies on a strictly lower anti-diagonal, whose entries were sealed by the
+/// level barrier. The `debug_assert!` states it; the audit race detector
+/// verifies it dynamically against the recorded schedule.
 #[inline]
 fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32]) -> u16 {
     let mut best = INFEASIBLE;
     for (c, offset) in configs {
         if fits(c, v) {
+            debug_assert!(
+                *offset > 0 && table.level_of(idx - offset) < table.level_of(idx),
+                "wavefront read {} must target a strictly lower anti-diagonal than {idx}",
+                idx - offset
+            );
+            sync::trace_read(idx - offset);
             best = best.min(table.values[idx - offset]);
         }
     }
@@ -102,7 +115,11 @@ fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32
 
 /// Level sweep over precomputed per-level buckets. The bucket storage comes
 /// from (and returns to) the scratch arena, so bisection probes reuse it.
-pub(crate) fn bucketed_sweep(
+///
+/// Public so the `pcmax-audit` interleaving suite can drive the sweep on a
+/// caller-owned table and compare the filled values bit-for-bit against the
+/// sequential DP under many explored schedules.
+pub fn bucketed_sweep(
     table: &mut DpTable,
     configs: &[(Vec<u32>, usize)],
     threads: usize,
@@ -111,6 +128,13 @@ pub(crate) fn bucketed_sweep(
     let mut buckets = scratch.take_buckets();
     table.fill_level_buckets(&mut buckets);
     for bucket in buckets.iter().skip(1) {
+        // Disjoint-write precondition: a level's scatter targets are pairwise
+        // distinct. Buckets are built in ascending index order, so strict
+        // monotonicity is exactly pairwise disjointness.
+        debug_assert!(
+            bucket.windows(2).all(|w| w[0] < w[1]),
+            "level bucket indices must be strictly increasing (pairwise disjoint)"
+        );
         // Parallel read phase: all dependencies live on lower levels, so the
         // immutable borrow of `table` is race-free by construction.
         let results = pool::map_chunked(threads, bucket, |&idx| {
@@ -120,6 +144,7 @@ pub(crate) fn bucketed_sweep(
         });
         // Sequential scatter phase: disjoint writes within the level.
         for (&idx, val) in bucket.iter().zip(results) {
+            sync::trace_write(idx as usize);
             table.values[idx as usize] = val;
         }
     }
@@ -140,7 +165,12 @@ fn faithful_sweep(table: &mut DpTable, configs: &[(Vec<u32>, usize)], threads: u
                 (idx, value_of(table, configs, idx, &v))
             })
         });
+        debug_assert!(
+            results.windows(2).all(|w| w[0].0 < w[1].0),
+            "faithful level scatter indices must be pairwise disjoint"
+        );
         for (idx, val) in results {
+            sync::trace_write(idx);
             table.values[idx] = val;
         }
     }

@@ -51,6 +51,8 @@ pub fn wavefront_dp(problem: &DpProblem) -> Result<WavefrontCost> {
             table.values[idx] = if best == u64::MAX {
                 INFEASIBLE
             } else {
+                // audit:allow(cast): candidates are u16 table values widened
+                // to u64 for the reduction; the min fits back into u16.
                 (best as u16).saturating_add(1)
             };
         }
@@ -61,6 +63,7 @@ pub fn wavefront_dp(problem: &DpProblem) -> Result<WavefrontCost> {
         machines: if opt == INFEASIBLE {
             u32::MAX
         } else {
+            // audit:allow(cast): u16 -> u32 widening, lossless.
             opt as u32
         },
         pram,

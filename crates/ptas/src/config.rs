@@ -55,6 +55,7 @@ fn dfs(
     let cap = remaining
         .checked_div(size)
         .unwrap_or(counts[class_idx] as Time);
+    // audit:allow(cast): min(counts[i], cap) <= counts[i], which is a u32.
     let max_count = (counts[class_idx] as Time).min(cap) as u32;
     for s in 0..=max_count {
         current[class_idx] = s;

@@ -250,6 +250,7 @@ fn finish(
     let machines = if opt >= UNVISITED {
         u32::MAX
     } else {
+        // audit:allow(cast): u16 -> u32 widening, lossless by construction.
         opt as u32
     };
     let schedule = if machines as usize <= problem.max_machines {

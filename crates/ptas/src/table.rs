@@ -184,6 +184,8 @@ impl DpTable {
     pub fn decode(&self, mut idx: usize) -> Vec<u32> {
         let mut v = vec![0u32; self.dims.len()];
         for (slot, &stride) in v.iter_mut().zip(&self.strides) {
+            // audit:allow(cast): idx/stride < dims[a] and every radix is a
+            // u32 (`counts[i] + 1`), so the quotient always fits.
             *slot = (idx / stride) as u32;
             idx %= stride;
         }
@@ -247,6 +249,14 @@ impl DpTable {
     /// `buckets`, reusing the outer and inner allocations — the form the
     /// wavefront executors use together with [`DpScratch`].
     pub fn fill_level_buckets(&self, buckets: &mut Vec<Vec<u32>>) {
+        // Buckets store indices as u32 to halve their footprint; σ is capped
+        // by `max_entries` at build time, but that cap is caller-chosen, so
+        // re-assert the representable range before narrowing below.
+        assert!(
+            u32::try_from(self.len).is_ok(),
+            "table too large for u32 level buckets ({} entries)",
+            self.len
+        );
         let levels = self.levels() as usize;
         for b in buckets.iter_mut() {
             b.clear();
@@ -256,6 +266,7 @@ impl DpTable {
         let mut v = vec![0u32; self.dims.len()];
         let mut sum = 0u32;
         for idx in 0..self.len {
+            // audit:allow(cast): idx < self.len, asserted to fit u32 above.
             buckets[sum as usize].push(idx as u32);
             // Increment the counter (row-major: last digit fastest).
             for a in (0..self.dims.len()).rev() {
