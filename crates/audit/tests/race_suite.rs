@@ -9,7 +9,7 @@
 #![cfg(feature = "audit")]
 
 use pcmax_audit::explore::{run_seed, sweep};
-use pcmax_parallel::wavefront::bucketed_sweep;
+use pcmax_parallel::wavefront::{bucketed_sweep, spawn_per_level_sweep};
 use pcmax_parallel::{sync, ParallelDp, ScopedDp};
 use pcmax_ptas::dp::{DpProblem, DpSolver, IterativeDp};
 use pcmax_ptas::table::DpScratch;
@@ -27,14 +27,19 @@ fn paper_problem() -> DpProblem {
 /// Table I in row-major order (the sequential DP's exact values).
 const PAPER_TABLE: [u16; 12] = [0, 1, 1, 1, 1, 1, 1, 2, 1, 1, 2, 2];
 
-/// Runs the bucketed sweep on a fresh table and returns the filled values.
-fn sweep_values(threads: usize) -> Vec<u16> {
+/// Runs the persistent-pool bucketed sweep on a fresh level-major table and
+/// returns the filled values (in row-major order) plus the scratch whose
+/// counters record the pool's park/wake traffic.
+fn sweep_values(threads: usize) -> (Vec<u16>, DpScratch) {
     let problem = paper_problem();
-    let mut table = problem.build_table().expect("paper problem fits");
+    let mut scratch = DpScratch::new();
+    let mut table = problem
+        .build_level_major_table_in(&mut scratch)
+        .expect("paper problem fits");
     let configs = problem.configs_with_offsets(&table);
     table.values[0] = 0;
-    bucketed_sweep(&mut table, &configs, threads, &mut DpScratch::new());
-    table.values
+    bucketed_sweep(&mut table, &configs, threads, &mut scratch);
+    (table.values_row_major(), scratch)
 }
 
 #[test]
@@ -42,7 +47,7 @@ fn wavefront_is_race_free_across_64_interleavings() {
     let report = sweep(
         1,
         64,
-        || sweep_values(3),
+        || sweep_values(3).0,
         |seed, values| {
             assert_eq!(
                 values.as_slice(),
@@ -65,6 +70,71 @@ fn wavefront_is_race_free_across_64_interleavings() {
         report.distinct_histories > 1,
         "seeds must explore more than one interleaving"
     );
+}
+
+#[test]
+fn persistent_pool_park_wake_barrier_is_race_free() {
+    // Exercises the pool's condvar handoff path specifically: every seeded
+    // schedule must (a) produce the sequential table, (b) balance parks with
+    // wakes (every entered wait returns), and (c) across the seed set the
+    // barrier must actually park — i.e. the detector has seen the
+    // park → notify → wake edge, not just uncontended handoffs.
+    let total_parks = std::sync::atomic::AtomicU64::new(0);
+    let report = sweep(
+        300,
+        64,
+        || sweep_values(2),
+        |seed, (values, scratch)| {
+            assert_eq!(
+                values.as_slice(),
+                PAPER_TABLE,
+                "seed {seed}: table diverged from the sequential DP"
+            );
+            assert_eq!(
+                scratch.pool_parks, scratch.pool_wakes,
+                "seed {seed}: a condvar wait was entered but never returned"
+            );
+            assert!(
+                scratch.kernel_allocs <= 2,
+                "seed {seed}: cell kernel allocated beyond its per-worker buffers"
+            );
+            total_parks.fetch_add(scratch.pool_parks, Ordering::Relaxed);
+        },
+    );
+    assert_eq!(report.schedules, 64);
+    assert!(
+        report.races.is_empty(),
+        "persistent pool races found: {:?}",
+        report.races
+    );
+    assert!(
+        total_parks.load(Ordering::Relaxed) > 0,
+        "64 schedules of a 2-thread pool must park at least once"
+    );
+    assert!(report.max_threads > 1);
+}
+
+#[test]
+fn spawn_per_level_fallback_is_race_free() {
+    // The legacy executor survives as the bench baseline and as the
+    // row-major fallback of `bucketed_sweep`; keep it under the detector.
+    let report = sweep(
+        500,
+        32,
+        || {
+            let problem = paper_problem();
+            let mut table = problem.build_table().expect("paper problem fits");
+            let configs = problem.configs_with_offsets(&table);
+            table.values[0] = 0;
+            spawn_per_level_sweep(&mut table, &configs, 3, &mut DpScratch::new());
+            table.values
+        },
+        |seed, values| {
+            assert_eq!(values.as_slice(), PAPER_TABLE, "seed {seed}");
+        },
+    );
+    assert!(report.races.is_empty(), "races: {:?}", report.races);
+    assert!(report.max_threads > 1);
 }
 
 #[test]

@@ -1,0 +1,243 @@
+//! Micro-benchmark for the wavefront DP hot path: DP cells per second of
+//! the persistent-pool level-major executor (`dp-parallel`) against the
+//! pre-PR spawn-per-level row-major executor (`dp-parallel-spawn`) on the
+//! paper's U(1,100) family, both pinned to 4 worker threads.
+//!
+//! ```text
+//! cargo bench -p pcmax-bench --bench wavefront -- [--smoke] \
+//!     [--json FILE] [--check FILE] [--min-secs S]
+//! ```
+//!
+//! * `--json FILE`  — write the measurements as JSON (the tracked baseline
+//!   `BENCH_wavefront.json` is produced this way).
+//! * `--check FILE` — load a baseline and fail (exit 1) if the persistent
+//!   executor's speedup over the spawn-per-level baseline regressed by more
+//!   than 25% for any case measured in both runs. The gate compares
+//!   *speedups*, not raw cells/sec, so it is machine-normalized: CI hardware
+//!   may be slower than the machine that wrote the baseline, but the ratio
+//!   between the two executors on identical inputs should hold.
+//! * `--smoke`      — only run the small fixed case (the CI `bench-smoke`
+//!   job uses this together with `--check`).
+
+use pcmax_bench::timing::time_stable;
+use pcmax_core::json::{self, Value};
+use pcmax_parallel::{LevelStrategy, ParallelDp};
+use pcmax_ptas::dp::{DpProblem, DpSolver};
+use pcmax_ptas::{rounded_problem, EpsilonParams};
+use pcmax_workloads::{generate, Distribution, Family};
+use std::process::ExitCode;
+
+/// Threads both executors are pinned to (the acceptance point of the PR).
+const THREADS: usize = 4;
+
+/// Regression tolerance on the persistent/spawn-per-level speedup ratio.
+const TOLERANCE: f64 = 0.25;
+
+struct Case {
+    name: &'static str,
+    machines: usize,
+    jobs: usize,
+    epsilon: f64,
+    smoke: bool,
+}
+
+/// The paper's U(1,100) workload at the Figure-2 scale, plus a small fixed
+/// instance for the CI smoke gate.
+const CASES: &[Case] = &[
+    Case {
+        name: "u100-m20-n100-eps0.3",
+        machines: 20,
+        jobs: 100,
+        epsilon: 0.3,
+        smoke: false,
+    },
+    Case {
+        name: "smoke-u100-m10-n50-eps0.3",
+        machines: 10,
+        jobs: 50,
+        epsilon: 0.3,
+        smoke: true,
+    },
+];
+
+struct Measurement {
+    name: &'static str,
+    cells: u64,
+    persistent_cps: f64,
+    spawn_cps: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.persistent_cps / self.spawn_cps
+    }
+
+    fn to_json(&self) -> Value {
+        json::object(vec![
+            ("case", Value::Str(self.name.to_string())),
+            ("cells", Value::UInt(self.cells)),
+            (
+                "persistent_cells_per_sec",
+                Value::Float(self.persistent_cps),
+            ),
+            (
+                "spawn_per_level_cells_per_sec",
+                Value::Float(self.spawn_cps),
+            ),
+            ("speedup", Value::Float(self.speedup())),
+        ])
+    }
+}
+
+fn rounded(case: &Case) -> DpProblem {
+    let inst = generate(
+        Family::new(case.machines, case.jobs, Distribution::U1To100),
+        1,
+    );
+    let eps = EpsilonParams::new(case.epsilon).expect("valid epsilon");
+    let target = pcmax_core::lower_bound(&inst);
+    rounded_problem(&inst, &eps, target, DpProblem::DEFAULT_MAX_ENTRIES).0
+}
+
+fn measure(case: &Case, min_secs: f64) -> Measurement {
+    let problem = rounded(case);
+    let cells = (problem.build_table().expect("guarded size").len - 1) as u64;
+
+    let persistent = ParallelDp::with_threads(THREADS);
+    let spawn = ParallelDp {
+        threads: Some(THREADS),
+        strategy: LevelStrategy::SpawnPerLevel,
+    };
+
+    // The two executors must agree before their speeds are worth comparing.
+    let a = persistent.solve(&problem).expect("persistent solve");
+    let b = spawn.solve(&problem).expect("spawn-per-level solve");
+    assert_eq!(a, b, "{}: executors diverged", case.name);
+
+    // Best-of-3: the min per-run time filters scheduler noise, which matters
+    // for the ratio gate far more than absolute accuracy does.
+    let best = |f: &mut dyn FnMut()| {
+        (0..3)
+            .map(|_| time_stable(min_secs, &mut *f))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_persistent = best(&mut || {
+        persistent.solve(&problem).expect("solve");
+    });
+    let t_spawn = best(&mut || {
+        spawn.solve(&problem).expect("solve");
+    });
+    Measurement {
+        name: case.name,
+        cells,
+        persistent_cps: cells as f64 / t_persistent,
+        spawn_cps: cells as f64 / t_spawn,
+    }
+}
+
+fn check_against(baseline: &Value, current: &[Measurement]) -> Result<(), String> {
+    let cases = baseline
+        .get("cases")
+        .and_then(Value::as_array)
+        .ok_or("baseline JSON has no `cases` array")?;
+    let mut compared = 0usize;
+    for m in current {
+        let Some(base) = cases
+            .iter()
+            .find(|c| c.get("case").and_then(Value::as_str) == Some(m.name))
+        else {
+            continue;
+        };
+        let base_speedup = base
+            .get("speedup")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("baseline case {} has no `speedup`", m.name))?;
+        compared += 1;
+        let floor = base_speedup * (1.0 - TOLERANCE);
+        println!(
+            "check {:<28} baseline x{base_speedup:.2}  current x{:.2}  floor x{floor:.2}",
+            m.name,
+            m.speedup()
+        );
+        if m.speedup() < floor {
+            return Err(format!(
+                "{}: speedup regressed to x{:.2} (baseline x{base_speedup:.2}, \
+                 floor x{floor:.2})",
+                m.name,
+                m.speedup()
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no case overlapped with the baseline — gate is vacuous".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut min_secs = 0.3f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--min-secs" => {
+                min_secs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-secs needs a number");
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench) to the
+            // target; ignore anything we do not recognize.
+            _ => {}
+        }
+    }
+
+    println!("== wavefront ({THREADS} threads) ==");
+    let mut results = Vec::new();
+    for case in CASES.iter().filter(|c| !smoke || c.smoke) {
+        let m = measure(case, min_secs);
+        println!(
+            "{:<28} {:>10} cells   persistent {:>12.0} cells/s   spawn-per-level \
+             {:>12.0} cells/s   x{:.2}",
+            m.name,
+            m.cells,
+            m.persistent_cps,
+            m.spawn_cps,
+            m.speedup()
+        );
+        results.push(m);
+    }
+
+    if let Some(path) = json_path {
+        let doc = json::object(vec![
+            ("bench", Value::Str("wavefront".to_string())),
+            ("threads", Value::UInt(THREADS as u64)),
+            ("tolerance", Value::Float(TOLERANCE)),
+            (
+                "cases",
+                Value::Array(results.iter().map(Measurement::to_json).collect()),
+            ),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).expect("write json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = json::parse(&text).expect("baseline parses");
+        match check_against(&baseline, &results) {
+            Ok(()) => println!("bench-smoke gate: OK (within {:.0}%)", TOLERANCE * 100.0),
+            Err(msg) => {
+                eprintln!("bench-smoke gate FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

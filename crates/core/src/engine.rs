@@ -174,6 +174,17 @@ pub struct SolveStats {
     /// Dense DP tables served from the reusable [`DpScratch`]-style arena
     /// without a fresh allocation.
     pub dp_tables_reused: u64,
+    /// Anti-diagonal levels swept by the parallel wavefront executors.
+    pub dp_levels_swept: u64,
+    /// DP cells computed by the parallel wavefront executors.
+    pub dp_cells: u64,
+    /// Worker park events (condvar waits) in the persistent wavefront pool.
+    pub pool_parks: u64,
+    /// Worker wake events (condvar wait returns) in the persistent pool.
+    pub pool_wakes: u64,
+    /// Per-worker kernel scratch buffers freshly created by the wavefront
+    /// cell kernel; flat across levels/probes = the zero-allocation claim.
+    pub dp_kernel_allocs: u64,
     /// Branch-and-bound / MILP search nodes expanded.
     pub bb_nodes: u64,
     /// Wall time per phase, in execution order.
@@ -195,6 +206,16 @@ impl SolveStats {
             .filter(|p| p.name == name)
             .map(|p| p.wall)
             .sum()
+    }
+
+    /// Wavefront throughput: DP cells computed per second of total wall time
+    /// (`None` when no cells were counted or the clock read zero).
+    pub fn dp_cells_per_sec(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        if self.dp_cells == 0 || secs <= 0.0 {
+            return None;
+        }
+        Some(self.dp_cells as f64 / secs)
     }
 }
 

@@ -1,30 +1,46 @@
-//! The wavefront-parallel DP (Algorithm 3 of the paper), on scoped std
-//! threads: anti-diagonal levels are processed in order with a barrier
-//! between them; inside a level, subproblem values are computed in parallel
-//! from the (immutable) lower levels and then scattered into the table.
+//! The wavefront-parallel DP (Algorithm 3 of the paper): anti-diagonal
+//! levels are processed in order with a barrier between them; inside a
+//! level, subproblem values are computed in parallel from the (immutable)
+//! lower levels.
+//!
+//! The production [`LevelStrategy::Bucketed`] executor is the zero-allocation
+//! hot path of this crate: a [`crate::persistent`] worker pool spawned once
+//! per sweep, a level-major table (each level one contiguous slice, see
+//! `pcmax_ptas::LevelLayout`) so the scatter is a **parallel in-place
+//! write** over disjoint sub-slices, and an incremental in-level decode
+//! (`next_in_level`) so no per-cell `Vec` is ever allocated. The pre-PR
+//! spawn-per-level executor survives as [`LevelStrategy::SpawnPerLevel`] —
+//! the baseline the `wavefront` micro-benchmark measures speedup against.
 
-use crate::{pool, sync};
-use pcmax_ptas::dp::{extract_schedule, fits, DpOutcome, DpProblem, DpSolver};
-use pcmax_ptas::table::{DpScratch, DpTable, INFEASIBLE};
+use crate::{persistent, pool, sync};
+use pcmax_ptas::dp::{finish, fits, DpOutcome, DpProblem, DpSolver};
+use pcmax_ptas::table::{decode_into, next_in_level, DpScratch, DpTable, INFEASIBLE};
+use std::cell::UnsafeCell;
 
 /// How each anti-diagonal level finds its subproblems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LevelStrategy {
-    /// Precompute per-level index buckets once (O(σ) total), then iterate
-    /// each level's bucket directly. The efficient default.
+    /// Persistent pool over a level-major table: per-level buckets are the
+    /// contiguous level slices themselves, scattered in place in parallel.
+    /// The efficient default.
     #[default]
     Bucketed,
     /// The paper-literal strategy: each level scans all σ entries and keeps
     /// those with digit sum `d_i = l` (Lines 11–12 of Algorithm 3), giving
     /// O(σ·n') total scan work. Kept for the ablation study.
     Faithful,
+    /// The previous production executor: row-major table, a thread
+    /// spawn/join per level, per-cell decode and a sequential scatter. Kept
+    /// as the regression baseline for the `wavefront` micro-benchmark.
+    SpawnPerLevel,
 }
 
-/// Wavefront DP on scoped threads: anti-diagonal levels processed in order;
-/// inside a level, subproblem values are computed in parallel from the
-/// (immutable) lower levels and then scattered into the table.
+/// Wavefront DP: anti-diagonal levels processed in order; inside a level,
+/// subproblem values are computed in parallel from the (immutable) lower
+/// levels.
 ///
-/// Produces bit-identical tables to `pcmax_ptas::IterativeDp`.
+/// Produces bit-identical tables to `pcmax_ptas::IterativeDp` (compare via
+/// `DpTable::values_row_major`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelDp {
     /// Worker threads; `None` = all available cores.
@@ -49,6 +65,14 @@ impl ParallelDp {
             strategy: LevelStrategy::Faithful,
         }
     }
+
+    /// The pre-persistent-pool executor (spawn/join per level).
+    pub fn spawn_per_level() -> Self {
+        Self {
+            threads: None,
+            strategy: LevelStrategy::SpawnPerLevel,
+        }
+    }
 }
 
 impl DpSolver for ParallelDp {
@@ -56,6 +80,7 @@ impl DpSolver for ParallelDp {
         match self.strategy {
             LevelStrategy::Bucketed => "dp-parallel",
             LevelStrategy::Faithful => "dp-parallel-faithful",
+            LevelStrategy::SpawnPerLevel => "dp-parallel-spawn",
         }
     }
 
@@ -64,32 +89,158 @@ impl DpSolver for ParallelDp {
         problem: &DpProblem,
         scratch: &mut DpScratch,
     ) -> pcmax_core::Result<DpOutcome> {
-        let mut table = problem.build_table_in(scratch)?;
+        let mut table = match self.strategy {
+            LevelStrategy::Bucketed => problem.build_level_major_table_in(scratch)?,
+            _ => problem.build_table_in(scratch)?,
+        };
         let configs = problem.configs_with_offsets(&table);
+        // Rank 0 is the sole level-0 entry, stored at position 0 under both
+        // layouts, so this seed write is layout-agnostic.
         table.values[0] = 0;
         let threads = pool::effective_threads(self.threads);
         match self.strategy {
             LevelStrategy::Bucketed => bucketed_sweep(&mut table, &configs, threads, scratch),
-            LevelStrategy::Faithful => faithful_sweep(&mut table, &configs, threads),
+            LevelStrategy::Faithful => faithful_sweep(&mut table, &configs, threads, scratch),
+            LevelStrategy::SpawnPerLevel => {
+                spawn_per_level_sweep(&mut table, &configs, threads, scratch)
+            }
         }
-        let opt = table.values[table.last_index()];
-        let machines = if opt == INFEASIBLE {
-            u32::MAX
-        } else {
-            // audit:allow(cast): u16 -> u32 widening, lossless.
-            opt as u32
-        };
-        let schedule = if machines as usize <= problem.max_machines {
-            Some(extract_schedule(&table, &configs, problem.counts.len())?)
-        } else {
-            None
-        };
-        scratch.recycle(table);
-        Ok(DpOutcome { machines, schedule })
+        finish(problem, table, &configs, scratch)
     }
 }
 
-/// Computes one subproblem's value from the already-filled lower levels.
+/// A `Sync` view of one DP value cell, used for the in-place parallel
+/// scatter. Safety rests on the wavefront protocol, not on this type:
+/// within a level every position is written by exactly one worker (the
+/// level slice is chunked disjointly), and reads only target positions of
+/// strictly lower levels, sealed by the pool's barrier — so no location is
+/// ever accessed concurrently with a write.
+#[repr(transparent)]
+struct SyncCell(UnsafeCell<u16>);
+
+// SAFETY: see the type-level comment — the wavefront protocol guarantees
+// all concurrent accesses to a cell are reads of barrier-sealed values.
+unsafe impl Sync for SyncCell {}
+
+impl SyncCell {
+    /// # Safety
+    /// The cell's level must be sealed (its level's barrier passed) so no
+    /// write can be concurrent with this read.
+    #[inline]
+    unsafe fn get(&self) -> u16 {
+        unsafe { *self.0.get() }
+    }
+
+    /// # Safety
+    /// The caller must be the unique writer of this cell within the current
+    /// level (disjoint chunking of the level slice).
+    #[inline]
+    unsafe fn set(&self, value: u16) {
+        unsafe { *self.0.get() = value }
+    }
+}
+
+/// Reinterprets the exclusively borrowed value store as shared cells for
+/// the duration of a sweep. The `&mut` borrow guarantees no other safe
+/// access to `values` can coexist with the returned view.
+fn shared_cells(values: &mut [u16]) -> &[SyncCell] {
+    // SAFETY: `SyncCell` is `repr(transparent)` over `UnsafeCell<u16>`,
+    // which has the layout of `u16`; length and provenance are preserved.
+    unsafe { &*(values as *mut [u16] as *const [SyncCell]) }
+}
+
+/// The zero-allocation persistent-pool sweep over a level-major table.
+///
+/// Each level `l` is the contiguous slice `starts[l]..starts[l+1]`; workers
+/// split it into disjoint chunks and write results **in place** (no results
+/// `Vec`, no sequential copy). The cell kernel decodes only its chunk's
+/// first vector, then walks the level with the bounded-composition
+/// successor [`next_in_level`] — no per-cell heap allocation; the only
+/// buffers are the per-worker digit vectors accounted by
+/// `DpScratch::kernel_allocs`. Reads translate row-major ranks through the
+/// layout's permutation and target strictly lower (barrier-sealed) levels.
+///
+/// Public so the `pcmax-audit` interleaving suite can drive the sweep on a
+/// caller-owned table and compare the filled values bit-for-bit against the
+/// sequential DP under many explored schedules. Falls back to
+/// [`spawn_per_level_sweep`] when `table` is not level-major (results are
+/// identical either way).
+pub fn bucketed_sweep(
+    table: &mut DpTable,
+    configs: &[(Vec<u32>, usize)],
+    threads: usize,
+    scratch: &mut DpScratch,
+) {
+    let Some(layout) = table.layout.as_ref() else {
+        spawn_per_level_sweep(table, configs, threads, scratch);
+        return;
+    };
+    let levels = table.levels();
+    let n = threads.max(1);
+    let states = scratch.take_digit_bufs(n);
+    let strides = &table.strides;
+    let dims = &table.dims;
+    let perm = layout.perm();
+    let inv = layout.inv();
+    let cells = shared_cells(&mut table.values);
+
+    let kernel = |w: usize, level: u32, digits: &mut Vec<u32>| {
+        let span = layout.level_span(level);
+        let len = span.len();
+        let chunk = len.div_ceil(n);
+        let lo = span.start + (w * chunk).min(len);
+        let hi = span.start + ((w + 1) * chunk).min(len);
+        if lo >= hi {
+            return;
+        }
+        // One decode per chunk; every later cell advances incrementally.
+        decode_into(inv[lo] as usize, strides, digits);
+        for p in lo..hi {
+            let rank = inv[p] as usize;
+            debug_assert_eq!(
+                digits
+                    .iter()
+                    .zip(strides)
+                    .map(|(&d, &s)| d as usize * s)
+                    .sum::<usize>(),
+                rank,
+                "incremental in-level decode diverged from the layout"
+            );
+            let mut best = INFEASIBLE;
+            for (c, offset) in configs {
+                if fits(c, digits) {
+                    let src = perm[rank - offset] as usize;
+                    debug_assert!(
+                        *offset > 0 && src < span.start,
+                        "wavefront read {src} must lie strictly below level {level}'s slice"
+                    );
+                    sync::trace_read(src);
+                    // SAFETY: `src` is below this level's slice, hence on a
+                    // level sealed by the pool barrier — no concurrent write.
+                    best = best.min(unsafe { cells[src].get() });
+                }
+            }
+            sync::trace_write(p);
+            // SAFETY: `p` lies in this worker's private chunk of the level
+            // slice — the unique writer precondition.
+            unsafe { cells[p].set(best.saturating_add(1)) };
+            if p + 1 < hi {
+                let advanced = next_in_level(digits, dims);
+                debug_assert!(advanced, "level slice ended before the chunk did");
+            }
+        }
+    };
+
+    let (states, counters) = persistent::run_levels(states, 1..levels, kernel);
+    scratch.return_digit_bufs(states);
+    scratch.levels_swept += levels.saturating_sub(1) as u64;
+    scratch.cells_computed += (table.len - 1) as u64;
+    scratch.pool_parks += counters.parks;
+    scratch.pool_wakes += counters.wakes;
+}
+
+/// Computes one subproblem's value from the already-filled lower levels of
+/// a **row-major** table (the legacy and faithful paths).
 ///
 /// Every read this function performs is the disjoint-write argument's *read
 /// precondition*: a nonzero config `c ≤ v` has digit sum ≥ 1, so `v − c`
@@ -113,13 +264,11 @@ fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32
     best.saturating_add(1)
 }
 
-/// Level sweep over precomputed per-level buckets. The bucket storage comes
-/// from (and returns to) the scratch arena, so bisection probes reuse it.
-///
-/// Public so the `pcmax-audit` interleaving suite can drive the sweep on a
-/// caller-owned table and compare the filled values bit-for-bit against the
-/// sequential DP under many explored schedules.
-pub fn bucketed_sweep(
+/// The pre-persistent-pool production sweep, kept as the micro-benchmark
+/// baseline: precomputed per-level index buckets, a thread spawn/join per
+/// level (`pool::map_chunked`), a per-cell `table.decode` allocation, a
+/// per-level results `Vec` and a sequential scatter.
+pub fn spawn_per_level_sweep(
     table: &mut DpTable,
     configs: &[(Vec<u32>, usize)],
     threads: usize,
@@ -149,12 +298,19 @@ pub fn bucketed_sweep(
         }
     }
     scratch.return_buckets(buckets);
+    scratch.levels_swept += table.levels().saturating_sub(1) as u64;
+    scratch.cells_computed += (table.len - 1) as u64;
 }
 
 /// The paper-literal sweep: compute the digit-sum array `D` in parallel
 /// (Lines 4–8), then for each level scan all σ entries and process those on
 /// the level (Lines 10–25).
-fn faithful_sweep(table: &mut DpTable, configs: &[(Vec<u32>, usize)], threads: usize) {
+fn faithful_sweep(
+    table: &mut DpTable,
+    configs: &[(Vec<u32>, usize)],
+    threads: usize,
+    scratch: &mut DpScratch,
+) {
     // Lines 4-8: d_i = digit sum of v^i, computed in parallel.
     let d: Vec<u32> = pool::map_range(threads, table.len, |idx| table.decode(idx).iter().sum());
     let levels = table.levels();
@@ -174,6 +330,8 @@ fn faithful_sweep(table: &mut DpTable, configs: &[(Vec<u32>, usize)], threads: u
             table.values[idx] = val;
         }
     }
+    scratch.levels_swept += levels.saturating_sub(1) as u64;
+    scratch.cells_computed += (table.len - 1) as u64;
 }
 
 #[cfg(test)]
@@ -223,6 +381,16 @@ mod tests {
     }
 
     #[test]
+    fn spawn_per_level_matches_sequential() {
+        for problem in problems() {
+            let seq = IterativeDp.solve(&problem).unwrap();
+            let par = ParallelDp::spawn_per_level().solve(&problem).unwrap();
+            assert_eq!(seq.machines, par.machines);
+            assert_eq!(seq.schedule, par.schedule);
+        }
+    }
+
+    #[test]
     fn pinned_pools_match() {
         for threads in [1usize, 2, 4] {
             let problem = &problems()[0];
@@ -246,6 +414,47 @@ mod tests {
     }
 
     #[test]
+    fn kernel_allocations_stay_flat_across_levels_and_probes() {
+        // The zero-allocation claim: the bucketed sweep creates at most one
+        // digit buffer per worker, ever — more levels, more probes, bigger
+        // tables must not move the counter.
+        let mut scratch = DpScratch::new();
+        let dp = ParallelDp::with_threads(4);
+        let problem = &problems()[0];
+        dp.solve_in(problem, &mut scratch).unwrap();
+        let after_first = scratch.kernel_allocs;
+        assert!(after_first <= 4, "at most one buffer per worker");
+        for problem in problems() {
+            dp.solve_in(&problem, &mut scratch).unwrap();
+        }
+        assert_eq!(
+            scratch.kernel_allocs, after_first,
+            "repeat probes must reuse every digit buffer"
+        );
+        assert!(scratch.cells_computed > 0);
+        assert!(scratch.levels_swept > 0);
+    }
+
+    #[test]
+    fn pool_counters_balance_and_surface_through_scratch() {
+        let mut scratch = DpScratch::new();
+        let problem = &problems()[0]; // 12 entries, 6 levels
+        ParallelDp::with_threads(4)
+            .solve_in(problem, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            scratch.pool_parks, scratch.pool_wakes,
+            "every entered condvar wait must return"
+        );
+        assert!(
+            scratch.pool_parks > 0,
+            "a 4-thread pool on 6 levels must actually park"
+        );
+        assert_eq!(scratch.levels_swept, 5);
+        assert_eq!(scratch.cells_computed, 11);
+    }
+
+    #[test]
     fn paper_example_table_values() {
         // Table I of the paper: with capacity 30, unit 2, sizes {6, 10} and
         // N = (2, 3) the full DP values in row-major order are:
@@ -256,6 +465,22 @@ mod tests {
         counts[2] = 2;
         counts[4] = 3;
         let problem = DpProblem::new(counts, 2, 30, 64);
+        let mut scratch = DpScratch::new();
+        let mut table = problem.build_level_major_table_in(&mut scratch).unwrap();
+        let configs = problem.configs_with_offsets(&table);
+        table.values[0] = 0;
+        bucketed_sweep(&mut table, &configs, 2, &mut scratch);
+        assert_eq!(
+            table.values_row_major(),
+            vec![0, 1, 1, 1, 1, 1, 1, 2, 1, 1, 2, 2],
+        );
+    }
+
+    #[test]
+    fn row_major_fallback_still_fills_the_table() {
+        // `bucketed_sweep` on a table without a level-major layout degrades
+        // to the spawn-per-level executor with identical results.
+        let problem = &problems()[0];
         let mut table = problem.build_table().unwrap();
         let configs = problem.configs_with_offsets(&table);
         table.values[0] = 0;

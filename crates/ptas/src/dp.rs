@@ -57,6 +57,14 @@ impl DpProblem {
             .ok_or_else(|| self.table_error())
     }
 
+    /// Builds the dense table in level-major storage order (each
+    /// anti-diagonal level one contiguous slice) — the layout the wavefront
+    /// executors use for parallel in-place scatter.
+    pub fn build_level_major_table_in(&self, scratch: &mut DpScratch) -> Result<DpTable> {
+        DpTable::new_level_major_in(&self.counts, self.unit, self.max_entries, scratch)
+            .ok_or_else(|| self.table_error())
+    }
+
     fn table_error(&self) -> Error {
         Error::BadModel(format!(
             "DP table would exceed {} entries; increase max_entries or epsilon",
@@ -68,13 +76,25 @@ impl DpProblem {
     /// with their flat table offsets (Σ s_a·stride_a).
     pub fn configs_with_offsets(&self, table: &DpTable) -> Vec<(Config, usize)> {
         let counts_active: Vec<u32> = table.dims.iter().map(|&d| d - 1).collect();
-        enumerate_configs_sized(&counts_active, &table.sizes, self.target)
-            .into_iter()
-            .map(|c| {
-                let offset = table.index(&c);
-                (c, offset)
-            })
-            .collect()
+        let configs: Vec<(Config, usize)> =
+            enumerate_configs_sized(&counts_active, &table.sizes, self.target)
+                .into_iter()
+                .map(|c| {
+                    let offset = table.index(&c);
+                    (c, offset)
+                })
+                .collect();
+        // The DFS enumeration is lexicographically ascending, which under
+        // row-major indexing is already ascending flat offset — the monotone,
+        // cache-friendly read order the wavefront cell kernel wants. Assert
+        // rather than re-sort so every solver shares one config order (the
+        // witness walk picks the *first* config that works, so order changes
+        // would change which witness is extracted).
+        debug_assert!(
+            configs.windows(2).all(|w| w[0].1 < w[1].1),
+            "config enumeration must yield strictly ascending offsets"
+        );
+        configs
     }
 }
 
@@ -128,7 +148,7 @@ pub fn extract_schedule(
     let mut idx = table.last_index();
     let mut v = table.decode(idx);
     while idx != 0 {
-        let current = table.values[idx];
+        let current = table.value_at(idx);
         if current >= UNVISITED {
             return Err(Error::InvalidWitness {
                 reason: format!("walked into an unevaluated entry at index {idx}"),
@@ -136,7 +156,7 @@ pub fn extract_schedule(
         }
         let step = configs
             .iter()
-            .find(|(c, offset)| fits(c, &v) && table.values[idx - offset] == current - 1);
+            .find(|(c, offset)| fits(c, &v) && table.value_at(idx - offset) == current - 1);
         let (c, offset) = step.ok_or_else(|| Error::InvalidWitness {
             reason: format!("no configuration decreases OPT below index {idx}"),
         })?;
@@ -239,14 +259,15 @@ impl DpSolver for MemoizedDp {
 }
 
 /// Shared epilogue: read `OPT(N)`, extract the witness if feasible, then
-/// recycle the table's storage into the arena for the next probe.
-fn finish(
+/// recycle the table's storage into the arena for the next probe. Reads go
+/// through [`DpTable::value_at`], so level-major tables work unchanged.
+pub fn finish(
     problem: &DpProblem,
     table: DpTable,
     configs: &[(Config, usize)],
     scratch: &mut DpScratch,
 ) -> Result<DpOutcome> {
-    let opt = table.values[table.last_index()];
+    let opt = table.value_at(table.last_index());
     let machines = if opt >= UNVISITED {
         u32::MAX
     } else {

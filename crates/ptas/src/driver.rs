@@ -203,6 +203,11 @@ impl<S: DpSolver> Ptas<S> {
         stats.dp_entries_touched = scratch.entries_touched;
         stats.dp_tables_allocated = scratch.tables_allocated;
         stats.dp_tables_reused = scratch.tables_reused;
+        stats.dp_levels_swept = scratch.levels_swept;
+        stats.dp_cells = scratch.cells_computed;
+        stats.pool_parks = scratch.pool_parks;
+        stats.pool_wakes = scratch.pool_wakes;
+        stats.dp_kernel_allocs = scratch.kernel_allocs;
         stats.wall = run_start.elapsed();
         Ok((
             PtasOutput {

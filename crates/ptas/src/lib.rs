@@ -40,5 +40,5 @@ pub use dp::{DpOutcome, DpProblem, DpSolver, IterativeDp, MemoizedDp, Regenerate
 pub use driver::{rounded_problem, BisectionLog, Ptas, PtasOutput};
 pub use params::EpsilonParams;
 pub use rounding::{JobPartition, RoundedLongJobs};
-pub use table::{DpScratch, DpTable};
+pub use table::{decode_into, next_in_level, DpScratch, DpTable, LevelLayout};
 pub use trace::{dp_trace, DpTrace};

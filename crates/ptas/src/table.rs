@@ -23,12 +23,34 @@ pub struct DpScratch {
     /// Recycled per-level index buckets (outer vec and inner vecs both keep
     /// their capacity between probes).
     buckets: Vec<Vec<u32>>,
+    /// Recycled backing store for [`LevelLayout::perm`].
+    perm: Vec<u32>,
+    /// Recycled backing store for [`LevelLayout::inv`].
+    inv: Vec<u32>,
+    /// Recycled backing store for [`LevelLayout::starts`].
+    starts: Vec<u32>,
+    /// Recycled per-worker digit buffers for the zero-allocation wavefront
+    /// cell kernel (one small `Vec<u32>` per worker, reused across levels
+    /// *and* probes).
+    digits: Vec<Vec<u32>>,
     /// Table builds that had to grow the backing allocation.
     pub tables_allocated: u64,
     /// Table builds served entirely from recycled capacity.
     pub tables_reused: u64,
     /// Total DP entries initialized across all builds using this scratch.
     pub entries_touched: u64,
+    /// Anti-diagonal levels swept by the parallel executors.
+    pub levels_swept: u64,
+    /// DP cells computed by the parallel executors (σ − 1 per sweep).
+    pub cells_computed: u64,
+    /// Worker park events (condvar waits) in the persistent pool.
+    pub pool_parks: u64,
+    /// Worker wake events (condvar wait returns) in the persistent pool.
+    pub pool_wakes: u64,
+    /// Per-worker kernel scratch buffers that had to be freshly created —
+    /// the wavefront cell kernel performs no other heap allocation, so this
+    /// staying flat across levels and probes *is* the zero-allocation claim.
+    pub kernel_allocs: u64,
 }
 
 impl DpScratch {
@@ -47,11 +69,40 @@ impl DpScratch {
         }
     }
 
-    /// Returns a finished table's backing store for the next probe.
+    /// Returns a finished table's backing store (values and, for level-major
+    /// tables, the permutation arrays) for the next probe.
     pub fn recycle(&mut self, table: DpTable) {
         if table.values.capacity() > self.values.capacity() {
             self.values = table.values;
         }
+        if let Some(layout) = table.layout {
+            self.perm = layout.perm;
+            self.inv = layout.inv;
+            self.starts = layout.starts;
+        }
+    }
+
+    /// Hands out `n` per-worker digit buffers for the wavefront cell kernel,
+    /// reusing recycled ones and counting every fresh creation in
+    /// [`kernel_allocs`](Self::kernel_allocs). Give them back with
+    /// [`return_digit_bufs`](Self::return_digit_bufs).
+    pub fn take_digit_bufs(&mut self, n: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.digits.pop() {
+                Some(buf) => out.push(buf),
+                None => {
+                    self.kernel_allocs += 1;
+                    out.push(Vec::new());
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns digit buffers for reuse by the next sweep.
+    pub fn return_digit_bufs(&mut self, bufs: impl IntoIterator<Item = Vec<u32>>) {
+        self.digits.extend(bufs);
     }
 
     /// Hands out the recycled level-bucket storage (give it back with
@@ -81,6 +132,56 @@ impl DpScratch {
     }
 }
 
+/// The level-major permutation of a table: a bijection between row-major
+/// ranks and storage positions that lays every anti-diagonal level out as
+/// one contiguous slice (level 0 first, then level 1, …). Within a level,
+/// entries keep ascending row-major order, so the wavefront's per-level
+/// writes are a partition of `starts[l]..starts[l+1]` and all of its reads
+/// land strictly below `starts[l]` — the disjoint-write argument becomes a
+/// property of slice boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelLayout {
+    /// `perm[rank] = position`: where row-major rank `rank` is stored.
+    perm: Vec<u32>,
+    /// `inv[position] = rank`: the row-major rank stored at `position`.
+    inv: Vec<u32>,
+    /// `starts[l]..starts[l + 1]` is level `l`'s slice; `levels + 1` entries.
+    starts: Vec<u32>,
+}
+
+impl LevelLayout {
+    /// The row-major-rank → storage-position permutation.
+    #[inline]
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// The storage-position → row-major-rank inverse permutation.
+    #[inline]
+    pub fn inv(&self) -> &[u32] {
+        &self.inv
+    }
+
+    /// Level slice boundaries (`levels + 1` entries, `starts[0] = 0`).
+    #[inline]
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// Storage position of row-major rank `rank`.
+    #[inline]
+    pub fn position_of(&self, rank: usize) -> usize {
+        self.perm[rank] as usize
+    }
+
+    /// The contiguous storage span of level `l`.
+    #[inline]
+    pub fn level_span(&self, l: u32) -> std::ops::Range<usize> {
+        let l = l as usize;
+        self.starts[l] as usize..self.starts[l + 1] as usize
+    }
+}
+
 /// Mixed-radix index space over the active classes of a rounded vector `N`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpTable {
@@ -94,8 +195,14 @@ pub struct DpTable {
     pub len: usize,
     /// Rounded size of each active class (`(class+1)·unit`).
     pub sizes: Vec<Time>,
-    /// Per-entry `OPT` values (`INFEASIBLE` = not computable).
+    /// Per-entry `OPT` values (`INFEASIBLE` = not computable). Stored in
+    /// row-major order when `layout` is `None`, in level-major order (see
+    /// [`LevelLayout`]) otherwise; [`value_at`](Self::value_at) reads
+    /// through either layout by row-major rank.
     pub values: Vec<u16>,
+    /// The level-major permutation, if this table stores `values` with each
+    /// anti-diagonal level contiguous.
+    pub layout: Option<LevelLayout>,
 }
 
 impl DpTable {
@@ -111,6 +218,7 @@ impl DpTable {
             len,
             sizes,
             values: vec![INFEASIBLE; len],
+            layout: None,
         })
     }
 
@@ -130,7 +238,82 @@ impl DpTable {
             len,
             sizes,
             values: scratch.take_values(len),
+            layout: None,
         })
+    }
+
+    /// Like [`new`](Self::new), but stores `values` level-major: each
+    /// anti-diagonal level occupies one contiguous slice (see
+    /// [`LevelLayout`]). Used by the wavefront executors so the per-level
+    /// scatter is a parallel in-place write over disjoint sub-slices.
+    pub fn new_level_major(counts: &[u32], unit: Time, max_entries: usize) -> Option<Self> {
+        let mut scratch = DpScratch::new();
+        Self::new_level_major_in(counts, unit, max_entries, &mut scratch)
+    }
+
+    /// Like [`new_level_major`](Self::new_level_major), but the value store
+    /// and the permutation arrays come from the reusable `scratch` arena.
+    pub fn new_level_major_in(
+        counts: &[u32],
+        unit: Time,
+        max_entries: usize,
+        scratch: &mut DpScratch,
+    ) -> Option<Self> {
+        let mut table = Self::new_in(counts, unit, max_entries, scratch)?;
+        table.layout = Some(table.build_level_layout(scratch));
+        Some(table)
+    }
+
+    /// Builds the level-major permutation by counting sort over digit sums:
+    /// two incremental mixed-radix passes, O(σ) time, recycled storage.
+    fn build_level_layout(&self, scratch: &mut DpScratch) -> LevelLayout {
+        // Same representable-range guard as `fill_level_buckets`: σ is capped
+        // by the caller-chosen `max_entries`, so re-assert u32 before the
+        // narrowing stores below.
+        assert!(
+            u32::try_from(self.len).is_ok(),
+            "table too large for u32 level-major permutation ({} entries)",
+            self.len
+        );
+        let levels = self.levels() as usize;
+        let mut perm = std::mem::take(&mut scratch.perm);
+        let mut inv = std::mem::take(&mut scratch.inv);
+        let mut starts = std::mem::take(&mut scratch.starts);
+        perm.clear();
+        perm.resize(self.len, 0);
+        inv.clear();
+        inv.resize(self.len, 0);
+        starts.clear();
+        starts.resize(levels + 1, 0);
+
+        // Pass 1: histogram of level sizes (shifted by one for the prefix
+        // sum), via the same incremental counter as `fill_level_buckets`.
+        let mut v = vec![0u32; self.dims.len()];
+        let mut sum = 0u32;
+        for _ in 0..self.len {
+            starts[sum as usize + 1] += 1;
+            increment_with_sum(&mut v, &self.dims, &mut sum);
+        }
+        for l in 0..levels {
+            starts[l + 1] += starts[l];
+        }
+
+        // Pass 2: place each rank at its level's cursor. Within a level the
+        // scan order (ascending rank) is preserved, so level slices stay in
+        // ascending row-major order — the invariant the incremental in-level
+        // decode of the cell kernel relies on.
+        let mut cursor: Vec<u32> = starts[..levels].to_vec();
+        v.iter_mut().for_each(|d| *d = 0);
+        sum = 0;
+        for (rank, slot) in perm.iter_mut().enumerate() {
+            let pos = cursor[sum as usize];
+            cursor[sum as usize] += 1;
+            // audit:allow(cast): rank < self.len, asserted to fit u32 above.
+            inv[pos as usize] = rank as u32;
+            *slot = pos;
+            increment_with_sum(&mut v, &self.dims, &mut sum);
+        }
+        LevelLayout { perm, inv, starts }
     }
 
     /// Number of entries σ the table for `counts` would need, without
@@ -209,6 +392,39 @@ impl DpTable {
         self.len - 1
     }
 
+    /// Storage position of row-major rank `rank` under the current layout
+    /// (identity for row-major tables).
+    #[inline]
+    pub fn position_of(&self, rank: usize) -> usize {
+        match &self.layout {
+            Some(layout) => layout.position_of(rank),
+            None => rank,
+        }
+    }
+
+    /// Reads the value of row-major rank `rank`, translating through the
+    /// level-major permutation when present. Witness extraction and the
+    /// solve epilogue go through this so they are layout-agnostic.
+    #[inline]
+    pub fn value_at(&self, rank: usize) -> u16 {
+        self.values[self.position_of(rank)]
+    }
+
+    /// The values in row-major order regardless of storage layout — the
+    /// canonical form for bit-identical comparisons against `IterativeDp`.
+    pub fn values_row_major(&self) -> Vec<u16> {
+        match &self.layout {
+            Some(layout) => layout.inv.iter().enumerate().fold(
+                vec![INFEASIBLE; self.len],
+                |mut out, (pos, &rank)| {
+                    out[rank as usize] = self.values[pos];
+                    out
+                },
+            ),
+            None => self.values.clone(),
+        }
+    }
+
     /// The precomputed flat offset of a full-width config (length `k²`)
     /// restricted to active classes, together with its active-class
     /// projection. Returns `None` if the config uses an inactive class
@@ -268,18 +484,71 @@ impl DpTable {
         for idx in 0..self.len {
             // audit:allow(cast): idx < self.len, asserted to fit u32 above.
             buckets[sum as usize].push(idx as u32);
-            // Increment the counter (row-major: last digit fastest).
-            for a in (0..self.dims.len()).rev() {
-                if v[a] + 1 < self.dims[a] {
-                    v[a] += 1;
-                    sum += 1;
-                    break;
-                }
-                sum -= v[a];
-                v[a] = 0;
-            }
+            increment_with_sum(&mut v, &self.dims, &mut sum);
         }
     }
+}
+
+/// Advances a mixed-radix counter one step (row-major: last digit fastest),
+/// keeping `sum` equal to the digit sum. Wraps to all-zeros after the last
+/// vector, like the counter inside `fill_level_buckets`.
+#[inline]
+fn increment_with_sum(v: &mut [u32], dims: &[u32], sum: &mut u32) {
+    for a in (0..dims.len()).rev() {
+        if v[a] + 1 < dims[a] {
+            v[a] += 1;
+            *sum += 1;
+            return;
+        }
+        *sum -= v[a];
+        v[a] = 0;
+    }
+}
+
+/// Decodes row-major rank `idx` into `out` (cleared and refilled) — the
+/// allocation-free form of [`DpTable::decode`] used by the wavefront cell
+/// kernel to seed its per-level incremental walk.
+#[inline]
+pub fn decode_into(mut idx: usize, strides: &[usize], out: &mut Vec<u32>) {
+    out.clear();
+    for &stride in strides {
+        // audit:allow(cast): idx/stride < dims[a] and every radix is a u32
+        // (`counts[i] + 1`), so the quotient always fits.
+        out.push((idx / stride) as u32);
+        idx %= stride;
+    }
+}
+
+/// Advances `v` to the lexicographically next vector with the *same* digit
+/// sum (bounded composition successor). Returns `false` when `v` was the
+/// last vector of its level. Ascending lex order over a level equals
+/// ascending row-major rank, so walking a level slice with this is exactly
+/// the bucket order of [`DpTable::level_buckets`] — without materializing
+/// the bucket or decoding each cell from scratch.
+pub fn next_in_level(v: &mut [u32], dims: &[u32]) -> bool {
+    let k = v.len();
+    if k < 2 {
+        return false;
+    }
+    // Suffix digit sum to the right of the pivot candidate.
+    let mut suffix: u32 = 0;
+    for i in (0..k - 1).rev() {
+        suffix += v[i + 1];
+        if suffix >= 1 && v[i] + 1 < dims[i] {
+            // Bump the pivot, then right-pack the remaining suffix sum so
+            // the suffix is lexicographically smallest.
+            v[i] += 1;
+            let mut rest = suffix - 1;
+            for j in (i + 1..k).rev() {
+                let d = rest.min(dims[j] - 1);
+                v[j] = d;
+                rest -= d;
+            }
+            debug_assert_eq!(rest, 0, "level sum not representable in suffix radices");
+            return true;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -394,6 +663,117 @@ mod tests {
         assert_eq!(scratch.tables_allocated, 1);
         let _t = DpTable::new_in(&counts, 2, 1 << 20, &mut scratch).unwrap();
         assert_eq!((scratch.tables_allocated, scratch.tables_reused), (1, 1));
+    }
+
+    #[test]
+    fn level_layout_is_a_level_sorted_bijection() {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        let t = DpTable::new_level_major(&counts, 2, 1 << 20).unwrap();
+        let layout = t.layout.as_ref().unwrap();
+        // The paper's table: level sizes 1,2,3,3,2,1 -> prefix starts.
+        assert_eq!(layout.starts(), &[0, 1, 3, 6, 9, 11, 12]);
+        // Bijection: perm ∘ inv = id and inv ∘ perm = id.
+        for rank in 0..t.len {
+            assert_eq!(layout.inv()[layout.perm()[rank] as usize] as usize, rank);
+        }
+        // Positions within a level hold ascending ranks of exactly that level.
+        for l in 0..t.levels() {
+            let span = layout.level_span(l);
+            let ranks: Vec<u32> = layout.inv()[span].to_vec();
+            assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+            for &rank in &ranks {
+                assert_eq!(t.level_of(rank as usize), l);
+            }
+        }
+        // Level slices agree with the bucket enumeration.
+        let buckets = t.level_buckets();
+        for (l, bucket) in buckets.iter().enumerate() {
+            let span = layout.level_span(l as u32);
+            assert_eq!(&layout.inv()[span], bucket.as_slice());
+        }
+    }
+
+    #[test]
+    fn value_at_translates_and_row_major_roundtrips() {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        let mut t = DpTable::new_level_major(&counts, 2, 1 << 20).unwrap();
+        // Write rank r's value at its storage position; read back via rank.
+        for rank in 0..t.len {
+            let pos = t.position_of(rank);
+            t.values[pos] = rank as u16;
+        }
+        for rank in 0..t.len {
+            assert_eq!(t.value_at(rank), rank as u16);
+        }
+        let rm = t.values_row_major();
+        assert_eq!(rm, (0..t.len as u16).collect::<Vec<u16>>());
+        // A row-major table's views are the identity.
+        let plain = paper_table();
+        assert_eq!(plain.values_row_major(), plain.values);
+        assert_eq!(plain.position_of(7), 7);
+    }
+
+    #[test]
+    fn level_major_scratch_recycles_permutation_arrays() {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 2;
+        counts[4] = 3;
+        let mut scratch = DpScratch::new();
+        let t1 = DpTable::new_level_major_in(&counts, 2, 1 << 20, &mut scratch).unwrap();
+        let expect = t1.layout.clone().unwrap();
+        scratch.recycle(t1);
+        let t2 = DpTable::new_level_major_in(&counts, 2, 1 << 20, &mut scratch).unwrap();
+        assert_eq!(t2.layout.as_ref(), Some(&expect));
+        assert!(t2.values.iter().all(|&v| v == INFEASIBLE));
+        assert_eq!((scratch.tables_allocated, scratch.tables_reused), (1, 1));
+    }
+
+    #[test]
+    fn next_in_level_walks_buckets_in_order() {
+        let t = paper_table();
+        let buckets = t.level_buckets();
+        let mut digits = Vec::new();
+        for bucket in &buckets {
+            decode_into(bucket[0] as usize, &t.strides, &mut digits);
+            for (i, &rank) in bucket.iter().enumerate() {
+                assert_eq!(digits, t.decode(rank as usize));
+                let more = next_in_level(&mut digits, &t.dims);
+                assert_eq!(more, i + 1 < bucket.len());
+            }
+        }
+    }
+
+    #[test]
+    fn next_in_level_matches_buckets_on_wider_radices() {
+        let t = DpTable::new(&[1, 2, 0, 3, 1], 1, 1 << 20).unwrap();
+        let buckets = t.level_buckets();
+        let mut digits = Vec::new();
+        for bucket in &buckets {
+            decode_into(bucket[0] as usize, &t.strides, &mut digits);
+            let mut walked = vec![t.index(&digits) as u32];
+            while next_in_level(&mut digits, &t.dims) {
+                walked.push(t.index(&digits) as u32);
+            }
+            assert_eq!(&walked, bucket);
+        }
+    }
+
+    #[test]
+    fn digit_buffer_pool_counts_only_fresh_creations() {
+        let mut scratch = DpScratch::new();
+        let bufs = scratch.take_digit_bufs(3);
+        assert_eq!(scratch.kernel_allocs, 3);
+        scratch.return_digit_bufs(bufs);
+        let again = scratch.take_digit_bufs(3);
+        assert_eq!(scratch.kernel_allocs, 3);
+        scratch.return_digit_bufs(again);
+        let grown = scratch.take_digit_bufs(4);
+        assert_eq!(scratch.kernel_allocs, 4);
+        scratch.return_digit_bufs(grown);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property tests for the level-major memory layout: the permutation built
+//! by `DpTable::build_level_layout` must be a bijection on `0..σ` whose
+//! level buckets partition the table by digit sum, with row-major rank
+//! order preserved inside every bucket — the invariants the parallel
+//! scatter's disjoint-write argument rests on.
+
+use pcmax_ptas::dp::DpProblem;
+use pcmax_ptas::table::DpScratch;
+use proptest::prelude::*;
+
+/// Digit sum of a row-major rank under the table's mixed radix.
+fn level_of(mut rank: usize, strides: &[usize]) -> u32 {
+    let mut sum = 0usize;
+    for &stride in strides {
+        sum += rank / stride;
+        rank %= stride;
+    }
+    sum as u32
+}
+
+fn arb_counts() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..=4, 1..=6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn level_layout_is_a_bijection_partitioned_by_level(counts in arb_counts()) {
+        let problem = DpProblem::new(counts, 1, 1_000, 64);
+        let mut scratch = DpScratch::new();
+        let table = problem
+            .build_level_major_table_in(&mut scratch)
+            .expect("small tables always fit the guard");
+        let layout = table.layout.as_ref().expect("level-major build sets layout");
+        let sigma = table.len;
+
+        // Bijection: inv ∘ perm and perm ∘ inv are both the identity, so in
+        // particular every storage position is hit by exactly one rank.
+        prop_assert_eq!(layout.perm().len(), sigma);
+        prop_assert_eq!(layout.inv().len(), sigma);
+        for rank in 0..sigma {
+            let pos = layout.perm()[rank] as usize;
+            prop_assert!(pos < sigma);
+            prop_assert_eq!(layout.inv()[pos] as usize, rank);
+        }
+        for pos in 0..sigma {
+            let rank = layout.inv()[pos] as usize;
+            prop_assert_eq!(layout.perm()[rank] as usize, pos);
+        }
+
+        // The starts array is a monotone partition of 0..σ and every bucket
+        // holds exactly the ranks of its digit sum.
+        let max_level: u32 = table.dims.iter().map(|&d| d - 1).sum();
+        let starts = layout.starts();
+        prop_assert_eq!(starts.len() as u32, max_level + 2);
+        prop_assert_eq!(starts[0], 0);
+        prop_assert_eq!(*starts.last().unwrap() as usize, sigma);
+        for level in 0..=max_level {
+            let span = layout.level_span(level);
+            prop_assert!(span.start <= span.end);
+            let bucket = &layout.inv()[span];
+            for &rank in bucket {
+                prop_assert_eq!(
+                    level_of(rank as usize, &table.strides),
+                    level,
+                    "rank {} landed in the wrong bucket",
+                    rank
+                );
+            }
+            // Inside a bucket, ascending position must mean ascending
+            // row-major rank — the order the cell kernel's incremental
+            // decode walks.
+            prop_assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "bucket for level {} is not rank-sorted",
+                level
+            );
+        }
+    }
+
+    #[test]
+    fn value_at_round_trips_through_the_permutation(counts in arb_counts()) {
+        let problem = DpProblem::new(counts, 1, 1_000, 64);
+        let mut scratch = DpScratch::new();
+        let mut table = problem
+            .build_level_major_table_in(&mut scratch)
+            .expect("small tables always fit the guard");
+        // Stamp each cell with its own rank (mod the u16 range) through the
+        // translating writer, then read both ways.
+        for rank in 0..table.len {
+            let pos = table.position_of(rank);
+            table.values[pos] = (rank % 60_000) as u16;
+        }
+        let row_major = table.values_row_major();
+        prop_assert_eq!(row_major.len(), table.len);
+        for (rank, &value) in row_major.iter().enumerate() {
+            prop_assert_eq!(table.value_at(rank), (rank % 60_000) as u16);
+            prop_assert_eq!(value, (rank % 60_000) as u16);
+        }
+    }
+}
