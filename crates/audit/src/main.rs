@@ -6,23 +6,58 @@
 //!   SEEDS (default 64) interleavings of the instrumented wavefront DP and
 //!   report the race verdict. Without the feature the subcommand explains
 //!   how to enable it.
+//! * `cargo run -p pcmax-audit -- trace-check FILE` — validate an exported
+//!   Chrome-trace JSON timeline (parses, non-empty, required fields,
+//!   balanced per-thread spans); exits 1 on a malformed trace.
 
 use std::env;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: pcmax-audit <lint | race [SEEDS] | trace-check FILE>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("race") => run_race(args.get(1).map(String::as_str)),
+        Some("trace-check") => run_trace_check(args.get(1).map(String::as_str)),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
-            eprintln!("usage: pcmax-audit <lint | race [SEEDS]>");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: pcmax-audit <lint | race [SEEDS]>");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn run_trace_check(path: Option<&str>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("trace-check needs a Chrome-trace JSON file");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pcmax-audit: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match pcmax_trace::chrome::validate(&text) {
+        Ok(stats) => {
+            println!(
+                "pcmax-audit trace-check: OK — {} events, {} threads, {} complete \
+                 spans, {} instants, {} counters",
+                stats.events, stats.threads, stats.complete_spans, stats.instants, stats.counters
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("pcmax-audit trace-check FAILED: {msg}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The lint rules and their allowlisting machinery.
 //!
-//! Four rules, all driven by the token stream of [`crate::lexer`]:
+//! Five rules, all driven by the token stream of [`crate::lexer`]:
 //!
 //! * **`unwrap`** — no `.unwrap()` / `.expect(…)` in non-test library code.
 //!   Test modules (`#[cfg(test)]`), `#[test]` functions, and `tests/` /
@@ -14,6 +14,12 @@
 //!   the DP index-arithmetic files ([`DP_CAST_FILES`]) without a justified
 //!   `audit:allow(cast)` comment. Index truncation is precisely the bug
 //!   class that silently corrupts a wavefront table.
+//! * **`trace-hot`** — no trace hooks inside the zero-allocation cell
+//!   kernel's inner loop. In [`TRACE_HOT_FILES`], a `for` loop whose body
+//!   walks `next_in_level` is the per-cell hot path: even a disabled hook's
+//!   atomic load there multiplies by the cell count. Spans belong *around*
+//!   the walk (chunk/level granularity), never inside it; override only
+//!   with a justified `audit:allow(trace-hot)` comment.
 //! * **`artifacts`** — no build artifacts tracked in git (`target/`
 //!   anywhere, `*.profraw`, object/metadata files).
 //!
@@ -38,6 +44,26 @@ pub const DP_CAST_FILES: &[&str] = &[
 
 /// Narrowing cast targets the `cast` rule rejects without justification.
 const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Repo-relative files subject to the `trace-hot` rule: where the
+/// zero-allocation cell kernel's `next_in_level` walk lives.
+pub const TRACE_HOT_FILES: &[&str] = &[
+    "crates/parallel/src/wavefront.rs",
+    "crates/ptas/src/table.rs",
+];
+
+/// Identifiers that emit trace events — the free-function hooks of
+/// `pcmax-trace` and the request-level sinks of `pcmax-core`.
+const TRACE_HOOKS: &[&str] = &[
+    "span",
+    "span_enter",
+    "span_exit",
+    "instant",
+    "counter",
+    "trace_span",
+    "trace_instant",
+    "trace_counter",
+];
 
 /// How many lines above a violation a site directive may sit.
 const DIRECTIVE_REACH: u32 = 3;
@@ -172,6 +198,9 @@ pub fn lint_source(path: &str, src: &str, allow: &Allowlist) -> FileReport {
     check_relaxed(path, &lexed, &exempt, allow, &mut report);
     if DP_CAST_FILES.contains(&path) {
         check_casts(path, &lexed, &exempt, &mut report);
+    }
+    if TRACE_HOT_FILES.contains(&path) {
+        check_trace_hot(path, &lexed, &exempt, &mut report);
     }
     report
 }
@@ -433,6 +462,105 @@ fn check_casts(path: &str, lexed: &Lexed, exempt: &[(u32, u32)], report: &mut Fi
     }
 }
 
+/// Token-index ranges `(body_open, body_close)` of every `for` loop body.
+/// `impl Trait for Type` and `for<'a>` bounds are filtered out by shape: a
+/// loop's `for` is never preceded by an identifier and never followed by
+/// `<`.
+fn for_loop_bodies(toks: &[crate::lexer::Token]) -> Vec<(usize, usize)> {
+    let mut bodies = Vec::new();
+    for i in 0..toks.len() {
+        let Tok::Ident(kw) = &toks[i].tok else {
+            continue;
+        };
+        if kw != "for" {
+            continue;
+        }
+        if i > 0 && matches!(toks[i - 1].tok, Tok::Ident(_)) {
+            continue; // `impl Trait for Type`
+        }
+        if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+            continue; // `for<'a>` higher-ranked bound
+        }
+        // The iterator expression cannot contain a bare `{` (struct literals
+        // need parens there), so the first `{` opens the loop body.
+        let Some(open) = (i + 1..toks.len()).find(|&j| toks[j].tok == Tok::Punct('{')) else {
+            continue;
+        };
+        let mut depth = 1i32;
+        let mut close = open + 1;
+        while close < toks.len() && depth > 0 {
+            match toks[close].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                _ => {}
+            }
+            close += 1;
+        }
+        bodies.push((open, close));
+    }
+    bodies
+}
+
+/// Rule `trace-hot`: no trace hooks inside a `for` loop that walks
+/// `next_in_level` — the per-cell kernel where even a disabled hook's
+/// atomic load multiplies by the cell count. A hook is judged against the
+/// *innermost* enclosing loop, so chunk/level spans wrapped around the walk
+/// stay legal.
+fn check_trace_hot(path: &str, lexed: &Lexed, exempt: &[(u32, u32)], report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    let bodies = for_loop_bodies(toks);
+    let body_has = |&(open, close): &(usize, usize), name: &str| {
+        toks[open..close]
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+    };
+    for w in 0..toks.len() {
+        let Tok::Ident(name) = &toks[w].tok else {
+            continue;
+        };
+        if !TRACE_HOOKS.contains(&name.as_str()) {
+            continue;
+        }
+        // Hook *calls* only: `span(…)`, `trace_span(…)`, `pcmax_trace::instant(…)`.
+        if toks.get(w + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        // Innermost enclosing for-loop body, by tightest token range.
+        let Some(innermost) = bodies
+            .iter()
+            .filter(|&&(open, close)| open < w && w < close)
+            .min_by_key(|&&(open, close)| close - open)
+        else {
+            continue;
+        };
+        if !body_has(innermost, "next_in_level") {
+            continue;
+        }
+        let line = toks[w].line;
+        if in_ranges(exempt, line) {
+            continue;
+        }
+        match directive_for(&lexed.allows, "trace-hot", line) {
+            Some(true) => {}
+            Some(false) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "trace-hot",
+                message: "audit:allow(trace-hot) directive lacks a justification".to_string(),
+            }),
+            None => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "trace-hot",
+                message: format!(
+                    "trace hook `{name}` inside the `next_in_level` cell-kernel loop; \
+                     move it to chunk/level granularity outside the walk"
+                ),
+            }),
+        }
+    }
+}
+
 /// Rule `artifacts`: build artifacts in the tracked-file list.
 pub fn check_tracked_artifacts(tracked: &[String]) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -561,6 +689,108 @@ fn f(x: usize) -> u32 {
         let src = "fn f(x: u16) -> u64 { let a = x as u64; let b = x as usize; a + b as u64 }";
         let rep = lint_source("crates/ptas/src/table.rs", src, &no_allow());
         assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn trace_hooks_inside_the_cell_kernel_loop_are_flagged() {
+        let src = "
+fn kernel(lo: usize, hi: usize) {
+    for p in lo..hi {
+        pcmax_trace::instant(\"cell\", p as u64);
+        let q = next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, "trace-hot");
+        assert_eq!(rep.violations[0].line, 4);
+    }
+
+    #[test]
+    fn chunk_spans_around_the_walk_and_other_files_pass() {
+        let src = "
+fn kernel(w: usize, lo: usize, hi: usize) {
+    let _chunk_span = pcmax_trace::span(\"chunk\", w as u64);
+    for p in lo..hi {
+        let q = next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // Hooks in loops that do not walk next_in_level are fine.
+        let cold = "
+fn sweep(levels: usize) {
+    for l in 1..levels {
+        let _level_span = pcmax_trace::span(\"level\", l as u64);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", cold, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // The same hot pattern outside TRACE_HOT_FILES is not checked.
+        let src_elsewhere = "
+fn f(lo: usize, hi: usize) {
+    for p in lo..hi {
+        pcmax_trace::instant(\"cell\", 0);
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", src_elsewhere, &no_allow());
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn trace_hot_respects_innermost_loop_and_justified_directives() {
+        // Outer loop contains the hot inner loop; a hook between them is
+        // judged against the *outer* loop, which has no direct walk tokens
+        // outside the inner one — but the walk ident is inside the outer
+        // range too, so only innermost-scoping keeps the level span legal.
+        let nested = "
+fn sweep(levels: usize) {
+    for l in 1..levels {
+        let _level_span = pcmax_trace::span(\"level\", l as u64);
+        for p in 0..10 {
+            next_in_level(p);
+        }
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", nested, &no_allow());
+        assert_eq!(
+            rep.violations.len(),
+            1,
+            "outer-loop hooks still sit on the per-level path when the walk \
+             is in the outer range: {:?}",
+            rep.violations
+        );
+
+        let justified = "
+fn kernel(lo: usize, hi: usize) {
+    for p in lo..hi {
+        // audit:allow(trace-hot): one-shot debug instant, removed before merge
+        pcmax_trace::instant(\"cell\", p as u64);
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", justified, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let src = "
+impl Walker for Kernel {
+    fn visit(&self) {
+        pcmax_trace::instant(\"setup\", 0);
+        let _ = next_in_level(0);
+    }
+}
+fn hrtb<F: for<'a> Fn(&'a u32)>(f: F) {
+    pcmax_trace::instant(\"setup\", 0);
+    next_in_level(0);
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
     }
 
     #[test]

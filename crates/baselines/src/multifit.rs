@@ -69,6 +69,7 @@ impl Solver for Multifit {
             stats.wall = start.elapsed();
             return Ok(SolveReport::heuristic(schedule, inst, stats));
         }
+        let search_span = req.trace_span("multifit-search", self.iterations as u64);
         let order = inst.jobs_by_decreasing_time();
         // Classic capacity bracket: FFD provably fits at CU and the optimum
         // cannot beat CL.
@@ -83,6 +84,7 @@ impl Solver for Multifit {
             }
             stats.bisection_probes += 1;
             let cap = (lo + hi) / 2;
+            let _probe_span = req.trace_span("probe", cap);
             match ffd_fits(inst, &order, cap) {
                 Some(builder) => {
                     best = Some(builder.build()?);
@@ -97,10 +99,12 @@ impl Solver for Multifit {
             // budget; the upper end of the bracket always fits.
             None => {
                 stats.bisection_probes += 1;
+                let _probe_span = req.trace_span("probe", hi);
                 let builder = ffd_fits(inst, &order, hi).expect("FFD fits at the upper capacity");
                 builder.build()?
             }
         };
+        drop(search_span);
         stats.wall = start.elapsed();
         Ok(SolveReport::heuristic(schedule, inst, stats))
     }

@@ -1,0 +1,80 @@
+//! Pins the cost of the trace hooks while tracing is *disabled* — the
+//! zero-cost-when-off guarantee the wavefront hot path relies on. Every
+//! hook starts with one relaxed atomic load; with no session active that
+//! load must be the whole story, so a disabled hook has to cost a few
+//! nanoseconds at most. The bench fails (exit 1) if any hook exceeds the
+//! budget, which would mean someone added work in front of the enabled
+//! check.
+//!
+//! ```text
+//! cargo bench -p pcmax-bench --bench trace_overhead
+//! ```
+
+use pcmax_bench::timing::time_stable;
+use std::hint::black_box;
+use std::process::ExitCode;
+
+/// Ops per timed batch (time_stable caps at 1000 batches, so per-op figures
+/// come from dividing the batch time).
+const OPS: u64 = 1_000_000;
+
+/// Generous per-op ceiling for a disabled hook, in nanoseconds. A relaxed
+/// load plus branch is well under 5ns on anything modern; 50ns still passes
+/// on noisy shared CI machines while catching accidental work (allocation,
+/// TLS registration, time reads) ahead of the enabled check.
+const BUDGET_NANOS: f64 = 50.0;
+
+fn per_op_nanos(mut f: impl FnMut(u64)) -> f64 {
+    let batch = time_stable(0.2, || {
+        for i in 0..OPS {
+            f(black_box(i));
+        }
+    });
+    batch / OPS as f64 * 1e9
+}
+
+fn main() -> ExitCode {
+    assert!(
+        !pcmax_trace::enabled(),
+        "this bench measures the disabled path; no session may be active"
+    );
+
+    let cases: &[(&str, f64)] = &[
+        (
+            "span_enter",
+            per_op_nanos(|i| pcmax_trace::span_enter("level", i)),
+        ),
+        (
+            "span_exit",
+            per_op_nanos(|_| pcmax_trace::span_exit("level")),
+        ),
+        (
+            "span guard",
+            per_op_nanos(|i| {
+                let _g = pcmax_trace::span("level", i);
+            }),
+        ),
+        ("instant", per_op_nanos(|i| pcmax_trace::instant("park", i))),
+        (
+            "counter",
+            per_op_nanos(|i| pcmax_trace::counter("dp-cells", i)),
+        ),
+    ];
+
+    println!("== trace_overhead (tracing disabled) ==");
+    let mut ok = true;
+    for (name, nanos) in cases {
+        let verdict = if *nanos <= BUDGET_NANOS {
+            "ok"
+        } else {
+            "OVER BUDGET"
+        };
+        println!("{name:<12} {nanos:>8.2} ns/op   budget {BUDGET_NANOS:.0} ns   {verdict}");
+        ok &= *nanos <= BUDGET_NANOS;
+    }
+    if !ok {
+        eprintln!("disabled trace hooks exceed the {BUDGET_NANOS:.0} ns/op budget");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

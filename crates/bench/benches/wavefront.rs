@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo bench -p pcmax-bench --bench wavefront -- [--smoke] \
-//!     [--json FILE] [--check FILE] [--min-secs S]
+//!     [--json FILE] [--check FILE] [--min-secs S] [--trace FILE]
 //! ```
 //!
 //! * `--json FILE`  — write the measurements as JSON (the tracked baseline
@@ -18,10 +18,21 @@
 //!   between the two executors on identical inputs should hold.
 //! * `--smoke`      — only run the small fixed case (the CI `bench-smoke`
 //!   job uses this together with `--check`).
+//! * `--trace FILE` — additionally run one traced end-to-end PTAS solve of
+//!   the first measured case and write its Chrome-trace timeline to FILE.
+//!
+//! Alongside the executor micro-benchmark, each case runs one full
+//! `ParallelPtas` solve and reports two throughputs: cells over the *total*
+//! solve wall (bisection + reconstruction included — the figure
+//! `SolveStats::dp_cells_per_sec` has always produced) and cells over the
+//! dp *phase* wall only (`dp_phase_cells_per_sec`). The micro-benchmark
+//! times nothing but the DP sweep, so the phase-scoped figure is the one
+//! comparable to the executor columns.
 
 use pcmax_bench::timing::time_stable;
 use pcmax_core::json::{self, Value};
-use pcmax_parallel::{LevelStrategy, ParallelDp};
+use pcmax_core::{SolveRequest, Solver};
+use pcmax_parallel::{LevelStrategy, ParallelDp, ParallelPtas};
 use pcmax_ptas::dp::{DpProblem, DpSolver};
 use pcmax_ptas::{rounded_problem, EpsilonParams};
 use pcmax_workloads::{generate, Distribution, Family};
@@ -65,6 +76,11 @@ struct Measurement {
     cells: u64,
     persistent_cps: f64,
     spawn_cps: f64,
+    /// Full-solve throughput over the *total* wall (bisection included).
+    solve_total_cps: Option<f64>,
+    /// Full-solve throughput over the dp phase wall only — the figure
+    /// comparable to the executor micro-benchmark columns above.
+    solve_dp_phase_cps: Option<f64>,
 }
 
 impl Measurement {
@@ -73,7 +89,7 @@ impl Measurement {
     }
 
     fn to_json(&self) -> Value {
-        json::object(vec![
+        let mut fields = vec![
             ("case", Value::Str(self.name.to_string())),
             ("cells", Value::UInt(self.cells)),
             (
@@ -85,7 +101,14 @@ impl Measurement {
                 Value::Float(self.spawn_cps),
             ),
             ("speedup", Value::Float(self.speedup())),
-        ])
+        ];
+        if let Some(cps) = self.solve_total_cps {
+            fields.push(("solve_cells_per_sec_total_wall", Value::Float(cps)));
+        }
+        if let Some(cps) = self.solve_dp_phase_cps {
+            fields.push(("solve_cells_per_sec_dp_phase", Value::Float(cps)));
+        }
+        json::object(fields)
     }
 }
 
@@ -127,12 +150,41 @@ fn measure(case: &Case, min_secs: f64) -> Measurement {
     let t_spawn = best(&mut || {
         spawn.solve(&problem).expect("solve");
     });
+
+    // One end-to-end PTAS solve for the two report-level throughputs: the
+    // total-wall figure divides by bisection + reconstruction too, so only
+    // the dp-phase figure compares like with like against the columns above.
+    let inst = generate(
+        Family::new(case.machines, case.jobs, Distribution::U1To100),
+        1,
+    );
+    let solver = ParallelPtas::with_threads(case.epsilon, THREADS).expect("valid epsilon");
+    let report = solver
+        .solve(&SolveRequest::new(&inst))
+        .expect("end-to-end solve");
+
     Measurement {
         name: case.name,
         cells,
         persistent_cps: cells as f64 / t_persistent,
         spawn_cps: cells as f64 / t_spawn,
+        solve_total_cps: report.stats.dp_cells_per_sec(),
+        solve_dp_phase_cps: report.stats.dp_phase_cells_per_sec(),
     }
+}
+
+/// Runs one traced end-to-end PTAS solve of `case` and writes the merged
+/// timeline as Chrome-trace JSON to `path`.
+fn write_trace(case: &Case, path: &str) {
+    let inst = generate(
+        Family::new(case.machines, case.jobs, Distribution::U1To100),
+        1,
+    );
+    let solver = ParallelPtas::with_threads(case.epsilon, THREADS).expect("valid epsilon");
+    let req = SolveRequest::new(&inst);
+    let (_, timeline) = pcmax_engine::solve_traced(&solver, &req).expect("traced end-to-end solve");
+    std::fs::write(path, pcmax_trace::chrome::to_json_string(&timeline)).expect("write trace");
+    println!("wrote {path} ({} trace events)", timeline.total_events());
 }
 
 fn check_against(baseline: &Value, current: &[Measurement]) -> Result<(), String> {
@@ -178,6 +230,7 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut min_secs = 0.3f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -185,6 +238,7 @@ fn main() -> ExitCode {
             "--smoke" => smoke = true,
             "--json" => json_path = args.next(),
             "--check" => check_path = args.next(),
+            "--trace" => trace_path = args.next(),
             "--min-secs" => {
                 min_secs = args
                     .next()
@@ -210,7 +264,22 @@ fn main() -> ExitCode {
             m.spawn_cps,
             m.speedup()
         );
+        if let (Some(total), Some(phase)) = (m.solve_total_cps, m.solve_dp_phase_cps) {
+            println!(
+                "{:<28} full solve: {total:>12.0} cells/s over total wall   \
+                 {phase:>12.0} cells/s in the dp phase",
+                ""
+            );
+        }
         results.push(m);
+    }
+
+    if let Some(path) = &trace_path {
+        let case = CASES
+            .iter()
+            .find(|c| !smoke || c.smoke)
+            .expect("at least one case selected");
+        write_trace(case, path);
     }
 
     if let Some(path) = json_path {

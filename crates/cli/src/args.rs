@@ -12,6 +12,7 @@ commands:
   solve      solve an instance with one algorithm
   compare    run every algorithm on an instance and tabulate
   simulate   simulated speedup curve of the parallel PTAS
+  trace      solve once with span tracing and export the timeline
 
 common options:
   -i FILE           read the instance from a JSON file ('-' = stdin)
@@ -30,7 +31,13 @@ solve options:
 
 simulate options:
   --procs LIST      comma-separated processor counts (default 1,2,4,8,16)
-  --eps E           PTAS accuracy (default 0.3)";
+  --eps E           PTAS accuracy (default 0.3)
+
+trace usage:
+  pcmax trace <algo> [instance.json] [common options]
+  --out FILE        write a Chrome-trace / Perfetto JSON timeline to FILE
+  --summary         print the ASCII per-worker utilization summary
+                    (default when --out is not given)";
 
 /// Where the instance comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +89,21 @@ pub enum Command {
         procs: Vec<usize>,
         /// PTAS accuracy.
         eps: f64,
+    },
+    /// `pcmax trace`
+    Trace {
+        /// Instance source.
+        source: Source,
+        /// Algorithm name (positional, before the flags).
+        algo: String,
+        /// PTAS accuracy.
+        eps: f64,
+        /// Thread count for the parallel PTAS.
+        threads: Option<usize>,
+        /// Chrome-trace JSON output path.
+        out: Option<String>,
+        /// Print the ASCII utilization summary.
+        summary: bool,
     },
 }
 
@@ -195,9 +217,54 @@ fn parse_source(flags: &mut Flags<'_>) -> Result<Source, String> {
     })
 }
 
+/// Parses `pcmax trace <algo> [instance-file] [flags]`: the algorithm is a
+/// positional argument, an optional second positional names an instance
+/// file, and the usual `-i`/`--dist` source flags still work.
+fn parse_trace(rest: &[String]) -> Result<Command, String> {
+    let (algo, rest) = rest.split_first().ok_or("trace needs an algorithm name")?;
+    if algo.starts_with('-') {
+        return Err("trace needs an algorithm name before any flags".into());
+    }
+    let (positional, rest) = match rest.split_first() {
+        Some((p, r)) if !p.starts_with('-') => (Some(p.clone()), r),
+        _ => (None, rest),
+    };
+    let mut flags = Flags::new(rest);
+    let source = match positional {
+        Some(path) => Source::File(path),
+        None => parse_source(&mut flags)?,
+    };
+    let eps = flags
+        .value(&["--eps"])?
+        .map(|s| s.parse::<f64>())
+        .transpose()
+        .map_err(|e| format!("bad --eps: {e}"))?
+        .unwrap_or(0.3);
+    let threads = flags
+        .value(&["--threads"])?
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+    let out = flags.value(&["--out", "-o"])?;
+    // Without an export path the summary is the only useful output.
+    let summary = flags.flag("--summary") || out.is_none();
+    flags.finish()?;
+    Ok(Command::Trace {
+        source,
+        algo: algo.clone(),
+        eps,
+        threads,
+        out,
+        summary,
+    })
+}
+
 /// Parses the full argv (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let (cmd, rest) = argv.split_first().ok_or("missing command")?;
+    if cmd == "trace" {
+        return parse_trace(rest);
+    }
     let mut flags = Flags::new(rest);
     let parsed = match cmd.as_str() {
         "generate" => Command::Generate(parse_source(&mut flags)?),
@@ -325,6 +392,51 @@ mod tests {
         assert!(
             parse(&argv("generate --dist U(1,10)")).is_err(),
             "missing -m/-n"
+        );
+    }
+
+    #[test]
+    fn parses_trace_with_positional_algo_and_file() {
+        let cmd = parse(&argv("trace par-ptas inst.json --out t.json")).unwrap();
+        match cmd {
+            Command::Trace {
+                source,
+                algo,
+                out,
+                summary,
+                ..
+            } => {
+                assert_eq!(source, Source::File("inst.json".into()));
+                assert_eq!(algo, "par-ptas");
+                assert_eq!(out.as_deref(), Some("t.json"));
+                assert!(!summary, "--out without --summary stays quiet");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_defaults_to_summary_and_accepts_generated_sources() {
+        let cmd = parse(&argv("trace pptas --dist U(1,100) -m 4 -n 20 --threads 2")).unwrap();
+        match cmd {
+            Command::Trace {
+                source,
+                threads,
+                out,
+                summary,
+                ..
+            } => {
+                assert!(matches!(source, Source::Generated { machines: 4, .. }));
+                assert_eq!(threads, Some(2));
+                assert_eq!(out, None);
+                assert!(summary, "no --out means the summary is the output");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("trace")).is_err(), "algo is mandatory");
+        assert!(
+            parse(&argv("trace --out t.json")).is_err(),
+            "flags cannot replace the positional algo"
         );
     }
 

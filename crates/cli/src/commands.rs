@@ -64,7 +64,70 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Trace {
+            source,
+            algo,
+            eps,
+            threads,
+            out,
+            summary,
+        } => {
+            let inst = load(&source)?;
+            trace(&inst, &algo, eps, threads, out.as_deref(), summary)
+        }
     }
+}
+
+/// Solves once with the in-tree trace runtime attached, then exports the
+/// merged timeline as Chrome-trace JSON (`--out`) and/or renders the ASCII
+/// per-worker utilization summary (`--summary`).
+fn trace(
+    inst: &Instance,
+    algo: &str,
+    eps: f64,
+    threads: Option<usize>,
+    out: Option<&str>,
+    summary: bool,
+) -> Result<(), String> {
+    let spec = lookup(algo).ok_or_else(|| {
+        format!(
+            "unknown algorithm {algo} (known: {})",
+            pcmax_engine::names().join(", ")
+        )
+    })?;
+    let params = SolverParams {
+        epsilon: eps,
+        threads,
+        width: threads.unwrap_or(4),
+        ..SolverParams::default()
+    };
+    let solver = spec.build(&params).map_err(|e| e.to_string())?;
+    let mut req = SolveRequest::new(inst);
+    if let Some(t) = threads {
+        req = req.with_threads(t);
+    }
+    let (report, timeline) =
+        pcmax_engine::solve_traced(solver.as_ref(), &req).map_err(|e| e.to_string())?;
+    timeline.validate()?;
+    println!(
+        "{}: makespan {} | {} events on {} threads",
+        spec.name,
+        report.makespan,
+        timeline.total_events(),
+        timeline.lanes.len()
+    );
+    if let Some(path) = out {
+        let text = pcmax_trace::chrome::to_json_string(&timeline);
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {path} ({} bytes) — open with ui.perfetto.dev",
+            text.len()
+        );
+    }
+    if summary {
+        print!("{}", pcmax_trace::summary::render(&timeline));
+    }
+    Ok(())
 }
 
 fn solve_one(
@@ -142,22 +205,41 @@ fn compare(inst: &Instance) -> Result<(), String> {
         }
     );
     println!(
-        "{:<22}{:>10}{:>9}{:>12}",
-        "algorithm", "makespan", "ratio", "time"
+        "{:<22}{:>10}{:>9}{:>12}{:>8}{:>7}",
+        "algorithm", "makespan", "ratio", "time", "busy%", "parks"
     );
     let params = SolverParams::default();
     for spec in comparators() {
         let solver = spec.build(&params).map_err(|e| e.to_string())?;
         let req = SolveRequest::new(inst);
         let t0 = Instant::now();
-        let report = solver.solve(&req).map_err(|e| e.to_string())?;
+        // Each solve runs under its own trace session (they are strictly
+        // sequential here) so the table can report measured worker
+        // utilization, not just counters.
+        let (report, timeline) =
+            pcmax_engine::solve_traced(solver.as_ref(), &req).map_err(|e| e.to_string())?;
         let dt = t0.elapsed();
         let name = match spec.kind {
             SolverKind::DualApprox => format!("{}(eps={})", spec.name, params.epsilon),
             _ => spec.name.to_string(),
         };
+        let rows = pcmax_trace::summary::utilization(&timeline);
+        let (busy, extent) = rows.iter().fold((0u64, 0u64), |(b, e), r| {
+            (b + r.busy_nanos, e + r.extent_nanos)
+        });
+        let busy_pct = if extent > 0 {
+            format!("{:.1}", busy as f64 / extent as f64 * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let parks = if report.stats.pool_wakes > 0 || report.stats.pool_parks > 0 {
+            debug_assert_eq!(report.stats.pool_parks, report.stats.pool_wakes);
+            report.stats.pool_parks.to_string()
+        } else {
+            "-".to_string()
+        };
         println!(
-            "{name:<22}{:>10}{:>9.3}{:>12.2?}",
+            "{name:<22}{:>10}{:>9.3}{:>12.2?}{busy_pct:>8}{parks:>7}",
             report.makespan,
             ApproxRatio::new(report.makespan, denom).value(),
             dt
@@ -193,6 +275,16 @@ mod tests {
         }
     }
 
+    /// `compare` and `trace` start process-global trace sessions; tests that
+    /// run them must not overlap.
+    fn trace_serial() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock, PoisonError};
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     #[test]
     fn every_registry_name_and_alias_resolves() {
         let inst = load(&tiny()).unwrap();
@@ -223,6 +315,7 @@ mod tests {
 
     #[test]
     fn run_smoke_tests_every_command() {
+        let _serial = trace_serial();
         run(Command::Bounds(tiny())).unwrap();
         run(Command::Compare(tiny())).unwrap();
         run(Command::Simulate {
@@ -240,5 +333,43 @@ mod tests {
             schedule: true,
         })
         .unwrap();
+        run(Command::Trace {
+            source: tiny(),
+            algo: "lpt".into(),
+            eps: 0.3,
+            threads: None,
+            out: None,
+            summary: true,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_exports_chrome_json_that_revalidates() {
+        let _serial = trace_serial();
+        let inst = load(&Source::Generated {
+            dist: Distribution::U1To100,
+            machines: 4,
+            jobs: 24,
+            seed: 11,
+        })
+        .unwrap();
+        let path = std::env::temp_dir().join("pcmax_cli_trace_test.json");
+        trace(
+            &inst,
+            "par-ptas",
+            0.3,
+            Some(2),
+            Some(path.to_str().unwrap()),
+            false,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stats = pcmax_trace::chrome::validate(&text).unwrap();
+        assert!(stats.events > 0, "exported trace must not be empty");
+        let _ = std::fs::remove_file(&path);
+
+        let err = trace(&inst, "quantum", 0.3, None, None, true).unwrap_err();
+        assert!(err.contains("unknown algorithm"), "got {err}");
     }
 }

@@ -6,6 +6,7 @@
 //! pcmax solve    -i inst.json --algo pptas --eps 0.3
 //! pcmax compare  -i inst.json
 //! pcmax simulate -i inst.json --procs 1,2,4,8,16
+//! pcmax trace par-ptas inst.json --out trace.json --summary
 //! ```
 
 mod args;

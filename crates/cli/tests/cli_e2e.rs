@@ -88,6 +88,50 @@ fn custom_uniform_distribution_roundtrips() {
 }
 
 #[test]
+fn trace_writes_chrome_json_and_prints_the_summary() {
+    let path = std::env::temp_dir().join("pcmax_e2e_trace.json");
+    let out = pcmax(&[
+        "trace",
+        "par-ptas",
+        "--dist",
+        "U(1,100)",
+        "-m",
+        "10",
+        "-n",
+        "50",
+        "--threads",
+        "4",
+        "--out",
+        path.to_str().unwrap(),
+        "--summary",
+    ]);
+    assert!(out.status.success(), "{:?}", String::from_utf8(out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(stdout.contains("busy%"), "summary table printed: {stdout}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stats = pcmax_trace::chrome::validate(&text).unwrap();
+    assert!(stats.events > 0, "trace must not be empty");
+    assert!(stats.complete_spans > 0, "spans must close");
+    // The acceptance path: bisection probes, wavefront levels and worker
+    // chunks all appear in one exported timeline.
+    for name in ["\"probe\"", "\"level\"", "\"chunk\""] {
+        assert!(text.contains(name), "missing {name} spans in {path:?}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn compare_prints_pool_health_columns() {
+    let out = pcmax(&["compare", "--dist", "U(1,10)", "-m", "2", "-n", "8"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("busy%"), "{stdout}");
+    assert!(stdout.contains("parks"), "{stdout}");
+}
+
+#[test]
 fn every_registry_name_is_reachable_from_the_command_line() {
     for algo in pcmax_engine::names() {
         let out = pcmax(&[

@@ -100,8 +100,49 @@ impl CancelToken {
     }
 }
 
+/// Receiver for structured trace events emitted during a solve.
+///
+/// The trait lives in core so every solver can emit spans without depending
+/// on a tracing backend; `pcmax-trace` provides the production
+/// implementation (`GlobalSink`, per-thread ring buffers with Chrome-trace
+/// export), and tests can plug in a recording sink. Implementations must be
+/// cheap: solvers call these hooks on phase boundaries and per bisection
+/// probe, never inside the DP cell kernel.
+pub trait TraceSink: Send + Sync {
+    /// Opens a named span on the calling thread (`arg` is span-specific,
+    /// e.g. the probed target makespan).
+    fn span_enter(&self, name: &'static str, arg: u64);
+
+    /// Closes the most recent open span with this name on the calling
+    /// thread.
+    fn span_exit(&self, name: &'static str);
+
+    /// Records a point event.
+    fn instant(&self, name: &'static str, arg: u64);
+
+    /// Records a counter sample.
+    fn counter(&self, name: &'static str, value: u64);
+}
+
+/// RAII span tied to a [`SolveRequest`]'s trace sink: enters on creation
+/// (when a sink is attached), exits on drop. A request without a sink makes
+/// this a no-op.
+#[must_use = "the span closes when this guard drops"]
+pub struct ReqSpan<'a> {
+    sink: Option<&'a dyn TraceSink>,
+    name: &'static str,
+}
+
+impl Drop for ReqSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.span_exit(self.name);
+        }
+    }
+}
+
 /// One unit of work handed to a [`Solver`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SolveRequest<'a> {
     /// The problem instance.
     pub instance: &'a Instance,
@@ -111,6 +152,20 @@ pub struct SolveRequest<'a> {
     pub cancel: CancelToken,
     /// Worker-thread count for parallel solvers (`None` = solver default).
     pub threads: Option<usize>,
+    /// Optional receiver for span/instant/counter events (default: none).
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for SolveRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveRequest")
+            .field("instance", &self.instance)
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel)
+            .field("threads", &self.threads)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 impl<'a> SolveRequest<'a> {
@@ -121,6 +176,7 @@ impl<'a> SolveRequest<'a> {
             budget: Budget::default(),
             cancel: CancelToken::new(),
             threads: None,
+            trace: None,
         }
     }
 
@@ -140,6 +196,35 @@ impl<'a> SolveRequest<'a> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
+    }
+
+    /// Attaches a trace sink; solvers emit phase/probe spans into it.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Opens an RAII span on the attached sink (no-op without one).
+    pub fn trace_span(&self, name: &'static str, arg: u64) -> ReqSpan<'_> {
+        let sink = self.trace.as_deref();
+        if let Some(sink) = sink {
+            sink.span_enter(name, arg);
+        }
+        ReqSpan { sink, name }
+    }
+
+    /// Records a point event on the attached sink (no-op without one).
+    pub fn trace_instant(&self, name: &'static str, arg: u64) {
+        if let Some(sink) = self.trace.as_deref() {
+            sink.instant(name, arg);
+        }
+    }
+
+    /// Records a counter sample on the attached sink (no-op without one).
+    pub fn trace_counter(&self, name: &'static str, value: u64) {
+        if let Some(sink) = self.trace.as_deref() {
+            sink.counter(name, value);
+        }
     }
 
     /// Returns `Err(Error::Cancelled)` if the token is raised — the check
@@ -208,10 +293,26 @@ impl SolveStats {
             .sum()
     }
 
-    /// Wavefront throughput: DP cells computed per second of total wall time
-    /// (`None` when no cells were counted or the clock read zero).
+    /// Wavefront throughput over the *total* solve wall time — including
+    /// bisection setup and reconstruction, so it understates the kernel.
+    /// Use [`dp_phase_cells_per_sec`](Self::dp_phase_cells_per_sec) to
+    /// compare DP executors like with like; this variant is kept for
+    /// whole-solve accounting. `None` when no cells were counted or the
+    /// clock read zero.
     pub fn dp_cells_per_sec(&self) -> Option<f64> {
         let secs = self.wall.as_secs_f64();
+        if self.dp_cells == 0 || secs <= 0.0 {
+            return None;
+        }
+        Some(self.dp_cells as f64 / secs)
+    }
+
+    /// Wavefront throughput scoped to the `"dp"` phase: DP cells per second
+    /// of the wall time the solver actually spent inside DP probes
+    /// ([`phase_wall`](Self::phase_wall)`("dp")`). `None` when no cells were
+    /// counted or no `"dp"` phase was recorded.
+    pub fn dp_phase_cells_per_sec(&self) -> Option<f64> {
+        let secs = self.phase_wall("dp").as_secs_f64();
         if self.dp_cells == 0 || secs <= 0.0 {
             return None;
         }
@@ -385,5 +486,82 @@ mod tests {
         stats.push_phase("reconstruct", Duration::from_millis(1));
         assert_eq!(stats.phase_wall("dp"), Duration::from_millis(8));
         assert_eq!(stats.phase_wall("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn dp_phase_throughput_divides_by_the_dp_phase_only() {
+        let mut stats = SolveStats {
+            dp_cells: 1_000,
+            wall: Duration::from_secs(2),
+            ..SolveStats::default()
+        };
+        // Total-wall variant divides by 2s; without a "dp" phase the scoped
+        // variant is undefined.
+        assert_eq!(stats.dp_cells_per_sec(), Some(500.0));
+        assert_eq!(stats.dp_phase_cells_per_sec(), None);
+        stats.push_phase("dp", Duration::from_millis(250));
+        stats.push_phase("dp", Duration::from_millis(250));
+        assert_eq!(stats.dp_phase_cells_per_sec(), Some(2_000.0));
+        // The scoped rate can only exceed the diluted total-wall rate.
+        assert!(stats.dp_phase_cells_per_sec() > stats.dp_cells_per_sec());
+    }
+
+    /// Records every hook call, for asserting what solvers emit.
+    #[derive(Default)]
+    struct Recorder {
+        log: std::sync::Mutex<Vec<(&'static str, &'static str, u64)>>,
+    }
+
+    impl TraceSink for Recorder {
+        fn span_enter(&self, name: &'static str, arg: u64) {
+            self.log.lock().unwrap().push(("enter", name, arg));
+        }
+
+        fn span_exit(&self, name: &'static str) {
+            self.log.lock().unwrap().push(("exit", name, 0));
+        }
+
+        fn instant(&self, name: &'static str, arg: u64) {
+            self.log.lock().unwrap().push(("instant", name, arg));
+        }
+
+        fn counter(&self, name: &'static str, value: u64) {
+            self.log.lock().unwrap().push(("counter", name, value));
+        }
+    }
+
+    #[test]
+    fn request_spans_reach_the_attached_sink_balanced() {
+        let inst = inst();
+        let sink = Arc::new(Recorder::default());
+        let req = SolveRequest::new(&inst).with_trace(sink.clone());
+        {
+            let _phase = req.trace_span("assign", 3);
+            req.trace_instant("tick", 1);
+            req.trace_counter("cells", 9);
+        }
+        let log = sink.log.lock().unwrap();
+        assert_eq!(
+            *log,
+            vec![
+                ("enter", "assign", 3),
+                ("instant", "tick", 1),
+                ("counter", "cells", 9),
+                ("exit", "assign", 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn request_without_sink_traces_as_noop_and_debug_does_not_leak_it() {
+        let inst = inst();
+        let req = SolveRequest::new(&inst);
+        let _span = req.trace_span("assign", 0);
+        req.trace_instant("tick", 0);
+        let dbg = format!("{req:?}");
+        assert!(dbg.contains("trace: None"), "got: {dbg}");
+        let sink: Arc<dyn TraceSink> = Arc::new(Recorder::default());
+        let dbg = format!("{:?}", SolveRequest::new(&inst).with_trace(sink));
+        assert!(dbg.contains("<sink>"), "got: {dbg}");
     }
 }

@@ -36,7 +36,10 @@ pub mod scheduler;
 pub mod stats;
 
 pub use bounds::{lower_bound, upper_bound, MakespanBounds};
-pub use engine::{Budget, CancelToken, PhaseTime, SolveReport, SolveRequest, SolveStats, Solver};
+pub use engine::{
+    Budget, CancelToken, PhaseTime, ReqSpan, SolveReport, SolveRequest, SolveStats, Solver,
+    TraceSink,
+};
 pub use error::{Error, Result};
 pub use gantt::render_gantt;
 pub use instance::Instance;

@@ -20,7 +20,7 @@
 //! | `fptas` (`sahni`)    | Sahni's fixed-`m` FPTAS             | `1 + ε`           |
 
 use pcmax_baselines::{Lpt, Ls, Multifit};
-use pcmax_core::{Error, Result, Solver};
+use pcmax_core::{Error, Result, SolveReport, SolveRequest, Solver};
 use pcmax_exact::BranchAndBound;
 use pcmax_fptas::FixedMachinesFptas;
 use pcmax_milp::AssignmentIp;
@@ -252,6 +252,32 @@ pub fn build(name: &str, params: &SolverParams) -> Result<Box<dyn Solver>> {
 /// All primary registry names, in canonical order.
 pub fn names() -> Vec<&'static str> {
     REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// Runs `solver` on `req` with the in-tree trace runtime attached and
+/// returns the report together with the merged per-thread timeline.
+///
+/// The trace session is process-global (one active at a time): the request
+/// gets a [`pcmax_trace::GlobalSink`] so solver-level `req.trace_span`
+/// emissions and the deep wavefront hooks (per-level spans, worker chunk
+/// spans, park/wake instants) all land in the same timeline. A second
+/// concurrent call fails with [`Error::BadModel`] instead of silently
+/// interleaving two solves into one trace.
+pub fn solve_traced(
+    solver: &dyn Solver,
+    req: &SolveRequest<'_>,
+) -> Result<(SolveReport, pcmax_trace::Timeline)> {
+    let session = pcmax_trace::Session::start().ok_or_else(|| {
+        Error::BadModel("trace: a trace session is already active in this process".into())
+    })?;
+    let mut traced = req.clone();
+    traced.trace = Some(std::sync::Arc::new(pcmax_trace::GlobalSink));
+    match solver.solve(&traced) {
+        Ok(report) => Ok((report, session.finish())),
+        // Dropping the session disables tracing and clears the rings, so a
+        // failed solve does not wedge the process-global runtime.
+        Err(e) => Err(e),
+    }
 }
 
 /// The solvers the experiment harness compares against the optimum: every

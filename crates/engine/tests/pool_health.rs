@@ -1,0 +1,90 @@
+//! Pool health after wind-down: every park the persistent pool enters must
+//! be matched by a wake (no worker left asleep, no spurious wake counted),
+//! and the traced solve path must surface per-worker utilization so
+//! `pcmax compare` can print it.
+
+use pcmax_core::{Instance, SolveRequest};
+use pcmax_engine::{build, solve_traced, SolverParams};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn instance() -> Instance {
+    // Same shape as the wavefront_stats suite: known to drive the rounded DP
+    // (instances where LPT certifies the lower bound skip the wavefront
+    // entirely and leave every pool counter at zero).
+    Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3, 23, 29], 4).unwrap()
+}
+
+/// The trace runtime is a process-global singleton; tests that start a
+/// session must not overlap.
+fn trace_serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn pool_parks_equal_wakes_after_wind_down_across_thread_counts() {
+    let inst = instance();
+    for threads in [2, 4] {
+        let params = SolverParams {
+            threads: Some(threads),
+            ..SolverParams::default()
+        };
+        let solver = build("par-ptas", &params).unwrap();
+        let report = solver.solve(&SolveRequest::new(&inst)).unwrap();
+        assert!(report.stats.dp_levels_swept > 0, "threads = {threads}");
+        assert_eq!(
+            report.stats.pool_parks, report.stats.pool_wakes,
+            "threads = {threads}: a park without a wake means a worker was \
+             left asleep (or a wake was counted outside the barrier protocol)"
+        );
+    }
+}
+
+#[test]
+fn traced_parallel_solve_yields_per_worker_utilization() {
+    let _serial = trace_serial();
+    let inst = instance();
+    let params = SolverParams {
+        threads: Some(4),
+        ..SolverParams::default()
+    };
+    let solver = build("par-ptas", &params).unwrap();
+    let req = SolveRequest::new(&inst);
+    let (report, timeline) = solve_traced(solver.as_ref(), &req).unwrap();
+    timeline.validate().unwrap();
+    assert!(report.stats.dp_cells > 0);
+
+    let lanes = pcmax_trace::summary::utilization(&timeline);
+    assert!(!lanes.is_empty(), "traced solve must produce thread lanes");
+    let busy: u64 = lanes.iter().map(|l| l.busy_nanos).sum();
+    assert!(busy > 0, "some lane must have measured busy time");
+
+    // The timeline's park/wake instants must agree with the pool counters
+    // the stats path reports — same seam, same sites.
+    let parks: usize = lanes.iter().map(|l| l.parks).sum();
+    assert_eq!(parks as u64, report.stats.pool_parks);
+
+    // The rendered summary is what `pcmax compare` prints; it must mention
+    // every lane and the busy column.
+    let rendered = pcmax_trace::summary::render(&timeline);
+    assert!(rendered.contains("busy"));
+}
+
+#[test]
+fn second_concurrent_trace_session_is_rejected() {
+    let _serial = trace_serial();
+    let inst = instance();
+    let solver = build("lpt", &SolverParams::default()).unwrap();
+    let req = SolveRequest::new(&inst);
+    let session = pcmax_trace::Session::start().expect("no session active");
+    let err = solve_traced(solver.as_ref(), &req).unwrap_err();
+    assert!(matches!(err, pcmax_core::Error::BadModel(_)));
+    drop(session.finish());
+
+    // After wind-down the traced path works again.
+    let (report, timeline) = solve_traced(solver.as_ref(), &req).unwrap();
+    assert!(report.makespan > 0);
+    timeline.validate().unwrap();
+}

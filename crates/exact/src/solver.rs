@@ -161,7 +161,9 @@ impl Solver for BranchAndBound {
             Some(limit) => Self::with_budget(limit.min(self.node_budget).max(1)),
             None => *self,
         };
+        let search_span = req.trace_span("search", solver.node_budget);
         let out = solver.solve_detailed(req.instance)?;
+        drop(search_span);
         let stats = SolveStats {
             bb_nodes: out.nodes,
             bisection_probes: out.probes as u64,

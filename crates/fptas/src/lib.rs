@@ -202,8 +202,12 @@ impl Solver for FixedMachinesFptas {
                 stats,
             });
         }
+        let dp_span = req.trace_span("dp", inst.jobs() as u64);
         let (assignment, claimed) = self.run_dp(inst)?;
+        drop(dp_span);
+        let recon_span = req.trace_span("reconstruct", 0);
         let schedule = Schedule::from_assignment(assignment, inst.machines())?;
+        drop(recon_span);
         debug_assert_eq!(
             schedule.makespan(inst),
             claimed,

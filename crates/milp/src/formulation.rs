@@ -104,7 +104,9 @@ impl Solver for AssignmentIp {
             },
             None => *self,
         };
+        let solve_span = req.trace_span("model+solve", solver.solver.node_budget);
         let (schedule, opt) = solver.solve_detailed(req.instance)?;
+        drop(solve_span);
         let stats = SolveStats {
             wall: start.elapsed(),
             ..SolveStats::default()

@@ -100,6 +100,7 @@ where
     if n == 1 {
         let state = &mut states[0];
         for level in levels {
+            let _level_span = pcmax_trace::span("level", level as u64);
             kernel(0, level, state);
         }
         return (states, PoolCounters::default());
@@ -140,6 +141,9 @@ where
             .collect();
 
         for level in levels {
+            // The level span covers release through barrier completion, so
+            // its duration is the true per-level critical path.
+            let _level_span = pcmax_trace::span("level", level as u64);
             // Release the level to everyone (leader included).
             {
                 let mut ctl = shared.ctl.lock();
@@ -154,7 +158,9 @@ where
             let mut ctl = shared.ctl.lock();
             while ctl.remaining > 0 {
                 ctl.counters.parks += 1;
+                sync::trace_park(0);
                 ctl = shared.done.wait(ctl);
+                sync::trace_wake(0);
                 ctl.counters.wakes += 1;
             }
             if ctl.panic.is_some() {
@@ -200,7 +206,9 @@ where
             let mut ctl = shared.ctl.lock();
             while !ctl.shutdown && ctl.epoch == seen_epoch {
                 ctl.counters.parks += 1;
+                sync::trace_park(worker);
                 ctl = shared.ready.wait(ctl);
+                sync::trace_wake(worker);
                 ctl.counters.wakes += 1;
             }
             if ctl.epoch == seen_epoch {

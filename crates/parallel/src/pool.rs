@@ -49,8 +49,12 @@ pub fn map_chunked<T: Sync, R: Send>(
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|ch| {
-                let (task, id) = sync::fork(move || ch.iter().map(f).collect::<Vec<R>>());
+            .enumerate()
+            .map(|(w, ch)| {
+                let (task, id) = sync::fork(move || {
+                    let _chunk_span = pcmax_trace::span("chunk", w as u64);
+                    ch.iter().map(f).collect::<Vec<R>>()
+                });
                 (scope.spawn(task), id)
             })
             .collect();

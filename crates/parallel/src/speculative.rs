@@ -89,6 +89,7 @@ impl SpeculativePtas {
             ..ParallelDp::default()
         };
         let probes = pool::map_chunked(candidates.len().max(1), candidates, |&t| {
+            let _probe_span = req.trace_span("probe", t);
             let (problem, rounded, partition) =
                 rounded_problem(inst, &self.params, t, self.max_entries);
             let mut scratch = DpScratch::new();
@@ -153,6 +154,7 @@ impl SpeculativePtas {
         let mut rounds = 0u32;
 
         let search_start = Instant::now();
+        let search_span = req.trace_span("speculative-search", 0);
         while lower < upper {
             self.check_budget(req, &stats, lower, upper)?;
             rounds += 1;
@@ -220,10 +222,13 @@ impl SpeculativePtas {
                 (configs, rounded, partition, t)
             }
         };
+        drop(search_span);
         stats.push_phase("speculative-search", search_start.elapsed());
 
         let recon_start = Instant::now();
+        let recon_span = req.trace_span("reconstruct", 0);
         let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
+        drop(recon_span);
         stats.push_phase("reconstruct", recon_start.elapsed());
         stats.wall = run_start.elapsed();
         Ok((schedule, target, rounds, stats))

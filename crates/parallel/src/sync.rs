@@ -92,6 +92,25 @@ pub fn trace_write(loc: usize) {
     let _ = loc;
 }
 
+/// Emits a `park` instant for `worker` into the active `pcmax-trace`
+/// session, if any. Lives in the seam so park/wake observability shares the
+/// sites the audit scheduler already controls: callers emit this right where
+/// they count `PoolCounters::parks`, immediately before the (audited)
+/// [`Condvar::wait`], so the timeline and the audit event log describe the
+/// same blocking points. The trace ring is a leaf lock that is never held
+/// across a wait, so the turn-based scheduler is unaffected.
+#[inline]
+pub fn trace_park(worker: usize) {
+    pcmax_trace::instant("park", worker as u64);
+}
+
+/// Emits a `wake` instant for `worker`; the counterpart of [`trace_park`],
+/// called right after the audited wait returns.
+#[inline]
+pub fn trace_wake(worker: usize) {
+    pcmax_trace::instant("wake", worker as u64);
+}
+
 /// Allocates a fresh identity for an auditable sync object. Zero in normal
 /// builds (identities are only consumed by the audit log).
 fn next_object_id() -> usize {

@@ -193,6 +193,9 @@ pub fn bucketed_sweep(
         if lo >= hi {
             return;
         }
+        // Chunk span only — no trace hooks inside the `next_in_level` walk
+        // below (enforced by the audit lint's trace-hot rule).
+        let _chunk_span = pcmax_trace::span("chunk", w as u64);
         // One decode per chunk; every later cell advances incrementally.
         decode_into(inv[lo] as usize, strides, digits);
         for p in lo..hi {
@@ -276,7 +279,8 @@ pub fn spawn_per_level_sweep(
 ) {
     let mut buckets = scratch.take_buckets();
     table.fill_level_buckets(&mut buckets);
-    for bucket in buckets.iter().skip(1) {
+    for (level, bucket) in buckets.iter().enumerate().skip(1) {
+        let _level_span = pcmax_trace::span("level", level as u64);
         // Disjoint-write precondition: a level's scatter targets are pairwise
         // distinct. Buckets are built in ascending index order, so strict
         // monotonicity is exactly pairwise disjointness.
@@ -315,6 +319,7 @@ fn faithful_sweep(
     let d: Vec<u32> = pool::map_range(threads, table.len, |idx| table.decode(idx).iter().sum());
     let levels = table.levels();
     for l in 1..levels {
+        let _level_span = pcmax_trace::span("level", l as u64);
         let results = pool::filter_map_range(threads, table.len, |idx| {
             (d[idx] == l).then(|| {
                 let v = table.decode(idx);

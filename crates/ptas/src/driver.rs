@@ -11,7 +11,7 @@ use pcmax_core::{
     Error, Instance, MakespanBounds, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest,
     SolveStats, Solver, Time,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One bisection probe: the target tried and what the DP said.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,11 +149,21 @@ impl<S: DpSolver> Ptas<S> {
         }
 
         let bisect_start = Instant::now();
+        let bisect_span = req.trace_span("bisection", 0);
+        // Wall time spent inside DP probes only, reported as the `"dp"`
+        // phase: `dp_cells_per_sec` divides by the *total* solve wall and so
+        // understates DP throughput; `dp_phase_cells_per_sec` divides by
+        // this.
+        let mut dp_wall = Duration::ZERO;
         while lower < upper {
             self.check_budget(req, &scratch, lower, upper)?;
             let t = (lower + upper) / 2;
             let (problem, rounded, partition) = self.problem_at(inst, t);
+            let probe_span = req.trace_span("probe", t);
+            let dp_start = Instant::now();
             let outcome = self.solver.solve_in(&problem, &mut scratch)?;
+            dp_wall += dp_start.elapsed();
+            drop(probe_span);
             log.probes.push(BisectionProbe {
                 target: t,
                 dp_machines: outcome.machines,
@@ -178,7 +188,11 @@ impl<S: DpSolver> Ptas<S> {
             _ => {
                 self.check_budget(req, &scratch, lower, upper)?;
                 let (problem, rounded, partition) = self.problem_at(inst, target);
+                let probe_span = req.trace_span("probe", target);
+                let dp_start = Instant::now();
                 let outcome = self.solver.solve_in(&problem, &mut scratch)?;
+                dp_wall += dp_start.elapsed();
+                drop(probe_span);
                 log.probes.push(BisectionProbe {
                     target,
                     dp_machines: outcome.machines,
@@ -193,10 +207,14 @@ impl<S: DpSolver> Ptas<S> {
                 (configs, rounded, partition, target)
             }
         };
+        drop(bisect_span);
         stats.push_phase("bisection", bisect_start.elapsed());
+        stats.push_phase("dp", dp_wall);
 
         let recon_start = Instant::now();
+        let recon_span = req.trace_span("reconstruct", 0);
         let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
+        drop(recon_span);
         stats.push_phase("reconstruct", recon_start.elapsed());
 
         stats.bisection_probes = log.evaluations() as u64;
@@ -476,6 +494,68 @@ mod tests {
         assert!(stats.dp_entries_touched > 0);
         assert!(stats.phase_wall("bisection") <= stats.wall);
         assert!(stats.phase_wall("reconstruct") <= stats.wall);
+    }
+
+    #[test]
+    fn dp_phase_is_scoped_inside_the_bisection_phase() {
+        use pcmax_core::SolveRequest;
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3], 4).unwrap();
+        let (out, stats) = ptas().solve_with(&SolveRequest::new(&inst)).unwrap();
+        assert!(out.log.evaluations() >= 1);
+        let dp = stats.phase_wall("dp");
+        assert!(dp > Duration::ZERO, "DP probes take nonzero wall time");
+        assert!(
+            dp <= stats.phase_wall("bisection"),
+            "the dp phase only counts time inside probes"
+        );
+    }
+
+    #[test]
+    fn probe_spans_carry_targets_and_balance() {
+        use pcmax_core::{SolveRequest, TraceSink};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Rec(Mutex<Vec<(&'static str, &'static str, u64)>>);
+
+        impl TraceSink for Rec {
+            fn span_enter(&self, name: &'static str, arg: u64) {
+                self.0.lock().unwrap().push(("enter", name, arg));
+            }
+
+            fn span_exit(&self, name: &'static str) {
+                self.0.lock().unwrap().push(("exit", name, 0));
+            }
+
+            fn instant(&self, _name: &'static str, _arg: u64) {}
+
+            fn counter(&self, _name: &'static str, _value: u64) {}
+        }
+
+        let inst = Instance::new(vec![13, 11, 9, 8, 8, 7, 5, 4, 2, 2, 1, 1], 3).unwrap();
+        let sink = Arc::new(Rec::default());
+        let req = SolveRequest::new(&inst).with_trace(sink.clone());
+        let (out, _) = ptas().solve_with(&req).unwrap();
+        let log = sink.0.lock().unwrap();
+        let probe_args: Vec<u64> = log
+            .iter()
+            .filter(|(kind, name, _)| *kind == "enter" && *name == "probe")
+            .map(|&(_, _, arg)| arg)
+            .collect();
+        assert_eq!(probe_args.len(), out.log.evaluations());
+        for (arg, probe) in probe_args.iter().zip(&out.log.probes) {
+            assert_eq!(*arg, probe.target, "span arg is the probed target");
+        }
+        let enters = log.iter().filter(|(kind, _, _)| *kind == "enter").count();
+        let exits = log.iter().filter(|(kind, _, _)| *kind == "exit").count();
+        assert_eq!(enters, exits, "every span closes");
+        for phase in ["bisection", "reconstruct"] {
+            assert!(
+                log.iter()
+                    .any(|(kind, name, _)| *kind == "enter" && *name == phase),
+                "missing {phase} span"
+            );
+        }
     }
 
     #[test]

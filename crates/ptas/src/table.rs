@@ -93,6 +93,7 @@ impl DpScratch {
                 Some(buf) => out.push(buf),
                 None => {
                     self.kernel_allocs += 1;
+                    pcmax_trace::instant("dp-kernel-alloc", self.kernel_allocs);
                     out.push(Vec::new());
                 }
             }
@@ -122,8 +123,10 @@ impl DpScratch {
         let mut values = std::mem::take(&mut self.values);
         if values.capacity() >= len {
             self.tables_reused += 1;
+            pcmax_trace::instant("dp-table-reuse", len as u64);
         } else {
             self.tables_allocated += 1;
+            pcmax_trace::instant("dp-table-alloc", len as u64);
         }
         values.clear();
         values.resize(len, INFEASIBLE);

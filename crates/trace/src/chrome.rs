@@ -1,0 +1,243 @@
+//! Chrome trace-event export: renders a [`Timeline`] as the JSON object
+//! format (`{"traceEvents": [...]}`) understood by Perfetto and
+//! `chrome://tracing`, and validates such documents structurally.
+//!
+//! The mapping uses only duration (`B`/`E`), instant (`i`), counter (`C`)
+//! and metadata (`M`) phases; timestamps are microseconds as the format
+//! requires, kept fractional so nanosecond resolution survives.
+
+use crate::{Event, EventKind, Timeline};
+use pcmax_core::json::{self, object, Value};
+
+/// The process id stamped on every event (single-process traces).
+const PID: u64 = 1;
+
+fn micros(e: &Event) -> Value {
+    Value::Float(e.ts_nanos as f64 / 1000.0)
+}
+
+fn common(e: &Event, ph: &str, tid: u64) -> Vec<(String, Value)> {
+    vec![
+        ("name".to_string(), Value::Str(e.name.to_string())),
+        ("ph".to_string(), Value::Str(ph.to_string())),
+        ("ts".to_string(), micros(e)),
+        ("pid".to_string(), Value::UInt(PID)),
+        ("tid".to_string(), Value::UInt(tid)),
+    ]
+}
+
+/// Builds the Chrome trace-event JSON tree for `timeline`.
+pub fn export(timeline: &Timeline) -> Value {
+    let mut events = Vec::with_capacity(timeline.total_events() + timeline.lanes.len());
+    for lane in &timeline.lanes {
+        // Thread-name metadata so Perfetto labels the lane.
+        events.push(object(vec![
+            ("name", Value::Str("thread_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("ts", Value::UInt(0)),
+            ("pid", Value::UInt(PID)),
+            ("tid", Value::UInt(lane.tid)),
+            (
+                "args",
+                object(vec![("name", Value::Str(lane.label.clone()))]),
+            ),
+        ]));
+        for e in &lane.events {
+            let mut members = match e.kind {
+                EventKind::SpanEnter => {
+                    let mut m = common(e, "B", lane.tid);
+                    m.push((
+                        "args".to_string(),
+                        object(vec![("arg", Value::UInt(e.arg))]),
+                    ));
+                    m
+                }
+                EventKind::SpanExit => common(e, "E", lane.tid),
+                EventKind::Instant => {
+                    let mut m = common(e, "i", lane.tid);
+                    // Thread-scoped instant.
+                    m.push(("s".to_string(), Value::Str("t".to_string())));
+                    m.push((
+                        "args".to_string(),
+                        object(vec![("arg", Value::UInt(e.arg))]),
+                    ));
+                    m
+                }
+                EventKind::Counter => {
+                    let mut m = common(e, "C", lane.tid);
+                    m.push((
+                        "args".to_string(),
+                        Value::Object(vec![(e.name.to_string(), Value::UInt(e.arg))]),
+                    ));
+                    m
+                }
+            };
+            members.shrink_to_fit();
+            events.push(Value::Object(members));
+        }
+    }
+    object(vec![("traceEvents", Value::Array(events))])
+}
+
+/// Renders `timeline` as a compact Chrome-trace JSON string.
+pub fn to_json_string(timeline: &Timeline) -> String {
+    export(timeline).to_string_compact()
+}
+
+/// Structural facts about a validated Chrome-trace document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Total events (including metadata).
+    pub events: usize,
+    /// Distinct `tid`s seen.
+    pub threads: usize,
+    /// Matched `B`/`E` pairs.
+    pub complete_spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
+}
+
+/// Parses `text` with [`pcmax_core::json`] and checks it is a well-formed,
+/// non-empty Chrome trace: a `traceEvents` array whose members all carry
+/// `ph`, `ts`, `pid`, `tid` and `name`, with balanced and properly ordered
+/// `B`/`E` spans per thread.
+pub fn validate(text: &str) -> Result<ChromeStats, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".to_string());
+    }
+    let mut stats = ChromeStats {
+        events: events.len(),
+        ..ChromeStats::default()
+    };
+    // Per-tid open-span stack (names) for the balance check.
+    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut tids: Vec<u64> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        e.get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric `ts`"))?;
+        e.get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing `pid`"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing `tid`"))?;
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `name`"))?;
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                let last = stacks.len() - 1;
+                &mut stacks[last].1
+            }
+        };
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => match stack.pop() {
+                Some(open) if open == name => stats.complete_spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: tid {tid} closes `{name}` while `{open}` is innermost"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: tid {tid} closes `{name}` with no open span"
+                    ));
+                }
+            },
+            "i" => stats.instants += 1,
+            "C" => stats.counters += 1,
+            "M" => {}
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never closed (innermost `{}`)",
+                stack.len(),
+                stack[stack.len() - 1]
+            ));
+        }
+    }
+    stats.threads = tids.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, instant, span, test_support, Session};
+
+    #[test]
+    fn export_round_trips_through_the_core_parser() {
+        let _serial = test_support::serial();
+        let session = Session::start().expect("no session active");
+        {
+            let _probe = span("probe", 17);
+            instant("park", 0);
+            counter("cells", 99);
+        }
+        let timeline = session.finish();
+        let text = to_json_string(&timeline);
+        let stats = validate(&text).expect("exported trace validates");
+        assert_eq!(stats.complete_spans, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn validate_rejects_structural_defects() {
+        assert!(validate("not json").is_err());
+        assert!(validate(r#"{"traceEvents": []}"#).is_err());
+        // Missing tid.
+        assert!(validate(r#"{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":1}]}"#).is_err());
+        // E without B.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"x","ph":"E","ts":0,"pid":1,"tid":0}]}"#).is_err()
+        );
+        // B never closed.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":0}]}"#).is_err()
+        );
+        // Mismatched nesting.
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+            {"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":2,"pid":1,"tid":0},
+            {"name":"b","ph":"E","ts":3,"pid":1,"tid":0}]}"#;
+        assert!(validate(crossed).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_a_minimal_wellformed_trace() {
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":0.5,"pid":1,"tid":3},
+            {"name":"a","ph":"E","ts":2,"pid":1,"tid":3},
+            {"name":"t","ph":"i","ts":1,"pid":1,"tid":4,"s":"t"}]}"#;
+        let stats = validate(ok).expect("well-formed");
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.complete_spans, 1);
+    }
+}

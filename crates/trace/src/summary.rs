@@ -1,0 +1,240 @@
+//! ASCII per-worker utilization summary of a [`Timeline`]: busy vs parked
+//! time per thread, plus a log-spaced histogram of per-level wavefront span
+//! durations — the quick look that answers "are the workers idle?" without
+//! opening Perfetto.
+
+use crate::{EventKind, ThreadLane, Timeline};
+use std::fmt::Write as _;
+
+/// Per-lane utilization figures derived from spans and park/wake instants.
+#[derive(Debug, Clone, Default)]
+pub struct LaneUtilization {
+    /// Dense thread id.
+    pub tid: u64,
+    /// Thread label.
+    pub label: String,
+    /// Retained events on the lane.
+    pub events: usize,
+    /// Spans opened on the lane.
+    pub spans: usize,
+    /// Nanoseconds inside at least one span (outermost-span coverage).
+    pub busy_nanos: u64,
+    /// Nanoseconds between paired `park`/`wake` instants.
+    pub parked_nanos: u64,
+    /// `park` instants observed.
+    pub parks: usize,
+    /// Lane extent: first to last event timestamp.
+    pub extent_nanos: u64,
+}
+
+impl LaneUtilization {
+    /// Busy time as a fraction of the lane extent (`None` for empty lanes).
+    pub fn busy_fraction(&self) -> Option<f64> {
+        if self.extent_nanos == 0 {
+            return None;
+        }
+        Some(self.busy_nanos as f64 / self.extent_nanos as f64)
+    }
+}
+
+fn lane_utilization(lane: &ThreadLane) -> LaneUtilization {
+    let mut u = LaneUtilization {
+        tid: lane.tid,
+        label: lane.label.clone(),
+        events: lane.events.len(),
+        ..LaneUtilization::default()
+    };
+    let mut depth = 0usize;
+    let mut busy_since = 0u64;
+    let mut park_since: Option<u64> = None;
+    for e in &lane.events {
+        match e.kind {
+            EventKind::SpanEnter => {
+                u.spans += 1;
+                if depth == 0 {
+                    busy_since = e.ts_nanos;
+                }
+                depth += 1;
+            }
+            EventKind::SpanExit => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    u.busy_nanos += e.ts_nanos.saturating_sub(busy_since);
+                }
+            }
+            EventKind::Instant if e.name == "park" => {
+                u.parks += 1;
+                park_since = Some(e.ts_nanos);
+            }
+            EventKind::Instant if e.name == "wake" => {
+                if let Some(since) = park_since.take() {
+                    u.parked_nanos += e.ts_nanos.saturating_sub(since);
+                }
+            }
+            EventKind::Instant | EventKind::Counter => {}
+        }
+    }
+    if let (Some(first), Some(last)) = (lane.events.first(), lane.events.last()) {
+        u.extent_nanos = last.ts_nanos.saturating_sub(first.ts_nanos);
+    }
+    u
+}
+
+/// Utilization rows for every lane of `timeline`, in tid order.
+pub fn utilization(timeline: &Timeline) -> Vec<LaneUtilization> {
+    let mut rows: Vec<_> = timeline.lanes.iter().map(lane_utilization).collect();
+    rows.sort_by_key(|r| r.tid);
+    rows
+}
+
+/// Collects the durations of every completed span named `name`, across all
+/// lanes, in nanoseconds.
+pub fn span_durations(timeline: &Timeline, name: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for lane in &timeline.lanes {
+        let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        for e in &lane.events {
+            match e.kind {
+                EventKind::SpanEnter => stack.push((e.name, e.ts_nanos)),
+                EventKind::SpanExit => {
+                    if let Some((open, since)) = stack.pop() {
+                        if open == name {
+                            out.push(e.ts_nanos.saturating_sub(since));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Log-spaced (powers of ten, starting at 1µs) histogram bucket labels.
+const BUCKETS: &[(&str, u64)] = &[
+    ("<1µs", 1_000),
+    ("1µs-10µs", 10_000),
+    ("10µs-100µs", 100_000),
+    ("100µs-1ms", 1_000_000),
+    ("1ms-10ms", 10_000_000),
+    ("≥10ms", u64::MAX),
+];
+
+fn fmt_duration(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Renders the full ASCII summary: the per-worker utilization table, the
+/// log-spaced histogram of `level` span durations, and a drop warning when
+/// any ring overflowed.
+pub fn render(timeline: &Timeline) -> String {
+    let mut out = String::new();
+    let rows = utilization(timeline);
+    let _ = writeln!(
+        out,
+        "{:<4} {:<14} {:>8} {:>7} {:>7} {:>10} {:>10} {:>6}",
+        "tid", "thread", "events", "spans", "busy%", "busy", "parked", "parks"
+    );
+    for r in &rows {
+        let busy_pct = match r.busy_fraction() {
+            Some(f) => format!("{:.1}", f * 100.0),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<4} {:<14} {:>8} {:>7} {:>7} {:>10} {:>10} {:>6}",
+            r.tid,
+            r.label,
+            r.events,
+            r.spans,
+            busy_pct,
+            fmt_duration(r.busy_nanos),
+            fmt_duration(r.parked_nanos),
+            r.parks
+        );
+    }
+
+    let durations = span_durations(timeline, "level");
+    if !durations.is_empty() {
+        let mut counts = vec![0usize; BUCKETS.len()];
+        for &d in &durations {
+            let idx = BUCKETS
+                .iter()
+                .position(|&(_, upper)| d < upper)
+                .unwrap_or(BUCKETS.len() - 1);
+            counts[idx] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(out, "\nlevel span durations ({} levels)", durations.len());
+        for (&(label, _), &count) in BUCKETS.iter().zip(&counts) {
+            let bar = "#".repeat(count * 40 / max);
+            let _ = writeln!(out, "  {label:<12} {count:>6} {bar}");
+        }
+    }
+
+    let dropped = timeline.dropped();
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "\nwarning: {dropped} event(s) dropped to full rings — raise the ring capacity"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instant, span, test_support, Session};
+
+    #[test]
+    fn utilization_pairs_parks_with_wakes_and_measures_busy_time() {
+        let _serial = test_support::serial();
+        let session = Session::start().expect("no session active");
+        {
+            let _level = span("level", 0);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        instant("park", 0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        instant("wake", 0);
+        let timeline = session.finish();
+        let rows = utilization(&timeline);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].busy_nanos >= 1_000_000, "slept 2ms inside the span");
+        assert!(rows[0].parked_nanos >= 500_000, "slept 1ms parked");
+        assert_eq!(rows[0].parks, 1);
+
+        let rendered = render(&timeline);
+        assert!(rendered.contains("busy%"), "table header present");
+        assert!(
+            rendered.contains("level span durations"),
+            "histogram present"
+        );
+    }
+
+    #[test]
+    fn span_durations_filter_by_name() {
+        let _serial = test_support::serial();
+        let session = Session::start().expect("no session active");
+        {
+            let _a = span("level", 1);
+            let _b = span("chunk", 1);
+        }
+        {
+            let _c = span("level", 2);
+        }
+        let timeline = session.finish();
+        assert_eq!(span_durations(&timeline, "level").len(), 2);
+        assert_eq!(span_durations(&timeline, "chunk").len(), 1);
+        assert!(span_durations(&timeline, "probe").is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Trace-integrity properties: however worker threads interleave, the merged
+//! timeline has balanced span enter/exit per thread and monotonic
+//! timestamps, and the Chrome-trace export re-parses through the in-tree
+//! JSON reader with every required field present.
+
+use pcmax_trace::{chrome, counter, instant, span, EventKind, Session, Timeline};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// The trace runtime is a process-global singleton; each proptest case
+/// holds this while its session is live.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Replays one op-code script on the calling thread. Spans close by guard
+/// scope, so balance holds by construction — the property under test is
+/// that the runtime *preserves* it through rings, merging and export.
+fn replay(script: &[u8]) -> (usize, usize) {
+    let (mut spans, mut instants) = (0, 0);
+    for &op in script {
+        match op % 4 {
+            0 => {
+                let _level = span("level", u64::from(op));
+                spans += 1;
+            }
+            1 => {
+                let _chunk = span("chunk", u64::from(op));
+                let _probe = span("probe", u64::from(op));
+                spans += 2;
+            }
+            2 => {
+                instant("park", u64::from(op));
+                instant("wake", u64::from(op));
+                instants += 2;
+            }
+            _ => counter("dp-cells", u64::from(op)),
+        }
+    }
+    (spans, instants)
+}
+
+fn record(scripts: &[Vec<u8>]) -> (Timeline, usize, usize) {
+    let session = Session::start().expect("no session active");
+    let mut spans = 0;
+    let mut instants = 0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| scope.spawn(move || replay(script)))
+            .collect();
+        for h in handles {
+            let (s, i) = h.join().expect("worker panicked");
+            spans += s;
+            instants += i;
+        }
+    });
+    (session.finish(), spans, instants)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merged_timelines_balance_spans_and_keep_time_monotonic(
+        scripts in prop::collection::vec(prop::collection::vec(0u8..8, 0..12), 1..4)
+    ) {
+        let _serial = serial();
+        let (timeline, spans, _) = record(&scripts);
+        prop_assert!(timeline.validate().is_ok(), "{:?}", timeline.validate());
+        prop_assert_eq!(timeline.dropped(), 0);
+
+        for lane in &timeline.lanes {
+            let enters = lane.events.iter().filter(|e| e.kind == EventKind::SpanEnter).count();
+            let exits = lane.events.iter().filter(|e| e.kind == EventKind::SpanExit).count();
+            prop_assert_eq!(enters, exits, "lane {} unbalanced", lane.tid);
+            for w in lane.events.windows(2) {
+                prop_assert!(w[0].ts_nanos <= w[1].ts_nanos, "lane {} time went backwards", lane.tid);
+            }
+        }
+        let total_enters: usize = timeline.lanes.iter().map(|l| {
+            l.events.iter().filter(|e| e.kind == EventKind::SpanEnter).count()
+        }).sum();
+        prop_assert_eq!(total_enters, spans, "every opened span is retained");
+    }
+
+    #[test]
+    fn chrome_export_reparses_with_required_fields(
+        scripts in prop::collection::vec(prop::collection::vec(0u8..8, 1..10), 1..4)
+    ) {
+        let _serial = serial();
+        let (timeline, spans, instants) = record(&scripts);
+        let text = chrome::to_json_string(&timeline);
+        // `validate` re-parses via pcmax_core::json and checks ph/ts/pid/
+        // tid/name on every event plus per-thread B/E balance.
+        let stats = chrome::validate(&text).unwrap();
+        prop_assert_eq!(stats.complete_spans, spans);
+        prop_assert_eq!(stats.instants, instants);
+        prop_assert_eq!(stats.threads, timeline.lanes.len());
+    }
+}
