@@ -50,6 +50,7 @@ const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 pub const TRACE_HOT_FILES: &[&str] = &[
     "crates/parallel/src/wavefront.rs",
     "crates/ptas/src/table.rs",
+    "crates/ptas/src/space.rs",
 ];
 
 /// Identifiers that emit trace events — the free-function hooks of

@@ -9,9 +9,10 @@
 #![cfg(feature = "audit")]
 
 use pcmax_audit::explore::{run_seed, sweep};
-use pcmax_parallel::wavefront::{bucketed_sweep, spawn_per_level_sweep};
+use pcmax_parallel::wavefront::{bucketed_sweep, bucketed_sweep_space, spawn_per_level_sweep};
 use pcmax_parallel::{sync, ParallelDp, ScopedDp};
 use pcmax_ptas::dp::{DpProblem, DpSolver, IterativeDp};
+use pcmax_ptas::space::{serial_sweep, QSpace};
 use pcmax_ptas::table::DpScratch;
 use std::sync::atomic::Ordering;
 
@@ -112,6 +113,70 @@ fn persistent_pool_park_wake_barrier_is_race_free() {
         "64 schedules of a 2-thread pool must park at least once"
     );
     assert!(report.max_threads > 1);
+}
+
+/// Non-increasing speed capacities for the Q replay: the fast machine takes
+/// the paper's capacity 30, the slow one only 14, so the `step_allowed`
+/// filter actually prunes transitions under exploration.
+const Q_CAPS: [u64; 2] = [30, 14];
+
+/// The bucketed sweep driven through the generalized `StateSpace` seam with
+/// capacity filtering, on a fresh level-major table.
+fn q_sweep_values(threads: usize) -> (Vec<u16>, DpScratch) {
+    let problem = paper_problem();
+    let mut scratch = DpScratch::new();
+    let mut table = problem
+        .build_level_major_table_in(&mut scratch)
+        .expect("paper problem fits");
+    let configs = problem.configs_with_offsets(&table);
+    let sizes = table.sizes.clone();
+    let space = QSpace::new(&configs, &sizes, &Q_CAPS);
+    table.values[0] = 0;
+    bucketed_sweep_space(&mut table, &space, threads, &mut scratch);
+    (table.values_row_major(), scratch)
+}
+
+#[test]
+fn uniform_capacity_wavefront_is_race_free_across_64_interleavings() {
+    // The serial engine on the same capacity-filtered space is the oracle:
+    // every explored schedule of the persistent pool must reproduce its
+    // table exactly and balance its park/wake traffic.
+    let expected = {
+        let problem = paper_problem();
+        let mut table = problem.build_table().expect("paper problem fits");
+        let configs = problem.configs_with_offsets(&table);
+        let sizes = table.sizes.clone();
+        serial_sweep(&mut table, &QSpace::new(&configs, &sizes, &Q_CAPS));
+        table.values_row_major()
+    };
+    let total_parks = std::sync::atomic::AtomicU64::new(0);
+    let report = sweep(
+        700,
+        64,
+        || q_sweep_values(2),
+        |seed, (values, scratch)| {
+            assert_eq!(
+                values, &expected,
+                "seed {seed}: Q table diverged from the serial engine"
+            );
+            assert_eq!(
+                scratch.pool_parks, scratch.pool_wakes,
+                "seed {seed}: a condvar wait was entered but never returned"
+            );
+            total_parks.fetch_add(scratch.pool_parks, Ordering::Relaxed);
+        },
+    );
+    assert_eq!(report.schedules, 64);
+    assert!(
+        report.races.is_empty(),
+        "uniform wavefront races found: {:?}",
+        report.races
+    );
+    assert!(report.max_threads > 1);
+    assert!(
+        total_parks.load(Ordering::Relaxed) > 0,
+        "64 schedules of a 2-thread pool must park at least once"
+    );
 }
 
 #[test]

@@ -5,19 +5,29 @@
 //! * [`Lpt`] — longest processing time first (4/3-approximation;
 //!   `4/3 − 1/(3m)` exactly),
 //! * [`Multifit`] — Coffman–Garey–Johnson MULTIFIT, a bin-packing-based
-//!   scheme with ratio `1.22 + 2^{-k}` after `k` bisection steps.
+//!   scheme with ratio `1.22 + 2^{-k}` after `k` bisection steps,
 //!
-//! All three run in `O(n log n + n log m)` and are deterministic.
+//! plus the scenario extensions the chassis refactor opened:
+//!
+//! * [`SpeedLpt`] — LPT generalized to uniform machines (`Q||Cmax`),
+//! * [`LsOnline`] / [`OnlineScheduler`] — Graham list scheduling against a
+//!   stream of arrivals (one job at a time, no lookahead).
+//!
+//! All run in `O(n log n + n·m)` or better and are deterministic.
 
 pub mod lpt;
 pub mod ls;
 pub mod multifit;
+pub mod online;
+pub mod uniform;
 
 pub use lpt::Lpt;
 pub use ls::Ls;
 pub use multifit::Multifit;
+pub use online::{LsOnline, OnlineScheduler};
+pub use uniform::SpeedLpt;
 
-use pcmax_core::{Instance, MachineId, Schedule, ScheduleBuilder, Time};
+use pcmax_core::{Instance, MachineId, Result, Schedule, ScheduleBuilder, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -26,11 +36,12 @@ use std::collections::BinaryHeap;
 ///
 /// This is the core of both LS (arbitrary order) and LPT (decreasing order)
 /// and of the short-job completion step of the PTAS (Lines 41–51 of
-/// Algorithm 1), so it lives here and is reused by `pcmax-ptas`.
-pub fn assign_in_order(inst: &Instance, order: &[usize]) -> Schedule {
+/// Algorithm 1), so it lives here and is reused by `pcmax-ptas`. Errors if
+/// `order` does not cover every job of `inst` exactly once.
+pub fn assign_in_order(inst: &Instance, order: &[usize]) -> Result<Schedule> {
     let mut builder = ScheduleBuilder::new(inst);
     greedy_extend(inst, &mut builder, order);
-    builder.build().expect("order covers all jobs")
+    builder.build()
 }
 
 /// Extends a partially built schedule by greedily placing `order`'s jobs on
@@ -38,12 +49,13 @@ pub fn assign_in_order(inst: &Instance, order: &[usize]) -> Schedule {
 /// the paper's pseudocode (Lines 42–50 scan machines in index order).
 pub fn greedy_extend(inst: &Instance, builder: &mut ScheduleBuilder<'_>, order: &[usize]) {
     // (Reverse(load), Reverse(index)) makes the max-heap pop the minimum
-    // load with lowest-index tie-break.
+    // load with lowest-index tie-break. `Instance` guarantees `m ≥ 1`, so
+    // the heap is never empty; the `while let` makes that locally evident.
     let mut heap: BinaryHeap<(Reverse<Time>, Reverse<MachineId>)> = (0..inst.machines())
         .map(|i| (Reverse(builder.load(i)), Reverse(i)))
         .collect();
-    for &j in order {
-        let (Reverse(load), Reverse(mach)) = heap.pop().expect("m >= 1");
+    let mut jobs = order.iter();
+    while let (Some(&j), Some((Reverse(load), Reverse(mach)))) = (jobs.next(), heap.pop()) {
         builder.assign(j, mach);
         heap.push((Reverse(load + inst.time(j)), Reverse(mach)));
     }
@@ -57,7 +69,7 @@ mod tests {
     #[test]
     fn assign_in_order_balances_two_machines() {
         let inst = Instance::new(vec![4, 3, 2, 1], 2).unwrap();
-        let s = assign_in_order(&inst, &[0, 1, 2, 3]);
+        let s = assign_in_order(&inst, &[0, 1, 2, 3]).unwrap();
         // 4 -> m0, 3 -> m1, 2 -> m1 (load 3 < 4)? No: after 3 on m1 loads are
         // (4,3); 2 goes to m1 (5); 1 goes to m0 (5).
         assert_eq!(s.loads(&inst), vec![5, 5]);
@@ -66,7 +78,7 @@ mod tests {
     #[test]
     fn ties_break_to_lowest_machine_index() {
         let inst = Instance::new(vec![1, 1, 1], 3).unwrap();
-        let s = assign_in_order(&inst, &[0, 1, 2]);
+        let s = assign_in_order(&inst, &[0, 1, 2]).unwrap();
         assert_eq!(s.assignment(), &[0, 1, 2]);
     }
 

@@ -22,7 +22,7 @@ impl Solver for Lpt {
         let start = Instant::now();
         let inst = req.instance;
         let assign_span = req.trace_span("assign", inst.jobs() as u64);
-        let schedule = assign_in_order(inst, &inst.jobs_by_decreasing_time());
+        let schedule = assign_in_order(inst, &inst.jobs_by_decreasing_time())?;
         drop(assign_span);
         let stats = SolveStats {
             wall: start.elapsed(),

@@ -24,7 +24,7 @@ impl Solver for Ls {
         let inst = req.instance;
         let assign_span = req.trace_span("assign", inst.jobs() as u64);
         let order: Vec<usize> = (0..inst.jobs()).collect();
-        let schedule = assign_in_order(inst, &order);
+        let schedule = assign_in_order(inst, &order)?;
         drop(assign_span);
         let stats = SolveStats {
             wall: start.elapsed(),

@@ -6,8 +6,8 @@
 //! `1.22 + 2^{-k}` of optimal (the tight constant is 13/11).
 
 use pcmax_core::{
-    Instance, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest, SolveStats, Solver,
-    Time,
+    Error, Instance, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest, SolveStats,
+    Solver, Time,
 };
 use std::time::Instant;
 
@@ -100,7 +100,9 @@ impl Solver for Multifit {
             None => {
                 stats.bisection_probes += 1;
                 let _probe_span = req.trace_span("probe", hi);
-                let builder = ffd_fits(inst, &order, hi).expect("FFD fits at the upper capacity");
+                let builder = ffd_fits(inst, &order, hi).ok_or_else(|| Error::InvalidWitness {
+                    reason: format!("FFD failed at the always-feasible upper capacity {hi}"),
+                })?;
                 builder.build()?
             }
         };

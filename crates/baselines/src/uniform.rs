@@ -1,0 +1,114 @@
+//! Baselines for uniform machines (`Q||Cmax`).
+//!
+//! The identical-machine greedy rule "place on a least-loaded machine"
+//! generalizes to "place on the machine that finishes the job earliest":
+//! argmin `(load_i + t) / s_i`. [`SpeedLpt`] applies that rule to the jobs in
+//! LPT order; with all speeds 1 it degenerates to exactly [`crate::Lpt`].
+
+use pcmax_core::{Result, ScheduleBuilder, SolveReport, SolveRequest, SolveStats, Solver, Time};
+use std::time::Instant;
+
+/// Index of the machine that finishes a job of size `t` earliest under the
+/// current `loads`: argmin `(load_i + t) / s_i`, compared exactly by
+/// cross-multiplication in `u128` so no rounding is involved. Ties break to
+/// the lowest machine index, matching the identical-machine rule. Public so
+/// the `Q||Cmax` PTAS can place its short jobs with the same speed-aware
+/// greedy its baselines use.
+pub fn earliest_finish(loads: &[Time], speeds: &[Time], t: Time) -> usize {
+    debug_assert_eq!(loads.len(), speeds.len());
+    let mut best = 0;
+    for i in 1..loads.len() {
+        // (loads[i] + t) / speeds[i] < (loads[best] + t) / speeds[best]
+        let lhs = (loads[i] as u128 + t as u128) * speeds[best] as u128;
+        let rhs = (loads[best] as u128 + t as u128) * speeds[i] as u128;
+        if lhs < rhs {
+            best = i;
+        }
+    }
+    best
+}
+
+/// LPT generalized to uniform machines: walk the jobs in non-increasing time
+/// order and place each on the machine that would finish it earliest.
+///
+/// For `Q||Cmax` this greedy is a classic 2-approximation (Gonzalez, Ibarra &
+/// Sahni give 2 − 2/(m+1) for the LPT order); with all speeds 1 it produces
+/// bit-identical schedules to [`crate::Lpt`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeedLpt;
+
+impl Solver for SpeedLpt {
+    fn solver_name(&self) -> &'static str {
+        "LPT-Q"
+    }
+
+    fn solve(&self, req: &SolveRequest<'_>) -> Result<SolveReport> {
+        req.check_cancelled()?;
+        let start = Instant::now();
+        let inst = req.instance;
+        let assign_span = req.trace_span("assign", inst.jobs() as u64);
+        let speeds = inst.speeds();
+        let mut builder = ScheduleBuilder::new(inst);
+        for &j in &inst.jobs_by_decreasing_time() {
+            let mach = earliest_finish(builder.loads(), &speeds, inst.time(j));
+            builder.assign(j, mach);
+        }
+        let schedule = builder.build()?;
+        drop(assign_span);
+        let stats = SolveStats {
+            wall: start.elapsed(),
+            ..SolveStats::default()
+        };
+        Ok(SolveReport::heuristic(schedule, inst, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_core::{lower_bound, Instance, Scheduler};
+
+    #[test]
+    fn earliest_finish_prefers_fast_machine() {
+        // loads (0, 0), speeds (1, 3): job of 6 finishes at 6 vs 2.
+        assert_eq!(earliest_finish(&[0, 0], &[1, 3], 6), 1);
+        // Ties break to the lowest index: speeds (2, 2), equal loads.
+        assert_eq!(earliest_finish(&[4, 4], &[2, 2], 5), 0);
+    }
+
+    #[test]
+    fn matches_lpt_on_identical_machines() {
+        let inst = Instance::new(vec![9, 7, 6, 5, 4, 3, 2, 1], 3).unwrap();
+        let q = SpeedLpt.schedule(&inst).unwrap();
+        let p = crate::Lpt.schedule(&inst).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn long_jobs_go_to_the_fast_machine() {
+        // One 4x machine and one 1x machine. LPT-Q should pile the long work
+        // on the fast machine: completion max(⌈18/4⌉, 2) = 5 beats any split
+        // that burdens the slow machine with a long job.
+        let inst = Instance::with_speeds(vec![10, 8, 2], vec![4, 1]).unwrap();
+        let s = SpeedLpt.schedule(&inst).unwrap();
+        assert_eq!(s.machine_of(0), 0);
+        assert_eq!(s.machine_of(1), 0);
+        assert!(s.makespan(&inst) <= 5);
+    }
+
+    #[test]
+    fn respects_double_lower_bound() {
+        let inst =
+            Instance::with_speeds(vec![17, 13, 11, 9, 8, 7, 5, 4, 2], vec![3, 2, 1]).unwrap();
+        let ms = SpeedLpt.makespan(&inst).unwrap();
+        let lb = lower_bound(&inst);
+        assert!(ms <= 2 * lb, "LPT-Q {ms} vs lower bound {lb}");
+    }
+
+    #[test]
+    fn validates_and_covers_all_jobs() {
+        let inst = Instance::with_speeds(vec![5, 3, 8, 2, 7, 1], vec![2, 1, 1]).unwrap();
+        let s = SpeedLpt.schedule(&inst).unwrap();
+        s.validate(&inst).unwrap();
+    }
+}

@@ -20,14 +20,21 @@ common options:
                     U(m,2m-1) U(95,105) or U(lo,hi)
   -m M, -n N        machines / jobs (with --dist)
   --seed S          RNG seed (default 1)
+  --speed-max S     draw machine speeds from U(1,S): a Q||Cmax instance
+  --shuffle         shuffle the arrival order (online experiments)
 
 solve options:
   --algo A          engine registry name: ls | lpt | multifit | ptas | par-ptas |
-                    spec-ptas | fptas | exact | milp (aliases: pptas, spec)
+                    spec-ptas | fptas | exact | milp | ptas-q | lpt-q | ls-online
+                    (aliases: pptas, spec, qptas, speed-lpt, online)
   --eps E           PTAS accuracy (default 0.3)
   --threads T       worker threads for the parallel solvers
   --budget B        search-node budget for exact/milp
   --schedule        also print the full per-machine assignment
+
+compare options:
+  --family F        restrict the comparison to one scenario: p | q | online
+                    (default: q when the instance has speeds, else p)
 
 simulate options:
   --procs LIST      comma-separated processor counts (default 1,2,4,8,16)
@@ -54,6 +61,12 @@ pub enum Source {
         jobs: usize,
         /// RNG seed.
         seed: u64,
+        /// With `Some(s)`, machine speeds come from `U(1,s)` (a `Q||Cmax`
+        /// instance); `None` keeps identical machines.
+        speed_max: Option<u64>,
+        /// Re-order jobs by an independent Fisher–Yates shuffle so the index
+        /// order is a random arrival stream (online experiments).
+        shuffle: bool,
     },
 }
 
@@ -80,7 +93,13 @@ pub enum Command {
         schedule: bool,
     },
     /// `pcmax compare`
-    Compare(Source),
+    Compare {
+        /// Instance source.
+        source: Source,
+        /// Scenario filter (`p` / `q` / `online`); `None` infers from the
+        /// instance.
+        family: Option<String>,
+    },
     /// `pcmax simulate`
     Simulate {
         /// Instance source.
@@ -209,11 +228,25 @@ fn parse_source(flags: &mut Flags<'_>) -> Result<Source, String> {
         .transpose()
         .map_err(|e| format!("bad --seed: {e}"))?
         .unwrap_or(1);
+    let speed_max = flags
+        .value(&["--speed-max"])?
+        .map(|s| s.parse::<u64>())
+        .transpose()
+        .map_err(|e| format!("bad --speed-max: {e}"))?;
+    if speed_max == Some(0) {
+        return Err("--speed-max must be at least 1".into());
+    }
+    let shuffle = flags.flag("--shuffle");
+    if shuffle && speed_max.is_some() {
+        return Err("--shuffle and --speed-max are mutually exclusive".into());
+    }
     Ok(Source::Generated {
         dist,
         machines,
         jobs,
         seed,
+        speed_max,
+        shuffle,
     })
 }
 
@@ -269,7 +302,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let parsed = match cmd.as_str() {
         "generate" => Command::Generate(parse_source(&mut flags)?),
         "bounds" => Command::Bounds(parse_source(&mut flags)?),
-        "compare" => Command::Compare(parse_source(&mut flags)?),
+        "compare" => {
+            let source = parse_source(&mut flags)?;
+            let family = flags.value(&["--family"])?;
+            Command::Compare { source, family }
+        }
         "solve" => {
             let source = parse_source(&mut flags)?;
             let algo = flags.value(&["--algo"])?.unwrap_or_else(|| "pptas".into());
@@ -339,9 +376,52 @@ mod tests {
                 dist: Distribution::U1To100,
                 machines: 10,
                 jobs: 50,
-                seed: 7
+                seed: 7,
+                speed_max: None,
+                shuffle: false,
             })
         );
+    }
+
+    #[test]
+    fn parses_uniform_and_online_sources() {
+        let cmd = parse(&argv("generate --dist U(1,100) -m 4 -n 20 --speed-max 5")).unwrap();
+        match cmd {
+            Command::Generate(Source::Generated {
+                speed_max, shuffle, ..
+            }) => {
+                assert_eq!(speed_max, Some(5));
+                assert!(!shuffle);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("generate --dist U(1,100) -m 4 -n 20 --shuffle")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate(Source::Generated { shuffle: true, .. })
+        ));
+        assert!(
+            parse(&argv(
+                "generate --dist U(1,10) -m 2 -n 4 --speed-max 3 --shuffle"
+            ))
+            .is_err(),
+            "speeds and shuffling are mutually exclusive"
+        );
+        assert!(parse(&argv("generate --dist U(1,10) -m 2 -n 4 --speed-max 0")).is_err());
+    }
+
+    #[test]
+    fn parses_compare_family_filter() {
+        let cmd = parse(&argv("compare -i inst.json --family q")).unwrap();
+        match cmd {
+            Command::Compare { source, family } => {
+                assert_eq!(source, Source::File("inst.json".into()));
+                assert_eq!(family.as_deref(), Some("q"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("compare -i inst.json")).unwrap();
+        assert!(matches!(cmd, Command::Compare { family: None, .. }));
     }
 
     #[test]

@@ -7,7 +7,9 @@ use crate::io::load;
 use pcmax_core::{
     json, ApproxRatio, Budget, Instance, MakespanBounds, Schedule, SolveRequest, Solver,
 };
-use pcmax_engine::{build as registry_build, comparators, lookup, SolverKind, SolverParams};
+use pcmax_engine::{
+    build as registry_build, comparators_for, lookup, ScenarioKind, SolverKind, SolverParams,
+};
 use pcmax_simcore::{simulate_ptas, SimParams};
 use std::time::Instant;
 
@@ -50,9 +52,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Compare(source) => {
+        Command::Compare { source, family } => {
             let inst = load(&source)?;
-            compare(&inst)
+            compare(&inst, family.as_deref())
         }
         Command::Simulate { source, procs, eps } => {
             let inst = load(&source)?;
@@ -184,32 +186,42 @@ fn solve_one(
     Ok((report.schedule, label))
 }
 
-fn compare(inst: &Instance) -> Result<(), String> {
-    let exact = registry_build("exact", &SolverParams::default())
-        .and_then(|s| s.solve(&SolveRequest::new(inst)))
-        .map_err(|e| e.to_string())?;
-    let denom = if exact.proven_optimal {
-        exact.makespan
-    } else {
-        exact.certified_target.unwrap_or(exact.makespan)
-    };
-    println!(
-        "n={} m={} | optimum {}{}",
-        inst.jobs(),
-        inst.machines(),
-        denom,
-        if exact.proven_optimal {
-            ""
-        } else {
-            " (lower bound)"
+/// Maps a `--family` value to the scenario it names.
+fn parse_family(family: &str) -> Result<ScenarioKind, String> {
+    match family.to_ascii_lowercase().as_str() {
+        "p" | "identical" | "pcmax" => Ok(ScenarioKind::Identical),
+        "q" | "uniform" | "qcmax" => Ok(ScenarioKind::Uniform),
+        "online" | "ls-online" => Ok(ScenarioKind::Online),
+        other => Err(format!("unknown --family {other} (known: p, q, online)")),
+    }
+}
+
+fn compare(inst: &Instance, family: Option<&str>) -> Result<(), String> {
+    let scenario = match family {
+        Some(f) => parse_family(f)?,
+        // Speeds on the instance imply the uniform comparison set; otherwise
+        // the paper's identical-machine harness.
+        None => {
+            if inst.is_uniform() {
+                ScenarioKind::Uniform
+            } else {
+                ScenarioKind::Identical
+            }
         }
-    );
-    println!(
-        "{:<22}{:>10}{:>9}{:>12}{:>8}{:>7}",
-        "algorithm", "makespan", "ratio", "time", "busy%", "parks"
-    );
+    };
     let params = SolverParams::default();
-    for spec in comparators() {
+
+    struct Row {
+        name: String,
+        scenario: &'static str,
+        makespan: u64,
+        certified: Option<u64>,
+        dt: std::time::Duration,
+        busy_pct: String,
+        parks: String,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in comparators_for(scenario) {
         let solver = spec.build(&params).map_err(|e| e.to_string())?;
         let req = SolveRequest::new(inst);
         let t0 = Instant::now();
@@ -223,8 +235,8 @@ fn compare(inst: &Instance) -> Result<(), String> {
             SolverKind::DualApprox => format!("{}(eps={})", spec.name, params.epsilon),
             _ => spec.name.to_string(),
         };
-        let rows = pcmax_trace::summary::utilization(&timeline);
-        let (busy, extent) = rows.iter().fold((0u64, 0u64), |(b, e), r| {
+        let util = pcmax_trace::summary::utilization(&timeline);
+        let (busy, extent) = util.iter().fold((0u64, 0u64), |(b, e), r| {
             (b + r.busy_nanos, e + r.extent_nanos)
         });
         let busy_pct = if extent > 0 {
@@ -238,11 +250,69 @@ fn compare(inst: &Instance) -> Result<(), String> {
         } else {
             "-".to_string()
         };
+        rows.push(Row {
+            name,
+            scenario: spec.scenario.label(),
+            makespan: report.makespan,
+            certified: report.certified_target,
+            dt,
+            busy_pct,
+            parks,
+        });
+    }
+
+    // The ratio denominator: the identical-machine scenarios have an exact
+    // solver; for Q||Cmax no exact solver is registered, so the best
+    // certified target among the dual approximations (a proven lower bound
+    // on OPT) stands in.
+    let (denom, denom_label) = match scenario {
+        ScenarioKind::Uniform => {
+            let certified = rows.iter().filter_map(|r| r.certified).max();
+            match certified {
+                Some(t) => (t, " (certified lower bound)"),
+                None => (
+                    MakespanBounds::of(inst).lower.max(1),
+                    " (trivial lower bound)",
+                ),
+            }
+        }
+        _ => {
+            let exact = registry_build("exact", &SolverParams::default())
+                .and_then(|s| s.solve(&SolveRequest::new(inst)))
+                .map_err(|e| e.to_string())?;
+            if exact.proven_optimal {
+                (exact.makespan, "")
+            } else {
+                (
+                    exact.certified_target.unwrap_or(exact.makespan),
+                    " (lower bound)",
+                )
+            }
+        }
+    };
+
+    println!(
+        "n={} m={} [{}] | denominator {}{}",
+        inst.jobs(),
+        inst.machines(),
+        scenario.label(),
+        denom,
+        denom_label
+    );
+    println!(
+        "{:<22}{:<10}{:>10}{:>9}{:>12}{:>8}{:>7}",
+        "algorithm", "scenario", "makespan", "ratio", "time", "busy%", "parks"
+    );
+    for r in rows {
         println!(
-            "{name:<22}{:>10}{:>9.3}{:>12.2?}{busy_pct:>8}{parks:>7}",
-            report.makespan,
-            ApproxRatio::new(report.makespan, denom).value(),
-            dt
+            "{:<22}{:<10}{:>10}{:>9.3}{:>12.2?}{:>8}{:>7}",
+            r.name,
+            r.scenario,
+            r.makespan,
+            ApproxRatio::new(r.makespan, denom).value(),
+            r.dt,
+            r.busy_pct,
+            r.parks
         );
     }
     Ok(())
@@ -272,6 +342,19 @@ mod tests {
             machines: 2,
             jobs: 8,
             seed: 3,
+            speed_max: None,
+            shuffle: false,
+        }
+    }
+
+    fn tiny_uniform() -> Source {
+        Source::Generated {
+            dist: Distribution::U1To10,
+            machines: 2,
+            jobs: 8,
+            seed: 3,
+            speed_max: Some(3),
+            shuffle: false,
         }
     }
 
@@ -317,7 +400,11 @@ mod tests {
     fn run_smoke_tests_every_command() {
         let _serial = trace_serial();
         run(Command::Bounds(tiny())).unwrap();
-        run(Command::Compare(tiny())).unwrap();
+        run(Command::Compare {
+            source: tiny(),
+            family: None,
+        })
+        .unwrap();
         run(Command::Simulate {
             source: tiny(),
             procs: vec![1, 2],
@@ -345,6 +432,54 @@ mod tests {
     }
 
     #[test]
+    fn compare_covers_every_scenario_family() {
+        let _serial = trace_serial();
+        // Uniform instances pick the Q comparators by inference and via the
+        // explicit filter; the online family runs on a shuffled stream.
+        run(Command::Compare {
+            source: tiny_uniform(),
+            family: None,
+        })
+        .unwrap();
+        run(Command::Compare {
+            source: tiny_uniform(),
+            family: Some("q".into()),
+        })
+        .unwrap();
+        run(Command::Compare {
+            source: Source::Generated {
+                dist: Distribution::U1To10,
+                machines: 2,
+                jobs: 8,
+                seed: 3,
+                speed_max: None,
+                shuffle: true,
+            },
+            family: Some("online".into()),
+        })
+        .unwrap();
+        let err = run(Command::Compare {
+            source: tiny(),
+            family: Some("galactic".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown --family"), "got {err}");
+    }
+
+    #[test]
+    fn solve_handles_the_new_scenario_algorithms() {
+        let inst = load(&tiny_uniform()).unwrap();
+        let (s, label) = solve_one(&inst, "ptas-q", 0.3, None, None).unwrap();
+        s.validate(&inst).unwrap();
+        assert!(label.contains("certified target"), "got {label}");
+        let (s, label) = solve_one(&inst, "lpt-q", 0.3, None, None).unwrap();
+        s.validate(&inst).unwrap();
+        assert!(label.starts_with("lpt-q"), "got {label}");
+        let (s, _) = solve_one(&inst, "ls-online", 0.3, None, None).unwrap();
+        s.validate(&inst).unwrap();
+    }
+
+    #[test]
     fn trace_exports_chrome_json_that_revalidates() {
         let _serial = trace_serial();
         let inst = load(&Source::Generated {
@@ -352,6 +487,8 @@ mod tests {
             machines: 4,
             jobs: 24,
             seed: 11,
+            speed_max: None,
+            shuffle: false,
         })
         .unwrap();
         let path = std::env::temp_dir().join("pcmax_cli_trace_test.json");

@@ -2,6 +2,8 @@
 
 use crate::args::Source;
 use pcmax_core::{json, Instance};
+use pcmax_workloads::online::shuffled_arrivals;
+use pcmax_workloads::uniform::{generate_uniform, SpeedFamily};
 use pcmax_workloads::{generate, Family};
 use std::io::Read;
 
@@ -29,7 +31,16 @@ pub fn load(source: &Source) -> Result<Instance, String> {
             machines,
             jobs,
             seed,
-        } => Ok(generate(Family::new(*machines, *jobs, *dist), *seed)),
+            speed_max,
+            shuffle,
+        } => {
+            let family = Family::new(*machines, *jobs, *dist);
+            Ok(match speed_max {
+                Some(s) => generate_uniform(SpeedFamily::new(family, *s), *seed),
+                None if *shuffle => shuffled_arrivals(family, *seed),
+                None => generate(family, *seed),
+            })
+        }
     }
 }
 
@@ -45,10 +56,31 @@ mod tests {
             machines: 3,
             jobs: 9,
             seed: 5,
+            speed_max: None,
+            shuffle: false,
         };
         let inst = load(&src).unwrap();
         assert_eq!(inst.jobs(), 9);
         assert_eq!(inst.machines(), 3);
+        assert!(!inst.is_uniform());
+    }
+
+    #[test]
+    fn speed_max_and_shuffle_change_the_generated_instance() {
+        let src = |speed_max, shuffle| Source::Generated {
+            dist: Distribution::U1To100,
+            machines: 3,
+            jobs: 12,
+            seed: 5,
+            speed_max,
+            shuffle,
+        };
+        let plain = load(&src(None, false)).unwrap();
+        let uniform = load(&src(Some(4), false)).unwrap();
+        assert!(uniform.is_uniform());
+        assert_eq!(uniform.times(), plain.times(), "speeds never perturb sizes");
+        let shuffled = load(&src(None, true)).unwrap();
+        assert_ne!(shuffled.times(), plain.times(), "arrival order differs");
     }
 
     #[test]

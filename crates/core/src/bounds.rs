@@ -32,13 +32,34 @@ impl MakespanBounds {
 }
 
 /// Equation (1): `LB = max(⌈(1/m) Σ tⱼ⌉, max tⱼ)`.
+///
+/// On uniform machines (`Q||Cmax`) the area bound divides by the total
+/// processing rate `Σ sᵢ` and the longest job runs on the fastest machine:
+/// `LB = max(⌈Σ tⱼ / Σ sᵢ⌉, ⌈max tⱼ / s_max⌉)`. With all speeds 1 the two
+/// formulas coincide exactly.
 pub fn lower_bound(inst: &Instance) -> Time {
-    inst.mean_load_ceil().max(inst.max_time())
+    if inst.is_uniform() {
+        let area = inst.total_time().div_ceil(inst.total_speed());
+        let longest = inst.max_time().div_ceil(inst.max_speed());
+        area.max(longest)
+    } else {
+        inst.mean_load_ceil().max(inst.max_time())
+    }
 }
 
 /// Equation (2): `UB = ⌈(1/m) Σ tⱼ⌉ + max tⱼ`.
+///
+/// On uniform machines Graham's argument needs speed-aware terms; the crude
+/// but always-valid bound used here is "run everything on the fastest
+/// machine": `UB = ⌈Σ tⱼ / s_max⌉` (never below the lower bound).
 pub fn upper_bound(inst: &Instance) -> Time {
-    inst.mean_load_ceil() + inst.max_time()
+    if inst.is_uniform() {
+        inst.total_time()
+            .div_ceil(inst.max_speed())
+            .max(lower_bound(inst))
+    } else {
+        inst.mean_load_ceil() + inst.max_time()
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +103,16 @@ mod tests {
             let b = MakespanBounds::of(&inst);
             assert!(b.lower <= b.upper);
         }
+    }
+
+    #[test]
+    fn uniform_bounds_divide_by_speed() {
+        // Σt = 12, speeds (3, 1): area = ⌈12/4⌉ = 3, longest = ⌈5/3⌉ = 2.
+        let inst = Instance::with_speeds(vec![3, 4, 5], vec![3, 1]).unwrap();
+        let b = MakespanBounds::of(&inst);
+        assert_eq!(b.lower, 3);
+        assert_eq!(b.upper, 4); // everything on the 3x machine: ⌈12/3⌉
+        assert!(b.lower <= b.upper);
     }
 
     #[test]

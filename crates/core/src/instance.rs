@@ -1,13 +1,17 @@
-//! Problem instances of `P||Cmax`.
+//! Problem instances of `P||Cmax` and its uniform-machine sibling `Q||Cmax`.
 
 use crate::json::{self, FromJson, ToJson, Value};
 use crate::{Error, Result, Time};
 
-/// An immutable, validated instance of `P||Cmax`.
+/// An immutable, validated instance of `P||Cmax` (or, when machine speeds
+/// are attached, `Q||Cmax`).
 ///
 /// An instance is a multiset of positive integer processing times together
 /// with a machine count `m ≥ 1`. Jobs are identified by their index in
-/// [`times`](Instance::times).
+/// [`times`](Instance::times). Machines are identical unless the instance
+/// was built with [`with_speeds`](Instance::with_speeds), in which case
+/// machine `i` processes work at integer rate `speeds[i] ≥ 1` and a load of
+/// `w` completes at time `⌈w / speeds[i]⌉`.
 ///
 /// ```
 /// use pcmax_core::Instance;
@@ -17,11 +21,16 @@ use crate::{Error, Result, Time};
 /// assert_eq!(inst.machines(), 2);
 /// assert_eq!(inst.total_time(), 17);
 /// assert_eq!(inst.max_time(), 7);
+/// assert!(!inst.is_uniform());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Instance {
     times: Vec<Time>,
     machines: usize,
+    /// Per-machine speeds for `Q||Cmax`; empty means all speeds are 1
+    /// (identical machines), which keeps equality/hashing of pre-existing
+    /// `P||Cmax` instances unchanged.
+    speeds: Vec<Time>,
 }
 
 impl Instance {
@@ -34,7 +43,70 @@ impl Instance {
         if let Some(job) = times.iter().position(|&t| t == 0) {
             return Err(Error::NonPositiveTime { job });
         }
-        Ok(Self { times, machines })
+        Ok(Self {
+            times,
+            machines,
+            speeds: Vec::new(),
+        })
+    }
+
+    /// Builds a uniform-machine (`Q||Cmax`) instance: one positive integer
+    /// speed per machine. A speed vector of all ones is normalized away so
+    /// the instance compares equal to its identical-machine twin.
+    pub fn with_speeds(times: Vec<Time>, speeds: Vec<Time>) -> Result<Self> {
+        let machines = speeds.len();
+        let mut inst = Self::new(times, machines)?;
+        if let Some(machine) = speeds.iter().position(|&s| s == 0) {
+            return Err(Error::BadModel(format!(
+                "machine {machine} has zero speed; speeds must be >= 1"
+            )));
+        }
+        if speeds.iter().any(|&s| s != 1) {
+            inst.speeds = speeds;
+        }
+        Ok(inst)
+    }
+
+    /// Whether this is a `Q||Cmax` instance (some machine speed differs
+    /// from 1).
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        !self.speeds.is_empty()
+    }
+
+    /// Speed of machine `i` (1 for identical machines).
+    #[inline]
+    pub fn speed(&self, machine: usize) -> Time {
+        debug_assert!(machine < self.machines);
+        self.speeds.get(machine).copied().unwrap_or(1)
+    }
+
+    /// All machine speeds, materialized to length `m` (all ones when
+    /// identical).
+    pub fn speeds(&self) -> Vec<Time> {
+        if self.speeds.is_empty() {
+            vec![1; self.machines]
+        } else {
+            self.speeds.clone()
+        }
+    }
+
+    /// Total processing rate `Σ sᵢ` (`m` for identical machines).
+    pub fn total_speed(&self) -> Time {
+        if self.speeds.is_empty() {
+            self.machines as Time
+        } else {
+            self.speeds.iter().sum()
+        }
+    }
+
+    /// Fastest machine speed (1 for identical machines).
+    pub fn max_speed(&self) -> Time {
+        if self.speeds.is_empty() {
+            1
+        } else {
+            self.speeds.iter().copied().max().unwrap_or(1)
+        }
     }
 
     /// Number of jobs `n`.
@@ -93,16 +165,33 @@ impl Instance {
 
 impl ToJson for Instance {
     fn to_json(&self) -> Value {
-        json::object(vec![
+        let mut members = vec![
             ("times", json::u64_array(self.times.iter().copied())),
             ("machines", Value::UInt(self.machines as u64)),
-        ])
+        ];
+        // Emitted only for uniform instances, so identical-machine files
+        // keep the exact pre-speeds wire format.
+        if self.is_uniform() {
+            members.push(("speeds", json::u64_array(self.speeds.iter().copied())));
+        }
+        json::object(members)
     }
 }
 
 impl FromJson for Instance {
     fn from_json(v: &Value) -> Result<Self> {
         let times = json::field_u64_array(v, "times")?;
+        if v.get("speeds").is_some() {
+            let speeds = json::field_u64_array(v, "speeds")?;
+            let machines = json::field_u64(v, "machines")? as usize;
+            if machines != speeds.len() {
+                return Err(Error::BadModel(format!(
+                    "{} speeds for {machines} machines",
+                    speeds.len()
+                )));
+            }
+            return Self::with_speeds(times, speeds);
+        }
         let machines = json::field_u64(v, "machines")? as usize;
         Self::new(times, machines)
     }
@@ -165,6 +254,41 @@ mod tests {
     fn json_validates_on_load() {
         assert!(crate::json::from_str::<Instance>(r#"{"times":[1,0],"machines":2}"#).is_err());
         assert!(crate::json::from_str::<Instance>(r#"{"times":[1],"machines":0}"#).is_err());
+    }
+
+    #[test]
+    fn uniform_speeds_roundtrip_and_aggregate() {
+        let inst = Instance::with_speeds(vec![6, 4, 2], vec![3, 1]).unwrap();
+        assert!(inst.is_uniform());
+        assert_eq!(inst.machines(), 2);
+        assert_eq!((inst.speed(0), inst.speed(1)), (3, 1));
+        assert_eq!(inst.total_speed(), 4);
+        assert_eq!(inst.max_speed(), 3);
+        let json = crate::json::to_string(&inst);
+        assert!(json.contains("speeds"));
+        let back: Instance = crate::json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn unit_speeds_normalize_to_identical() {
+        let a = Instance::with_speeds(vec![5, 3], vec![1, 1, 1]).unwrap();
+        let b = Instance::new(vec![5, 3], 3).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_uniform());
+        assert_eq!(a.total_speed(), 3);
+    }
+
+    #[test]
+    fn zero_speed_is_rejected() {
+        assert!(Instance::with_speeds(vec![5], vec![2, 0]).is_err());
+        assert!(Instance::with_speeds(vec![5], vec![]).is_err());
+    }
+
+    #[test]
+    fn speeds_json_rejects_length_mismatch() {
+        let err = crate::json::from_str::<Instance>(r#"{"times":[1],"machines":3,"speeds":[2,1]}"#);
+        assert!(err.is_err());
     }
 
     #[test]

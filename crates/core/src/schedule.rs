@@ -73,9 +73,21 @@ impl Schedule {
         loads
     }
 
-    /// The makespan `C_max = max_i load_i` (0 for an empty schedule).
+    /// Completion time of every machine: `⌈load_i / s_i⌉` (equal to the raw
+    /// load on identical machines, where every `s_i = 1`).
+    pub fn completions(&self, inst: &Instance) -> Vec<Time> {
+        self.loads(inst)
+            .into_iter()
+            .enumerate()
+            .map(|(i, load)| load.div_ceil(inst.speed(i).max(1)))
+            .collect()
+    }
+
+    /// The makespan `C_max = max_i ⌈load_i / s_i⌉` (0 for an empty schedule).
+    /// On identical machines this is the maximum load, exactly as before
+    /// speeds existed.
     pub fn makespan(&self, inst: &Instance) -> Time {
-        self.loads(inst).into_iter().max().unwrap_or(0)
+        self.completions(inst).into_iter().max().unwrap_or(0)
     }
 
     /// Job ids grouped per machine, in increasing job-id order.
@@ -229,6 +241,16 @@ mod tests {
         let s = Schedule::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
         assert_eq!(s.loads(&inst()), vec![5, 9]);
         assert_eq!(s.makespan(&inst()), 9);
+    }
+
+    #[test]
+    fn makespan_divides_by_machine_speed() {
+        // Machine 0 runs 3x: loads (5, 4) -> completions (⌈5/3⌉, 4) = (2, 4).
+        let inst = Instance::with_speeds(vec![3, 5, 2, 4], vec![3, 1]).unwrap();
+        let s = Schedule::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
+        assert_eq!(s.loads(&inst), vec![5, 9]);
+        assert_eq!(s.completions(&inst), vec![2, 9]);
+        assert_eq!(s.makespan(&inst), 9);
     }
 
     #[test]

@@ -18,14 +18,23 @@
 //! | `exact` (`ip`, `bb`) | combinatorial branch-and-bound     | optimal (anytime)  |
 //! | `milp` (`ip-milp`)   | assignment-IP via from-scratch MILP | optimal           |
 //! | `fptas` (`sahni`)    | Sahni's fixed-`m` FPTAS             | `1 + ε`           |
+//!
+//! Beyond `P||Cmax`, the chassis scenarios register here too (each row's
+//! [`ScenarioKind`] says which model it targets):
+//!
+//! | name        | scenario   | algorithm                              | guarantee |
+//! |-------------|------------|----------------------------------------|-----------|
+//! | `ptas-q`    | `Q||Cmax`  | chassis dual approximation, speed caps | `T* ≤ OPT` certified |
+//! | `lpt-q`     | `Q||Cmax`  | LPT on the earliest-finishing machine  | `2`       |
+//! | `ls-online` | online     | greedy list scheduling over arrivals   | `2 − 1/m` |
 
-use pcmax_baselines::{Lpt, Ls, Multifit};
+use pcmax_baselines::{Lpt, Ls, LsOnline, Multifit, SpeedLpt};
 use pcmax_core::{Error, Result, SolveReport, SolveRequest, Solver};
 use pcmax_exact::BranchAndBound;
 use pcmax_fptas::FixedMachinesFptas;
 use pcmax_milp::AssignmentIp;
-use pcmax_parallel::{ParallelPtas, SpeculativePtas};
-use pcmax_ptas::Ptas;
+use pcmax_parallel::{ParallelDp, ParallelPtas, SpeculativePtas};
+use pcmax_ptas::{Ptas, QPtas};
 
 /// Construction-time parameters shared by every registry constructor.
 /// Fields irrelevant to a solver are ignored (ε for LS, threads for exact…).
@@ -77,6 +86,31 @@ pub enum SolverKind {
     Exact,
 }
 
+/// The scheduling model a registered solver targets. Every solver accepts
+/// identical-machine instances (speeds default to 1); this kind records what
+/// the algorithm is *designed* for, so the CLI can group comparison output
+/// and filter solver sets per instance family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Identical parallel machines (`P||Cmax`) — the paper's model.
+    Identical,
+    /// Uniform machines (`Q||Cmax`): per-machine integer speeds.
+    Uniform,
+    /// Online list scheduling: jobs committed in arrival (index) order.
+    Online,
+}
+
+impl ScenarioKind {
+    /// Human-readable scenario label for tables and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::Identical => "P||Cmax",
+            ScenarioKind::Uniform => "Q||Cmax",
+            ScenarioKind::Online => "online",
+        }
+    }
+}
+
 /// The worst-case guarantee a registered solver carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Guarantee {
@@ -116,6 +150,8 @@ pub struct SolverSpec {
     pub summary: &'static str,
     /// Broad algorithm class.
     pub kind: SolverKind,
+    /// Scheduling model the solver targets.
+    pub scenario: ScenarioKind,
     /// Worst-case guarantee.
     pub guarantee: Guarantee,
     build: fn(&SolverParams) -> Result<Box<dyn Solver>>,
@@ -148,6 +184,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "ls",
         kind: SolverKind::Heuristic,
+        scenario: ScenarioKind::Identical,
         aliases: &[],
         summary: "Graham list scheduling (2 - 1/m approximation)",
         guarantee: Guarantee::Ratio(2.0),
@@ -156,6 +193,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "lpt",
         kind: SolverKind::Heuristic,
+        scenario: ScenarioKind::Identical,
         aliases: &[],
         summary: "longest processing time first (4/3 - 1/(3m))",
         guarantee: Guarantee::Ratio(4.0 / 3.0),
@@ -164,6 +202,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "multifit",
         kind: SolverKind::Heuristic,
+        scenario: ScenarioKind::Identical,
         aliases: &[],
         summary: "MULTIFIT dual bin packing (1.22 + 2^-7)",
         guarantee: Guarantee::Ratio(1.23),
@@ -172,6 +211,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "ptas",
         kind: SolverKind::DualApprox,
+        scenario: ScenarioKind::Identical,
         aliases: &[],
         summary: "sequential Hochbaum-Shmoys PTAS (1 + eps)",
         guarantee: Guarantee::Epsilon,
@@ -180,6 +220,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "par-ptas",
         kind: SolverKind::DualApprox,
+        scenario: ScenarioKind::Identical,
         aliases: &["pptas"],
         summary: "wavefront-parallel PTAS, Algorithm 3 of the paper (1 + eps)",
         guarantee: Guarantee::Epsilon,
@@ -193,6 +234,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "spec-ptas",
         kind: SolverKind::DualApprox,
+        scenario: ScenarioKind::Identical,
         aliases: &["spec"],
         summary: "speculative w-ary bisection PTAS (1 + eps)",
         guarantee: Guarantee::Epsilon,
@@ -201,6 +243,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "exact",
         kind: SolverKind::Exact,
+        scenario: ScenarioKind::Identical,
         aliases: &["ip", "bb"],
         summary: "combinatorial branch-and-bound, anytime (optimal)",
         guarantee: Guarantee::Optimal,
@@ -214,6 +257,7 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "milp",
         kind: SolverKind::Exact,
+        scenario: ScenarioKind::Identical,
         aliases: &["ip-milp"],
         summary: "assignment integer program via from-scratch MILP (optimal)",
         guarantee: Guarantee::Optimal,
@@ -222,10 +266,44 @@ static REGISTRY: &[SolverSpec] = &[
     SolverSpec {
         name: "fptas",
         kind: SolverKind::FixedMachines,
+        scenario: ScenarioKind::Identical,
         aliases: &["sahni"],
         summary: "Sahni's fixed-m FPTAS (1 + eps; eps = 0 is exact)",
         guarantee: Guarantee::Epsilon,
         build: |p| Ok(Box::new(FixedMachinesFptas::new(p.epsilon)?)),
+    },
+    SolverSpec {
+        name: "ptas-q",
+        kind: SolverKind::DualApprox,
+        scenario: ScenarioKind::Uniform,
+        aliases: &["qptas"],
+        summary: "chassis dual approximation for Q||Cmax (certified target)",
+        guarantee: Guarantee::Epsilon,
+        build: |p| match p.threads {
+            Some(t) => Ok(Box::new(QPtas::with_engine(
+                p.epsilon,
+                ParallelDp::with_threads(t),
+            )?)),
+            None => Ok(Box::new(QPtas::new(p.epsilon)?)),
+        },
+    },
+    SolverSpec {
+        name: "lpt-q",
+        kind: SolverKind::Heuristic,
+        scenario: ScenarioKind::Uniform,
+        aliases: &["speed-lpt"],
+        summary: "LPT on the earliest-finishing uniform machine (2-approx)",
+        guarantee: Guarantee::Ratio(2.0),
+        build: |_| Ok(Box::new(SpeedLpt)),
+    },
+    SolverSpec {
+        name: "ls-online",
+        kind: SolverKind::Heuristic,
+        scenario: ScenarioKind::Online,
+        aliases: &["online"],
+        summary: "online greedy list scheduling over the arrival order (2 - 1/m)",
+        guarantee: Guarantee::Ratio(2.0),
+        build: |_| Ok(Box::new(LsOnline)),
     },
 ];
 
@@ -285,9 +363,16 @@ pub fn solve_traced(
 /// (heuristics and the PTAS family; the fixed-`m` FPTAS and the exact
 /// solvers are excluded — the latter provide the denominator).
 pub fn comparators() -> impl Iterator<Item = &'static SolverSpec> {
-    REGISTRY
-        .iter()
-        .filter(|s| matches!(s.kind, SolverKind::Heuristic | SolverKind::DualApprox))
+    comparators_for(ScenarioKind::Identical)
+}
+
+/// The comparison set for an arbitrary scenario: the polynomial
+/// approximation solvers (heuristics and dual approximations) registered
+/// for that scheduling model.
+pub fn comparators_for(scenario: ScenarioKind) -> impl Iterator<Item = &'static SolverSpec> {
+    REGISTRY.iter().filter(move |s| {
+        s.scenario == scenario && matches!(s.kind, SolverKind::Heuristic | SolverKind::DualApprox)
+    })
 }
 
 #[cfg(test)]
@@ -371,6 +456,53 @@ mod tests {
             !names.contains(&"fptas"),
             "fixed-m FPTAS cannot scale to m=20"
         );
+        assert!(
+            !names.contains(&"ptas-q") && !names.contains(&"ls-online"),
+            "the P||Cmax harness stays scenario-pure"
+        );
+    }
+
+    #[test]
+    fn comparators_partition_by_scenario() {
+        let q: Vec<&str> = comparators_for(ScenarioKind::Uniform)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(q, ["ptas-q", "lpt-q"]);
+        let online: Vec<&str> = comparators_for(ScenarioKind::Online)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(online, ["ls-online"]);
+    }
+
+    #[test]
+    fn scenario_rows_solve_uniform_instances() {
+        let inst = Instance::with_speeds(vec![9, 7, 6, 5, 4, 3, 2, 1], vec![3, 2, 1]).unwrap();
+        for name in ["ptas-q", "lpt-q", "ls-online"] {
+            let solver = build(name, &SolverParams::default()).unwrap();
+            let report = solver.solve(&SolveRequest::new(&inst)).unwrap();
+            report.schedule.validate(&inst).unwrap();
+            assert_eq!(report.makespan, report.schedule.makespan(&inst), "{name}");
+        }
+    }
+
+    #[test]
+    fn ptas_q_threads_param_selects_the_parallel_engine() {
+        let inst = Instance::with_speeds(vec![30, 11, 11, 7, 6, 2], vec![4, 2]).unwrap();
+        let mut params = SolverParams::with_epsilon(0.2);
+        params.threads = Some(3);
+        let parallel = build("ptas-q", &params).unwrap();
+        let serial = build("ptas-q", &SolverParams::with_epsilon(0.2)).unwrap();
+        let p = parallel.solve(&SolveRequest::new(&inst)).unwrap();
+        let s = serial.solve(&SolveRequest::new(&inst)).unwrap();
+        assert_eq!(p.makespan, s.makespan);
+        assert_eq!(p.certified_target, s.certified_target);
+    }
+
+    #[test]
+    fn scenario_labels_are_stable() {
+        assert_eq!(lookup("ptas").unwrap().scenario.label(), "P||Cmax");
+        assert_eq!(lookup("qptas").unwrap().scenario.label(), "Q||Cmax");
+        assert_eq!(lookup("online").unwrap().scenario.label(), "online");
     }
 
     #[test]

@@ -307,9 +307,15 @@ impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        self.guard = None;
+        // Record the release while the real lock is still held (as the wait
+        // path does): `on_lock` yields for the turn, and if the real unlock
+        // came first, a waiter blocked inside `Condvar::wait` could really
+        // re-acquire and log its acquire *before* this release is logged —
+        // the detector would then miss the release→acquire edge and report
+        // a phantom race on whatever the critical section published.
         #[cfg(feature = "audit")]
         audit::on_lock(self.id, false);
+        self.guard = None;
         let _ = self.id;
     }
 }

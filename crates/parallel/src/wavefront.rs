@@ -14,6 +14,7 @@
 
 use crate::{persistent, pool, sync};
 use pcmax_ptas::dp::{finish, fits, DpOutcome, DpProblem, DpSolver};
+use pcmax_ptas::space::{PcmaxSpace, SpaceEngine, StateSpace};
 use pcmax_ptas::table::{decode_into, next_in_level, DpScratch, DpTable, INFEASIBLE};
 use std::cell::UnsafeCell;
 
@@ -94,18 +95,32 @@ impl DpSolver for ParallelDp {
             _ => problem.build_table_in(scratch)?,
         };
         let configs = problem.configs_with_offsets(&table);
+        self.sweep(&mut table, &PcmaxSpace::new(&configs), scratch);
+        finish(problem, table, &configs, scratch)
+    }
+}
+
+impl SpaceEngine for ParallelDp {
+    fn engine_name(&self) -> &'static str {
+        DpSolver::name(self)
+    }
+
+    fn level_major(&self) -> bool {
+        matches!(self.strategy, LevelStrategy::Bucketed)
+    }
+
+    fn sweep<S: StateSpace>(&self, table: &mut DpTable, space: &S, scratch: &mut DpScratch) {
         // Rank 0 is the sole level-0 entry, stored at position 0 under both
         // layouts, so this seed write is layout-agnostic.
         table.values[0] = 0;
         let threads = pool::effective_threads(self.threads);
         match self.strategy {
-            LevelStrategy::Bucketed => bucketed_sweep(&mut table, &configs, threads, scratch),
-            LevelStrategy::Faithful => faithful_sweep(&mut table, &configs, threads, scratch),
+            LevelStrategy::Bucketed => bucketed_sweep_space(table, space, threads, scratch),
+            LevelStrategy::Faithful => faithful_sweep_space(table, space, threads, scratch),
             LevelStrategy::SpawnPerLevel => {
-                spawn_per_level_sweep(&mut table, &configs, threads, scratch)
+                spawn_per_level_sweep_space(table, space, threads, scratch)
             }
         }
-        finish(problem, table, &configs, scratch)
     }
 }
 
@@ -171,10 +186,25 @@ pub fn bucketed_sweep(
     threads: usize,
     scratch: &mut DpScratch,
 ) {
+    bucketed_sweep_space(table, &PcmaxSpace::new(configs), threads, scratch)
+}
+
+/// [`bucketed_sweep`] generalized over the [`StateSpace`] seam: the same
+/// zero-allocation persistent-pool executor, with the space's `step_allowed`
+/// filter applied between the barrier-sealed read and the min-reduce. On
+/// [`PcmaxSpace`] the filter is the always-true default and the sweep
+/// monomorphizes back to the identical-machine kernel.
+pub fn bucketed_sweep_space<S: StateSpace>(
+    table: &mut DpTable,
+    space: &S,
+    threads: usize,
+    scratch: &mut DpScratch,
+) {
     let Some(layout) = table.layout.as_ref() else {
-        spawn_per_level_sweep(table, configs, threads, scratch);
+        spawn_per_level_sweep_space(table, space, threads, scratch);
         return;
     };
+    let transitions = space.transitions();
     let levels = table.levels();
     let n = threads.max(1);
     let states = scratch.take_digit_bufs(n);
@@ -210,7 +240,7 @@ pub fn bucketed_sweep(
                 "incremental in-level decode diverged from the layout"
             );
             let mut best = INFEASIBLE;
-            for (c, offset) in configs {
+            for (t_idx, (c, offset)) in transitions.iter().enumerate() {
                 if fits(c, digits) {
                     let src = perm[rank - offset] as usize;
                     debug_assert!(
@@ -220,7 +250,10 @@ pub fn bucketed_sweep(
                     sync::trace_read(src);
                     // SAFETY: `src` is below this level's slice, hence on a
                     // level sealed by the pool barrier — no concurrent write.
-                    best = best.min(unsafe { cells[src].get() });
+                    let below = unsafe { cells[src].get() };
+                    if space.step_allowed(t_idx, below) {
+                        best = best.min(below);
+                    }
                 }
             }
             sync::trace_write(p);
@@ -251,9 +284,9 @@ pub fn bucketed_sweep(
 /// level barrier. The `debug_assert!` states it; the audit race detector
 /// verifies it dynamically against the recorded schedule.
 #[inline]
-fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32]) -> u16 {
+fn value_of<S: StateSpace>(table: &DpTable, space: &S, idx: usize, v: &[u32]) -> u16 {
     let mut best = INFEASIBLE;
-    for (c, offset) in configs {
+    for (t_idx, (c, offset)) in space.transitions().iter().enumerate() {
         if fits(c, v) {
             debug_assert!(
                 *offset > 0 && table.level_of(idx - offset) < table.level_of(idx),
@@ -261,7 +294,10 @@ fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32
                 idx - offset
             );
             sync::trace_read(idx - offset);
-            best = best.min(table.values[idx - offset]);
+            let below = table.values[idx - offset];
+            if space.step_allowed(t_idx, below) {
+                best = best.min(below);
+            }
         }
     }
     best.saturating_add(1)
@@ -274,6 +310,16 @@ fn value_of(table: &DpTable, configs: &[(Vec<u32>, usize)], idx: usize, v: &[u32
 pub fn spawn_per_level_sweep(
     table: &mut DpTable,
     configs: &[(Vec<u32>, usize)],
+    threads: usize,
+    scratch: &mut DpScratch,
+) {
+    spawn_per_level_sweep_space(table, &PcmaxSpace::new(configs), threads, scratch)
+}
+
+/// [`spawn_per_level_sweep`] generalized over the [`StateSpace`] seam.
+pub fn spawn_per_level_sweep_space<S: StateSpace>(
+    table: &mut DpTable,
+    space: &S,
     threads: usize,
     scratch: &mut DpScratch,
 ) {
@@ -293,7 +339,7 @@ pub fn spawn_per_level_sweep(
         let results = pool::map_chunked(threads, bucket, |&idx| {
             let idx = idx as usize;
             let v = table.decode(idx);
-            value_of(table, configs, idx, &v)
+            value_of(table, space, idx, &v)
         });
         // Sequential scatter phase: disjoint writes within the level.
         for (&idx, val) in bucket.iter().zip(results) {
@@ -309,9 +355,9 @@ pub fn spawn_per_level_sweep(
 /// The paper-literal sweep: compute the digit-sum array `D` in parallel
 /// (Lines 4–8), then for each level scan all σ entries and process those on
 /// the level (Lines 10–25).
-fn faithful_sweep(
+fn faithful_sweep_space<S: StateSpace>(
     table: &mut DpTable,
-    configs: &[(Vec<u32>, usize)],
+    space: &S,
     threads: usize,
     scratch: &mut DpScratch,
 ) {
@@ -323,7 +369,7 @@ fn faithful_sweep(
         let results = pool::filter_map_range(threads, table.len, |idx| {
             (d[idx] == l).then(|| {
                 let v = table.decode(idx);
-                (idx, value_of(table, configs, idx, &v))
+                (idx, value_of(table, space, idx, &v))
             })
         });
         debug_assert!(
@@ -479,6 +525,88 @@ mod tests {
             table.values_row_major(),
             vec![0, 1, 1, 1, 1, 1, 1, 2, 1, 1, 2, 2],
         );
+    }
+
+    #[test]
+    fn q_space_engines_match_the_serial_engine() {
+        use pcmax_ptas::space::{QSpace, SerialEngine};
+
+        // Capacity profiles from one machine to strongly heterogeneous; the
+        // parallel engines must reproduce the serial generic sweep bit for
+        // bit under the step filter, not just on P||Cmax.
+        let caps_sets: Vec<Vec<u64>> = vec![
+            vec![30, 30, 30, 30],
+            vec![30, 20, 10, 6],
+            vec![30, 6],
+            vec![12, 4],
+        ];
+        for problem in problems() {
+            for caps in &caps_sets {
+                let engines = [
+                    ParallelDp::default(),
+                    ParallelDp::faithful(),
+                    ParallelDp::spawn_per_level(),
+                    ParallelDp::with_threads(3),
+                ];
+                let mut scratch = DpScratch::new();
+                let mut reference = match problem.build_table_in(&mut scratch) {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
+                let configs = problem.configs_with_offsets(&reference);
+                let space = QSpace::new(&configs, &reference.sizes, caps);
+                SerialEngine.sweep(&mut reference, &space, &mut scratch);
+                let want = reference.values_row_major();
+                for engine in engines {
+                    let mut table = if engine.level_major() {
+                        problem.build_level_major_table_in(&mut scratch).unwrap()
+                    } else {
+                        problem.build_table_in(&mut scratch).unwrap()
+                    };
+                    let configs = problem.configs_with_offsets(&table);
+                    let space = QSpace::new(&configs, &table.sizes, caps);
+                    engine.sweep(&mut table, &space, &mut scratch);
+                    assert_eq!(
+                        table.values_row_major(),
+                        want,
+                        "{} diverged on caps {caps:?}",
+                        engine.engine_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qptas_parallel_engine_matches_serial_end_to_end() {
+        use pcmax_core::Instance;
+        use pcmax_ptas::QPtas;
+        use pcmax_workloads::{generate_uniform, Distribution, Family, SpeedFamily};
+
+        let fam = SpeedFamily::new(Family::new(3, 12, Distribution::U1To100), 4);
+        for seed in 0..4 {
+            let inst = generate_uniform(fam, seed);
+            let serial = QPtas::new(0.3).unwrap().solve_detailed(&inst).unwrap();
+            let parallel = QPtas::with_engine(0.3, ParallelDp::default())
+                .unwrap()
+                .solve_detailed(&inst)
+                .unwrap();
+            assert_eq!(serial.target, parallel.target, "seed {seed}");
+            assert_eq!(
+                serial.schedule, parallel.schedule,
+                "extraction is deterministic across engines (seed {seed})"
+            );
+            parallel.schedule.validate(&inst).unwrap();
+        }
+        // And on an identical-machine instance (speeds default to 1).
+        let inst = Instance::new(vec![13, 11, 9, 8, 8, 7, 5, 4, 2, 2, 1, 1], 3).unwrap();
+        let serial = QPtas::new(0.3).unwrap().solve_detailed(&inst).unwrap();
+        let parallel = QPtas::with_engine(0.3, ParallelDp::spawn_per_level())
+            .unwrap()
+            .solve_detailed(&inst)
+            .unwrap();
+        assert_eq!(serial.target, parallel.target);
+        assert_eq!(serial.schedule, parallel.schedule);
     }
 
     #[test]

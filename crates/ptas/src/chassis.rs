@@ -1,0 +1,206 @@
+//! The scenario seam of the chassis: the bisection driver (Algorithm 1)
+//! generalized over *what* is being bisected.
+//!
+//! A [`Scenario`] packages the scheduling-model-specific parts of a
+//! dual-approximation run: the initial makespan bracket, a feasibility
+//! `probe` at a target (rounding + DP + witness extraction), and the
+//! `reconstruct` step that turns a probe's witness back into a schedule over
+//! the original jobs. [`drive`] is the model-agnostic part — the bisection
+//! loop, the budget/cancellation gates, the trace spans, the re-probe that
+//! re-establishes the invariant at the converged target, and the stats
+//! bookkeeping — extracted verbatim from the original `P||Cmax` driver so
+//! `Ptas::solve_with` stays bit-identical.
+
+use crate::driver::{BisectionLog, BisectionProbe, PtasOutput};
+use crate::table::DpScratch;
+use pcmax_core::{
+    Error, Instance, MakespanBounds, Result, Schedule, SolveRequest, SolveStats, Time,
+};
+use std::time::{Duration, Instant};
+
+/// A dual-approximation scheduling scenario the generic [`drive`] loop can
+/// bisect: `P||Cmax` (the original PTAS), `Q||Cmax` (uniform machines), or
+/// anything else with a monotone feasibility predicate over target makespans.
+pub trait Scenario {
+    /// Whatever the probe must hand to [`reconstruct`](Self::reconstruct)
+    /// to rebuild a schedule over the original jobs.
+    type Witness;
+
+    /// Initial bisection bracket. The default — the speed-aware
+    /// [`MakespanBounds`] — is correct for both identical and uniform
+    /// machines; the contract [`drive`] relies on is that a probe at
+    /// `upper` is always feasible.
+    fn bounds(&self, inst: &Instance) -> MakespanBounds {
+        MakespanBounds::of(inst)
+    }
+
+    /// DP-table entry count at `target`, used to pre-size the scratch arena
+    /// so every probe of the run reuses one allocation. `None` skips the
+    /// reservation (probes then allocate on first use).
+    fn reserve_hint(&self, inst: &Instance, target: Time) -> Option<usize>;
+
+    /// Probes feasibility at `target`: rounds the instance, runs the DP, and
+    /// returns `OPT(N)` (machine count, `u32::MAX` for unschedulable)
+    /// together with a witness iff the target is feasible.
+    fn probe(
+        &self,
+        inst: &Instance,
+        target: Time,
+        scratch: &mut DpScratch,
+    ) -> Result<(u32, Option<Self::Witness>)>;
+
+    /// Rebuilds a full schedule from the witness of a feasible probe at
+    /// `target` (long jobs from the witness, short jobs greedily on top).
+    fn reconstruct(
+        &self,
+        inst: &Instance,
+        witness: Self::Witness,
+        target: Time,
+    ) -> Result<Schedule>;
+}
+
+/// Runs a full dual-approximation solve for any [`Scenario`] under an engine
+/// request: bisect the bracket, probing feasibility with budget and
+/// cancellation gates before every probe, then reconstruct from the witness
+/// at the converged target. Returns the schedule, the certified target `T*`,
+/// the probe log, and per-phase stats.
+pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutput, SolveStats)> {
+    let inst = req.instance;
+    let run_start = Instant::now();
+    let mut stats = SolveStats::default();
+    req.check_cancelled()?;
+    if inst.jobs() == 0 {
+        stats.wall = run_start.elapsed();
+        return Ok((
+            PtasOutput {
+                schedule: Schedule::from_assignment(vec![], inst.machines())?,
+                target: 0,
+                log: BisectionLog::default(),
+            },
+            stats,
+        ));
+    }
+    let MakespanBounds {
+        mut lower,
+        mut upper,
+    } = sc.bounds(inst);
+    let mut log = BisectionLog::default();
+    // Last feasible witness and the target it certifies.
+    let mut best: Option<(Sc::Witness, Time)> = None;
+
+    // One arena for the whole run. Reserving the largest table of the
+    // bracket (table size grows as the target shrinks, and no probe goes
+    // below the initial lower bound) makes every probe a reuse.
+    let mut scratch = DpScratch::new();
+    if let Some(entries) = sc.reserve_hint(inst, lower.max(1)) {
+        scratch.reserve(entries);
+    }
+
+    let bisect_start = Instant::now();
+    let bisect_span = req.trace_span("bisection", 0);
+    // Wall time spent inside probes only, reported as the `"dp"` phase:
+    // `dp_cells_per_sec` divides by the *total* solve wall and so
+    // understates DP throughput; `dp_phase_cells_per_sec` divides by this.
+    let mut dp_wall = Duration::ZERO;
+    while lower < upper {
+        check_budget(req, &scratch, lower, upper)?;
+        let t = (lower + upper) / 2;
+        let probe_span = req.trace_span("probe", t);
+        let dp_start = Instant::now();
+        let (dp_machines, witness) = sc.probe(inst, t, &mut scratch)?;
+        dp_wall += dp_start.elapsed();
+        drop(probe_span);
+        log.probes.push(BisectionProbe {
+            target: t,
+            dp_machines,
+            feasible: witness.is_some(),
+        });
+        match witness {
+            Some(w) => {
+                upper = t;
+                best = Some((w, t));
+            }
+            None => lower = t + 1,
+        }
+    }
+
+    let target = upper;
+    // The loop's invariant keeps `best` at T = final upper whenever the
+    // loop body ran and found a feasible probe; otherwise (zero-width
+    // bracket, or all probes infeasible) certify the final target
+    // directly — the initial UB is always feasible, so this succeeds.
+    let (witness, t_star) = match best {
+        Some(b) if b.1 == target => b,
+        _ => {
+            check_budget(req, &scratch, lower, upper)?;
+            let probe_span = req.trace_span("probe", target);
+            let dp_start = Instant::now();
+            let (dp_machines, witness) = sc.probe(inst, target, &mut scratch)?;
+            dp_wall += dp_start.elapsed();
+            drop(probe_span);
+            log.probes.push(BisectionProbe {
+                target,
+                dp_machines,
+                feasible: witness.is_some(),
+            });
+            let witness = witness.ok_or_else(|| Error::InvalidWitness {
+                reason: format!(
+                    "converged target {target} probed infeasible, breaking the \
+                     bisection invariant"
+                ),
+            })?;
+            (witness, target)
+        }
+    };
+    drop(bisect_span);
+    stats.push_phase("bisection", bisect_start.elapsed());
+    stats.push_phase("dp", dp_wall);
+
+    let recon_start = Instant::now();
+    let recon_span = req.trace_span("reconstruct", 0);
+    let schedule = sc.reconstruct(inst, witness, t_star)?;
+    drop(recon_span);
+    stats.push_phase("reconstruct", recon_start.elapsed());
+
+    stats.bisection_probes = log.evaluations() as u64;
+    stats.dp_entries_touched = scratch.entries_touched;
+    stats.dp_tables_allocated = scratch.tables_allocated;
+    stats.dp_tables_reused = scratch.tables_reused;
+    stats.dp_levels_swept = scratch.levels_swept;
+    stats.dp_cells = scratch.cells_computed;
+    stats.pool_parks = scratch.pool_parks;
+    stats.pool_wakes = scratch.pool_wakes;
+    stats.dp_kernel_allocs = scratch.kernel_allocs;
+    stats.wall = run_start.elapsed();
+    Ok((
+        PtasOutput {
+            schedule,
+            target: t_star,
+            log,
+        },
+        stats,
+    ))
+}
+
+/// Pre-probe budget gate: cancellation, wall-clock deadline and the
+/// DP-entry limit. `[lower, upper]` is the current bracket, reported in
+/// the budget-exhausted error as the best-known bounds.
+fn check_budget(
+    req: &SolveRequest<'_>,
+    scratch: &DpScratch,
+    lower: Time,
+    upper: Time,
+) -> Result<()> {
+    req.check_cancelled()?;
+    let entries_exhausted = req
+        .budget
+        .entry_limit
+        .is_some_and(|limit| scratch.entries_touched >= limit as u64);
+    if req.budget.deadline_exceeded() || entries_exhausted {
+        return Err(Error::BudgetExhausted {
+            incumbent: upper,
+            lower_bound: lower,
+        });
+    }
+    Ok(())
+}

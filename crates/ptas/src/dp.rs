@@ -144,29 +144,7 @@ pub fn extract_schedule(
     configs: &[(Config, usize)],
     classes: usize,
 ) -> Result<Vec<Config>> {
-    let mut out = Vec::new();
-    let mut idx = table.last_index();
-    let mut v = table.decode(idx);
-    while idx != 0 {
-        let current = table.value_at(idx);
-        if current >= UNVISITED {
-            return Err(Error::InvalidWitness {
-                reason: format!("walked into an unevaluated entry at index {idx}"),
-            });
-        }
-        let step = configs
-            .iter()
-            .find(|(c, offset)| fits(c, &v) && table.value_at(idx - offset) == current - 1);
-        let (c, offset) = step.ok_or_else(|| Error::InvalidWitness {
-            reason: format!("no configuration decreases OPT below index {idx}"),
-        })?;
-        out.push(table.expand(c, classes));
-        idx -= offset;
-        for (va, ca) in v.iter_mut().zip(c) {
-            *va -= ca;
-        }
-    }
-    Ok(out)
+    crate::space::extract_schedule_with(table, &crate::space::PcmaxSpace::new(configs), classes)
 }
 
 /// Componentwise `c ≤ v`.
@@ -190,19 +168,9 @@ impl DpSolver for IterativeDp {
     fn solve_in(&self, problem: &DpProblem, scratch: &mut DpScratch) -> Result<DpOutcome> {
         let mut table = problem.build_table_in(scratch)?;
         let configs = problem.configs_with_offsets(&table);
-        table.values[0] = 0;
-        // Incremental mixed-radix counter tracking the current vector.
-        let mut v = vec![0u32; table.dims.len()];
-        for idx in 1..table.len {
-            increment(&mut v, &table.dims);
-            let mut best = INFEASIBLE;
-            for (c, offset) in &configs {
-                if fits(c, &v) {
-                    best = best.min(table.values[idx - offset]);
-                }
-            }
-            table.values[idx] = best.saturating_add(1);
-        }
+        // The generic sweep with the P||Cmax space monomorphizes to exactly
+        // the pre-chassis ascending row-major loop.
+        crate::space::serial_sweep(&mut table, &crate::space::PcmaxSpace::new(&configs));
         finish(problem, table, &configs, scratch)
     }
 }
@@ -214,8 +182,11 @@ impl DpSolver for IterativeDp {
 pub struct MemoizedDp;
 
 /// Sentinel for "not yet visited" in the memoized solver. Distinct from
-/// [`INFEASIBLE`]; both are far above any real machine count (≤ n ≤ u16 range).
-const UNVISITED: u16 = u16::MAX - 1;
+/// [`INFEASIBLE`]; both are far above any real machine count (≤ n ≤ u16
+/// range), so `value ≥ UNVISITED` means "no real value here" regardless of
+/// which sentinel was written — the test the epilogue and the generic
+/// witness walk in [`crate::space`] both use.
+pub const UNVISITED: u16 = u16::MAX - 1;
 
 impl DpSolver for MemoizedDp {
     fn name(&self) -> &'static str {
@@ -320,7 +291,7 @@ impl DpSolver for RegenerateConfigsDp {
 
 /// Mixed-radix increment (row-major: last digit fastest).
 #[inline]
-fn increment(v: &mut [u32], dims: &[u32]) {
+pub(crate) fn increment(v: &mut [u32], dims: &[u32]) {
     for a in (0..v.len()).rev() {
         if v[a] + 1 < dims[a] {
             v[a] += 1;

@@ -2,16 +2,16 @@
 //! keep the smallest feasible target, then reconstruct a real schedule from
 //! the rounded witness and finish with LPT on the short jobs.
 
+use crate::chassis::Scenario;
 use crate::config::Config;
 use crate::dp::{DpProblem, DpSolver, IterativeDp};
 use crate::params::EpsilonParams;
 use crate::rounding::{JobPartition, RoundedLongJobs};
 use crate::table::{DpScratch, DpTable};
 use pcmax_core::{
-    Error, Instance, MakespanBounds, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest,
-    SolveStats, Solver, Time,
+    Error, Instance, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest, SolveStats,
+    Solver, Time,
 };
-use std::time::{Duration, Instant};
 
 /// One bisection probe: the target tried and what the DP said.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,152 +113,49 @@ impl<S: DpSolver> Ptas<S> {
     /// and the budget's deadline/entry limits are checked before every
     /// bisection probe, and the returned [`SolveStats`] account probes, DP
     /// entries, table (re)allocations and per-phase wall time.
+    ///
+    /// This is the [`Scenario`] instantiation of the generic
+    /// [`drive`](crate::chassis::drive) loop — the bisection itself is
+    /// shared with every other scenario on the chassis.
     pub fn solve_with(&self, req: &SolveRequest<'_>) -> Result<(PtasOutput, SolveStats)> {
-        let inst = req.instance;
-        let run_start = Instant::now();
-        let mut stats = SolveStats::default();
-        req.check_cancelled()?;
-        if inst.jobs() == 0 {
-            stats.wall = run_start.elapsed();
-            return Ok((
-                PtasOutput {
-                    schedule: Schedule::from_assignment(vec![], inst.machines())?,
-                    target: 0,
-                    log: BisectionLog::default(),
-                },
-                stats,
-            ));
-        }
-        let MakespanBounds {
-            mut lower,
-            mut upper,
-        } = MakespanBounds::of(inst);
-        let mut log = BisectionLog::default();
-        // Last feasible witness: (per-machine configs, rounding, partition, T).
-        let mut best: Option<(Vec<Config>, RoundedLongJobs, JobPartition, Time)> = None;
+        crate::chassis::drive(self, req)
+    }
+}
 
-        // One arena for the whole run. Reserving the largest table of the
-        // bracket (table size grows as the target shrinks, and no probe goes
-        // below the initial lower bound) makes every probe a reuse.
-        let mut scratch = DpScratch::new();
-        let (low_problem, _, _) = self.problem_at(inst, lower.max(1));
-        if let Some(entries) =
-            DpTable::entries_needed(&low_problem.counts, low_problem.unit, self.max_entries)
-        {
-            scratch.reserve(entries);
-        }
+impl<S: DpSolver> Scenario for Ptas<S> {
+    /// Per-machine configs plus the rounding/partition metadata needed to
+    /// map them back to original jobs.
+    type Witness = (Vec<Config>, RoundedLongJobs, JobPartition);
 
-        let bisect_start = Instant::now();
-        let bisect_span = req.trace_span("bisection", 0);
-        // Wall time spent inside DP probes only, reported as the `"dp"`
-        // phase: `dp_cells_per_sec` divides by the *total* solve wall and so
-        // understates DP throughput; `dp_phase_cells_per_sec` divides by
-        // this.
-        let mut dp_wall = Duration::ZERO;
-        while lower < upper {
-            self.check_budget(req, &scratch, lower, upper)?;
-            let t = (lower + upper) / 2;
-            let (problem, rounded, partition) = self.problem_at(inst, t);
-            let probe_span = req.trace_span("probe", t);
-            let dp_start = Instant::now();
-            let outcome = self.solver.solve_in(&problem, &mut scratch)?;
-            dp_wall += dp_start.elapsed();
-            drop(probe_span);
-            log.probes.push(BisectionProbe {
-                target: t,
-                dp_machines: outcome.machines,
-                feasible: outcome.feasible(),
-            });
-            match outcome.schedule {
-                Some(configs) => {
-                    upper = t;
-                    best = Some((configs, rounded, partition, t));
-                }
-                None => lower = t + 1,
-            }
-        }
+    fn reserve_hint(&self, inst: &Instance, target: Time) -> Option<usize> {
+        let (problem, _, _) = self.problem_at(inst, target);
+        DpTable::entries_needed(&problem.counts, problem.unit, self.max_entries)
+    }
 
-        let target = upper;
-        // The loop's invariant keeps `best` at T = final upper whenever the
-        // loop body ran and found a feasible probe; otherwise (zero-width
-        // bracket, or all probes infeasible) certify the final target
-        // directly — the initial UB is always feasible, so this succeeds.
-        let (configs, rounded, partition, t_star) = match best {
-            Some(b) if b.3 == target => b,
-            _ => {
-                self.check_budget(req, &scratch, lower, upper)?;
-                let (problem, rounded, partition) = self.problem_at(inst, target);
-                let probe_span = req.trace_span("probe", target);
-                let dp_start = Instant::now();
-                let outcome = self.solver.solve_in(&problem, &mut scratch)?;
-                dp_wall += dp_start.elapsed();
-                drop(probe_span);
-                log.probes.push(BisectionProbe {
-                    target,
-                    dp_machines: outcome.machines,
-                    feasible: outcome.feasible(),
-                });
-                let configs = outcome.schedule.ok_or_else(|| Error::InvalidWitness {
-                    reason: format!(
-                        "converged target {target} probed infeasible, breaking the \
-                         bisection invariant"
-                    ),
-                })?;
-                (configs, rounded, partition, target)
-            }
-        };
-        drop(bisect_span);
-        stats.push_phase("bisection", bisect_start.elapsed());
-        stats.push_phase("dp", dp_wall);
-
-        let recon_start = Instant::now();
-        let recon_span = req.trace_span("reconstruct", 0);
-        let schedule = reconstruct(inst, &configs, &rounded, &partition)?;
-        drop(recon_span);
-        stats.push_phase("reconstruct", recon_start.elapsed());
-
-        stats.bisection_probes = log.evaluations() as u64;
-        stats.dp_entries_touched = scratch.entries_touched;
-        stats.dp_tables_allocated = scratch.tables_allocated;
-        stats.dp_tables_reused = scratch.tables_reused;
-        stats.dp_levels_swept = scratch.levels_swept;
-        stats.dp_cells = scratch.cells_computed;
-        stats.pool_parks = scratch.pool_parks;
-        stats.pool_wakes = scratch.pool_wakes;
-        stats.dp_kernel_allocs = scratch.kernel_allocs;
-        stats.wall = run_start.elapsed();
+    fn probe(
+        &self,
+        inst: &Instance,
+        target: Time,
+        scratch: &mut DpScratch,
+    ) -> Result<(u32, Option<Self::Witness>)> {
+        let (problem, rounded, partition) = self.problem_at(inst, target);
+        let outcome = self.solver.solve_in(&problem, scratch)?;
         Ok((
-            PtasOutput {
-                schedule,
-                target: t_star,
-                log,
-            },
-            stats,
+            outcome.machines,
+            outcome
+                .schedule
+                .map(|configs| (configs, rounded, partition)),
         ))
     }
 
-    /// Pre-probe budget gate: cancellation, wall-clock deadline and the
-    /// DP-entry limit. `[lower, upper]` is the current bracket, reported in
-    /// the budget-exhausted error as the best-known bounds.
-    fn check_budget(
+    fn reconstruct(
         &self,
-        req: &SolveRequest<'_>,
-        scratch: &DpScratch,
-        lower: Time,
-        upper: Time,
-    ) -> Result<()> {
-        req.check_cancelled()?;
-        let entries_exhausted = req
-            .budget
-            .entry_limit
-            .is_some_and(|limit| scratch.entries_touched >= limit as u64);
-        if req.budget.deadline_exceeded() || entries_exhausted {
-            return Err(Error::BudgetExhausted {
-                incumbent: upper,
-                lower_bound: lower,
-            });
-        }
-        Ok(())
+        inst: &Instance,
+        witness: Self::Witness,
+        _target: Time,
+    ) -> Result<Schedule> {
+        let (configs, rounded, partition) = witness;
+        reconstruct(inst, &configs, &rounded, &partition)
     }
 }
 
@@ -289,11 +186,14 @@ pub fn rounded_problem(
     target: Time,
     max_entries: usize,
 ) -> (DpProblem, RoundedLongJobs, JobPartition) {
-    let partition = JobPartition::split(inst, params, target);
-    let rounded = RoundedLongJobs::round(inst, params, &partition);
+    let (counts, unit, (rounded, partition)) = crate::rounding::Rounding::round_at(
+        &crate::rounding::PcmaxRounding { params },
+        inst,
+        target,
+    );
     let problem = DpProblem {
-        counts: rounded.counts.clone(),
-        unit: rounded.unit,
+        counts,
+        unit,
         target,
         max_machines: inst.machines(),
         max_entries,
@@ -363,7 +263,8 @@ pub fn reconstruct(
 mod tests {
     use super::*;
     use crate::dp::MemoizedDp;
-    use pcmax_core::{lower_bound, Instance};
+    use pcmax_core::{lower_bound, Instance, MakespanBounds};
+    use std::time::Duration;
 
     fn ptas() -> Ptas {
         Ptas::new(0.3).unwrap()

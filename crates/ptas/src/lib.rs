@@ -12,8 +12,21 @@
 //! * [`driver`] — the bisection search, schedule reconstruction and the
 //!   public [`Ptas`] scheduler.
 //!
+//! Around that core sit the chassis seams (DESIGN.md §5) that make the DP
+//! engine reusable across scheduling models:
+//!
+//! * [`rounding`] also hosts the [`Rounding`] trait (instance → size
+//!   classes + reconstruction map),
+//! * [`space`] — the [`StateSpace`] trait (transition set + per-step
+//!   feasibility filter) with the [`PcmaxSpace`]/[`QSpace`] instantiations,
+//!   and the [`SpaceEngine`] trait any sweep implementation satisfies,
+//! * [`chassis`] — the [`Scenario`] trait and the model-agnostic
+//!   `chassis::drive` bisection loop,
+//! * [`uniform`] — the `Q||Cmax` instantiation ([`QPtas`], [`QRounding`]).
+//!
 //! The parallel DP of the paper (Algorithm 3) lives in the `pcmax-parallel`
-//! crate and plugs into [`Ptas`] through [`DpSolver`].
+//! crate and plugs into [`Ptas`] through [`DpSolver`], and into the chassis
+//! through [`SpaceEngine`].
 //!
 //! # Quick start
 //!
@@ -27,18 +40,24 @@
 //! assert!(schedule.makespan(&inst) <= 21);
 //! ```
 
+pub mod chassis;
 pub mod config;
 pub mod dp;
 pub mod driver;
 pub mod params;
 pub mod rounding;
+pub mod space;
 pub mod table;
 pub mod trace;
+pub mod uniform;
 
+pub use chassis::Scenario;
 pub use config::{enumerate_configs, Config};
 pub use dp::{DpOutcome, DpProblem, DpSolver, IterativeDp, MemoizedDp, RegenerateConfigsDp};
 pub use driver::{rounded_problem, BisectionLog, Ptas, PtasOutput};
 pub use params::EpsilonParams;
-pub use rounding::{JobPartition, RoundedLongJobs};
+pub use rounding::{JobPartition, PcmaxRounding, RoundedLongJobs, Rounding};
+pub use space::{PcmaxSpace, QSpace, SerialEngine, SpaceEngine, StateSpace};
 pub use table::{decode_into, next_in_level, DpScratch, DpTable, LevelLayout};
 pub use trace::{dp_trace, DpTrace};
+pub use uniform::{QPtas, QRounding};

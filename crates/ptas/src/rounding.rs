@@ -4,6 +4,41 @@
 use crate::params::EpsilonParams;
 use pcmax_core::{Instance, Time};
 
+/// The rounding seam of the chassis: maps an instance at a target makespan
+/// to the class-count vector `N` and the rounding unit, plus whatever
+/// metadata the scenario needs later to map rounded jobs back to original
+/// ones. `P||Cmax` rounds against the target itself ([`PcmaxRounding`]);
+/// `Q||Cmax` rounds against the fastest machine's work capacity
+/// (`pcmax_ptas::uniform::QRounding`).
+pub trait Rounding {
+    /// Reconstruction metadata carried from the rounding to the witness
+    /// mapping (for the PTAS scenarios: the per-class member job ids plus
+    /// the long/short partition).
+    type Map;
+
+    /// Rounds `inst` at `target`, returning the full-width class counts
+    /// `N`, the rounding unit, and the reconstruction map.
+    fn round_at(&self, inst: &Instance, target: Time) -> (Vec<u32>, Time, Self::Map);
+}
+
+/// Identical-machine rounding (Lines 9–24 of Algorithm 1): split long/short
+/// at `T/k`, round long jobs down to multiples of `⌈T/k²⌉`.
+#[derive(Debug, Clone, Copy)]
+pub struct PcmaxRounding<'a> {
+    /// The `ε`/`k` parameterization.
+    pub params: &'a EpsilonParams,
+}
+
+impl Rounding for PcmaxRounding<'_> {
+    type Map = (RoundedLongJobs, JobPartition);
+
+    fn round_at(&self, inst: &Instance, target: Time) -> (Vec<u32>, Time, Self::Map) {
+        let partition = JobPartition::split(inst, self.params, target);
+        let rounded = RoundedLongJobs::round(inst, self.params, &partition);
+        (rounded.counts.clone(), rounded.unit, (rounded, partition))
+    }
+}
+
 /// The long/short partition of an instance at a given target makespan `T`:
 /// a job is *long* iff `t > T/k`.
 #[derive(Debug, Clone, PartialEq, Eq)]

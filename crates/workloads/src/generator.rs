@@ -2,7 +2,7 @@
 
 use crate::Family;
 use pcmax_core::rng::SplitMix64;
-use pcmax_core::Instance;
+use pcmax_core::{Instance, Result};
 
 /// Generates one instance of `family`, deterministically from `seed`.
 ///
@@ -11,11 +11,22 @@ use pcmax_core::Instance;
 /// derived from a hash of the family parameters (so adjacent seeds of
 /// different families do not alias).
 pub fn generate(family: Family, seed: u64) -> Instance {
+    match try_generate(family, seed) {
+        Ok(inst) => inst,
+        // Distributions guarantee times >= 1, so this only trips on a
+        // degenerate family (m = 0) — a caller bug, not an input error.
+        Err(err) => panic!("family {family} cannot be generated: {err}"),
+    }
+}
+
+/// Fallible variant of [`generate`] for callers that treat a degenerate
+/// family (e.g. zero machines) as data rather than a bug.
+pub fn try_generate(family: Family, seed: u64) -> Result<Instance> {
     let mut rng = SplitMix64::seed_from_u64(mix(family, seed));
     let times = (0..family.jobs)
         .map(|_| family.dist.sample(&mut rng, family.machines, family.jobs))
         .collect::<Vec<u64>>();
-    Instance::new(times, family.machines).expect("generated times are positive")
+    Instance::new(times, family.machines)
 }
 
 /// Generates `count` instances with consecutive instance indices (the paper's
@@ -28,7 +39,7 @@ pub fn generate_batch(family: Family, base_seed: u64, count: usize) -> Vec<Insta
 
 /// SplitMix64-style mixing of the seed with the family parameters so each
 /// `(family, seed)` pair addresses an independent RNG stream.
-fn mix(family: Family, seed: u64) -> u64 {
+pub(crate) fn mix(family: Family, seed: u64) -> u64 {
     let mut x = seed
         ^ (family.machines as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (family.jobs as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);

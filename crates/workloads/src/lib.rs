@@ -9,15 +9,24 @@
 //!
 //! All generators are deterministic functions of a `u64` seed so every
 //! experiment in this repository is exactly replayable.
+//!
+//! Beyond the paper's identical-machine families, [`uniform`] generates
+//! `Q||Cmax` instances (same job stream, independent speed stream) and
+//! [`online`] generates arrival-ordered streams for the online-scheduling
+//! experiments.
 
 pub mod family;
 pub mod generator;
 pub mod io;
+pub mod online;
 pub mod special;
 pub mod suite;
+pub mod uniform;
 
 pub use family::{Distribution, Family};
-pub use generator::{generate, generate_batch};
+pub use generator::{generate, generate_batch, try_generate};
 pub use io::{parse_csv, parse_text, to_csv, to_text};
+pub use online::{ls_adversarial, shuffled_arrivals, try_shuffled_arrivals};
 pub use special::{lpt_adversarial, narrow_range, two_long_classes};
 pub use suite::{paper_families, ExperimentSet, FamilyInstances};
+pub use uniform::{generate_uniform, generate_uniform_batch, try_generate_uniform, SpeedFamily};

@@ -1,0 +1,117 @@
+//! Arrival-order workloads for the online scheduling experiments.
+//!
+//! The online solvers consume jobs in index order, so for these generators
+//! the job index *is* the arrival time: [`ls_adversarial`] builds the
+//! deterministic stream on which greedy placement is exactly
+//! `(2 − 1/m)`-competitive, and [`shuffled_arrivals`] turns any seeded
+//! family into a random arrival stream by applying an independent
+//! Fisher–Yates shuffle to the job order.
+
+use crate::generator::mix;
+use crate::Family;
+use pcmax_core::rng::SplitMix64;
+use pcmax_core::{Instance, Result};
+
+/// Graham's tight adversary for online list scheduling: `m(m−1)` unit jobs
+/// arrive first and greedy balances them to height `m−1` on every machine,
+/// then a single job of size `m` lands on top for makespan `2m−1` — while the
+/// optimum packs the units on `m−1` machines and gives the big job its own,
+/// for makespan `m`. The competitive ratio is exactly `2 − 1/m`.
+pub fn ls_adversarial(m: usize) -> Instance {
+    match try_ls_adversarial(m) {
+        Ok(inst) => inst,
+        // Unit times and m >= 1 make this unreachable for valid m.
+        Err(err) => panic!("LS adversary for m={m} is ill-formed: {err}"),
+    }
+}
+
+/// Fallible variant of [`ls_adversarial`] (errors on `m = 0`).
+pub fn try_ls_adversarial(m: usize) -> Result<Instance> {
+    let mut times = vec![1u64; m.saturating_mul(m.saturating_sub(1))];
+    times.push(m as u64);
+    Instance::new(times, m)
+}
+
+/// A seeded family instance whose jobs are re-ordered by an independent
+/// Fisher–Yates shuffle: the multiset of sizes equals `generate(family,
+/// seed)`'s exactly, only the arrival order differs. Offline solvers are
+/// order-insensitive, so comparing them against `ls-online` on this stream
+/// isolates the price of arrival order.
+pub fn shuffled_arrivals(family: Family, seed: u64) -> Instance {
+    match try_shuffled_arrivals(family, seed) {
+        Ok(inst) => inst,
+        Err(err) => panic!("family {family} cannot be generated: {err}"),
+    }
+}
+
+/// Fallible variant of [`shuffled_arrivals`].
+pub fn try_shuffled_arrivals(family: Family, seed: u64) -> Result<Instance> {
+    let base = crate::generator::try_generate(family, seed)?;
+    let mut times = base.times().to_vec();
+    // Independent stream: re-finalize the family seed with a distinct key so
+    // the shuffle never correlates with the sampling stream.
+    let mut rng = SplitMix64::seed_from_u64(
+        mix(family, seed).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x9E37_79B9_7F4A_7C15,
+    );
+    for i in (1..times.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        times.swap(i, j);
+    }
+    Instance::new(times, family.machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Distribution};
+
+    #[test]
+    fn adversary_shape_and_total() {
+        let inst = ls_adversarial(4);
+        assert_eq!(inst.jobs(), 13);
+        assert_eq!(inst.machines(), 4);
+        assert_eq!(inst.total_time(), 16, "m(m−1) units + one m = m²");
+        assert_eq!(inst.time(12), 4, "the big job arrives last");
+    }
+
+    #[test]
+    fn adversary_optimum_is_m() {
+        // m−1 machines hold m units each, the last holds the size-m job.
+        let m = 5;
+        let inst = ls_adversarial(m);
+        assert_eq!(pcmax_core::lower_bound(&inst), m as u64);
+    }
+
+    #[test]
+    fn single_machine_adversary_degenerates() {
+        let inst = ls_adversarial(1);
+        assert_eq!(inst.jobs(), 1);
+        assert_eq!(inst.total_time(), 1);
+    }
+
+    #[test]
+    fn shuffle_preserves_the_multiset() {
+        let family = Family::new(3, 40, Distribution::U1To100);
+        let shuffled = shuffled_arrivals(family, 5);
+        let mut a = shuffled.times().to_vec();
+        let mut b = generate(family, 5).times().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_actually_reorders() {
+        let family = Family::new(3, 40, Distribution::U1To100);
+        assert_ne!(
+            shuffled_arrivals(family, 5).times(),
+            generate(family, 5).times()
+        );
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let family = Family::new(3, 40, Distribution::U1To10);
+        assert_eq!(shuffled_arrivals(family, 8), shuffled_arrivals(family, 8));
+    }
+}

@@ -25,7 +25,11 @@ pub fn lpt_worst_case_deterministic(m: usize) -> Instance {
         times.push(v as u64);
     }
     times.extend_from_slice(&[m as u64; 3]);
-    Instance::new(times, m).expect("positive times")
+    match Instance::new(times, m) {
+        Ok(inst) => inst,
+        // All times are >= m >= 2 by construction.
+        Err(err) => panic!("deterministic worst case is ill-formed: {err}"),
+    }
 }
 
 /// Narrow-range instances `U(95, 105)` — the paper's worst-case family for

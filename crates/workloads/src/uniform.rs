@@ -1,0 +1,130 @@
+//! Uniform-machine (`Q||Cmax`) workload generation.
+//!
+//! A [`SpeedFamily`] crosses any identical-machine [`Family`] with a speed
+//! distribution `U(1, speed_max)`: the processing times come from exactly the
+//! same stream as [`generate`](crate::generate) (so a Q instance and its P
+//! sibling share job sizes for like-for-like comparisons), while the speeds
+//! come from an independently mixed stream so changing `speed_max` never
+//! perturbs the job sizes.
+
+use crate::generator::{mix, try_generate};
+use crate::Family;
+use pcmax_core::rng::SplitMix64;
+use pcmax_core::{Instance, Result};
+use std::fmt;
+
+/// A `Q||Cmax` instance family: jobs from `base`, one speed per machine from
+/// `U(1, speed_max)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpeedFamily {
+    /// The identical-machine family supplying `(m, n)` and the job sizes.
+    pub base: Family,
+    /// Inclusive upper bound of the speed distribution `U(1, speed_max)`;
+    /// 1 degenerates to identical machines.
+    pub speed_max: u64,
+}
+
+impl SpeedFamily {
+    /// Shorthand constructor.
+    pub fn new(base: Family, speed_max: u64) -> Self {
+        Self { base, speed_max }
+    }
+}
+
+impl fmt::Display for SpeedFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s=U(1,{})", self.base, self.speed_max)
+    }
+}
+
+/// Generates one uniform-machine instance, deterministically from `seed`.
+/// Panics only on a degenerate family (m = 0 or `speed_max` = 0), which is a
+/// caller bug; use [`try_generate_uniform`] to treat that as data.
+pub fn generate_uniform(family: SpeedFamily, seed: u64) -> Instance {
+    match try_generate_uniform(family, seed) {
+        Ok(inst) => inst,
+        Err(err) => panic!("speed family {family} cannot be generated: {err}"),
+    }
+}
+
+/// Fallible variant of [`generate_uniform`].
+pub fn try_generate_uniform(family: SpeedFamily, seed: u64) -> Result<Instance> {
+    let base = try_generate(family.base, seed)?;
+    // A second finalizer pass over the job-stream seed keyed by speed_max
+    // keeps the speed stream independent of the time stream.
+    let speed_seed = mix(family.base, seed).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ family.speed_max.rotate_left(23)
+        ^ 0x94D0_49BB_1331_11EB;
+    let mut rng = SplitMix64::seed_from_u64(speed_seed);
+    let lo = 1;
+    let hi = family.speed_max.max(1);
+    let speeds = (0..family.base.machines)
+        .map(|_| rng.range_inclusive(lo, hi))
+        .collect();
+    Instance::with_speeds(base.times().to_vec(), speeds)
+}
+
+/// Generates `count` uniform instances with consecutive seeds.
+pub fn generate_uniform_batch(family: SpeedFamily, base_seed: u64, count: usize) -> Vec<Instance> {
+    (0..count as u64)
+        .map(|i| generate_uniform(family, base_seed.wrapping_add(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Distribution};
+
+    fn fam() -> SpeedFamily {
+        SpeedFamily::new(Family::new(4, 20, Distribution::U1To100), 5)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(generate_uniform(fam(), 7), generate_uniform(fam(), 7));
+    }
+
+    #[test]
+    fn shares_job_sizes_with_the_identical_sibling() {
+        let q = generate_uniform(fam(), 11);
+        let p = generate(fam().base, 11);
+        assert_eq!(q.times(), p.times());
+    }
+
+    #[test]
+    fn speeds_respect_the_interval_and_shape() {
+        let inst = generate_uniform(fam(), 3);
+        let speeds = inst.speeds();
+        assert_eq!(speeds.len(), 4);
+        assert!(speeds.iter().all(|&s| (1..=5).contains(&s)));
+    }
+
+    #[test]
+    fn speed_max_changes_speeds_but_not_times() {
+        let a = generate_uniform(fam(), 9);
+        let b = generate_uniform(SpeedFamily::new(fam().base, 50), 9);
+        assert_eq!(a.times(), b.times());
+    }
+
+    #[test]
+    fn speed_max_one_degenerates_to_identical() {
+        let inst = generate_uniform(SpeedFamily::new(fam().base, 1), 2);
+        assert!(!inst.is_uniform());
+        assert_eq!(inst, generate(fam().base, 2));
+    }
+
+    #[test]
+    fn batch_produces_distinct_instances() {
+        let batch = generate_uniform_batch(fam(), 40, 4);
+        assert_eq!(batch.len(), 4);
+        for w in batch.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn display_names_both_streams() {
+        assert_eq!(fam().to_string(), "m=4 n=20 U(1,100) s=U(1,5)");
+    }
+}
