@@ -1,0 +1,388 @@
+//! Blocking analysis over serialized [`Trace`]s: lock-order cycles
+//! (potential deadlocks) and lost-wakeup candidates.
+//!
+//! Both analyses consume the typed lock/condvar event stream the audit
+//! scheduler records, so every schedule the race suite or the DPOR explorer
+//! runs is deadlock-checked for free:
+//!
+//! * **Lock order** — while replaying the trace, each `LockAcquire` taken
+//!   with other locks already held adds edges `held → acquired` to a global
+//!   order graph. A cycle means two threads can take the same pair of locks
+//!   in opposite orders: not necessarily a deadlock *in this schedule*, but
+//!   a schedule exists that deadlocks (the classic ABBA argument).
+//! * **Lost wakeups** — a `Notify` that woke nobody (`waiters == 0`) is
+//!   benign exactly when the would-be waiter cannot miss it: either the
+//!   notifier published its predicate under the condvar's mutex *before*
+//!   the wait re-checked it (the notifier's last release of that mutex
+//!   happens-before the wait), or the notify itself happens-before the
+//!   wait. A later wait ordered by neither is a candidate lost wakeup —
+//!   the pattern behind "flag set without the lock, then notify".
+
+use crate::race::{event_clocks, ordered};
+use pcmax_parallel::sync::audit::{Op, Trace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One lost-wakeup candidate: `notifier`'s notify at `notify_index` woke
+/// nobody, and `waiter`'s later wait at `wait_index` is ordered after
+/// neither the notify nor the notifier's predicate publication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LostWakeup {
+    /// Condvar identity.
+    pub cv: usize,
+    /// Thread that issued the empty notify.
+    pub notifier: usize,
+    /// Event index of the `Notify`.
+    pub notify_index: usize,
+    /// Thread whose wait may sleep through the signal.
+    pub waiter: usize,
+    /// Event index of the `CondWait`.
+    pub wait_index: usize,
+}
+
+impl fmt::Display for LostWakeup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "possible lost wakeup on condvar {}: thread {} notified nobody at event {}, \
+             and thread {}'s wait at event {} is ordered after neither the notify nor \
+             the notifier's predicate publication",
+            self.cv, self.notifier, self.notify_index, self.waiter, self.wait_index
+        )
+    }
+}
+
+/// Result of [`analyze`] on one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockingReport {
+    /// Lock-order cycles, each a list of lock identities `l0 → l1 → … → l0`
+    /// (the closing edge is implicit). Deduplicated up to rotation.
+    pub cycles: Vec<Vec<usize>>,
+    /// Lost-wakeup candidates in schedule order of the notify.
+    pub lost_wakeups: Vec<LostWakeup>,
+}
+
+impl BlockingReport {
+    /// True when neither analysis found anything.
+    pub fn is_clean(&self) -> bool {
+        self.cycles.is_empty() && self.lost_wakeups.is_empty()
+    }
+}
+
+/// Runs both blocking analyses over one trace.
+pub fn analyze(trace: &Trace) -> BlockingReport {
+    BlockingReport {
+        cycles: lock_order_cycles(trace),
+        lost_wakeups: lost_wakeups(trace),
+    }
+}
+
+/// Builds the lock-acquisition order graph and returns its cycles.
+fn lock_order_cycles(trace: &Trace) -> Vec<Vec<usize>> {
+    // Per-thread stack (really a multiset kept in acquisition order) of
+    // locks currently held.
+    let mut held: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for event in &trace.events {
+        match event.op {
+            Op::LockAcquire { obj } => {
+                let stack = held.entry(event.thread).or_default();
+                for &h in stack.iter() {
+                    if h != obj {
+                        edges.entry(h).or_default().insert(obj);
+                    }
+                }
+                stack.push(obj);
+            }
+            Op::LockRelease { obj } => {
+                let stack = held.entry(event.thread).or_default();
+                if let Some(pos) = stack.iter().rposition(|&h| h == obj) {
+                    stack.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+    find_cycles(&edges)
+}
+
+/// DFS cycle enumeration with on-stack coloring: one representative cycle
+/// per back edge, deduplicated by rotating each cycle to start at its
+/// smallest lock id. The graphs here are tiny (a handful of locks), so the
+/// quadratic worst case is irrelevant.
+fn find_cycles(edges: &BTreeMap<usize, BTreeSet<usize>>) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    fn dfs(
+        node: usize,
+        edges: &BTreeMap<usize, BTreeSet<usize>>,
+        color: &mut BTreeMap<usize, Color>,
+        path: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        color.insert(node, Color::Gray);
+        path.push(node);
+        for &next in edges.get(&node).into_iter().flatten() {
+            match color.get(&next).copied().unwrap_or(Color::White) {
+                Color::Gray => {
+                    if let Some(start) = path.iter().position(|&n| n == next) {
+                        let mut cycle: Vec<usize> = path[start..].to_vec();
+                        // Canonical rotation: start at the smallest id.
+                        if let Some(min_at) = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &n)| n)
+                            .map(|(i, _)| i)
+                        {
+                            cycle.rotate_left(min_at);
+                        }
+                        if !out.contains(&cycle) {
+                            out.push(cycle);
+                        }
+                    }
+                }
+                Color::White => dfs(next, edges, color, path, out),
+                Color::Black => {}
+            }
+        }
+        path.pop();
+        color.insert(node, Color::Black);
+    }
+
+    let mut color = BTreeMap::new();
+    let mut out = Vec::new();
+    for &node in edges.keys() {
+        if color.get(&node).copied().unwrap_or(Color::White) == Color::White {
+            dfs(node, edges, &mut color, &mut Vec::new(), &mut out);
+        }
+    }
+    out
+}
+
+/// Flags empty notifies that a later wait could have slept through.
+fn lost_wakeups(trace: &Trace) -> Vec<LostWakeup> {
+    let events = &trace.events;
+    let clocks = event_clocks(trace);
+    // Condvar → the mutex its waits release (first binding wins; the seam
+    // always pairs one condvar with one mutex).
+    let mut cv_lock: BTreeMap<usize, usize> = BTreeMap::new();
+    for event in events {
+        if let Op::CondWait { cv, lock } = event.op {
+            cv_lock.entry(cv).or_insert(lock);
+        }
+    }
+    let mut out = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let Op::Notify { cv, waiters: 0, .. } = event.op else {
+            continue;
+        };
+        let notifier = event.thread;
+        // The notifier's predicate publication point: its last release of
+        // the condvar's mutex before the notify. A notify issued while
+        // still holding the mutex (or without ever taking it) has no such
+        // point and relies entirely on the notify→wait order.
+        let publish = cv_lock.get(&cv).and_then(|&lock| {
+            events[..i]
+                .iter()
+                .rposition(|e| e.thread == notifier && e.op == (Op::LockRelease { obj: lock }))
+        });
+        // The first later wait on this condvar; earlier waits were already
+        // woken or belong to other signals.
+        let Some(k) = (i + 1..events.len())
+            .find(|&k| matches!(events[k].op, Op::CondWait { cv: c, .. } if c == cv))
+        else {
+            continue;
+        };
+        let safe = publish.is_some_and(|p| ordered(&clocks, events, p, k))
+            || ordered(&clocks, events, i, k);
+        if !safe {
+            out.push(LostWakeup {
+                cv,
+                notifier,
+                notify_index: i,
+                waiter: events[k].thread,
+                wait_index: k,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmax_parallel::sync::audit::Event;
+
+    fn trace(threads: usize, events: Vec<Event>) -> Trace {
+        let event_decisions = vec![usize::MAX; events.len()];
+        Trace {
+            events,
+            threads,
+            seed: 0,
+            decisions: Vec::new(),
+            event_decisions,
+        }
+    }
+
+    fn ev(thread: usize, op: Op) -> Event {
+        Event { thread, op }
+    }
+
+    fn acq(t: usize, obj: usize) -> Event {
+        ev(t, Op::LockAcquire { obj })
+    }
+
+    fn rel(t: usize, obj: usize) -> Event {
+        ev(t, Op::LockRelease { obj })
+    }
+
+    #[test]
+    fn consistent_nesting_has_no_cycle() {
+        let t = trace(
+            2,
+            vec![
+                acq(0, 1),
+                acq(0, 2),
+                rel(0, 2),
+                rel(0, 1),
+                acq(1, 1),
+                acq(1, 2),
+                rel(1, 2),
+                rel(1, 1),
+            ],
+        );
+        assert!(analyze(&t).cycles.is_empty());
+    }
+
+    #[test]
+    fn abba_ordering_is_a_cycle() {
+        // Thread 0 takes 1 then 2; thread 1 takes 2 then 1 — the classic
+        // potential deadlock, even though this particular schedule got
+        // through.
+        let t = trace(
+            2,
+            vec![
+                acq(0, 1),
+                acq(0, 2),
+                rel(0, 2),
+                rel(0, 1),
+                acq(1, 2),
+                acq(1, 1),
+                rel(1, 1),
+                rel(1, 2),
+            ],
+        );
+        let report = analyze(&t);
+        assert_eq!(report.cycles, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn three_lock_rotation_is_a_cycle() {
+        let t = trace(
+            3,
+            vec![
+                acq(0, 1),
+                acq(0, 2),
+                rel(0, 2),
+                rel(0, 1),
+                acq(1, 2),
+                acq(1, 3),
+                rel(1, 3),
+                rel(1, 2),
+                acq(2, 3),
+                acq(2, 1),
+                rel(2, 1),
+                rel(2, 3),
+            ],
+        );
+        assert_eq!(analyze(&t).cycles, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn reentrant_same_lock_is_not_an_edge() {
+        let t = trace(1, vec![acq(0, 1), acq(0, 1), rel(0, 1), rel(0, 1)]);
+        assert!(analyze(&t).cycles.is_empty());
+    }
+
+    #[test]
+    fn publish_under_lock_suppresses_empty_notify() {
+        // Notifier publishes under the mutex, releases, then notifies into
+        // an empty wait-set; the waiter's subsequent wait acquired the same
+        // mutex first, so it must have observed the predicate: benign.
+        let t = trace(
+            2,
+            vec![
+                acq(0, 9),
+                ev(0, Op::Write { loc: 1 }),
+                rel(0, 9),
+                ev(
+                    0,
+                    Op::Notify {
+                        cv: 5,
+                        all: false,
+                        waiters: 0,
+                    },
+                ),
+                acq(1, 9),
+                ev(1, Op::CondWait { cv: 5, lock: 9 }),
+                rel(1, 9),
+            ],
+        );
+        assert!(analyze(&t).lost_wakeups.is_empty());
+    }
+
+    #[test]
+    fn unguarded_notify_before_wait_is_flagged() {
+        // The notifier never held the condvar's mutex (flag set without the
+        // lock): nothing orders its empty notify before the later wait, so
+        // the waiter can sleep forever.
+        let t = trace(
+            2,
+            vec![
+                ev(
+                    0,
+                    Op::Notify {
+                        cv: 5,
+                        all: false,
+                        waiters: 0,
+                    },
+                ),
+                acq(1, 9),
+                ev(1, Op::CondWait { cv: 5, lock: 9 }),
+                rel(1, 9),
+            ],
+        );
+        let report = analyze(&t);
+        assert_eq!(report.lost_wakeups.len(), 1);
+        let lw = &report.lost_wakeups[0];
+        assert_eq!((lw.cv, lw.notifier, lw.waiter), (5, 0, 1));
+    }
+
+    #[test]
+    fn notify_with_waiters_is_never_flagged() {
+        let t = trace(
+            2,
+            vec![
+                acq(1, 9),
+                ev(1, Op::CondWait { cv: 5, lock: 9 }),
+                rel(1, 9),
+                ev(
+                    0,
+                    Op::Notify {
+                        cv: 5,
+                        all: false,
+                        waiters: 1,
+                    },
+                ),
+                ev(1, Op::CondWake { cv: 5 }),
+                acq(1, 9),
+                rel(1, 9),
+            ],
+        );
+        assert!(analyze(&t).lost_wakeups.is_empty());
+    }
+}

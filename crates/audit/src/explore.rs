@@ -1,12 +1,17 @@
-//! The seeded interleaving explorer: runs a workload under the turn-based
-//! scheduler of `pcmax_parallel::sync::audit` once per seed, race-checks
-//! every serialized trace, and aggregates the verdict.
+//! The interleaving explorer: random (seeded) sweeps and the systematic
+//! exhaustive mode.
 //!
-//! Each seed drives the scheduler's SplitMix64 differently, so distinct
-//! seeds exercise distinct thread interleavings of the *same* workload —
-//! a miniature model checker for the wavefront executors' fork/join and
-//! scatter/gather structure.
+//! The legacy mode runs a workload under the turn-based scheduler of
+//! `pcmax_parallel::sync::audit` once per seed — each seed drives the
+//! scheduler's SplitMix64 differently, so distinct seeds exercise distinct
+//! thread interleavings of the *same* workload. [`sweep_exhaustive`]
+//! instead delegates to the DPOR search in [`crate::dpor`], which
+//! enumerates all non-equivalent schedules up to a budget. Every explored
+//! schedule (in both modes) is race-checked *and* blocking-checked
+//! (lock-order cycles, lost wakeups).
 
+use crate::blocking::{analyze, BlockingReport, LostWakeup};
+use crate::dpor::{explore_exhaustive, DporReport};
 use crate::race::{detect, Race};
 use pcmax_parallel::sync::audit::{explore, Trace};
 
@@ -21,17 +26,21 @@ pub struct SeedRun<R> {
     pub trace: Trace,
     /// Races found in the history (empty = this schedule is clean).
     pub races: Vec<Race>,
+    /// Lock-order / lost-wakeup analysis of the history.
+    pub blocking: BlockingReport,
 }
 
 /// Runs `workload` under the scheduler with `seed` and race-checks the trace.
 pub fn run_seed<R>(seed: u64, workload: impl FnOnce() -> R) -> SeedRun<R> {
     let (result, trace) = explore(seed, workload);
     let races = detect(&trace);
+    let blocking = analyze(&trace);
     SeedRun {
         seed,
         result,
         trace,
         races,
+        blocking,
     }
 }
 
@@ -46,6 +55,10 @@ pub struct Report {
     pub max_threads: usize,
     /// Every race found, tagged with its seed.
     pub races: Vec<(u64, Race)>,
+    /// Every lock-order cycle found, tagged with its seed.
+    pub lock_cycles: Vec<(u64, Vec<usize>)>,
+    /// Every lost-wakeup candidate found, tagged with its seed.
+    pub lost_wakeups: Vec<(u64, LostWakeup)>,
     /// Distinct serialized histories seen (schedule diversity measure).
     pub distinct_histories: usize,
 }
@@ -82,7 +95,26 @@ pub fn sweep<R>(
         report
             .races
             .extend(run.races.into_iter().map(|r| (seed, r)));
+        report
+            .lock_cycles
+            .extend(run.blocking.cycles.into_iter().map(|c| (seed, c)));
+        report
+            .lost_wakeups
+            .extend(run.blocking.lost_wakeups.into_iter().map(|l| (seed, l)));
     }
     report.distinct_histories = histories.len();
     report
+}
+
+/// The exhaustive counterpart of [`sweep`]: DPOR enumeration of all
+/// non-equivalent schedules up to `budget` runs, with the same
+/// result-consistency `check` applied to every race-free schedule. See
+/// [`DporReport`] for the coverage verdict (including whether the search
+/// space was exhausted within budget).
+pub fn sweep_exhaustive<R>(
+    budget: usize,
+    workload: impl Fn() -> R,
+    check: impl FnMut(&[usize], &R),
+) -> DporReport {
+    explore_exhaustive(budget, workload, check)
 }

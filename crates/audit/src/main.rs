@@ -1,11 +1,19 @@
 //! CLI for `pcmax-audit`.
 //!
-//! * `cargo run -p pcmax-audit -- lint` — run the workspace lint; exits 1 on
-//!   violations, 0 when clean (stale allowlist entries are warnings).
+//! * `cargo run -p pcmax-audit -- lint [--strict-stale]` — run the
+//!   workspace lint; exits 1 on violations, 0 when clean. Stale allowlist
+//!   entries are warnings by default and failures under `--strict-stale`
+//!   (CI uses the strict mode so burned-down entries cannot linger).
 //! * `cargo run -p pcmax-audit --features audit -- race [SEEDS]` — explore
-//!   SEEDS (default 64) interleavings of the instrumented wavefront DP and
-//!   report the race verdict. Without the feature the subcommand explains
-//!   how to enable it.
+//!   SEEDS (default 64) random interleavings of the instrumented wavefront
+//!   DP and report the race + blocking (lock-order cycle, lost-wakeup)
+//!   verdict. Without the feature the subcommand explains how to enable it.
+//! * `cargo run -p pcmax-audit --features audit -- dpor [BUDGET]` — the
+//!   systematic mode: exhaustively enumerates the non-equivalent schedules
+//!   of the fork/join microworkload (count checked against the hand-derived
+//!   bound), proves the explorer finds an injected order-dependent race
+//!   (printing its minimal replayable schedule), and sweeps the persistent
+//!   pool's schedule space under BUDGET (default 2000) runs.
 //! * `cargo run -p pcmax-audit -- trace-check FILE` — validate an exported
 //!   Chrome-trace JSON timeline (parses, non-empty, required fields,
 //!   balanced per-thread spans); exits 1 on a malformed trace.
@@ -13,13 +21,15 @@
 use std::env;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: pcmax-audit <lint | race [SEEDS] | trace-check FILE>";
+const USAGE: &str =
+    "usage: pcmax-audit <lint [--strict-stale] | race [SEEDS] | dpor [BUDGET] | trace-check FILE>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(args.iter().any(|a| a == "--strict-stale")),
         Some("race") => run_race(args.get(1).map(String::as_str)),
+        Some("dpor") => run_dpor(args.get(1).map(String::as_str)),
         Some("trace-check") => run_trace_check(args.get(1).map(String::as_str)),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
@@ -62,7 +72,7 @@ fn run_trace_check(path: Option<&str>) -> ExitCode {
     }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(strict_stale: bool) -> ExitCode {
     let cwd = match env::current_dir() {
         Ok(d) => d,
         Err(e) => {
@@ -84,16 +94,18 @@ fn run_lint() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let severity = if strict_stale { "error" } else { "warning" };
     for entry in &outcome.stale {
         eprintln!(
-            "warning: stale lint.allow entry `{} {}` ({}) suppressed nothing — delete it",
+            "{severity}: stale lint.allow entry `{} {}` ({}) suppressed nothing — delete it",
             entry.rule, entry.path, entry.reason
         );
     }
     for v in &outcome.violations {
         println!("{v}");
     }
-    if outcome.clean() {
+    let stale_fails = strict_stale && !outcome.stale.is_empty();
+    if outcome.clean() && !stale_fails {
         println!(
             "pcmax-audit lint: {} files scanned, 0 violations",
             outcome.files_scanned
@@ -101,9 +113,10 @@ fn run_lint() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!(
-            "pcmax-audit lint: {} files scanned, {} violation(s)",
+            "pcmax-audit lint: {} files scanned, {} violation(s), {} stale entr(ies)",
             outcome.files_scanned,
-            outcome.violations.len()
+            outcome.violations.len(),
+            outcome.stale.len()
         );
         ExitCode::FAILURE
     }
@@ -162,19 +175,141 @@ fn run_race(seeds: Option<&str>) -> ExitCode {
         },
     );
     println!(
-        "pcmax-audit race: {} schedules ({} distinct), {} events, {} threads max, {} race(s)",
+        "pcmax-audit race: {} schedules ({} distinct), {} events, {} threads max, \
+         {} race(s), {} lock-order cycle(s), {} lost-wakeup candidate(s)",
         report.schedules,
         report.distinct_histories,
         report.events,
         report.max_threads,
-        report.races.len()
+        report.races.len(),
+        report.lock_cycles.len(),
+        report.lost_wakeups.len()
     );
     for (seed, race) in &report.races {
         println!("  seed {seed}: {race}");
     }
-    if report.races.is_empty() {
+    for (seed, cycle) in &report.lock_cycles {
+        println!("  seed {seed}: lock-order cycle through objects {cycle:?}");
+    }
+    for (seed, lw) in &report.lost_wakeups {
+        println!("  seed {seed}: {lw}");
+    }
+    if report.races.is_empty() && report.lock_cycles.is_empty() && report.lost_wakeups.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(not(feature = "audit"))]
+fn run_dpor(_budget: Option<&str>) -> ExitCode {
+    eprintln!(
+        "pcmax-audit: the DPOR explorer needs the instrumented build:\n    \
+         cargo run -p pcmax-audit --features audit -- dpor"
+    );
+    ExitCode::from(2)
+}
+
+#[cfg(feature = "audit")]
+fn run_dpor(budget: Option<&str>) -> ExitCode {
+    use pcmax_audit::dpor::workloads::{
+        fork_join_two_workers, injected_rare_race, FORK_JOIN_TWO_WORKERS_SCHEDULES,
+    };
+    use pcmax_audit::explore::sweep_exhaustive;
+    use pcmax_parallel::wavefront::bucketed_sweep;
+    use pcmax_ptas::dp::DpProblem;
+    use pcmax_ptas::table::DpScratch;
+
+    let budget: usize = match budget.unwrap_or("2000").parse() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("pcmax-audit: bad schedule budget: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+
+    // 1. Coverage calibration: the 2-worker fork/join microworkload has a
+    //    hand-derived bound of exactly 2 non-equivalent schedules; the
+    //    explorer must hit it — no more (sleep sets work), no fewer
+    //    (backtracking works).
+    let micro = sweep_exhaustive(64, fork_join_two_workers, |_, _| {});
+    let micro_ok =
+        micro.complete && micro.is_clean() && micro.schedules == FORK_JOIN_TWO_WORKERS_SCHEDULES;
+    println!(
+        "pcmax-audit dpor: fork/join microworkload — {} schedules \
+         (hand-derived bound {FORK_JOIN_TWO_WORKERS_SCHEDULES}), complete={} … {}",
+        micro.schedules,
+        micro.complete,
+        if micro_ok { "OK" } else { "FAILED" }
+    );
+    failed |= !micro_ok;
+
+    // 2. Detector liveness: an injected order-dependent race that hides in
+    //    one schedule class must be found, and its schedule shrunk to a
+    //    replayable minimal script.
+    let injected = sweep_exhaustive(512, injected_rare_race, |_, _| {});
+    match &injected.counterexample {
+        Some(cx) => println!(
+            "pcmax-audit dpor: injected race found after {} schedules — {}\n    \
+             minimal replay: run_schedule(&{:?})",
+            injected.schedules, cx.race, cx.schedule
+        ),
+        None => {
+            println!("pcmax-audit dpor: injected race NOT found — FAILED");
+            failed = true;
+        }
+    }
+
+    // 3. The real executor: the persistent pool's park/notify barrier on a
+    //    one-job instance, swept up to the budget (the minimal instance is
+    //    fully enumerable well inside the default).
+    let problem = {
+        let mut counts = vec![0u32; 16];
+        counts[2] = 1;
+        DpProblem::new(counts, 2, 30, 64)
+    };
+    let pool = sweep_exhaustive(
+        budget,
+        || {
+            let mut scratch = DpScratch::new();
+            let mut table = match problem.build_level_major_table_in(&mut scratch) {
+                Ok(t) => t,
+                Err(e) => panic!("table build failed: {e}"),
+            };
+            let configs = problem.configs_with_offsets(&table);
+            table.values[0] = 0;
+            bucketed_sweep(&mut table, &configs, 2, &mut scratch);
+            table.values_row_major()
+        },
+        |schedule, values| {
+            assert_eq!(
+                values,
+                &[0, 1],
+                "schedule {schedule:?}: table diverged from the sequential DP"
+            );
+        },
+    );
+    let pool_ok = pool.is_clean();
+    println!(
+        "pcmax-audit dpor: persistent pool — {} schedules, complete={}, {} race(s), \
+         {} cycle(s), {} lost wakeup(s), {} deadlock(s) … {}",
+        pool.schedules,
+        pool.complete,
+        pool.races.len(),
+        pool.cycles.len(),
+        pool.lost_wakeups.len(),
+        pool.deadlocks.len(),
+        if pool_ok { "OK" } else { "FAILED" }
+    );
+    if let Some(cx) = &pool.counterexample {
+        println!("    minimal replay: run_schedule(&{:?})", cx.schedule);
+    }
+    failed |= !pool_ok;
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -19,12 +19,120 @@ use std::fmt;
 
 /// A vector clock: component `t` is the count of thread `t`'s events known
 /// to have happened before.
-type Clock = Vec<u64>;
+pub type Clock = Vec<u64>;
 
 fn join_into(dst: &mut Clock, src: &Clock) {
     for (d, s) in dst.iter_mut().zip(src) {
         *d = (*d).max(*s);
     }
+}
+
+/// The happens-before machinery shared by the race detector, the blocking
+/// analysis and the DPOR explorer: per-thread vector clocks advanced one
+/// event at a time, with the synchronization edges of every op class.
+pub struct HbState {
+    /// Per-thread clocks; `clocks[t][t]` is thread `t`'s own epoch.
+    clocks: Vec<Clock>,
+    /// Clock published by each sync object's last release-class operation.
+    /// Condvars release at `Notify` and acquire at `CondWake` (the modeled
+    /// wake); the wait's lock handoff is carried by its paired
+    /// `LockRelease`/`LockAcquire` events.
+    released: HashMap<usize, Clock>,
+}
+
+impl HbState {
+    /// Fresh state for a trace with `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            clocks: vec![vec![0; threads]; threads],
+            released: HashMap::new(),
+        }
+    }
+
+    /// The current clock of thread `t`.
+    pub fn clock(&self, t: usize) -> &Clock {
+        &self.clocks[t]
+    }
+
+    fn acquire_from(&mut self, t: usize, obj: usize) {
+        if let Some(pub_clock) = self.released.get(&obj) {
+            let pub_clock = pub_clock.clone();
+            join_into(&mut self.clocks[t], &pub_clock);
+        }
+    }
+
+    fn release_into(&mut self, t: usize, obj: usize) {
+        let snapshot = self.clocks[t].clone();
+        self.released
+            .entry(obj)
+            .and_modify(|c| join_into(c, &snapshot))
+            .or_insert(snapshot);
+    }
+
+    /// Advances past one event: ticks the thread's epoch, then applies the
+    /// op's synchronization edges. `Relaxed` atomics and `CondWait` markers
+    /// create no edges.
+    pub fn step(&mut self, event: Event) {
+        let t = event.thread;
+        self.clocks[t][t] += 1;
+        match event.op {
+            Op::Read { .. } | Op::Write { .. } | Op::CondWait { .. } => {}
+            Op::AtomicLoad { obj, acquire } => {
+                if acquire {
+                    self.acquire_from(t, obj);
+                }
+            }
+            Op::AtomicStore { obj, release } => {
+                if release {
+                    self.release_into(t, obj);
+                }
+            }
+            Op::AtomicRmw {
+                obj,
+                acquire,
+                release,
+            } => {
+                if acquire {
+                    self.acquire_from(t, obj);
+                }
+                if release {
+                    self.release_into(t, obj);
+                }
+            }
+            Op::LockAcquire { obj } => self.acquire_from(t, obj),
+            Op::LockRelease { obj } => self.release_into(t, obj),
+            Op::Notify { cv, .. } => self.release_into(t, cv),
+            Op::CondWake { cv } => self.acquire_from(t, cv),
+            Op::Spawn { child } => {
+                let snapshot = self.clocks[t].clone();
+                join_into(&mut self.clocks[child], &snapshot);
+            }
+            Op::Join { child } => {
+                let snapshot = self.clocks[child].clone();
+                join_into(&mut self.clocks[t], &snapshot);
+            }
+        }
+    }
+}
+
+/// Per-event clock snapshots: entry `i` is the issuing thread's clock right
+/// *after* stepping past event `i`. Input to [`ordered`].
+pub fn event_clocks(trace: &Trace) -> Vec<Clock> {
+    let mut hb = HbState::new(trace.threads);
+    let mut out = Vec::with_capacity(trace.events.len());
+    for &event in &trace.events {
+        hb.step(event);
+        out.push(hb.clocks[event.thread].clone());
+    }
+    out
+}
+
+/// Whether event `i` happens-before event `j` (callers pass `i < j` in
+/// schedule order), given the snapshots from [`event_clocks`]: true iff
+/// `j`'s thread had observed `i`'s epoch by the time it issued `j`.
+pub fn ordered(clocks: &[Clock], events: &[Event], i: usize, j: usize) -> bool {
+    let ti = events[i].thread;
+    clocks[j][ti] >= clocks[i][ti]
 }
 
 /// One detected data race: two accesses to the same location, at least one a
@@ -63,15 +171,13 @@ struct LocState {
 /// schedule order of the offending (later) access.
 pub fn detect(trace: &Trace) -> Vec<Race> {
     let n = trace.threads;
-    let mut clocks: Vec<Clock> = vec![vec![0; n]; n];
-    // Clock published by each sync object's last release-class operation.
-    let mut released: HashMap<usize, Clock> = HashMap::new();
+    let mut hb = HbState::new(n);
     let mut locs: HashMap<usize, LocState> = HashMap::new();
     let mut races = Vec::new();
 
     for &event in &trace.events {
+        hb.step(event);
         let t = event.thread;
-        clocks[t][t] += 1;
         match event.op {
             Op::Read { loc } => {
                 let state = locs.entry(loc).or_insert_with(|| LocState {
@@ -79,7 +185,7 @@ pub fn detect(trace: &Trace) -> Vec<Race> {
                     reads: vec![(0, None); n],
                 });
                 if let Some((wt, we, wev)) = state.write {
-                    if clocks[t][wt] < we {
+                    if hb.clocks[t][wt] < we {
                         races.push(Race {
                             loc,
                             prior: wev,
@@ -87,7 +193,7 @@ pub fn detect(trace: &Trace) -> Vec<Race> {
                         });
                     }
                 }
-                state.reads[t] = (clocks[t][t], Some(event));
+                state.reads[t] = (hb.clocks[t][t], Some(event));
             }
             Op::Write { loc } => {
                 let state = locs.entry(loc).or_insert_with(|| LocState {
@@ -95,7 +201,7 @@ pub fn detect(trace: &Trace) -> Vec<Race> {
                     reads: vec![(0, None); n],
                 });
                 if let Some((wt, we, wev)) = state.write {
-                    if clocks[t][wt] < we {
+                    if hb.clocks[t][wt] < we {
                         races.push(Race {
                             loc,
                             prior: wev,
@@ -104,7 +210,7 @@ pub fn detect(trace: &Trace) -> Vec<Race> {
                     }
                 }
                 for (rt, &(re, rev)) in state.reads.iter().enumerate() {
-                    if re > 0 && clocks[t][rt] < re {
+                    if re > 0 && hb.clocks[t][rt] < re {
                         if let Some(prior) = rev {
                             races.push(Race {
                                 loc,
@@ -114,66 +220,10 @@ pub fn detect(trace: &Trace) -> Vec<Race> {
                         }
                     }
                 }
-                state.write = Some((t, clocks[t][t], event));
+                state.write = Some((t, hb.clocks[t][t], event));
                 state.reads = vec![(0, None); n];
             }
-            Op::AtomicLoad { obj, acquire } => {
-                if acquire {
-                    if let Some(pub_clock) = released.get(&obj) {
-                        let pub_clock = pub_clock.clone();
-                        join_into(&mut clocks[t], &pub_clock);
-                    }
-                }
-            }
-            Op::AtomicStore { obj, release } => {
-                if release {
-                    let snapshot = clocks[t].clone();
-                    released
-                        .entry(obj)
-                        .and_modify(|c| join_into(c, &snapshot))
-                        .or_insert(snapshot);
-                }
-            }
-            Op::AtomicRmw {
-                obj,
-                acquire,
-                release,
-            } => {
-                if acquire {
-                    if let Some(pub_clock) = released.get(&obj) {
-                        let pub_clock = pub_clock.clone();
-                        join_into(&mut clocks[t], &pub_clock);
-                    }
-                }
-                if release {
-                    let snapshot = clocks[t].clone();
-                    released
-                        .entry(obj)
-                        .and_modify(|c| join_into(c, &snapshot))
-                        .or_insert(snapshot);
-                }
-            }
-            Op::LockAcquire { obj } => {
-                if let Some(pub_clock) = released.get(&obj) {
-                    let pub_clock = pub_clock.clone();
-                    join_into(&mut clocks[t], &pub_clock);
-                }
-            }
-            Op::LockRelease { obj } => {
-                let snapshot = clocks[t].clone();
-                released
-                    .entry(obj)
-                    .and_modify(|c| join_into(c, &snapshot))
-                    .or_insert(snapshot);
-            }
-            Op::Spawn { child } => {
-                let snapshot = clocks[t].clone();
-                join_into(&mut clocks[child], &snapshot);
-            }
-            Op::Join { child } => {
-                let snapshot = clocks[child].clone();
-                join_into(&mut clocks[t], &snapshot);
-            }
+            _ => {}
         }
     }
     races
@@ -184,10 +234,13 @@ mod tests {
     use super::*;
 
     fn trace(threads: usize, events: Vec<Event>) -> Trace {
+        let event_decisions = vec![usize::MAX; events.len()];
         Trace {
             events,
             threads,
             seed: 0,
+            decisions: Vec::new(),
+            event_decisions,
         }
     }
 
@@ -332,6 +385,89 @@ mod tests {
             ],
         );
         assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn condvar_notify_publishes_to_woken_waiter() {
+        // Waiter (1) registers and releases the lock; notifier (2) writes
+        // the payload under the lock, notifies, releases; the woken waiter
+        // reacquires and reads. The Notify→CondWake edge (and the lock
+        // protocol) orders the payload accesses: no race.
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::LockAcquire { obj: 9 }),
+                ev(1, Op::CondWait { cv: 5, lock: 9 }),
+                ev(1, Op::LockRelease { obj: 9 }),
+                ev(2, Op::LockAcquire { obj: 9 }),
+                ev(2, Op::Write { loc: 40 }),
+                ev(
+                    2,
+                    Op::Notify {
+                        cv: 5,
+                        all: false,
+                        waiters: 1,
+                    },
+                ),
+                ev(2, Op::LockRelease { obj: 9 }),
+                ev(1, Op::CondWake { cv: 5 }),
+                ev(1, Op::LockAcquire { obj: 9 }),
+                ev(1, Op::Read { loc: 40 }),
+                ev(1, Op::LockRelease { obj: 9 }),
+            ],
+        );
+        assert!(detect(&t).is_empty());
+    }
+
+    #[test]
+    fn cond_wait_marker_alone_creates_no_edge() {
+        // Without the CondWake acquire, a notify's publication does not
+        // reach the reader: the payload access stays racy.
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(2, Op::Write { loc: 40 }),
+                ev(
+                    2,
+                    Op::Notify {
+                        cv: 5,
+                        all: false,
+                        waiters: 0,
+                    },
+                ),
+                ev(1, Op::CondWait { cv: 5, lock: 9 }),
+                ev(1, Op::Read { loc: 40 }),
+            ],
+        );
+        assert_eq!(detect(&t).len(), 1);
+    }
+
+    #[test]
+    fn ordered_follows_happens_before_not_schedule_order() {
+        let t = trace(
+            3,
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Spawn { child: 2 }),
+                ev(1, Op::Write { loc: 10 }),
+                ev(2, Op::Write { loc: 11 }),
+                ev(0, Op::Join { child: 1 }),
+                ev(0, Op::Read { loc: 10 }),
+            ],
+        );
+        let clocks = event_clocks(&t);
+        // Spawn edge orders the parent's spawn before the child's write...
+        assert!(ordered(&clocks, &t.events, 0, 2));
+        // ...the join edge orders the child's write before the parent's
+        // read...
+        assert!(ordered(&clocks, &t.events, 2, 5));
+        // ...but the two siblings' writes are concurrent despite their
+        // schedule order.
+        assert!(!ordered(&clocks, &t.events, 2, 3));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The lint rules and their allowlisting machinery.
 //!
-//! Five rules, all driven by the token stream of [`crate::lexer`]:
+//! Seven rules, all driven by the token stream of [`crate::lexer`]:
 //!
 //! * **`unwrap`** — no `.unwrap()` / `.expect(…)` in non-test library code.
 //!   Test modules (`#[cfg(test)]`), `#[test]` functions, and `tests/` /
@@ -20,6 +20,20 @@
 //!   atomic load there multiplies by the cell count. Spans belong *around*
 //!   the walk (chunk/level granularity), never inside it; override only
 //!   with a justified `audit:allow(trace-hot)` comment.
+//! * **`alloc-hot`** — no allocation in the same inner loop: `.push(…)`,
+//!   `.to_vec()`, `.collect()`, `Vec::new` / `Vec::with_capacity`,
+//!   `Box::new`, and the `format!` / `vec!` macros are all per-cell heap
+//!   traffic that the kernel's zero-allocation contract (and the
+//!   `kernel_allocs` counter the regression suite asserts on) forbids.
+//!   Buffers are reserved *outside* the walk; override only with a
+//!   justified `audit:allow(alloc-hot)` comment.
+//! * **`guard-across-park`** — no [`sync::Mutex`] guard binding held
+//!   across a condvar wait or a thread park. A `let g = ….lock(…)…;`
+//!   binding that is still live (not dropped, not consumed as the wait's
+//!   own guard argument) when a `.wait(…)` / `.wait_timeout(…)` /
+//!   `.wait_while(…)` / `park(…)` executes is the classic self-deadlock:
+//!   the sleeper holds the lock its waker needs. The `crates/parallel`
+//!   sync seam itself is exempt — it *implements* the guard handoff.
 //! * **`artifacts`** — no build artifacts tracked in git (`target/`
 //!   anywhere, `*.profraw`, object/metadata files).
 //!
@@ -37,6 +51,8 @@ pub const DP_CAST_FILES: &[&str] = &[
     "crates/ptas/src/table.rs",
     "crates/ptas/src/dp.rs",
     "crates/ptas/src/config.rs",
+    "crates/ptas/src/uniform.rs",
+    "crates/ptas/src/chassis.rs",
     "crates/parallel/src/wavefront.rs",
     "crates/parallel/src/scoped.rs",
     "crates/pram/src/dp.rs",
@@ -51,6 +67,8 @@ pub const TRACE_HOT_FILES: &[&str] = &[
     "crates/parallel/src/wavefront.rs",
     "crates/ptas/src/table.rs",
     "crates/ptas/src/space.rs",
+    "crates/ptas/src/uniform.rs",
+    "crates/ptas/src/chassis.rs",
 ];
 
 /// Identifiers that emit trace events — the free-function hooks of
@@ -66,6 +84,17 @@ const TRACE_HOOKS: &[&str] = &[
     "trace_counter",
 ];
 
+/// Allocating methods the `alloc-hot` rule rejects in the cell kernel's
+/// inner loop.
+const ALLOC_METHODS: &[&str] = &["push", "to_vec", "collect"];
+
+/// Allocating macros the `alloc-hot` rule rejects there.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Files exempt from the `guard-across-park` rule: the sync seam itself
+/// implements the atomic unlock-and-sleep handoff the rule polices.
+const GUARD_PARK_EXEMPT: &[&str] = &["crates/parallel/src/sync.rs"];
+
 /// How many lines above a violation a site directive may sit.
 const DIRECTIVE_REACH: u32 = 3;
 
@@ -76,7 +105,8 @@ pub struct Violation {
     pub file: String,
     /// 1-based line (0 for repo-level findings like tracked artifacts).
     pub line: u32,
-    /// Rule name (`unwrap`, `relaxed`, `cast`, `artifacts`).
+    /// Rule name (`unwrap`, `relaxed`, `cast`, `trace-hot`, `alloc-hot`,
+    /// `guard-across-park`, `artifacts`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -202,6 +232,10 @@ pub fn lint_source(path: &str, src: &str, allow: &Allowlist) -> FileReport {
     }
     if TRACE_HOT_FILES.contains(&path) {
         check_trace_hot(path, &lexed, &exempt, &mut report);
+        check_alloc_hot(path, &lexed, &exempt, &mut report);
+    }
+    if !GUARD_PARK_EXEMPT.contains(&path) {
+        check_guard_across_park(path, &lexed, &exempt, &mut report);
     }
     report
 }
@@ -562,6 +596,229 @@ fn check_trace_hot(path: &str, lexed: &Lexed, exempt: &[(u32, u32)], report: &mu
     }
 }
 
+/// Rule `alloc-hot`: no heap allocation inside the `next_in_level`
+/// cell-kernel loop. Shares the loop scoping of [`check_trace_hot`]: a
+/// candidate is judged against its *innermost* enclosing `for` body, so
+/// per-level buffer setup outside the walk stays legal.
+fn check_alloc_hot(path: &str, lexed: &Lexed, exempt: &[(u32, u32)], report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    let bodies = for_loop_bodies(toks);
+    let body_has = |&(open, close): &(usize, usize), name: &str| {
+        toks[open..close]
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+    };
+    // (token index, line, human-readable description) of each allocation.
+    let mut sites: Vec<(usize, u32, String)> = Vec::new();
+    for w in 0..toks.len() {
+        match &toks[w].tok {
+            // `.push(…)` / `.to_vec()` / `.collect()` (incl. turbofish).
+            Tok::Punct('.') => {
+                let Some(Tok::Ident(name)) = toks.get(w + 1).map(|t| &t.tok) else {
+                    continue;
+                };
+                if !ALLOC_METHODS.contains(&name.as_str()) {
+                    continue;
+                }
+                let next = toks.get(w + 2).map(|t| &t.tok);
+                if next == Some(&Tok::Punct('(')) || next == Some(&Tok::Punct(':')) {
+                    sites.push((w + 1, toks[w + 1].line, format!(".{name}(…)")));
+                }
+            }
+            // `Vec::new` / `Vec::with_capacity` / `Box::new`.
+            Tok::Ident(head) if head == "Vec" || head == "Box" => {
+                if toks.get(w + 1).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+                    || toks.get(w + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+                {
+                    continue;
+                }
+                let Some(Tok::Ident(ctor)) = toks.get(w + 3).map(|t| &t.tok) else {
+                    continue;
+                };
+                if ctor == "new" || (head == "Vec" && ctor == "with_capacity") {
+                    sites.push((w, toks[w].line, format!("{head}::{ctor}")));
+                }
+            }
+            // `format!` / `vec!`.
+            Tok::Ident(mac)
+                if ALLOC_MACROS.contains(&mac.as_str())
+                    && toks.get(w + 1).map(|t| &t.tok) == Some(&Tok::Punct('!')) =>
+            {
+                sites.push((w, toks[w].line, format!("{mac}!")));
+            }
+            _ => {}
+        }
+    }
+    for (w, line, what) in sites {
+        let Some(innermost) = bodies
+            .iter()
+            .filter(|&&(open, close)| open < w && w < close)
+            .min_by_key(|&&(open, close)| close - open)
+        else {
+            continue;
+        };
+        if !body_has(innermost, "next_in_level") {
+            continue;
+        }
+        if in_ranges(exempt, line) {
+            continue;
+        }
+        match directive_for(&lexed.allows, "alloc-hot", line) {
+            Some(true) => {}
+            Some(false) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "alloc-hot",
+                message: "audit:allow(alloc-hot) directive lacks a justification".to_string(),
+            }),
+            None => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "alloc-hot",
+                message: format!(
+                    "`{what}` allocates inside the `next_in_level` cell-kernel loop; \
+                     reserve buffers outside the walk (the kernel is zero-allocation \
+                     by contract)"
+                ),
+            }),
+        }
+    }
+}
+
+/// Rule `guard-across-park`: a `MutexGuard` binding live across a condvar
+/// wait or thread park. Purely lexical liveness: a guard is born at
+/// `let [mut] NAME = ….lock(…)…;`, dies at the end of its block, at
+/// `drop(NAME)`, at a shadowing re-`let`, or by being passed as the wait's
+/// own first argument (the handoff pattern `guard = cv.wait(guard)`).
+fn check_guard_across_park(
+    path: &str,
+    lexed: &Lexed,
+    exempt: &[(u32, u32)],
+    report: &mut FileReport,
+) {
+    let toks = &lexed.tokens;
+    let mut depth = 0i32;
+    // Live guards as (name, block depth at the binding).
+    let mut guards: Vec<(String, i32)> = Vec::new();
+    let flag = |line: u32, call: &str, held: &[(String, i32)], report: &mut FileReport| {
+        if in_ranges(exempt, line) {
+            return;
+        }
+        match directive_for(&lexed.allows, "guard-across-park", line) {
+            Some(true) => {}
+            Some(false) => report.violations.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "guard-across-park",
+                message: "audit:allow(guard-across-park) directive lacks a justification"
+                    .to_string(),
+            }),
+            None => {
+                let names: Vec<&str> = held.iter().map(|(n, _)| n.as_str()).collect();
+                report.violations.push(Violation {
+                    file: path.to_string(),
+                    line,
+                    rule: "guard-across-park",
+                    message: format!(
+                        "`{call}` while mutex guard(s) {names:?} are live; the sleeper \
+                         holds a lock its waker may need — drop the guard first"
+                    ),
+                });
+            }
+        }
+    };
+    let mut w = 0usize;
+    while w < toks.len() {
+        match &toks[w].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.1 <= depth);
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                // `let [mut] NAME = <expr>;` — a guard binding iff the
+                // expression calls `.lock(`. The lookahead only classifies
+                // the binding; scanning then continues token-by-token, so
+                // waits/parks *inside* the statement are still seen.
+                let mut k = w + 1;
+                if matches!(toks.get(k).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "mut") {
+                    k += 1;
+                }
+                let name = match toks.get(k).map(|t| &t.tok) {
+                    Some(Tok::Ident(n))
+                        if toks.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct('=')) =>
+                    {
+                        n.clone()
+                    }
+                    _ => {
+                        w += 1;
+                        continue;
+                    }
+                };
+                let mut j = k + 2;
+                let mut d = 0i32;
+                let mut locks = false;
+                while j < toks.len() {
+                    match toks[j].tok {
+                        Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => d += 1,
+                        Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => d -= 1,
+                        Tok::Punct(';') if d == 0 => break,
+                        Tok::Punct('.')
+                            if matches!(
+                                toks.get(j + 1).map(|t| &t.tok),
+                                Some(Tok::Ident(m)) if m == "lock"
+                            ) && toks.get(j + 2).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+                        {
+                            locks = true;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                guards.retain(|g| g.0 != name); // shadowing kills the old binding
+                if locks {
+                    guards.push((name, depth));
+                }
+            }
+            Tok::Ident(kw)
+                if kw == "drop" && toks.get(w + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+            {
+                if let Some(Tok::Ident(name)) = toks.get(w + 2).map(|t| &t.tok) {
+                    let name = name.clone();
+                    guards.retain(|g| g.0 != name);
+                }
+            }
+            Tok::Ident(kw)
+                if (kw == "park" || kw == "park_timeout")
+                    && toks.get(w + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && !guards.is_empty() =>
+            {
+                flag(toks[w].line, kw, &guards, report);
+            }
+            Tok::Punct('.') => {
+                let Some(Tok::Ident(m)) = toks.get(w + 1).map(|t| &t.tok) else {
+                    w += 1;
+                    continue;
+                };
+                if matches!(m.as_str(), "wait" | "wait_timeout" | "wait_while")
+                    && toks.get(w + 2).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                {
+                    // The wait's own guard argument is consumed, not held.
+                    if let Some(Tok::Ident(arg)) = toks.get(w + 3).map(|t| &t.tok) {
+                        let arg = arg.clone();
+                        guards.retain(|g| g.0 != arg);
+                    }
+                    if !guards.is_empty() {
+                        flag(toks[w + 1].line, &format!(".{m}(…)"), &guards, report);
+                    }
+                }
+            }
+            _ => {}
+        }
+        w += 1;
+    }
+}
+
 /// Rule `artifacts`: build artifacts in the tracked-file list.
 pub fn check_tracked_artifacts(tracked: &[String]) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -791,6 +1048,157 @@ fn hrtb<F: for<'a> Fn(&'a u32)>(f: F) {
     next_in_level(0);
 }";
         let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn allocation_in_the_cell_kernel_loop_is_flagged() {
+        let src = "
+fn kernel(lo: usize, hi: usize) {
+    let mut out = Vec::new();
+    for p in lo..hi {
+        out.push(next_in_level(p));
+        let copy = scratch.to_vec();
+        let s = format!(\"cell {p}\");
+        let boxed = Box::new(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        let rules: Vec<_> = rep.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(
+            rules, ["alloc-hot"; 4],
+            "push/to_vec/format!/Box::new in the walk must all flag: {:?}",
+            rep.violations
+        );
+        // `Vec::new` *outside* the loop (line 3) is the sanctioned pattern.
+        assert!(rep.violations.iter().all(|v| v.line >= 5));
+    }
+
+    #[test]
+    fn alloc_hot_scopes_to_the_innermost_walk_loop_and_other_files() {
+        // Allocation in an outer loop whose *inner* loop walks is judged
+        // against the outer body — which still contains the walk ident, so
+        // per-level setup must sit outside any loop or carry a directive.
+        let per_level_setup = "
+fn sweep(levels: usize) {
+    let mut buf = Vec::with_capacity(64);
+    for l in 1..levels {
+        buf.clear();
+        for p in 0..10 {
+            next_in_level(p);
+        }
+    }
+}";
+        let rep = lint_source(
+            "crates/parallel/src/wavefront.rs",
+            per_level_setup,
+            &no_allow(),
+        );
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // Loops that never walk next_in_level may allocate freely.
+        let cold = "
+fn collect_levels(levels: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for l in 0..levels {
+        out.push(l);
+    }
+    out
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", cold, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // Files outside TRACE_HOT_FILES are not checked.
+        let hot_elsewhere = "
+fn f(lo: usize, hi: usize) {
+    for p in lo..hi {
+        let v = vec![p];
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", hot_elsewhere, &no_allow());
+        assert!(rep.violations.is_empty());
+
+        // A justified directive overrides.
+        let justified = "
+fn kernel(lo: usize, hi: usize) {
+    for p in lo..hi {
+        // audit:allow(alloc-hot): one-shot diagnostic buffer, cold path
+        let v = vec![p];
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", justified, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn guard_live_across_wait_or_park_is_flagged() {
+        // Holding guard `a` while waiting on a condvar with guard `b`: the
+        // sleeper keeps `a` locked while parked — flagged.
+        let two_guards = "
+fn f(ma: &Mutex<u32>, mb: &Mutex<u32>, cv: &Condvar) {
+    let a = ma.lock();
+    let b = mb.lock();
+    let b = cv.wait(b);
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", two_guards, &no_allow());
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert_eq!(rep.violations[0].rule, "guard-across-park");
+        assert!(rep.violations[0].message.contains("\"a\""));
+
+        let parked = "
+fn f(m: &Mutex<u32>) {
+    let g = m.lock();
+    std::thread::park();
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", parked, &no_allow());
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert_eq!(rep.violations[0].rule, "guard-across-park");
+    }
+
+    #[test]
+    fn guard_handoff_drop_and_scope_exit_are_clean() {
+        // The pool's actual pattern: the wait consumes its own guard.
+        let handoff = "
+fn f(m: &Mutex<u32>, cv: &Condvar) {
+    let mut ctl = m.lock();
+    while !ctl.ready {
+        ctl = cv.wait(ctl);
+    }
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", handoff, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // Explicit drop before parking is the sanctioned fix.
+        let dropped = "
+fn f(m: &Mutex<u32>) {
+    let g = m.lock();
+    drop(g);
+    std::thread::park();
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", dropped, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // A guard whose block closed before the park is dead.
+        let scoped = "
+fn f(m: &Mutex<u32>) {
+    {
+        let g = m.lock();
+        *g += 1;
+    }
+    std::thread::park();
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", scoped, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // The sync seam itself is exempt: it implements the handoff.
+        let seam = "
+fn wait_impl(m: &Mutex<u32>, cv: &Condvar) {
+    let g = m.lock();
+    std::thread::park();
+}";
+        let rep = lint_source("crates/parallel/src/sync.rs", seam, &no_allow());
         assert!(rep.violations.is_empty(), "{:?}", rep.violations);
     }
 

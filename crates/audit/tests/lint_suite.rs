@@ -94,6 +94,42 @@ fn fixture_fails_cast_rule_in_dp_files() {
 }
 
 #[test]
+fn fixture_fails_alloc_hot_in_kernel_files_and_guard_rule_everywhere() {
+    // `alloc-hot` fires only under TRACE_HOT_FILES paths — the fixture's
+    // hot-loop `.push` is flagged there and nowhere else.
+    let hot = lint_source(
+        "crates/ptas/src/table.rs",
+        &fixture(),
+        &Allowlist::default(),
+    );
+    assert!(
+        hot.violations.iter().any(|v| v.rule == "alloc-hot"),
+        "found: {:?}",
+        hot.violations
+    );
+    let cold = lint_source("crates/fake/src/lib.rs", &fixture(), &Allowlist::default());
+    assert!(cold.violations.iter().all(|v| v.rule != "alloc-hot"));
+
+    // `guard-across-park` fires everywhere except the sync seam itself.
+    assert!(
+        cold.violations
+            .iter()
+            .any(|v| v.rule == "guard-across-park"),
+        "found: {:?}",
+        cold.violations
+    );
+    let seam = lint_source(
+        "crates/parallel/src/sync.rs",
+        &fixture(),
+        &Allowlist::default(),
+    );
+    assert!(seam
+        .violations
+        .iter()
+        .all(|v| v.rule != "guard-across-park"));
+}
+
+#[test]
 fn allowlist_downgrades_unwrap_but_not_relaxed() {
     let allow = Allowlist::parse(
         "unwrap crates/fake/src/lib.rs fixture burn-down\n\

@@ -64,6 +64,12 @@ fn wavefront_is_race_free_across_64_interleavings() {
         report.races
     );
     assert!(
+        report.lock_cycles.is_empty() && report.lost_wakeups.is_empty(),
+        "wavefront blocking findings: {:?} {:?}",
+        report.lock_cycles,
+        report.lost_wakeups
+    );
+    assert!(
         report.max_threads > 1,
         "instrumentation must actually see worker threads"
     );
@@ -107,6 +113,16 @@ fn persistent_pool_park_wake_barrier_is_race_free() {
         report.races.is_empty(),
         "persistent pool races found: {:?}",
         report.races
+    );
+    assert!(
+        report.lock_cycles.is_empty(),
+        "persistent pool lock-order cycles found: {:?}",
+        report.lock_cycles
+    );
+    assert!(
+        report.lost_wakeups.is_empty(),
+        "persistent pool lost-wakeup candidates found: {:?}",
+        report.lost_wakeups
     );
     assert!(
         total_parks.load(Ordering::Relaxed) > 0,
@@ -171,6 +187,12 @@ fn uniform_capacity_wavefront_is_race_free_across_64_interleavings() {
         report.races.is_empty(),
         "uniform wavefront races found: {:?}",
         report.races
+    );
+    assert!(
+        report.lock_cycles.is_empty() && report.lost_wakeups.is_empty(),
+        "uniform wavefront blocking findings: {:?} {:?}",
+        report.lock_cycles,
+        report.lost_wakeups
     );
     assert!(report.max_threads > 1);
     assert!(

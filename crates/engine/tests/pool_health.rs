@@ -43,6 +43,31 @@ fn pool_parks_equal_wakes_after_wind_down_across_thread_counts() {
 }
 
 #[test]
+fn kernel_allocations_stay_per_worker_not_per_cell() {
+    // The runtime counterpart of the `alloc-hot` lint: the cell kernel may
+    // allocate its per-worker buffers once per bisection probe, never per
+    // cell. A per-cell allocation would scale the counter with dp_cells
+    // (thousands here); per-worker scales with threads × probes.
+    let inst = instance();
+    for threads in [2, 4] {
+        let params = SolverParams {
+            threads: Some(threads),
+            ..SolverParams::default()
+        };
+        let solver = build("par-ptas", &params).unwrap();
+        let report = solver.solve(&SolveRequest::new(&inst)).unwrap();
+        assert!(report.stats.dp_cells > 100, "threads = {threads}");
+        assert!(
+            report.stats.dp_kernel_allocs <= threads as u64 * report.stats.bisection_probes.max(1),
+            "threads = {threads}: {} kernel allocations for {} probes — the \
+             kernel is allocating per cell, not per worker",
+            report.stats.dp_kernel_allocs,
+            report.stats.bisection_probes
+        );
+    }
+}
+
+#[test]
 fn traced_parallel_solve_yields_per_worker_utilization() {
     let _serial = trace_serial();
     let inst = instance();

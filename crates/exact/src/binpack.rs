@@ -133,7 +133,11 @@ impl FeasibilityOracle {
         // Free-capacity bound with wasted space: a bin whose residual is
         // smaller than the smallest remaining job can never receive another
         // job, so its space does not count.
-        let t_min = *self.times.last().expect("p < len");
+        // `p < times.len()` here, so the list is non-empty; an empty list
+        // would mean every job is already packed.
+        let Some(&t_min) = self.times.last() else {
+            return Some(true);
+        };
         let free: Time = loads.iter().map(|&w| cap - w).filter(|&r| r >= t_min).sum();
         if self.suffix[p] > free {
             return Some(false);

@@ -2,20 +2,25 @@
 //! pairwise swaps. Used to strengthen the exact solver's warm start and as
 //! a cheap standalone improver for any heuristic's output.
 
-use pcmax_core::{Instance, MachineId, Schedule, Time};
+use pcmax_core::{Error, Instance, MachineId, Result, Schedule, Time};
 
 /// Runs move/swap descent until a local optimum: each round, take the most
 /// loaded machine and try (a) moving one of its jobs to any other machine,
 /// (b) swapping one of its jobs with a smaller job elsewhere, accepting the
 /// change that most reduces the *pair's* maximum load. Terminates because
 /// the sorted load vector strictly lexicographically decreases each round.
-pub fn local_search(inst: &Instance, schedule: &Schedule) -> Schedule {
+///
+/// Errors with [`Error::NoMachines`] on a zero-machine schedule (which
+/// [`Instance::new`] already rejects upstream).
+pub fn local_search(inst: &Instance, schedule: &Schedule) -> Result<Schedule> {
     let mut assignment: Vec<MachineId> = schedule.assignment().to_vec();
     let mut loads = schedule.loads(inst);
     let mut jobs_of: Vec<Vec<usize>> = schedule.jobs_per_machine();
 
     loop {
-        let src = (0..loads.len()).max_by_key(|&i| loads[i]).expect("m >= 1");
+        let Some(src) = (0..loads.len()).max_by_key(|&i| loads[i]) else {
+            return Err(Error::NoMachines);
+        };
         let src_load = loads[src];
         // Best action: (new pair max, description). Lower is better.
         let mut best: Option<(Time, Action)> = None;
@@ -66,7 +71,7 @@ pub fn local_search(inst: &Instance, schedule: &Schedule) -> Schedule {
             }
         }
     }
-    Schedule::from_assignment(assignment, inst.machines()).expect("indices preserved")
+    Schedule::from_assignment(assignment, inst.machines())
 }
 
 enum Action {
@@ -87,7 +92,7 @@ mod tests {
         let inst = Instance::new(vec![1, 1, 1, 3], 2).unwrap();
         let ls = Ls.schedule(&inst).unwrap();
         assert_eq!(ls.makespan(&inst), 4);
-        let polished = local_search(&inst, &ls);
+        let polished = local_search(&inst, &ls).unwrap();
         polished.validate(&inst).unwrap();
         assert_eq!(polished.makespan(&inst), 3);
     }
@@ -98,7 +103,7 @@ mod tests {
         let inst = Instance::new(vec![5, 5, 4, 4, 3, 3, 3], 3).unwrap();
         let lpt = Lpt.schedule(&inst).unwrap();
         assert_eq!(lpt.makespan(&inst), 11);
-        let polished = local_search(&inst, &lpt);
+        let polished = local_search(&inst, &lpt).unwrap();
         assert!(polished.makespan(&inst) <= 10);
     }
 
@@ -112,7 +117,7 @@ mod tests {
         ] {
             let inst = Instance::new(times, m).unwrap();
             for schedule in [Ls.schedule(&inst).unwrap(), Lpt.schedule(&inst).unwrap()] {
-                let polished = local_search(&inst, &schedule);
+                let polished = local_search(&inst, &schedule).unwrap();
                 polished.validate(&inst).unwrap();
                 assert!(polished.makespan(&inst) <= schedule.makespan(&inst));
             }
@@ -124,7 +129,7 @@ mod tests {
         let inst = Instance::new(vec![5, 5, 5, 5], 2).unwrap();
         let s = Lpt.schedule(&inst).unwrap();
         assert_eq!(s.makespan(&inst), 10);
-        let polished = local_search(&inst, &s);
+        let polished = local_search(&inst, &s).unwrap();
         assert_eq!(polished.makespan(&inst), 10);
     }
 
@@ -132,6 +137,6 @@ mod tests {
     fn empty_schedule() {
         let inst = Instance::new(vec![], 3).unwrap();
         let s = Ls.schedule(&inst).unwrap();
-        assert_eq!(local_search(&inst, &s).makespan(&inst), 0);
+        assert_eq!(local_search(&inst, &s).unwrap().makespan(&inst), 0);
     }
 }

@@ -80,7 +80,7 @@ impl BranchAndBound {
     pub fn solve_detailed(&self, inst: &Instance) -> Result<ExactOutput> {
         // Warm start: LPT polished by move/swap local search; start the
         // bracket at the strongest combinatorial lower bound.
-        let warm = local_search(inst, &Lpt.schedule(inst)?);
+        let warm = local_search(inst, &Lpt.schedule(inst)?)?;
         let mut upper = warm.makespan(inst);
         let mut lower = combinatorial_lower_bound(inst);
         let mut best = warm;

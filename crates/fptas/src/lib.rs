@@ -99,7 +99,11 @@ impl FixedMachinesFptas {
 
         for &job in order.iter() {
             let t = inst.time(job);
-            let prev = rounds.last().expect("at least the initial round");
+            let Some(prev) = rounds.last() else {
+                return Err(Error::InvalidWitness {
+                    reason: "FPTAS rounds list lost its initial round".to_string(),
+                });
+            };
             // Key: quantized sorted loads -> index into `next` (keep the
             // representative with the smallest true max load).
             let mut seen: HashMap<Vec<Time>, usize> = HashMap::new();
@@ -151,13 +155,21 @@ impl FixedMachinesFptas {
         }
 
         // Best final state.
-        let last = rounds.last().expect("n+1 rounds");
-        let (mut best_idx, best_ms) = last
+        let Some(last) = rounds.last() else {
+            return Err(Error::InvalidWitness {
+                reason: "FPTAS produced no final round (expected n+1)".to_string(),
+            });
+        };
+        let Some((mut best_idx, best_ms)) = last
             .iter()
             .enumerate()
             .map(|(i, s)| (i, s.loads[0]))
             .min_by_key(|&(_, ms)| ms)
-            .expect("at least one state survives");
+        else {
+            return Err(Error::InvalidWitness {
+                reason: "FPTAS final round is empty (no state survived trimming)".to_string(),
+            });
+        };
 
         // Reconstruct by replaying the decisions forward: walk parents back,
         // then re-execute placements against unsorted per-machine loads.

@@ -9,12 +9,22 @@
 //!
 //! * logs every shared-memory access as a typed [`audit::Event`] (reads,
 //!   writes, atomic loads/stores with their ordering class, lock
-//!   acquire/release, spawn/join edges), ready for the happens-before race
-//!   detector in `pcmax-audit`, and
-//! * serializes the participating threads through a seeded turn-based
-//!   scheduler (SplitMix64-driven), so the `pcmax-audit` interleaving
-//!   explorer can replay *many different* thread schedules deterministically
-//!   and assert that none of them races or changes the DP table.
+//!   acquire/release, condvar wait/notify/wake, spawn/join edges), ready for
+//!   the happens-before race detector in `pcmax-audit`, and
+//! * serializes the participating threads through a turn-based scheduler
+//!   with two policies: seeded-random (SplitMix64, the legacy sweeps) and
+//!   *scripted*, where an explorer dictates the thread granted at each
+//!   scheduling decision — the controlled mode `pcmax-audit`'s DPOR search
+//!   drives. Every run records its decision sequence ([`audit::Decision`]),
+//!   so any schedule replays exactly from its choice list.
+//!
+//! Under the scheduler, lock ownership and condvar wait-sets are tracked *in
+//! the model* (no thread ever sleeps in the OS on a contended lock or a real
+//! condvar): the set of runnable threads at every decision is a pure
+//! function of the decisions taken so far, which is what makes scripted
+//! replay deterministic. A schedule in which every live thread is
+//! model-blocked is a genuine deadlock of the workload and aborts the
+//! session with a panic whose message starts with `audit model deadlock`.
 //!
 //! The instrumentation is opt-in twice over: the feature gates compilation,
 //! and at runtime events are only recorded by threads registered with an
@@ -111,15 +121,23 @@ pub fn trace_wake(worker: usize) {
     pcmax_trace::instant("wake", worker as u64);
 }
 
+/// Identity counter for auditable sync objects. Reset to 1 at every session
+/// start (sessions are globally serialized), so re-running the same workload
+/// numbers its objects identically — a trace from one run can be compared
+/// op-for-op with a trace from a replay. Consequence: objects created
+/// *outside* a session must not be used inside one (the executors create all
+/// their sync objects per solve, inside the workload).
+#[cfg(feature = "audit")]
+static NEXT_OBJECT_ID: AtomicUsize = AtomicUsize::new(1);
+
 /// Allocates a fresh identity for an auditable sync object. Zero in normal
 /// builds (identities are only consumed by the audit log).
 fn next_object_id() -> usize {
     #[cfg(feature = "audit")]
     {
-        static NEXT: AtomicUsize = AtomicUsize::new(1);
         // audit:allow(relaxed): pure id allocation — the only requirement is
         // uniqueness, which the RMW's atomicity gives; no data is published.
-        return NEXT.fetch_add(1, Ordering::Relaxed);
+        return NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed);
     }
     #[allow(unreachable_code)]
     0
@@ -226,11 +244,18 @@ impl Default for AtomicCounter {
 
 /// An auditable mutex. Lock/unlock events carry the object identity, giving
 /// the race detector the release→acquire edges of the lock protocol. Under
-/// the interleaving scheduler, `lock` yields the turn between attempts
-/// instead of blocking, so a contended lock cannot deadlock the explorer.
+/// the interleaving scheduler, ownership is decided by the *model*
+/// ([`audit`] tracks a lock-owner table and parks contenders in a
+/// `LockWaiting` state), so the runnable set at every scheduling decision is
+/// a deterministic function of the schedule — the property the DPOR explorer
+/// needs. The real `std` lock trails the model by at most the holder's few
+/// instructions between logging the release and actually unlocking, which a
+/// bounded spin absorbs.
 #[derive(Debug)]
 pub struct Mutex<T> {
     inner: std::sync::Mutex<T>,
+    /// Stable per-session object id; only the audit scheduler reads it.
+    #[cfg_attr(not(feature = "audit"), allow(dead_code))]
     id: usize,
 }
 
@@ -240,11 +265,12 @@ impl<T: Default> Default for Mutex<T> {
     }
 }
 
-/// Guard returned by [`Mutex::lock`]; logs the release on drop.
+/// Guard returned by [`Mutex::lock`]; logs the release on drop. Carries a
+/// reference to its mutex so [`Condvar::wait`] can reacquire after waking.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T> {
     guard: Option<std::sync::MutexGuard<'a, T>>,
-    id: usize,
+    owner: &'a Mutex<T>,
 }
 
 impl<T> Mutex<T> {
@@ -261,16 +287,26 @@ impl<T> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "audit")]
         if audit::scheduled() {
-            // Under the explorer: spin with turn yields instead of blocking,
-            // so the holder can be granted the turn it needs to release.
+            // The model grants ownership (and logs the acquire); the real
+            // lock follows. Its holder has already logged the release and
+            // unlocks before its next scheduling point, so this spin is a
+            // handful of iterations, never a schedule-dependent wait.
+            audit::lock_acquire(self.id);
             loop {
-                audit::yield_turn();
-                if let Ok(guard) = self.inner.try_lock() {
-                    audit::on_lock(self.id, true);
-                    return MutexGuard {
-                        guard: Some(guard),
-                        id: self.id,
-                    };
+                match self.inner.try_lock() {
+                    Ok(guard) => {
+                        return MutexGuard {
+                            guard: Some(guard),
+                            owner: self,
+                        }
+                    }
+                    Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                        return MutexGuard {
+                            guard: Some(poisoned.into_inner()),
+                            owner: self,
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => std::hint::spin_loop(),
                 }
             }
         }
@@ -278,11 +314,9 @@ impl<T> Mutex<T> {
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        #[cfg(feature = "audit")]
-        audit::on_lock(self.id, true);
         MutexGuard {
             guard: Some(guard),
-            id: self.id,
+            owner: self,
         }
     }
 }
@@ -307,74 +341,96 @@ impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        // Record the release while the real lock is still held (as the wait
-        // path does): `on_lock` yields for the turn, and if the real unlock
-        // came first, a waiter blocked inside `Condvar::wait` could really
-        // re-acquire and log its acquire *before* this release is logged —
-        // the detector would then miss the release→acquire edge and report
-        // a phantom race on whatever the critical section published.
+        // Record the release (in the model) while the real lock is still
+        // held: the model hands ownership to the next contender at the
+        // release *event*, and the real unlock below lands before this
+        // thread's next scheduling point, so the successor's bounded
+        // `try_lock` spin in `Mutex::lock` succeeds promptly.
+        if self.guard.is_none() {
+            // Consumed by `Condvar::wait`, which logged the release itself.
+            return;
+        }
         #[cfg(feature = "audit")]
-        audit::on_lock(self.id, false);
+        audit::lock_release(self.owner.id);
+        let _ = &self.owner;
         self.guard = None;
-        let _ = self.id;
     }
 }
 
-/// An auditable condition variable. Waits leave the scheduler (like a join),
-/// so a waiting thread never wedges the explorer; wakeups re-enter it.
-#[derive(Debug, Default)]
+/// An auditable condition variable. Under the interleaving scheduler the
+/// wait-set, the wake choice and the lock handoff are all tracked in the
+/// model — the wait registers *before* the lock is released (one atomic
+/// scheduler step, like the real primitive), `notify_one` deterministically
+/// wakes the lowest-id waiter, and the model produces no spurious wakeups.
+/// Outside the scheduler this is `std`'s condvar (spurious wakeups
+/// possible, as usual).
+#[derive(Debug)]
 pub struct Condvar {
     inner: std::sync::Condvar,
+    #[cfg_attr(not(feature = "audit"), allow(dead_code))]
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Condvar {
     /// A new condition variable.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: std::sync::Condvar::new(),
+            id: next_object_id(),
+        }
     }
 
-    /// Waits on `guard`'s mutex until notified (spurious wakeups possible,
-    /// as with `std`). Returns the reacquired guard.
+    /// Waits on `guard`'s mutex until notified. Returns the reacquired
+    /// guard.
     pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        let id = guard.id;
+        let owner = guard.owner;
         let std_guard = guard
             .guard
             .take()
             .unwrap_or_else(|| unreachable!("wait on dropped guard"));
         #[cfg(feature = "audit")]
-        audit::on_lock(id, false);
-        #[cfg(feature = "audit")]
         if audit::scheduled() {
-            let reacquired = audit::join_region(usize::MAX, || {
-                self.inner
-                    .wait(std_guard)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-            });
-            audit::on_lock(id, true);
-            return MutexGuard {
-                guard: Some(reacquired),
-                id,
-            };
+            // Wait-set registration and the model's lock release happen in
+            // one scheduler step, *before* the real unlock: a notifier can
+            // only evaluate the wait predicate under this mutex, which the
+            // model hands over only after that release event — so it always
+            // observes this waiter registered (no model-level lost wakeups).
+            audit::cond_block(self.id, owner.id);
+            drop(std_guard);
+            audit::cond_sleep(self.id);
+            return owner.lock();
         }
         let reacquired = self
             .inner
             .wait(std_guard)
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        #[cfg(feature = "audit")]
-        audit::on_lock(id, true);
         MutexGuard {
             guard: Some(reacquired),
-            id,
+            owner,
         }
     }
 
-    /// Wakes one waiter.
+    /// Wakes one waiter (under the scheduler: the lowest-id modeled waiter).
     pub fn notify_one(&self) {
+        #[cfg(feature = "audit")]
+        if audit::scheduled() {
+            audit::on_notify(self.id, false);
+        }
         self.inner.notify_one();
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) {
+        #[cfg(feature = "audit")]
+        if audit::scheduled() {
+            audit::on_notify(self.id, true);
+        }
         self.inner.notify_all();
     }
 }
@@ -386,6 +442,7 @@ pub mod audit {
 
     use pcmax_core::rng::SplitMix64;
     use std::cell::Cell;
+    use std::collections::HashMap;
     use std::sync::atomic::Ordering;
     use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
@@ -456,6 +513,31 @@ pub mod audit {
             /// Child thread id.
             child: usize,
         },
+        /// Condvar wait entry: the waiter atomically releases `lock` (a
+        /// paired `LockRelease` event follows immediately) and enters the
+        /// cv's wait-set.
+        CondWait {
+            /// Condvar identity.
+            cv: usize,
+            /// The mutex released by the wait.
+            lock: usize,
+        },
+        /// `notify_one`/`notify_all`. `waiters` is the wait-set size the
+        /// notify observed (0 = nobody woke — lost-wakeup analysis input).
+        Notify {
+            /// Condvar identity.
+            cv: usize,
+            /// Whether this was `notify_all`.
+            all: bool,
+            /// Wait-set size at the notify.
+            waiters: usize,
+        },
+        /// A waiter left the cv's wait-set (paired with the `Notify` that
+        /// woke it); its lock reacquisition follows as a `LockAcquire`.
+        CondWake {
+            /// Condvar identity.
+            cv: usize,
+        },
     }
 
     /// One event of the serialized schedule.
@@ -467,6 +549,17 @@ pub mod audit {
         pub op: Op,
     }
 
+    /// One scheduling decision: which thread was granted the turn, out of
+    /// which enabled (runnable) set. The chosen-thread sequence of a trace
+    /// is a complete replay script for [`explore_scripted`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Decision {
+        /// Thread ids that were runnable at this decision, ascending.
+        pub enabled: Vec<usize>,
+        /// The thread granted the turn.
+        pub chosen: usize,
+    }
+
     /// The full serialized history of one explored schedule.
     #[derive(Debug, Clone)]
     pub struct Trace {
@@ -474,8 +567,15 @@ pub mod audit {
         pub events: Vec<Event>,
         /// Number of threads that participated (ids `0..threads`).
         pub threads: usize,
-        /// The seed that produced this schedule.
+        /// The seed that produced this schedule (0 for scripted runs).
         pub seed: u64,
+        /// Every scheduling decision, in grant order (recorded under both
+        /// policies).
+        pub decisions: Vec<Decision>,
+        /// For each event, the index into `decisions` of the grant it ran
+        /// under; `usize::MAX` for thread 0's events before its first yield
+        /// (those form a prefix, after which the values are non-decreasing).
+        pub event_decisions: Vec<usize>,
     }
 
     /// Per-thread scheduler state.
@@ -487,35 +587,115 @@ pub mod audit {
         Wanting,
         /// Holds the turn and is executing.
         Running,
-        /// Blocked in a real operation (join, condvar) outside the scheduler.
-        Blocked,
+        /// Blocked in a real join outside the scheduler, on `join` (the
+        /// joined child's id, or `usize::MAX` for an anonymous region).
+        Blocked {
+            /// Child being joined.
+            join: usize,
+        },
+        /// The joined child finished; the parent's real join is returning
+        /// but has not re-registered yet. Dispatch stalls (like `Pending`)
+        /// so the enabled set never depends on OS wakeup timing.
+        Reentering,
+        /// Model-blocked waiting for the mutex with this identity.
+        LockWaiting(usize),
+        /// Model-blocked in the wait-set of the condvar with this identity.
+        CondWaiting(usize),
         /// Finished.
         Done,
     }
 
+    /// How the scheduler picks among runnable threads.
+    enum Policy {
+        /// Seeded pseudo-random pick — the legacy sweep mode.
+        Random(SplitMix64),
+        /// Decision `d` grants `choices[d]` when enabled; off-script (or
+        /// exhausted) decisions fall back to deterministic round-robin.
+        Scripted(Vec<usize>),
+    }
+
     struct SessionState {
         events: Vec<Event>,
-        rng: SplitMix64,
+        /// Granting decision index per event (see [`Trace::event_decisions`]).
+        event_decisions: Vec<usize>,
+        decisions: Vec<Decision>,
+        policy: Policy,
         threads: Vec<TState>,
+        /// Per-thread index of the decision that granted its current turn
+        /// (`usize::MAX` before the first grant).
+        grant_of: Vec<usize>,
+        /// Last thread granted by the round-robin fallback.
+        rr_last: usize,
+        /// Model lock-owner table: mutex identity → holder thread.
+        lock_owner: HashMap<usize, usize>,
+        /// Set when the model detects a deadlock; every thread then panics
+        /// out of the schedule instead of waiting forever.
+        aborted: Option<String>,
         seed: u64,
     }
 
     impl SessionState {
-        /// Grants the turn to a random wanting thread, provided no thread is
-        /// currently running and no announced child is still unregistered
-        /// (stalling on stragglers keeps schedules deterministic per seed).
+        /// Grants the turn per the policy, provided no thread is currently
+        /// running, no announced child is still unregistered, and no joined
+        /// parent is mid-reentry (stalling on stragglers keeps the enabled
+        /// set a pure function of the decisions so far). If nothing is
+        /// runnable but threads are still model-blocked on locks/condvars,
+        /// flags the schedule as deadlocked.
         fn dispatch(&mut self) {
-            if self.threads.contains(&TState::Running) || self.threads.contains(&TState::Pending) {
+            if self
+                .threads
+                .iter()
+                .any(|t| matches!(*t, TState::Running | TState::Pending | TState::Reentering))
+            {
                 return;
             }
             let wanting: Vec<usize> = (0..self.threads.len())
                 .filter(|&i| self.threads[i] == TState::Wanting)
                 .collect();
             if wanting.is_empty() {
+                let stuck: Vec<String> = (0..self.threads.len())
+                    .filter_map(|i| match self.threads[i] {
+                        TState::LockWaiting(obj) => Some(format!("thread {i} on lock {obj}")),
+                        TState::CondWaiting(cv) => Some(format!("thread {i} on condvar {cv}")),
+                        _ => None,
+                    })
+                    .collect();
+                if !stuck.is_empty() && self.aborted.is_none() {
+                    // No schedule extension can ever wake these threads: a
+                    // genuine deadlock of the workload under this schedule.
+                    self.aborted = Some(format!("model deadlock: {}", stuck.join(", ")));
+                }
                 return;
             }
-            let pick = wanting[self.rng.below(wanting.len() as u64) as usize];
+            let d = self.decisions.len();
+            let pick = match &mut self.policy {
+                Policy::Random(rng) => wanting[rng.below(wanting.len() as u64) as usize],
+                Policy::Scripted(choices) => match choices.get(d) {
+                    Some(&c) if wanting.contains(&c) => c,
+                    // Round-robin rather than lowest-id: a fixed-priority
+                    // fallback could starve the very thread a higher-id
+                    // poller is waiting on.
+                    _ => wanting
+                        .iter()
+                        .copied()
+                        .find(|&w| w > self.rr_last)
+                        .unwrap_or(wanting[0]),
+                },
+            };
+            self.rr_last = pick;
+            self.grant_of[pick] = d;
+            self.decisions.push(Decision {
+                enabled: wanting,
+                chosen: pick,
+            });
             self.threads[pick] = TState::Running;
+        }
+
+        /// Appends an event, tagging it with the decision that granted the
+        /// thread its current turn.
+        fn push_event(&mut self, thread: usize, op: Op) {
+            self.event_decisions.push(self.grant_of[thread]);
+            self.events.push(Event { thread, op });
         }
     }
 
@@ -551,25 +731,59 @@ pub mod audit {
         MY_ID.with(|id| id.get())
     }
 
-    /// Blocks until the scheduler grants this thread the turn, releasing the
-    /// turn it currently holds (if any). The serialization point of every
+    /// Panics the calling thread out of the schedule once the session is
+    /// aborted (model deadlock). Silent during an unwind — the first panic
+    /// is the report, and a second would abort the process.
+    fn abort_check(st: &SessionState) {
+        if let Some(reason) = &st.aborted {
+            if !std::thread::panicking() {
+                panic!("audit {reason}");
+            }
+        }
+    }
+
+    /// Waits until `id` holds the turn (or the session aborts). Returns the
+    /// state guard with the thread Running — or, mid-unwind on an aborted
+    /// session, without it, so unwinding cleanup code never blocks on the
+    /// scheduler.
+    fn await_turn<'a>(
+        session: &'a Session,
+        mut st: MutexGuard<'a, SessionState>,
+        id: usize,
+    ) -> MutexGuard<'a, SessionState> {
+        while st.threads[id] != TState::Running {
+            if st.aborted.is_some() {
+                break;
+            }
+            st = session
+                .turn
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        abort_check(&st);
+        st
+    }
+
+    /// Gives up the current turn (if held), runs the dispatcher and waits
+    /// until this thread is granted again. The serialization point of every
     /// instrumented operation.
-    pub fn yield_turn() {
-        let (Some(session), Some(id)) = (active(), me()) else {
-            return;
-        };
+    fn acquire_turn<'a>(session: &'a Session, id: usize) -> MutexGuard<'a, SessionState> {
         let mut st = lock(&session.state);
         if st.threads[id] == TState::Running {
             st.threads[id] = TState::Wanting;
         }
         st.dispatch();
         session.turn.notify_all();
-        while st.threads[id] != TState::Running {
-            st = session
-                .turn
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
+        await_turn(session, st, id)
+    }
+
+    /// Blocks until the scheduler grants this thread the turn, releasing the
+    /// turn it currently holds (if any).
+    pub fn yield_turn() {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        drop(acquire_turn(&session, id));
     }
 
     /// Yields for the turn, then records `op` while holding it.
@@ -577,20 +791,12 @@ pub mod audit {
         let (Some(session), Some(id)) = (active(), me()) else {
             return;
         };
-        let mut st = lock(&session.state);
-        if st.threads[id] == TState::Running {
-            st.threads[id] = TState::Wanting;
-        }
-        st.dispatch();
-        session.turn.notify_all();
-        while st.threads[id] != TState::Running {
-            st = session
-                .turn
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+        let mut st = acquire_turn(&session, id);
+        if st.aborted.is_some() {
+            return;
         }
         let op = op_of(id);
-        st.events.push(Event { thread: id, op });
+        st.push_event(id, op);
     }
 
     /// Hook for [`super::trace_read`]/[`super::trace_write`].
@@ -619,16 +825,128 @@ pub mod audit {
         });
     }
 
-    /// Hook for the mutex wrapper (`acquire = true` on lock, `false` on
-    /// unlock).
-    pub(super) fn on_lock(obj: usize, acquire: bool) {
-        turn_and_record(|_| {
-            if acquire {
-                Op::LockAcquire { obj }
-            } else {
-                Op::LockRelease { obj }
+    /// Model half of [`super::Mutex::lock`] under the scheduler: takes
+    /// scheduling turns until the model says the lock is free, claims it and
+    /// logs the acquire. Contenders park as `LockWaiting` (not runnable), so
+    /// the enabled set never contains a thread whose next step could not
+    /// make progress.
+    pub(super) fn lock_acquire(obj: usize) {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let mut st = acquire_turn(&session, id);
+        loop {
+            if st.aborted.is_some() {
+                return; // mid-unwind: the model is abandoned
             }
-        });
+            if let std::collections::hash_map::Entry::Vacant(slot) = st.lock_owner.entry(obj) {
+                slot.insert(id);
+                st.push_event(id, Op::LockAcquire { obj });
+                return;
+            }
+            // Held: model-block until the owner's release event flips the
+            // waiters back to Wanting, then race for the next grant.
+            st.threads[id] = TState::LockWaiting(obj);
+            st.dispatch();
+            session.turn.notify_all();
+            st = await_turn(&session, st, id);
+        }
+    }
+
+    /// Release half: logs the event, clears the owner table and wakes the
+    /// model's lock-waiters. The caller drops the real guard immediately
+    /// after, before its next scheduling point.
+    pub(super) fn lock_release(obj: usize) {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let mut st = acquire_turn(&session, id);
+        if st.aborted.is_some() {
+            return;
+        }
+        release_in_model(&mut st, id, obj);
+    }
+
+    /// Logs `LockRelease` and moves the lock's model-waiters to Wanting.
+    /// Runs under the caller's current turn.
+    fn release_in_model(st: &mut SessionState, id: usize, obj: usize) {
+        st.push_event(id, Op::LockRelease { obj });
+        st.lock_owner.remove(&obj);
+        for slot in st.threads.iter_mut() {
+            if *slot == TState::LockWaiting(obj) {
+                *slot = TState::Wanting;
+            }
+        }
+    }
+
+    /// Wait-entry half of [`super::Condvar::wait`] under the scheduler: in
+    /// one scheduler step (no new decision), logs `CondWait`, releases the
+    /// lock in the model and enters the cv's wait-set — the modeled
+    /// equivalent of the primitive's atomic unlock-and-sleep.
+    pub(super) fn cond_block(cv: usize, lock_obj: usize) {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let mut st = lock(&session.state);
+        if st.aborted.is_some() {
+            abort_check(&st);
+            return;
+        }
+        st.push_event(id, Op::CondWait { cv, lock: lock_obj });
+        release_in_model(&mut st, id, lock_obj);
+        st.threads[id] = TState::CondWaiting(cv);
+        st.dispatch();
+        session.turn.notify_all();
+    }
+
+    /// Sleep half of the modeled wait: parks until a notify moves this
+    /// thread out of the wait-set and the scheduler grants it a turn, then
+    /// logs the wake. The caller reacquires the mutex afterwards.
+    pub(super) fn cond_sleep(cv: usize) {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let st = lock(&session.state);
+        let mut st = await_turn(&session, st, id);
+        if st.aborted.is_some() {
+            return;
+        }
+        st.push_event(id, Op::CondWake { cv });
+    }
+
+    /// `notify_one`/`notify_all` under the scheduler: takes a scheduling
+    /// turn, moves the chosen waiter(s) to Wanting and logs the notify with
+    /// the observed wait-set size. `notify_one` wakes the lowest-id waiter —
+    /// the model has no spurious wakeups, and schedule choice (which woken
+    /// thread runs first) is covered by the grant order, not the wake pick.
+    pub(super) fn on_notify(cv: usize, all: bool) {
+        let (Some(session), Some(id)) = (active(), me()) else {
+            return;
+        };
+        let mut st = acquire_turn(&session, id);
+        if st.aborted.is_some() {
+            return;
+        }
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::CondWaiting(cv))
+            .map(|(t, _)| t)
+            .collect();
+        let count = waiters.len();
+        let wake = if all { count } else { count.min(1) };
+        for &t in &waiters[..wake] {
+            st.threads[t] = TState::Wanting;
+        }
+        st.push_event(
+            id,
+            Op::Notify {
+                cv,
+                all,
+                waiters: count,
+            },
+        );
     }
 
     /// Parent-side half of [`super::fork`]: allocates the child's dense id,
@@ -641,10 +959,8 @@ pub mod audit {
         let mut st = lock(&session.state);
         let child = st.threads.len();
         st.threads.push(TState::Pending);
-        st.events.push(Event {
-            thread: id,
-            op: Op::Spawn { child },
-        });
+        st.grant_of.push(usize::MAX);
+        st.push_event(id, Op::Spawn { child });
         Some(child)
     }
 
@@ -659,12 +975,7 @@ pub mod audit {
         st.threads[child] = TState::Wanting;
         st.dispatch();
         session.turn.notify_all();
-        while st.threads[child] != TState::Running {
-            st = session
-                .turn
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
+        drop(await_turn(&session, st, child));
     }
 
     /// Drop guard marking a worker finished; releases its turn even on
@@ -677,13 +988,21 @@ pub mod audit {
         }
     }
 
-    /// Child-side completion: release the turn for good.
+    /// Child-side completion: release the turn for good. A parent blocked on
+    /// this join becomes `Reentering` — its real join is about to return,
+    /// and dispatch stalls until it re-registers, so the next decision's
+    /// enabled set does not depend on how fast the OS runs the parent.
     pub(super) fn child_finish(child: usize) {
         let Some(session) = active() else {
             return;
         };
         let mut st = lock(&session.state);
         st.threads[child] = TState::Done;
+        for slot in st.threads.iter_mut() {
+            if *slot == (TState::Blocked { join: child }) {
+                *slot = TState::Reentering;
+            }
+        }
         st.dispatch();
         session.turn.notify_all();
         MY_ID.with(|id| id.set(None));
@@ -692,33 +1011,35 @@ pub mod audit {
     /// Runs blocking operation `f` outside the scheduler: the calling thread
     /// gives up the turn, performs `f` (e.g. a real `JoinHandle::join`), then
     /// re-enters the schedule and records the join edge. `child == usize::MAX`
-    /// marks an anonymous blocking region (condvar wait) with no join edge.
+    /// marks an anonymous blocking region with no join edge. If the child is
+    /// already Done the thread keeps its turn through `f` (the real join
+    /// returns promptly with nothing left to schedule around).
     pub fn join_region<R>(child: usize, f: impl FnOnce() -> R) -> R {
         let (Some(session), Some(id)) = (active(), me()) else {
             return f();
         };
-        {
+        let parked = {
             let mut st = lock(&session.state);
-            st.threads[id] = TState::Blocked;
+            let park = st.threads.get(child) != Some(&TState::Done);
+            if park {
+                st.threads[id] = TState::Blocked { join: child };
+                st.dispatch();
+                session.turn.notify_all();
+            }
+            park
+        };
+        let out = f();
+        let mut st = if parked {
+            let mut st = lock(&session.state);
+            st.threads[id] = TState::Wanting;
             st.dispatch();
             session.turn.notify_all();
-        }
-        let out = f();
-        let mut st = lock(&session.state);
-        st.threads[id] = TState::Wanting;
-        st.dispatch();
-        session.turn.notify_all();
-        while st.threads[id] != TState::Running {
-            st = session
-                .turn
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
+            await_turn(&session, st, id)
+        } else {
+            lock(&session.state)
+        };
         if child != usize::MAX {
-            st.events.push(Event {
-                thread: id,
-                op: Op::Join { child },
-            });
+            st.push_event(id, Op::Join { child });
         }
         out
     }
@@ -726,21 +1047,24 @@ pub mod audit {
     /// Global gate serializing sessions (concurrent test threads queue here).
     static GATE: Mutex<()> = Mutex::new(());
 
-    /// Runs `workload` under a fresh session with the given schedule seed and
-    /// returns the serialized trace. The calling thread becomes thread 0;
-    /// every worker forked (transitively) through [`super::fork`] joins the
-    /// schedule. Sessions are globally serialized, so concurrent callers
-    /// simply queue.
-    ///
-    /// # Panics
-    /// Panics if the workload panics (the session is torn down first).
-    pub fn explore<R>(seed: u64, workload: impl FnOnce() -> R) -> (R, Trace) {
+    /// Shared session driver for both policies.
+    fn run_session<R>(policy: Policy, seed: u64, workload: impl FnOnce() -> R) -> (R, Trace) {
         let _gate = lock(&GATE);
+        // audit:allow(relaxed): monotonic counter reset under the session
+        // gate; see `NEXT_OBJECT_ID` — makes object numbering per-session
+        // deterministic so replays are comparable op-for-op.
+        super::NEXT_OBJECT_ID.store(1, Ordering::Relaxed);
         let session = Arc::new(Session {
             state: Mutex::new(SessionState {
                 events: Vec::new(),
-                rng: SplitMix64::seed_from_u64(seed),
+                event_decisions: Vec::new(),
+                decisions: Vec::new(),
+                policy,
                 threads: vec![TState::Running],
+                grant_of: vec![usize::MAX],
+                rr_last: usize::MAX,
+                lock_owner: HashMap::new(),
+                aborted: None,
                 seed,
             }),
             turn: Condvar::new(),
@@ -755,12 +1079,44 @@ pub mod audit {
             events: st.events.clone(),
             threads: st.threads.len(),
             seed: st.seed,
+            decisions: st.decisions.clone(),
+            event_decisions: st.event_decisions.clone(),
         };
         drop(st);
         match out {
             Ok(r) => (r, trace),
             Err(panic) => std::panic::resume_unwind(panic),
         }
+    }
+
+    /// Runs `workload` under a fresh session with the given schedule seed and
+    /// returns the serialized trace. The calling thread becomes thread 0;
+    /// every worker forked (transitively) through [`super::fork`] joins the
+    /// schedule. Sessions are globally serialized, so concurrent callers
+    /// simply queue.
+    ///
+    /// # Panics
+    /// Panics if the workload panics (the session is torn down first), or
+    /// with an `audit model deadlock` message if every live thread is
+    /// model-blocked on a lock/condvar.
+    pub fn explore<R>(seed: u64, workload: impl FnOnce() -> R) -> (R, Trace) {
+        run_session(
+            Policy::Random(SplitMix64::seed_from_u64(seed)),
+            seed,
+            workload,
+        )
+    }
+
+    /// Runs `workload` under the *controlled* scheduler: decision `d` grants
+    /// thread `choices[d]` whenever that thread is enabled; off-script (or
+    /// exhausted) decisions fall back to deterministic round-robin. The same
+    /// script always replays the same trace — the foundation of the DPOR
+    /// explorer and of minimal counterexample replays.
+    ///
+    /// # Panics
+    /// Same contract as [`explore`].
+    pub fn explore_scripted<R>(choices: &[usize], workload: impl FnOnce() -> R) -> (R, Trace) {
+        run_session(Policy::Scripted(choices.to_vec()), 0, workload)
     }
 }
 
@@ -811,5 +1167,140 @@ mod tests {
     fn trace_hooks_are_noops_outside_sessions() {
         trace_read(3);
         trace_write(3);
+    }
+}
+
+#[cfg(all(test, feature = "audit"))]
+mod audit_tests {
+    use super::audit::{explore, explore_scripted, Op};
+    use super::*;
+
+    /// Two workers, each writing a private location then bumping a shared
+    /// AcqRel counter; parent joins both and reads the total.
+    fn two_workers() -> usize {
+        let ctr = AtomicCounter::new(0);
+        std::thread::scope(|s| {
+            let (ta, ia) = fork(|| {
+                trace_write(100);
+                ctr.fetch_add(1, Ordering::AcqRel);
+            });
+            let (tb, ib) = fork(|| {
+                trace_write(101);
+                ctr.fetch_add(1, Ordering::AcqRel);
+            });
+            let ha = s.spawn(ta);
+            let hb = s.spawn(tb);
+            join_with(ia, || ha.join()).unwrap_or_else(|p| std::panic::resume_unwind(p));
+            join_with(ib, || hb.join()).unwrap_or_else(|p| std::panic::resume_unwind(p));
+        });
+        ctr.load(Ordering::Acquire)
+    }
+
+    #[test]
+    fn scripted_replay_reproduces_a_random_run() {
+        let (r1, t1) = explore(5, two_workers);
+        let script: Vec<usize> = t1.decisions.iter().map(|d| d.chosen).collect();
+        let (r2, t2) = explore_scripted(&script, two_workers);
+        assert_eq!(r1, r2);
+        assert_eq!(t1.events, t2.events);
+        assert_eq!(t1.decisions, t2.decisions);
+    }
+
+    #[test]
+    fn scripted_fallback_is_deterministic() {
+        let (r1, t1) = explore_scripted(&[], two_workers);
+        let (r2, t2) = explore_scripted(&[], two_workers);
+        assert_eq!(r1, 2);
+        assert_eq!(r2, 2);
+        assert_eq!(t1.events, t2.events);
+        assert_eq!(t1.decisions, t2.decisions);
+    }
+
+    #[test]
+    fn event_decisions_tag_every_event_with_its_grant() {
+        let (_, trace) = explore_scripted(&[], two_workers);
+        assert_eq!(trace.events.len(), trace.event_decisions.len());
+        // Sentinel (pre-first-yield) events form a prefix; afterwards the
+        // granting decision index is non-decreasing and in range.
+        let mut seen_granted = false;
+        let mut last = 0usize;
+        for &d in &trace.event_decisions {
+            if d == usize::MAX {
+                assert!(!seen_granted, "sentinel event after a granted event");
+                continue;
+            }
+            assert!(d < trace.decisions.len());
+            if seen_granted {
+                assert!(d >= last);
+            }
+            seen_granted = true;
+            last = d;
+        }
+    }
+
+    #[test]
+    fn modeled_condvar_logs_typed_events() {
+        fn workload() -> bool {
+            let m = Mutex::new(false);
+            let cv = Condvar::new();
+            std::thread::scope(|s| {
+                let (task, id) = fork(|| {
+                    let mut flag = m.lock();
+                    *flag = true;
+                    cv.notify_one();
+                });
+                let h = s.spawn(task);
+                let mut flag = m.lock();
+                while !*flag {
+                    flag = cv.wait(flag);
+                }
+                drop(flag);
+                join_with(id, || h.join()).unwrap_or_else(|p| std::panic::resume_unwind(p));
+                true
+            })
+        }
+        // Round-robin fallback runs the parent (thread 0) first, so it must
+        // go through a full modeled wait/notify/wake cycle.
+        let (ok, trace) = explore_scripted(&[], workload);
+        assert!(ok);
+        let has = |pred: &dyn Fn(&Op) -> bool| trace.events.iter().any(|e| pred(&e.op));
+        assert!(has(&|op| matches!(op, Op::CondWait { .. })));
+        assert!(has(&|op| matches!(op, Op::Notify { .. })));
+        assert!(has(&|op| matches!(op, Op::CondWake { .. })));
+        // The wait's atomic unlock must pair the CondWait with an immediate
+        // LockRelease by the same thread.
+        let wait_at = trace
+            .events
+            .iter()
+            .position(|e| matches!(e.op, Op::CondWait { .. }))
+            .unwrap();
+        assert!(matches!(
+            trace.events[wait_at + 1].op,
+            Op::LockRelease { .. }
+        ));
+        assert_eq!(
+            trace.events[wait_at].thread,
+            trace.events[wait_at + 1].thread
+        );
+    }
+
+    #[test]
+    fn model_deadlock_is_detected_not_hung() {
+        let outcome = std::panic::catch_unwind(|| {
+            explore_scripted(&[], || {
+                let m = Mutex::new(());
+                let cv = Condvar::new();
+                let guard = m.lock();
+                // Nobody will ever notify: a genuine deadlock.
+                let _guard = cv.wait(guard);
+            })
+        });
+        let payload = outcome.expect_err("deadlocked workload must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("model deadlock"), "unexpected panic: {msg}");
     }
 }
