@@ -15,8 +15,10 @@ use pcmax_audit::dpor::workloads::{
     FORK_JOIN_TWO_WORKERS_SCHEDULES, TRIPLE_RMW_THREE_WORKERS_SCHEDULES,
 };
 use pcmax_audit::explore::{sweep, sweep_exhaustive};
-use pcmax_parallel::wavefront::{bucketed_sweep, spawn_per_level_sweep};
+use pcmax_parallel::wavefront::{bucketed_sweep, bucketed_sweep_space_with, spawn_per_level_sweep};
+use pcmax_parallel::{CellKernel, Chunking};
 use pcmax_ptas::dp::DpProblem;
+use pcmax_ptas::space::PcmaxSpace;
 use pcmax_ptas::table::DpScratch;
 
 /// A deliberately tiny instance (one job of rounded size 2·2, one of 4·2)
@@ -151,6 +153,67 @@ fn persistent_pool_exhaustive_sweep_is_clean() {
     assert!(
         report.deadlocks.is_empty(),
         "persistent pool model deadlocks: {:?}",
+        report.deadlocks
+    );
+    assert!(report.max_threads > 1);
+}
+
+#[test]
+fn strip_kernel_exhaustive_sweep_is_clean() {
+    // The batched strip kernel pinned explicitly (not just as the default),
+    // under DPOR on the tiny instance: every non-equivalent schedule of the
+    // pool must run the tile walk race-free and reproduce the oracle.
+    let expected = tiny_oracle();
+    let problem = tiny_problem();
+    let report = sweep_exhaustive(
+        4000,
+        || {
+            let mut scratch = DpScratch::new();
+            let mut table = problem
+                .build_level_major_table_in(&mut scratch)
+                .expect("tiny problem fits");
+            let configs = problem.configs_with_offsets(&table);
+            let space = PcmaxSpace::new(&configs);
+            table.values[0] = 0;
+            bucketed_sweep_space_with(
+                &mut table,
+                &space,
+                2,
+                &mut scratch,
+                CellKernel::Strip,
+                Chunking::Adaptive,
+            );
+            table.values_row_major()
+        },
+        |schedule, values| {
+            assert_eq!(
+                values, &expected,
+                "schedule {schedule:?}: strip kernel diverged from the sequential DP"
+            );
+        },
+    );
+    assert!(
+        report.schedules > 1,
+        "the pool handoff must admit more than one schedule class"
+    );
+    assert!(
+        report.races.is_empty(),
+        "strip kernel races: {:?}",
+        report.races
+    );
+    assert!(
+        report.cycles.is_empty(),
+        "strip kernel lock-order cycles: {:?}",
+        report.cycles
+    );
+    assert!(
+        report.lost_wakeups.is_empty(),
+        "strip kernel lost wakeups: {:?}",
+        report.lost_wakeups
+    );
+    assert!(
+        report.deadlocks.is_empty(),
+        "strip kernel model deadlocks: {:?}",
         report.deadlocks
     );
     assert!(report.max_threads > 1);

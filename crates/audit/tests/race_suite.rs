@@ -9,10 +9,12 @@
 #![cfg(feature = "audit")]
 
 use pcmax_audit::explore::{run_seed, sweep};
-use pcmax_parallel::wavefront::{bucketed_sweep, bucketed_sweep_space, spawn_per_level_sweep};
-use pcmax_parallel::{sync, ParallelDp, ScopedDp};
+use pcmax_parallel::wavefront::{
+    bucketed_sweep, bucketed_sweep_space, bucketed_sweep_space_with, spawn_per_level_sweep,
+};
+use pcmax_parallel::{sync, CellKernel, Chunking, ParallelDp, ScopedDp};
 use pcmax_ptas::dp::{DpProblem, DpSolver, IterativeDp};
-use pcmax_ptas::space::{serial_sweep, QSpace};
+use pcmax_ptas::space::{serial_sweep, PcmaxSpace, QSpace};
 use pcmax_ptas::table::DpScratch;
 use std::sync::atomic::Ordering;
 
@@ -127,6 +129,71 @@ fn persistent_pool_park_wake_barrier_is_race_free() {
     assert!(
         total_parks.load(Ordering::Relaxed) > 0,
         "64 schedules of a 2-thread pool must park at least once"
+    );
+    assert!(report.max_threads > 1);
+}
+
+/// The bucketed sweep with an explicitly pinned cell kernel. Chunking is
+/// requested adaptive (the production default) but the planner pins itself
+/// static under `feature = "audit"` so explored schedules stay replayable.
+fn kernel_sweep_values(threads: usize, kernel: CellKernel) -> Vec<u16> {
+    let problem = paper_problem();
+    let mut scratch = DpScratch::new();
+    let mut table = problem
+        .build_level_major_table_in(&mut scratch)
+        .expect("paper problem fits");
+    let configs = problem.configs_with_offsets(&table);
+    let space = PcmaxSpace::new(&configs);
+    table.values[0] = 0;
+    bucketed_sweep_space_with(
+        &mut table,
+        &space,
+        threads,
+        &mut scratch,
+        kernel,
+        Chunking::Adaptive,
+    );
+    table.values_row_major()
+}
+
+#[test]
+fn strip_kernel_is_race_free_and_matches_scalar_across_64_interleavings() {
+    // Pins `CellKernel::Strip` explicitly (the other suites get it only as
+    // the default) and cross-checks the scalar kernel under the *same*
+    // explored schedule: the batched tile walk must stay race-free and
+    // bit-identical regardless of how the pool's handoffs interleave.
+    let report = sweep(
+        900,
+        64,
+        || {
+            (
+                kernel_sweep_values(3, CellKernel::Strip),
+                kernel_sweep_values(3, CellKernel::Scalar),
+            )
+        },
+        |seed, (strip, scalar)| {
+            assert_eq!(
+                strip.as_slice(),
+                PAPER_TABLE,
+                "seed {seed}: strip kernel diverged from the sequential DP"
+            );
+            assert_eq!(
+                strip, scalar,
+                "seed {seed}: strip and scalar kernels disagree under exploration"
+            );
+        },
+    );
+    assert_eq!(report.schedules, 64);
+    assert!(
+        report.races.is_empty(),
+        "strip kernel races found: {:?}",
+        report.races
+    );
+    assert!(
+        report.lock_cycles.is_empty() && report.lost_wakeups.is_empty(),
+        "strip kernel blocking findings: {:?} {:?}",
+        report.lock_cycles,
+        report.lost_wakeups
     );
     assert!(report.max_threads > 1);
 }

@@ -130,6 +130,7 @@ fn measure(case: &Case, min_secs: f64) -> Measurement {
     let spawn = ParallelDp {
         threads: Some(THREADS),
         strategy: LevelStrategy::SpawnPerLevel,
+        ..ParallelDp::default()
     };
 
     // The two executors must agree before their speeds are worth comparing.

@@ -31,6 +31,7 @@
 pub mod persistent;
 pub mod pool;
 pub mod scoped;
+pub mod simd;
 pub mod speculative;
 pub mod sync;
 pub mod wavefront;
@@ -38,7 +39,7 @@ pub mod wavefront;
 pub use pool::effective_threads;
 pub use scoped::ScopedDp;
 pub use speculative::SpeculativePtas;
-pub use wavefront::{LevelStrategy, ParallelDp};
+pub use wavefront::{CellKernel, Chunking, LevelStrategy, ParallelDp};
 
 use pcmax_core::{Result, SolveReport, SolveRequest, Solver};
 use pcmax_ptas::Ptas;

@@ -88,22 +88,49 @@ impl Drop for ShutdownOnDrop<'_> {
 ///
 /// With a single state or an empty level range no threads are spawned and
 /// the counters stay zero — the sequential fallback is the kernel loop.
-pub fn run_levels<S, F>(mut states: Vec<S>, levels: Range<u32>, kernel: F) -> (Vec<S>, PoolCounters)
+///
+/// A kernel panic unwinds out of this call (see [`run_levels_catching`] for
+/// the variant that hands the states back first).
+pub fn run_levels<S, F>(states: Vec<S>, levels: Range<u32>, kernel: F) -> (Vec<S>, PoolCounters)
+where
+    S: Send,
+    F: Fn(usize, u32, &mut S) + Sync,
+{
+    let (states, counters, panicked) = run_levels_catching(states, levels, kernel);
+    if let Some(payload) = panicked {
+        resume_unwind(payload);
+    }
+    (states, counters)
+}
+
+/// [`run_levels`] that survives kernel panics: the pool is wound down, every
+/// worker joined, and the first panic payload is **returned** instead of
+/// re-raised — with all `states` intact. Callers that pool scratch buffers
+/// in the states (the bucketed wavefront sweep) use this to return them to
+/// their owner before re-raising, so a poisoned solve cannot leak scratch
+/// and silently re-allocate on the next probe.
+pub fn run_levels_catching<S, F>(
+    mut states: Vec<S>,
+    levels: Range<u32>,
+    kernel: F,
+) -> (Vec<S>, PoolCounters, Option<Box<dyn Any + Send>>)
 where
     S: Send,
     F: Fn(usize, u32, &mut S) + Sync,
 {
     let n = states.len();
     if n == 0 || levels.is_empty() {
-        return (states, PoolCounters::default());
+        return (states, PoolCounters::default(), None);
     }
     if n == 1 {
         let state = &mut states[0];
         for level in levels {
             let _level_span = pcmax_trace::span("level", level as u64);
-            kernel(0, level, state);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| kernel(0, level, state))) {
+                return (states, PoolCounters::default(), Some(payload));
+            }
         }
-        return (states, PoolCounters::default());
+        return (states, PoolCounters::default(), None);
     }
 
     let shared = Shared {
@@ -127,6 +154,7 @@ where
     let mut leader_state = states.pop().unwrap_or_else(|| unreachable!("n >= 2"));
 
     let mut counters = PoolCounters::default();
+    let mut panicked = None;
     std::thread::scope(|scope| {
         let guard = ShutdownOnDrop(shared);
         let handles: Vec<_> = worker_states
@@ -183,14 +211,11 @@ where
         }
         let mut ctl = shared.ctl.lock();
         counters = ctl.counters;
-        if let Some(payload) = ctl.panic.take() {
-            drop(ctl);
-            resume_unwind(payload);
-        }
+        panicked = ctl.panic.take();
     });
 
     states.insert(0, leader_state);
-    (states, counters)
+    (states, counters, panicked)
 }
 
 /// The parked-worker loop: wait for a fresh epoch (or shutdown), sweep the
@@ -327,6 +352,27 @@ mod tests {
             .copied()
             .unwrap_or("<non-str payload>");
         assert!(msg.contains("kernel exploded"));
+    }
+
+    #[test]
+    fn catching_variant_returns_every_state_after_a_panic() {
+        for workers in [1usize, 3] {
+            let (states, _counters, panicked) =
+                run_levels_catching(vec![7u32; workers], 0..8, |w, l, s| {
+                    *s += 1;
+                    if w == workers - 1 && l == 2 {
+                        panic!("kernel exploded mid-sweep");
+                    }
+                });
+            let payload = panicked.expect("panic payload must be handed back");
+            assert_eq!(states.len(), workers, "no state may be lost to unwinding");
+            assert!(states.iter().all(|&s| s > 7), "every worker ran levels");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert!(msg.contains("kernel exploded"));
+        }
     }
 
     #[test]

@@ -12,11 +12,44 @@
 //! spawn-per-level executor survives as [`LevelStrategy::SpawnPerLevel`] —
 //! the baseline the `wavefront` micro-benchmark measures speedup against.
 
-use crate::{persistent, pool, sync};
+use crate::{persistent, pool, simd, sync};
+use pcmax_ptas::config::Config;
 use pcmax_ptas::dp::{finish, fits, DpOutcome, DpProblem, DpSolver};
 use pcmax_ptas::space::{PcmaxSpace, SpaceEngine, StateSpace};
-use pcmax_ptas::table::{decode_into, next_in_level, DpScratch, DpTable, INFEASIBLE};
+use pcmax_ptas::table::{
+    decode_into, next_in_level, strip_digits, DpScratch, DpTable, KernelScratch, INFEASIBLE,
+    STRIP_LANES,
+};
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the bucketed sweep computes the cells of one worker chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellKernel {
+    /// The batched lane-parallel kernel: cells are advanced a strip of
+    /// [`STRIP_LANES`] at a time, strips are grouped into L1-sized tiles,
+    /// and the min-reduction runs over packed `u16` lanes (see
+    /// [`strip_chunk`] and [`crate::simd`]). Bit-identical to `Scalar`.
+    #[default]
+    Strip,
+    /// One cell at a time — the pre-batching kernel, kept as the bench
+    /// baseline and as the semantic reference the strip-equivalence
+    /// proptests compare against.
+    Scalar,
+}
+
+/// How the bucketed sweep splits a level slice across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Chunking {
+    /// Per-level proportional split driven by each worker's measured
+    /// throughput on the previous level (see [`ChunkPlanner`]). Pinned to
+    /// `Static` under `feature = "audit"` so schedule replay and DPOR
+    /// enumeration stay deterministic.
+    #[default]
+    Adaptive,
+    /// The fixed `len.div_ceil(n)` split of the pre-autotuner executor.
+    Static,
+}
 
 /// How each anti-diagonal level finds its subproblems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +81,10 @@ pub struct ParallelDp {
     pub threads: Option<usize>,
     /// Level iteration strategy.
     pub strategy: LevelStrategy,
+    /// Cell kernel for the bucketed strategy (lane-parallel by default).
+    pub kernel: CellKernel,
+    /// Chunk split policy for the bucketed strategy (adaptive by default).
+    pub chunking: Chunking,
 }
 
 impl ParallelDp {
@@ -55,23 +92,32 @@ impl ParallelDp {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: Some(threads),
-            strategy: LevelStrategy::Bucketed,
+            ..Self::default()
         }
     }
 
     /// Wavefront DP with the paper-literal full-scan levels.
     pub fn faithful() -> Self {
         Self {
-            threads: None,
             strategy: LevelStrategy::Faithful,
+            ..Self::default()
         }
     }
 
     /// The pre-persistent-pool executor (spawn/join per level).
     pub fn spawn_per_level() -> Self {
         Self {
-            threads: None,
             strategy: LevelStrategy::SpawnPerLevel,
+            ..Self::default()
+        }
+    }
+
+    /// The bucketed sweep pinned to the pre-batching scalar cell kernel —
+    /// the ablation baseline the lane kernel is benchmarked against.
+    pub fn scalar_kernel() -> Self {
+        Self {
+            kernel: CellKernel::Scalar,
+            ..Self::default()
         }
     }
 }
@@ -115,7 +161,14 @@ impl SpaceEngine for ParallelDp {
         table.values[0] = 0;
         let threads = pool::effective_threads(self.threads);
         match self.strategy {
-            LevelStrategy::Bucketed => bucketed_sweep_space(table, space, threads, scratch),
+            LevelStrategy::Bucketed => bucketed_sweep_space_with(
+                table,
+                space,
+                threads,
+                scratch,
+                self.kernel,
+                self.chunking,
+            ),
             LevelStrategy::Faithful => faithful_sweep_space(table, space, threads, scratch),
             LevelStrategy::SpawnPerLevel => {
                 spawn_per_level_sweep_space(table, space, threads, scratch)
@@ -164,6 +217,121 @@ fn shared_cells(values: &mut [u16]) -> &[SyncCell] {
     unsafe { &*(values as *mut [u16] as *const [SyncCell]) }
 }
 
+/// The trace-driven chunk autotuner: replaces the fixed `len.div_ceil(n)`
+/// split with a per-level proportional split over each worker's measured
+/// throughput, so a worker that keeps finishing early (asymmetric cores,
+/// interference, NUMA) is handed a larger share instead of parking at the
+/// barrier.
+///
+/// ## Why two speed buffers
+///
+/// Worker speeds are published through atomics, and *every* worker computes
+/// the *whole* partition locally — the partition is only disjoint if they
+/// all read identical speeds. A single buffer would race: a fast worker
+/// could publish its level-`l` measurement while a slow peer is still
+/// planning level `l` from the same slots. So the speeds are double-buffered
+/// by level parity: planning level `l` reads `speeds[l % 2]`, measurements
+/// taken *during* level `l` are written to `speeds[(l + 1) % 2]`, and the
+/// pool barrier between levels seals each buffer before anyone reads it.
+/// Every worker therefore snapshots the same sealed values and derives the
+/// same boundaries.
+///
+/// Under `feature = "audit"` the tuner is pinned off (static split):
+/// timing-driven boundaries would make per-thread op sequences differ
+/// between a recorded schedule and its replay, breaking the exploration
+/// scheduler and DPOR's determinism requirement.
+struct ChunkPlanner {
+    /// `speeds[parity * n + w]`: EWMA throughput of worker `w` (cells per
+    /// millisecond, clamped ≥ 1), for levels of that parity.
+    speeds: Vec<AtomicU64>,
+    n: usize,
+    adaptive: bool,
+}
+
+impl ChunkPlanner {
+    /// Neutral pre-measurement weight: all workers start equal, and the
+    /// EWMA pulls each lane toward its measured rate within a few levels.
+    const INITIAL_SPEED: u64 = 1 << 16;
+
+    fn new(n: usize, chunking: Chunking) -> Self {
+        let adaptive = !cfg!(feature = "audit") && chunking == Chunking::Adaptive && n > 1;
+        let speeds = (0..2 * n)
+            .map(|_| AtomicU64::new(Self::INITIAL_SPEED))
+            .collect();
+        Self {
+            speeds,
+            n,
+            adaptive,
+        }
+    }
+
+    /// Worker `w`'s half-open cell range within a level of `len` cells.
+    /// Interior boundaries are aligned down to whole strips so only the
+    /// level's last strip can be ragged under the strip kernel.
+    fn bounds(&self, w: usize, level: u32, len: usize) -> (usize, usize) {
+        if !self.adaptive {
+            let chunk = len.div_ceil(self.n);
+            return ((w * chunk).min(len), ((w + 1) * chunk).min(len));
+        }
+        let read = (level as usize % 2) * self.n;
+        let mut total = 0u128;
+        for slot in &self.speeds[read..read + self.n] {
+            // SeqCst is off the hot path (n loads per worker per level) and
+            // sidesteps any ordering subtlety; the disjointness argument
+            // rests on the barrier sealing this parity's buffer anyway.
+            total += slot.load(Ordering::SeqCst) as u128;
+        }
+        let mut start = 0usize;
+        let mut acc = 0u128;
+        for i in 0..self.n {
+            acc += self.speeds[read + i].load(Ordering::SeqCst) as u128;
+            let prorated = ((acc * len as u128) / total) as usize;
+            let end = if i + 1 == self.n {
+                len
+            } else {
+                ((prorated / STRIP_LANES) * STRIP_LANES).clamp(start, len)
+            };
+            if i == w {
+                return (start, end);
+            }
+            start = end;
+        }
+        unreachable!("worker {w} out of range for a {}-worker planner", self.n)
+    }
+
+    /// Publishes worker `w`'s measured level-`level` throughput into the
+    /// buffer that plans level `level + 1` (see the type docs for why this
+    /// never races with [`bounds`]).
+    fn record(&self, w: usize, level: u32, cells: usize, nanos: u64) {
+        if !self.adaptive || cells == 0 {
+            return;
+        }
+        let read = (level as usize % 2) * self.n;
+        let write = ((level as usize + 1) % 2) * self.n;
+        let measured = ((cells as u128 * 1_000_000) / nanos.max(1) as u128).max(1);
+        let measured = u64::try_from(measured).unwrap_or(u64::MAX);
+        let old = self.speeds[read + w].load(Ordering::SeqCst);
+        // EWMA (¾ old, ¼ new): adapts within a few levels without letting a
+        // single stalled chunk zero out a worker's share.
+        let blended = (old / 4)
+            .saturating_mul(3)
+            .saturating_add(measured / 4)
+            .max(1);
+        self.speeds[write + w].store(blended, Ordering::SeqCst);
+    }
+}
+
+/// Cells per tile for a `k`-class table: sized so a tile's transposed digit
+/// block (`4·k` bytes per cell) fills about half a typical L1d (16 KiB),
+/// rounded to whole strips and clamped to `[STRIP_LANES, 1024]` so the
+/// per-tile `ranks`/`best` stay resident too. Each transition's predecessor
+/// gather then revisits a window that was touched at most one tile ago.
+fn tile_cells_for(k: usize) -> usize {
+    const L1_BUDGET_BYTES: usize = 16 << 10;
+    let cells = L1_BUDGET_BYTES / (4 * k.max(1));
+    ((cells / STRIP_LANES) * STRIP_LANES).clamp(STRIP_LANES, 1024)
+}
+
 /// The zero-allocation persistent-pool sweep over a level-major table.
 ///
 /// Each level `l` is the contiguous slice `starts[l]..starts[l+1]`; workers
@@ -171,7 +339,7 @@ fn shared_cells(values: &mut [u16]) -> &[SyncCell] {
 /// `Vec`, no sequential copy). The cell kernel decodes only its chunk's
 /// first vector, then walks the level with the bounded-composition
 /// successor [`next_in_level`] — no per-cell heap allocation; the only
-/// buffers are the per-worker digit vectors accounted by
+/// buffers are the per-worker [`KernelScratch`] sets accounted by
 /// `DpScratch::kernel_allocs`. Reads translate row-major ranks through the
 /// layout's permutation and target strictly lower (barrier-sealed) levels.
 ///
@@ -193,12 +361,38 @@ pub fn bucketed_sweep(
 /// zero-allocation persistent-pool executor, with the space's `step_allowed`
 /// filter applied between the barrier-sealed read and the min-reduce. On
 /// [`PcmaxSpace`] the filter is the always-true default and the sweep
-/// monomorphizes back to the identical-machine kernel.
+/// monomorphizes back to the identical-machine kernel. Uses the default
+/// strip kernel and chunk policy; see [`bucketed_sweep_space_with`].
 pub fn bucketed_sweep_space<S: StateSpace>(
     table: &mut DpTable,
     space: &S,
     threads: usize,
     scratch: &mut DpScratch,
+) {
+    bucketed_sweep_space_with(
+        table,
+        space,
+        threads,
+        scratch,
+        CellKernel::default(),
+        Chunking::default(),
+    )
+}
+
+/// [`bucketed_sweep_space`] with an explicit cell kernel and chunk policy
+/// (the bench harness measures every combination; results are identical).
+///
+/// On a kernel panic the pool winds down, every worker's [`KernelScratch`]
+/// is returned to `scratch` first, and only then is the payload re-raised —
+/// a poisoned solve cannot leak scratch into fresh allocations on the next
+/// probe (`DpScratch::take_kernel_bufs` asserts it).
+pub fn bucketed_sweep_space_with<S: StateSpace>(
+    table: &mut DpTable,
+    space: &S,
+    threads: usize,
+    scratch: &mut DpScratch,
+    cell_kernel: CellKernel,
+    chunking: Chunking,
 ) {
     let Some(layout) = table.layout.as_ref() else {
         spawn_per_level_sweep_space(table, space, threads, scratch);
@@ -207,72 +401,295 @@ pub fn bucketed_sweep_space<S: StateSpace>(
     let transitions = space.transitions();
     let levels = table.levels();
     let n = threads.max(1);
-    let states = scratch.take_digit_bufs(n);
+    let states = scratch.take_kernel_bufs(n);
     let strides = &table.strides;
     let dims = &table.dims;
+    let k = dims.len();
+    // The intrinsic fit compare is a signed 32-bit `>`; radices are job
+    // counts + 1, bounded by the table size, so this can only fire on an
+    // absurd hand-built table — checked once instead of trusted per lane.
+    assert!(
+        dims.iter().all(|&d| d < 1 << 31),
+        "radix overflows the lane compare"
+    );
+    let tile_cells = tile_cells_for(k);
     let perm = layout.perm();
     let inv = layout.inv();
     let cells = shared_cells(&mut table.values);
+    let planner = &ChunkPlanner::new(n, chunking);
 
-    let kernel = |w: usize, level: u32, digits: &mut Vec<u32>| {
+    let kernel = |w: usize, level: u32, kb: &mut KernelScratch| {
         let span = layout.level_span(level);
-        let len = span.len();
-        let chunk = len.div_ceil(n);
-        let lo = span.start + (w * chunk).min(len);
-        let hi = span.start + ((w + 1) * chunk).min(len);
+        let (clo, chi) = planner.bounds(w, level, span.len());
+        let lo = span.start + clo;
+        let hi = span.start + chi;
         if lo >= hi {
             return;
         }
-        // Chunk span only — no trace hooks inside the `next_in_level` walk
-        // below (enforced by the audit lint's trace-hot rule).
+        pcmax_trace::chunk_decision(w as u64, (hi - lo) as u64);
+        // Chunk span only — no trace hooks inside the cell loops below
+        // (enforced by the audit lint's trace-hot rule).
         let _chunk_span = pcmax_trace::span("chunk", w as u64);
-        // One decode per chunk; every later cell advances incrementally.
-        decode_into(inv[lo] as usize, strides, digits);
-        for p in lo..hi {
-            let rank = inv[p] as usize;
-            debug_assert_eq!(
-                digits
-                    .iter()
-                    .zip(strides)
-                    .map(|(&d, &s)| d as usize * s)
-                    .sum::<usize>(),
-                rank,
-                "incremental in-level decode diverged from the layout"
-            );
-            let mut best = INFEASIBLE;
-            for (t_idx, (c, offset)) in transitions.iter().enumerate() {
-                if fits(c, digits) {
-                    let src = perm[rank - offset] as usize;
-                    debug_assert!(
-                        *offset > 0 && src < span.start,
-                        "wavefront read {src} must lie strictly below level {level}'s slice"
-                    );
-                    sync::trace_read(src);
-                    // SAFETY: `src` is below this level's slice, hence on a
-                    // level sealed by the pool barrier — no concurrent write.
-                    let below = unsafe { cells[src].get() };
-                    if space.step_allowed(t_idx, below) {
-                        best = best.min(below);
-                    }
-                }
+        let t0 = planner.adaptive.then(std::time::Instant::now);
+        match cell_kernel {
+            CellKernel::Strip => {
+                kb.prepare(k, tile_cells);
+                // One ISA dispatch per chunk: on an AVX2 CPU running a
+                // baseline build, the whole tile walk re-enters through the
+                // `target_feature` trampoline and the lane loops widen.
+                simd::dispatch(|| {
+                    strip_chunk(
+                        space,
+                        transitions,
+                        cells,
+                        kb,
+                        dims,
+                        strides,
+                        perm,
+                        inv,
+                        tile_cells,
+                        span.start,
+                        lo,
+                        hi,
+                    )
+                });
             }
-            sync::trace_write(p);
-            // SAFETY: `p` lies in this worker's private chunk of the level
-            // slice — the unique writer precondition.
-            unsafe { cells[p].set(best.saturating_add(1)) };
-            if p + 1 < hi {
-                let advanced = next_in_level(digits, dims);
-                debug_assert!(advanced, "level slice ended before the chunk did");
-            }
+            CellKernel::Scalar => scalar_chunk(
+                space,
+                transitions,
+                cells,
+                &mut kb.digits,
+                dims,
+                strides,
+                perm,
+                inv,
+                span.start,
+                lo,
+                hi,
+            ),
+        }
+        if let Some(t0) = t0 {
+            planner.record(w, level, hi - lo, t0.elapsed().as_nanos() as u64);
         }
     };
 
-    let (states, counters) = persistent::run_levels(states, 1..levels, kernel);
-    scratch.return_digit_bufs(states);
+    let (states, counters, panicked) = persistent::run_levels_catching(states, 1..levels, kernel);
+    scratch.return_kernel_bufs(states);
     scratch.levels_swept += levels.saturating_sub(1) as u64;
     scratch.cells_computed += (table.len - 1) as u64;
     scratch.pool_parks += counters.parks;
     scratch.pool_wakes += counters.wakes;
+    if let Some(payload) = panicked {
+        // Scratch is home; the solve may now die exactly like an uncaught
+        // kernel panic would have.
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The pre-batching per-cell kernel over one chunk: one decode at the chunk
+/// head, the incremental [`next_in_level`] walk, and a scalar min-reduce
+/// per cell.
+#[allow(clippy::too_many_arguments)]
+fn scalar_chunk<S: StateSpace>(
+    space: &S,
+    transitions: &[(Config, usize)],
+    cells: &[SyncCell],
+    digits: &mut Vec<u32>,
+    dims: &[u32],
+    strides: &[usize],
+    perm: &[u32],
+    inv: &[u32],
+    span_start: usize,
+    lo: usize,
+    hi: usize,
+) {
+    // One decode per chunk; every later cell advances incrementally.
+    decode_into(inv[lo] as usize, strides, digits);
+    for p in lo..hi {
+        let rank = inv[p] as usize;
+        debug_assert_eq!(
+            digits
+                .iter()
+                .zip(strides)
+                .map(|(&d, &s)| d as usize * s)
+                .sum::<usize>(),
+            rank,
+            "incremental in-level decode diverged from the layout"
+        );
+        let mut best = INFEASIBLE;
+        for (t_idx, (c, offset)) in transitions.iter().enumerate() {
+            if fits(c, digits) {
+                let src = perm[rank - offset] as usize;
+                debug_assert!(
+                    *offset > 0 && src < span_start,
+                    "wavefront read {src} must lie strictly below the level slice"
+                );
+                sync::trace_read(src);
+                // SAFETY: `src` is below this level's slice, hence on a
+                // level sealed by the pool barrier — no concurrent write.
+                let below = unsafe { cells[src].get() };
+                if space.step_allowed(t_idx, below) {
+                    best = best.min(below);
+                }
+            }
+        }
+        sync::trace_write(p);
+        // SAFETY: `p` lies in this worker's private chunk of the level
+        // slice — the unique writer precondition.
+        unsafe { cells[p].set(best.saturating_add(1)) };
+        if p + 1 < hi {
+            let advanced = next_in_level(digits, dims);
+            debug_assert!(advanced, "level slice ended before the chunk did");
+        }
+    }
+}
+
+/// Fixed-width view of one strip row of the scratch buffers.
+#[inline(always)]
+fn strip_row<T>(row: &[T]) -> &[T; STRIP_LANES] {
+    // audit:allow(unwrap): a strip row is exactly STRIP_LANES elements by construction.
+    row.try_into().expect("strip row")
+}
+
+/// Mutable fixed-width view of one strip row of the scratch buffers.
+#[inline(always)]
+fn strip_row_mut<T>(row: &mut [T]) -> &mut [T; STRIP_LANES] {
+    // audit:allow(unwrap): a strip row is exactly STRIP_LANES elements by construction.
+    row.try_into().expect("strip row")
+}
+
+/// The batched lane-parallel kernel over one chunk.
+///
+/// Cells are walked in strips of [`STRIP_LANES`] and strips are grouped
+/// into L1-sized tiles (see [`tile_cells_for`]). Per tile:
+///
+/// 1. **record** — advance the mixed-radix walk a strip at a time
+///    ([`strip_digits`]), transposing digits class-major into the block so
+///    a transition's fit check is one lane-parallel compare per class;
+///    stash each cell's row-major rank. Ragged final strips are padded
+///    with all-zero digit lanes — no (nonzero) transition fits them, so
+///    the mask keeps padding out of every gather.
+/// 2. **reduce** — transitions outermost, then strips: accumulate the
+///    per-lane misfit mask ([`simd::accum_gt_mask_u32`]), gather the
+///    barrier-sealed predecessor values for the surviving lanes, apply the
+///    space's batched step filter, and fold with a lane-parallel min.
+///    Keeping the transition outermost means its predecessor window (one
+///    fixed offset below the tile) is revisited while cache-resident.
+/// 3. **write back** — saturating `+1` per lane (INFEASIBLE stays
+///    absorbing) and an in-place scatter of the real (unpadded) lanes.
+///
+/// Bit-identity with [`scalar_chunk`]: a lane contributes `below` exactly
+/// when the componentwise fit passes and the step filter allows it —
+/// otherwise it contributes `INFEASIBLE`, the identity of `min` — and the
+/// fold preserves the transition order, so every cell sees the same
+/// min-reduction the scalar kernel computes.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn strip_chunk<S: StateSpace>(
+    space: &S,
+    transitions: &[(Config, usize)],
+    cells: &[SyncCell],
+    kb: &mut KernelScratch,
+    dims: &[u32],
+    strides: &[usize],
+    perm: &[u32],
+    inv: &[u32],
+    tile_cells: usize,
+    span_start: usize,
+    lo: usize,
+    hi: usize,
+) {
+    const W: usize = STRIP_LANES;
+    let k = dims.len();
+    let KernelScratch {
+        digits,
+        block,
+        ranks,
+        best,
+    } = kb;
+    decode_into(inv[lo] as usize, strides, digits);
+    debug_assert_eq!(digits.len(), k, "decode_into yields one digit per class");
+    let mut p = lo;
+    while p < hi {
+        let tile_end = (p + tile_cells).min(hi);
+        let strips = (tile_end - p).div_ceil(W);
+        for s in 0..strips {
+            let first = p + s * W;
+            let width = W.min(tile_end - first);
+            let sb = &mut block[s * k * W..(s + 1) * k * W];
+            let contiguous = strip_digits(digits, dims, sb, width);
+            debug_assert!(contiguous, "level slice ended before the strip did");
+            debug_assert_eq!(
+                (0..k)
+                    .map(|a| sb[a * W] as usize * strides[a])
+                    .sum::<usize>(),
+                inv[first] as usize,
+                "incremental strip walk diverged from the layout"
+            );
+            for (i, r) in ranks[s * W..s * W + width].iter_mut().enumerate() {
+                *r = inv[first + i];
+            }
+            for a in 0..k {
+                for lane in &mut sb[a * W + width..(a + 1) * W] {
+                    *lane = 0;
+                }
+            }
+            if first + width < hi {
+                let advanced = next_in_level(digits, dims);
+                debug_assert!(advanced, "level slice ended before the chunk did");
+            }
+        }
+        for b in &mut best[..strips * W] {
+            *b = INFEASIBLE;
+        }
+        for (t_idx, (c, offset)) in transitions.iter().enumerate() {
+            debug_assert!(*offset > 0, "transitions must advance the wavefront");
+            for s in 0..strips {
+                let sb = &block[s * k * W..(s + 1) * k * W];
+                let mut misfit = [0u32; W];
+                for (a, &needed) in c.iter().enumerate() {
+                    if needed == 0 {
+                        continue;
+                    }
+                    simd::accum_gt_mask_u32(
+                        &mut misfit,
+                        needed,
+                        strip_row(&sb[a * W..(a + 1) * W]),
+                    );
+                }
+                let mut below = [INFEASIBLE; W];
+                for (i, b) in below.iter_mut().enumerate() {
+                    if misfit[i] == 0 {
+                        let src = perm[ranks[s * W + i] as usize - offset] as usize;
+                        debug_assert!(
+                            src < span_start,
+                            "wavefront read {src} must lie strictly below the level slice"
+                        );
+                        sync::trace_read(src);
+                        // SAFETY: `src` is below this level's slice, hence
+                        // on a level sealed by the pool barrier — no
+                        // concurrent write.
+                        *b = unsafe { cells[src].get() };
+                    }
+                }
+                space.value_of_batch(t_idx, &mut below);
+                simd::min_assign_u16(strip_row_mut(&mut best[s * W..(s + 1) * W]), &below);
+            }
+        }
+        for s in 0..strips {
+            let first = p + s * W;
+            let width = W.min(tile_end - first);
+            let acc = strip_row_mut(&mut best[s * W..(s + 1) * W]);
+            simd::saturating_add1_u16(acc);
+            for (i, out) in cells[first..first + width].iter().enumerate() {
+                sync::trace_write(first + i);
+                // SAFETY: positions in this worker's private chunk of the
+                // level slice — the unique writer precondition.
+                unsafe { out.set(acc[i]) };
+            }
+        }
+        p = tile_end;
+    }
 }
 
 /// Computes one subproblem's value from the already-filled lower levels of
@@ -503,6 +920,119 @@ mod tests {
         );
         assert_eq!(scratch.levels_swept, 5);
         assert_eq!(scratch.cells_computed, 11);
+    }
+
+    #[test]
+    fn scalar_and_strip_kernels_match_bit_for_bit() {
+        for problem in problems() {
+            let mut scratch = DpScratch::new();
+            let mut want = None;
+            for kernel in [CellKernel::Scalar, CellKernel::Strip] {
+                for chunking in [Chunking::Static, Chunking::Adaptive] {
+                    for threads in [1usize, 2, 4] {
+                        let mut table = problem.build_level_major_table_in(&mut scratch).unwrap();
+                        let configs = problem.configs_with_offsets(&table);
+                        table.values[0] = 0;
+                        bucketed_sweep_space_with(
+                            &mut table,
+                            &PcmaxSpace::new(&configs),
+                            threads,
+                            &mut scratch,
+                            kernel,
+                            chunking,
+                        );
+                        let got = table.values_row_major();
+                        match &want {
+                            None => want = Some(got),
+                            Some(w) => assert_eq!(
+                                &got, w,
+                                "{kernel:?}/{chunking:?}/{threads} threads diverged"
+                            ),
+                        }
+                        scratch.recycle(table);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_sweep_returns_kernel_buffers_before_unwinding() {
+        /// A state space whose batched filter detonates: every strip-kernel
+        /// chunk with at least one transition panics mid-level.
+        struct Bomb<'a>(PcmaxSpace<'a>);
+        impl StateSpace for Bomb<'_> {
+            fn transitions(&self) -> &[(Config, usize)] {
+                self.0.transitions()
+            }
+            fn value_of_batch(&self, _t_idx: usize, _below: &mut [u16]) {
+                panic!("rigged step filter");
+            }
+        }
+
+        let mut scratch = DpScratch::new();
+        let problem = &problems()[0];
+        // Prime the pool so the post-panic probe has buffers to reuse.
+        ParallelDp::with_threads(2)
+            .solve_in(problem, &mut scratch)
+            .unwrap();
+        let allocs = scratch.kernel_allocs;
+
+        let mut table = problem.build_level_major_table_in(&mut scratch).unwrap();
+        let configs = problem.configs_with_offsets(&table);
+        table.values[0] = 0;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bucketed_sweep_space(
+                &mut table,
+                &Bomb(PcmaxSpace::new(&configs)),
+                2,
+                &mut scratch,
+            )
+        }));
+        assert!(caught.is_err(), "the rigged filter must unwind the sweep");
+        scratch.recycle(table);
+
+        // The wind-down handed every buffer home: the next probe reuses them
+        // (and `take_kernel_bufs` would assert on any outstanding leak).
+        ParallelDp::with_threads(2)
+            .solve_in(problem, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            scratch.kernel_allocs, allocs,
+            "a poisoned solve must not leak kernel scratch"
+        );
+    }
+
+    #[test]
+    fn adaptive_chunking_still_partitions_exactly() {
+        // Exercise the planner's prefix arithmetic directly across skewed
+        // speed profiles: the n ranges must tile 0..len exactly, whatever
+        // the measurements said.
+        for n in [1usize, 2, 3, 4, 7] {
+            let planner = ChunkPlanner::new(n, Chunking::Adaptive);
+            for (w, speed) in [(0usize, 10u64), (1, 100_000), (2, 1)] {
+                if w < n {
+                    // Feed wildly skewed measurements for both parities.
+                    planner.record(w, 0, 1000, 1_000_000_000 / speed.max(1));
+                    planner.record(w, 1, 1000, 1_000_000_000 / speed.max(1));
+                }
+            }
+            for level in 1..6u32 {
+                for len in [0usize, 1, 5, STRIP_LANES, 1000, 1001] {
+                    let mut expect = 0usize;
+                    for w in 0..n {
+                        let (lo, hi) = planner.bounds(w, level, len);
+                        assert_eq!(lo, expect, "worker {w} must start where {w}-1 ended");
+                        assert!(hi >= lo && hi <= len);
+                        if w + 1 < n && cfg!(not(feature = "audit")) && n > 1 {
+                            assert_eq!(hi % STRIP_LANES, 0, "interior bounds strip-aligned");
+                        }
+                        expect = hi;
+                    }
+                    assert_eq!(expect, len, "the chunks must cover the level");
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,27 @@ pub trait StateSpace: Sync {
     fn step_allowed(&self, _t_idx: usize, _below: u16) -> bool {
         true
     }
+
+    /// The batched form of [`step_allowed`](Self::step_allowed) used by the
+    /// strip kernel: given a whole strip of predecessor values for one
+    /// transition, replace every lane the filter rejects with
+    /// [`INFEASIBLE`], so the subsequent lane-parallel min ignores it. The
+    /// saturating `min`/`+1` keep the sentinel absorbing, so a rejected
+    /// lane can never resurface as a finite value.
+    ///
+    /// The provided default applies the scalar filter lane by lane — for
+    /// [`PcmaxSpace`] it compiles to nothing. Implementations overriding
+    /// `step_allowed` should override this too with a branch-free,
+    /// lane-parallel form (see [`QSpace`]) but must stay *bit-identical* to
+    /// the default: the equivalence proptests compare them lane for lane.
+    #[inline]
+    fn value_of_batch(&self, t_idx: usize, below: &mut [u16]) {
+        for lane in below.iter_mut() {
+            if !self.step_allowed(t_idx, *lane) {
+                *lane = INFEASIBLE;
+            }
+        }
+    }
 }
 
 /// The identical-machine (`P||Cmax`) state space: a bare transition set.
@@ -92,6 +113,11 @@ pub struct QSpace<'a> {
     loads: Vec<Time>,
     /// Per-sorted-machine capacities, non-increasing.
     caps: &'a [Time],
+    /// `allowed_prefix[t]` = number of machines whose cap fits transition
+    /// `t`'s load. Because `caps` is non-increasing, `step_allowed(t, q)`
+    /// is exactly `q < allowed_prefix[t]` — a single lane-parallel compare,
+    /// which is what [`StateSpace::value_of_batch`] vectorizes over.
+    allowed_prefix: Vec<u32>,
 }
 
 impl<'a> QSpace<'a> {
@@ -103,7 +129,7 @@ impl<'a> QSpace<'a> {
             caps.windows(2).all(|w| w[0] >= w[1]),
             "caps must be sorted fastest-first (non-increasing)"
         );
-        let loads = transitions
+        let loads: Vec<Time> = transitions
             .iter()
             .map(|(c, _)| {
                 c.iter()
@@ -112,10 +138,21 @@ impl<'a> QSpace<'a> {
                     .sum()
             })
             .collect();
+        // Non-increasing caps make the allowed machine set a prefix; its
+        // length is all the batch filter needs. u32 keeps the lane compare
+        // wide enough for any machine count a u16 DP value can reach.
+        let allowed_prefix = loads
+            .iter()
+            .map(|&load| {
+                let n = caps.iter().take_while(|&&cap| load <= cap).count();
+                u32::try_from(n).unwrap_or(u32::MAX)
+            })
+            .collect();
         Self {
             transitions,
             loads,
             caps,
+            allowed_prefix,
         }
     }
 }
@@ -131,6 +168,19 @@ impl StateSpace for QSpace<'_> {
         // Sentinel values (INFEASIBLE/UNVISITED) exceed any machine count and
         // fall out on the bounds check.
         (below as usize) < self.caps.len() && self.loads[t_idx] <= self.caps[below as usize]
+    }
+
+    #[inline]
+    fn value_of_batch(&self, t_idx: usize, below: &mut [u16]) {
+        // Branch-free prefix test: q is allowed iff q < allowed_prefix[t].
+        // Sentinels (INFEASIBLE/UNVISITED) exceed every prefix and map to
+        // INFEASIBLE, exactly like the scalar default.
+        let prefix = self.allowed_prefix[t_idx];
+        for lane in below.iter_mut() {
+            if (*lane as u32) >= prefix {
+                *lane = INFEASIBLE;
+            }
+        }
     }
 }
 

@@ -11,6 +11,54 @@ use pcmax_core::Time;
 /// Value stored for an unreachable/infeasible subproblem.
 pub const INFEASIBLE: u16 = u16::MAX;
 
+/// Lane width `W` of the batched strip kernel: 16 `u16` values fill one
+/// 256-bit vector register, so the min-reduce over a strip is a single
+/// AVX2 `vpminuw` (or two NEON `uminq`) per transition. The portable
+/// fallback is a fixed-width array loop the compiler autovectorizes at
+/// whatever ISA it targets. Partial strips pad to this width with
+/// [`INFEASIBLE`] lanes, which the saturating min/add keep absorbing.
+pub const STRIP_LANES: usize = 16;
+
+/// Per-worker scratch of the batched wavefront cell kernel: the mixed-radix
+/// walk vector plus the tile-sized staging buffers of the strip kernel. All
+/// growth happens in [`prepare`](Self::prepare), *before* the level sweeps
+/// start — the inner `next_in_level` walk never touches the allocator
+/// (enforced by the `alloc-hot` lint and the pinned `kernel_allocs`
+/// counter).
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Current digit vector of the incremental in-level walk (`k` digits).
+    pub digits: Vec<u32>,
+    /// Transposed per-tile digit block: `block[(s·k + a)·W + i]` is digit
+    /// `a` of the `i`-th cell of strip `s` (class-major within a strip, so
+    /// the per-transition `fits` check is a lane-parallel compare).
+    pub block: Vec<u32>,
+    /// Row-major ranks of the tile's cells (copied from the layout's `inv`).
+    pub ranks: Vec<u32>,
+    /// Per-cell running minima for the tile, padded to whole strips.
+    pub best: Vec<u16>,
+}
+
+impl KernelScratch {
+    /// Grows every buffer to the given walk width / tile capacity. Called
+    /// once per sweep so later per-level use is allocation-free.
+    pub fn prepare(&mut self, k: usize, tile_cells: usize) {
+        debug_assert_eq!(tile_cells % STRIP_LANES, 0, "tiles are whole strips");
+        if self.digits.len() < k {
+            self.digits.resize(k, 0);
+        }
+        if self.block.len() < k * tile_cells {
+            self.block.resize(k * tile_cells, 0);
+        }
+        if self.ranks.len() < tile_cells {
+            self.ranks.resize(tile_cells, 0);
+        }
+        if self.best.len() < tile_cells {
+            self.best.resize(tile_cells, INFEASIBLE);
+        }
+    }
+}
+
 /// Reusable allocation arena threaded through `DpSolver::solve_in`: the
 /// dense value table and the per-level index buckets are allocated once per
 /// PTAS run and recycled across bisection probes, so repeated probes stop
@@ -29,10 +77,16 @@ pub struct DpScratch {
     inv: Vec<u32>,
     /// Recycled backing store for [`LevelLayout::starts`].
     starts: Vec<u32>,
-    /// Recycled per-worker digit buffers for the zero-allocation wavefront
-    /// cell kernel (one small `Vec<u32>` per worker, reused across levels
+    /// Recycled per-worker kernel buffers for the zero-allocation wavefront
+    /// cell kernel (one [`KernelScratch`] per worker, reused across levels
     /// *and* probes).
-    digits: Vec<Vec<u32>>,
+    kernels: Vec<KernelScratch>,
+    /// Kernel buffers currently handed out by
+    /// [`take_kernel_bufs`](Self::take_kernel_bufs) and not yet returned.
+    /// The next `take` asserts this is zero: a sweep that lost its buffers
+    /// (e.g. a panic unwound past the return) must fail loudly instead of
+    /// silently re-allocating on the next probe.
+    kernels_outstanding: usize,
     /// Table builds that had to grow the backing allocation.
     pub tables_allocated: u64,
     /// Table builds served entirely from recycled capacity.
@@ -82,28 +136,42 @@ impl DpScratch {
         }
     }
 
-    /// Hands out `n` per-worker digit buffers for the wavefront cell kernel,
-    /// reusing recycled ones and counting every fresh creation in
+    /// Hands out `n` per-worker kernel buffers for the wavefront cell
+    /// kernel, reusing recycled ones and counting every fresh creation in
     /// [`kernel_allocs`](Self::kernel_allocs). Give them back with
-    /// [`return_digit_bufs`](Self::return_digit_bufs).
-    pub fn take_digit_bufs(&mut self, n: usize) -> Vec<Vec<u32>> {
+    /// [`return_kernel_bufs`](Self::return_kernel_bufs).
+    ///
+    /// Asserts the previous hand-out was fully returned: the wavefront
+    /// executors recover their buffers even when a kernel panics (the pool
+    /// winds down, hands the worker states back, and only then re-raises),
+    /// so an unbalanced round-trip is a leak bug, not a recoverable state.
+    pub fn take_kernel_bufs(&mut self, n: usize) -> Vec<KernelScratch> {
+        assert_eq!(
+            self.kernels_outstanding, 0,
+            "a previous sweep leaked its kernel buffers ({} outstanding)",
+            self.kernels_outstanding
+        );
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            match self.digits.pop() {
+            match self.kernels.pop() {
                 Some(buf) => out.push(buf),
                 None => {
                     self.kernel_allocs += 1;
                     pcmax_trace::instant("dp-kernel-alloc", self.kernel_allocs);
-                    out.push(Vec::new());
+                    out.push(KernelScratch::default());
                 }
             }
         }
+        self.kernels_outstanding = n;
         out
     }
 
-    /// Returns digit buffers for reuse by the next sweep.
-    pub fn return_digit_bufs(&mut self, bufs: impl IntoIterator<Item = Vec<u32>>) {
-        self.digits.extend(bufs);
+    /// Returns kernel buffers for reuse by the next sweep.
+    pub fn return_kernel_bufs(&mut self, bufs: impl IntoIterator<Item = KernelScratch>) {
+        for buf in bufs {
+            self.kernels.push(buf);
+            self.kernels_outstanding = self.kernels_outstanding.saturating_sub(1);
+        }
     }
 
     /// Hands out the recycled level-bucket storage (give it back with
@@ -554,6 +622,30 @@ pub fn next_in_level(v: &mut [u32], dims: &[u32]) -> bool {
     false
 }
 
+/// Batched form of the in-level walk: records `width` consecutive
+/// same-level vectors starting at the *current* value of `digits` into
+/// `block` class-major (`block[a * STRIP_LANES + i]` = digit `a` of the
+/// `i`-th recorded cell), advancing `digits` by `width − 1` successor steps.
+/// Lanes `width..STRIP_LANES` keep whatever `block` held — callers mask
+/// partial strips, they never read the padding as digits.
+///
+/// Returns `false` if the level ran out before `width` cells were recorded
+/// (a caller bug: strips must not straddle a level boundary).
+#[inline]
+pub fn strip_digits(digits: &mut [u32], dims: &[u32], block: &mut [u32], width: usize) -> bool {
+    debug_assert!((1..=STRIP_LANES).contains(&width));
+    debug_assert!(block.len() >= digits.len() * STRIP_LANES);
+    for i in 0..width {
+        for (a, &d) in digits.iter().enumerate() {
+            block[a * STRIP_LANES + i] = d;
+        }
+        if i + 1 < width && !next_in_level(digits, dims) {
+            return false;
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,17 +858,81 @@ mod tests {
     }
 
     #[test]
-    fn digit_buffer_pool_counts_only_fresh_creations() {
+    fn kernel_buffer_pool_counts_only_fresh_creations() {
         let mut scratch = DpScratch::new();
-        let bufs = scratch.take_digit_bufs(3);
+        let bufs = scratch.take_kernel_bufs(3);
         assert_eq!(scratch.kernel_allocs, 3);
-        scratch.return_digit_bufs(bufs);
-        let again = scratch.take_digit_bufs(3);
+        scratch.return_kernel_bufs(bufs);
+        let again = scratch.take_kernel_bufs(3);
         assert_eq!(scratch.kernel_allocs, 3);
-        scratch.return_digit_bufs(again);
-        let grown = scratch.take_digit_bufs(4);
+        scratch.return_kernel_bufs(again);
+        let grown = scratch.take_kernel_bufs(4);
         assert_eq!(scratch.kernel_allocs, 4);
-        scratch.return_digit_bufs(grown);
+        scratch.return_kernel_bufs(grown);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaked its kernel buffers")]
+    fn unreturned_kernel_buffers_fail_the_next_take() {
+        let mut scratch = DpScratch::new();
+        let bufs = scratch.take_kernel_bufs(2);
+        drop(bufs); // lost without return_kernel_bufs — the leak under test
+        let _ = scratch.take_kernel_bufs(2);
+    }
+
+    #[test]
+    fn strip_digits_matches_the_scalar_walk() {
+        let t = DpTable::new(&[1, 2, 0, 3, 1], 1, 1 << 20).unwrap();
+        let k = t.dims.len();
+        let mut block = vec![0u32; k * STRIP_LANES];
+        for bucket in t.level_buckets() {
+            let mut digits = Vec::new();
+            decode_into(bucket[0] as usize, &t.strides, &mut digits);
+            let mut cell = 0usize;
+            while cell < bucket.len() {
+                let width = (bucket.len() - cell).min(STRIP_LANES);
+                assert!(strip_digits(&mut digits, &t.dims, &mut block, width));
+                for i in 0..width {
+                    let want = t.decode(bucket[cell + i] as usize);
+                    let got: Vec<u32> = (0..k).map(|a| block[a * STRIP_LANES + i]).collect();
+                    assert_eq!(got, want, "strip lane {i} at bucket cell {cell}");
+                }
+                cell += width;
+                if cell < bucket.len() {
+                    assert!(next_in_level(&mut digits, &t.dims));
+                }
+            }
+            assert!(!next_in_level(&mut digits, &t.dims), "level must be spent");
+        }
+    }
+
+    #[test]
+    fn strip_digits_handles_width_one_and_radix_one() {
+        // A single-cell strip never advances — the shape of a level-0/last
+        // level cell and of any radix-1 walk (`next_in_level` on k < 2).
+        let mut digits = vec![3u32];
+        let mut block = vec![u32::MAX; STRIP_LANES];
+        assert!(strip_digits(&mut digits, &[7], &mut block, 1));
+        assert_eq!(block[0], 3);
+        assert_eq!(digits, vec![3]);
+        // Asking for more cells than the level holds reports the shortfall.
+        let mut digits = vec![0u32, 0];
+        let mut block = vec![0u32; 2 * STRIP_LANES];
+        assert!(!strip_digits(&mut digits, &[1, 1], &mut block, 2));
+    }
+
+    #[test]
+    fn kernel_scratch_prepare_sizes_all_buffers() {
+        let mut ks = KernelScratch::default();
+        ks.prepare(3, 2 * STRIP_LANES);
+        assert!(ks.digits.len() >= 3);
+        assert!(ks.block.len() >= 3 * 2 * STRIP_LANES);
+        assert!(ks.ranks.len() >= 2 * STRIP_LANES);
+        assert!(ks.best.len() >= 2 * STRIP_LANES);
+        // Re-preparing smaller keeps capacity (no shrink, no realloc).
+        let block_ptr = ks.block.as_ptr();
+        ks.prepare(2, STRIP_LANES);
+        assert_eq!(ks.block.as_ptr(), block_ptr);
     }
 
     #[test]

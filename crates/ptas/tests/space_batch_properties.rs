@@ -1,0 +1,83 @@
+//! Property tests for the `StateSpace::value_of_batch` seam: every override
+//! must stay bit-identical to the provided default (the scalar
+//! `step_allowed` filter applied lane by lane) — the contract the batched
+//! strip kernel's correctness rests on. Lane vectors include the
+//! `INFEASIBLE`/`UNVISITED` sentinels and ragged (non-multiple-of-16)
+//! lengths, since the kernel hands the filter whole strips of raw
+//! predecessor values.
+
+use pcmax_ptas::dp::DpProblem;
+use pcmax_ptas::space::{PcmaxSpace, QSpace, StateSpace};
+use pcmax_ptas::table::INFEASIBLE;
+use proptest::prelude::*;
+
+/// The trait-provided default, restated: scalar filter, lane by lane.
+fn scalar_default<S: StateSpace>(space: &S, t_idx: usize, lanes: &[u16]) -> Vec<u16> {
+    lanes
+        .iter()
+        .map(|&lane| {
+            if space.step_allowed(t_idx, lane) {
+                lane
+            } else {
+                INFEASIBLE
+            }
+        })
+        .collect()
+}
+
+fn arb_counts() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..=4, 1..=5)
+}
+
+/// Raw predecessor lanes: the full `u16` range keeps both sentinels and
+/// every machine count in play; lengths straddle the strip width.
+fn arb_lanes() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(any::<u16>(), 1..=48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn q_space_batch_filter_matches_the_scalar_default(
+        counts in arb_counts(),
+        mut caps in prop::collection::vec(0u64..=30, 1..=6),
+        lanes in arb_lanes(),
+    ) {
+        caps.sort_unstable_by(|a, b| b.cmp(a));
+        let problem = DpProblem::new(counts, 1, 25, 64);
+        let table = problem.build_table().expect("small table fits");
+        let configs = problem.configs_with_offsets(&table);
+        let space = QSpace::new(&configs, &table.sizes, &caps);
+        for t_idx in 0..space.transitions().len() {
+            let want = scalar_default(&space, t_idx, &lanes);
+            let mut got = lanes.clone();
+            space.value_of_batch(t_idx, &mut got);
+            prop_assert_eq!(
+                &got,
+                &want,
+                "transition {} diverged on caps {:?}",
+                t_idx,
+                &caps
+            );
+        }
+    }
+
+    #[test]
+    fn pcmax_batch_filter_is_the_identity(
+        counts in arb_counts(),
+        lanes in arb_lanes(),
+    ) {
+        // The identical-machine space accepts every step, so the batch
+        // filter must leave all lanes untouched — including the sentinels.
+        let problem = DpProblem::new(counts, 1, 1_000, 64);
+        let table = problem.build_table().expect("small table fits");
+        let configs = problem.configs_with_offsets(&table);
+        let space = PcmaxSpace::new(&configs);
+        for t_idx in 0..space.transitions().len() {
+            let mut got = lanes.clone();
+            space.value_of_batch(t_idx, &mut got);
+            prop_assert_eq!(&got, &lanes, "transition {} rewrote a lane", t_idx);
+        }
+    }
+}
