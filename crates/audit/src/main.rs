@@ -17,12 +17,18 @@
 //! * `cargo run -p pcmax-audit -- trace-check FILE` — validate an exported
 //!   Chrome-trace JSON timeline (parses, non-empty, required fields,
 //!   balanced per-thread spans); exits 1 on a malformed trace.
+//! * `cargo run -p pcmax-audit -- metrics-check FILE` — validate an exported
+//!   metrics snapshot, either the JSON form (`pcmax metrics --format json`)
+//!   or the Prometheus text form (`--format prom`); checks internal
+//!   consistency (sorted samples, cumulative buckets, count/sum coherence)
+//!   and exits 1 on a malformed export. The format is sniffed from the
+//!   content, not the file name.
 
 use std::env;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: pcmax-audit <lint [--strict-stale] | race [SEEDS] | dpor [BUDGET] | trace-check FILE>";
+const USAGE: &str = "usage: pcmax-audit <lint [--strict-stale] | race [SEEDS] | dpor [BUDGET] | \
+     trace-check FILE | metrics-check FILE>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -31,6 +37,7 @@ fn main() -> ExitCode {
         Some("race") => run_race(args.get(1).map(String::as_str)),
         Some("dpor") => run_dpor(args.get(1).map(String::as_str)),
         Some("trace-check") => run_trace_check(args.get(1).map(String::as_str)),
+        Some("metrics-check") => run_metrics_check(args.get(1).map(String::as_str)),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}");
             eprintln!("{USAGE}");
@@ -67,6 +74,49 @@ fn run_trace_check(path: Option<&str>) -> ExitCode {
         }
         Err(msg) => {
             eprintln!("pcmax-audit trace-check FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_metrics_check(path: Option<&str>) -> ExitCode {
+    use pcmax_metrics::export;
+
+    let Some(path) = path else {
+        eprintln!("metrics-check needs an exported metrics snapshot (JSON or Prometheus text)");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pcmax-audit: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Sniff the format: the JSON exporter always emits an object with the
+    // `pcmax-metrics/1` format tag; everything else is treated as
+    // Prometheus text exposition.
+    let result = if text.trim_start().starts_with('{') {
+        export::from_json_str(&text)
+            .map_err(|e| format!("json: {e}"))
+            .and_then(|snap| export::validate_snapshot(&snap).map_err(|e| format!("json: {e}")))
+            .map(|stats| ("json", stats))
+    } else {
+        export::validate_prometheus(&text)
+            .map_err(|e| format!("prometheus: {e}"))
+            .map(|stats| ("prometheus", stats))
+    };
+    match result {
+        Ok((format, stats)) => {
+            println!(
+                "pcmax-audit metrics-check: OK — {format} format, {} samples, {} histograms",
+                stats.samples, stats.histograms
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("pcmax-audit metrics-check FAILED: {msg}");
             ExitCode::FAILURE
         }
     }

@@ -14,19 +14,23 @@
 //!   the DP index-arithmetic files ([`DP_CAST_FILES`]) without a justified
 //!   `audit:allow(cast)` comment. Index truncation is precisely the bug
 //!   class that silently corrupts a wavefront table.
-//! * **`trace-hot`** — no trace hooks inside the zero-allocation cell
-//!   kernel's inner loop. In [`TRACE_HOT_FILES`], a `for` loop whose body
-//!   walks `next_in_level` is the per-cell hot path: even a disabled hook's
-//!   atomic load there multiplies by the cell count. Spans belong *around*
-//!   the walk (chunk/level granularity), never inside it; override only
-//!   with a justified `audit:allow(trace-hot)` comment.
+//! * **`trace-hot`** — no trace hooks *or metric-recording calls* inside
+//!   the zero-allocation cell kernel's inner loop. In [`TRACE_HOT_FILES`],
+//!   a `for` loop whose body walks `next_in_level` is the per-cell hot
+//!   path: even a disabled hook's atomic load there multiplies by the cell
+//!   count, and an *enabled* metric's relaxed add is a guaranteed cache
+//!   ping on every cell. Spans belong *around* the walk (chunk/level
+//!   granularity) and metrics record per-chunk aggregates, never per cell;
+//!   override only with a justified `audit:allow(trace-hot)` comment.
 //! * **`alloc-hot`** — no allocation in the same inner loop: `.push(…)`,
-//!   `.to_vec()`, `.collect()`, `Vec::new` / `Vec::with_capacity`,
+//!   `.to_vec()`, `.collect()`, `.with_label(…)` (registry mutex +
+//!   `Box::leak` on first use), `Vec::new` / `Vec::with_capacity`,
 //!   `Box::new`, and the `format!` / `vec!` macros are all per-cell heap
 //!   traffic that the kernel's zero-allocation contract (and the
 //!   `kernel_allocs` counter the regression suite asserts on) forbids.
-//!   Buffers are reserved *outside* the walk; override only with a
-//!   justified `audit:allow(alloc-hot)` comment.
+//!   Buffers are reserved *outside* the walk (metric family children
+//!   resolved once per sweep); override only with a justified
+//!   `audit:allow(alloc-hot)` comment.
 //! * **`guard-across-park`** — no [`sync::Mutex`] guard binding held
 //!   across a condvar wait or a thread park. A `let g = ….lock(…)…;`
 //!   binding that is still live (not dropped, not consumed as the wait's
@@ -71,8 +75,11 @@ pub const TRACE_HOT_FILES: &[&str] = &[
     "crates/ptas/src/chassis.rs",
 ];
 
-/// Identifiers that emit trace events — the free-function hooks of
-/// `pcmax-trace` and the request-level sinks of `pcmax-core`.
+/// Identifiers that emit trace events or record metrics — the
+/// free-function hooks of `pcmax-trace`, the request-level sinks of
+/// `pcmax-core`, and the recording methods of `pcmax-metrics`
+/// (`inc` / `inc_by` / `observe`). A metric record is one relaxed atomic
+/// add when enabled — cheap per chunk, ruinous per cell.
 const TRACE_HOOKS: &[&str] = &[
     "span",
     "span_enter",
@@ -82,11 +89,16 @@ const TRACE_HOOKS: &[&str] = &[
     "trace_span",
     "trace_instant",
     "trace_counter",
+    "inc",
+    "inc_by",
+    "observe",
 ];
 
 /// Allocating methods the `alloc-hot` rule rejects in the cell kernel's
-/// inner loop.
-const ALLOC_METHODS: &[&str] = &["push", "to_vec", "collect"];
+/// inner loop. `with_label` is the metric-family child lookup: a registry
+/// mutex plus a `Box::leak` on first use — resolve children once per
+/// sweep, outside the walk.
+const ALLOC_METHODS: &[&str] = &["push", "to_vec", "collect", "with_label"];
 
 /// Allocating macros the `alloc-hot` rule rejects there.
 const ALLOC_MACROS: &[&str] = &["format", "vec"];
@@ -588,8 +600,8 @@ fn check_trace_hot(path: &str, lexed: &Lexed, exempt: &[(u32, u32)], report: &mu
                 line,
                 rule: "trace-hot",
                 message: format!(
-                    "trace hook `{name}` inside the `next_in_level` cell-kernel loop; \
-                     move it to chunk/level granularity outside the walk"
+                    "trace/metric hook `{name}` inside the `next_in_level` cell-kernel \
+                     loop; move it to chunk/level granularity outside the walk"
                 ),
             }),
         }
@@ -1031,6 +1043,82 @@ fn kernel(lo: usize, hi: usize) {
     }
 }";
         let rep = lint_source("crates/parallel/src/wavefront.rs", justified, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn metric_recording_inside_the_cell_kernel_loop_is_flagged() {
+        // `inc` / `inc_by` / `observe` are one relaxed add per call when
+        // metrics are enabled — per-cell they dominate the kernel. All
+        // three must flag inside the walk.
+        let src = "
+fn kernel(lo: usize, hi: usize) {
+    for p in lo..hi {
+        CELLS.inc();
+        BYTES.inc_by(8);
+        LATENCY.observe(p as u64);
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        let rules: Vec<_> = rep.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(
+            rules, ["trace-hot"; 3],
+            "inc/inc_by/observe in the walk must all flag: {:?}",
+            rep.violations
+        );
+
+        // The sanctioned pattern: aggregate per chunk, record outside the
+        // walk — one observe per chunk, not per cell.
+        let per_chunk = "
+fn kernel(lo: usize, hi: usize) {
+    CHUNK_CELLS.observe((hi - lo) as u64);
+    for p in lo..hi {
+        next_in_level(p);
+    }
+    CHUNK_DONE.inc();
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", per_chunk, &no_allow());
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+
+        // Field access without a call (`stats.observe` as a value) and
+        // recording in non-hot files stay legal.
+        let elsewhere = "
+fn f(lo: usize, hi: usize) {
+    for p in lo..hi {
+        CELLS.inc();
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/foo/src/lib.rs", elsewhere, &no_allow());
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn family_child_lookup_inside_the_cell_kernel_loop_is_flagged() {
+        // `.with_label(…)` takes the registry mutex and may Box::leak a new
+        // child — allocation plus contention on the per-cell path.
+        let src = "
+fn kernel(w: usize, lo: usize, hi: usize) {
+    for p in lo..hi {
+        BUSY.with_label(worker_label(w));
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", src, &no_allow());
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert_eq!(rep.violations[0].rule, "alloc-hot");
+        assert!(rep.violations[0].message.contains("with_label"));
+
+        // Resolving the child once before the walk is the sanctioned fix.
+        let hoisted = "
+fn kernel(w: usize, lo: usize, hi: usize) {
+    let busy = BUSY.with_label(worker_label(w));
+    for p in lo..hi {
+        next_in_level(p);
+    }
+}";
+        let rep = lint_source("crates/parallel/src/wavefront.rs", hoisted, &no_allow());
         assert!(rep.violations.is_empty(), "{:?}", rep.violations);
     }
 

@@ -1,0 +1,197 @@
+//! Pins the cost of metric recording — the always-on layer's contract is
+//! one relaxed atomic add per event when enabled and a single relaxed
+//! load when disabled, so every op must land well inside a 50 ns/event
+//! budget even on noisy shared machines. The bench fails (exit 1) if any
+//! op exceeds the budget, which would mean someone put work (allocation,
+//! registry locking, time reads) on the record path.
+//!
+//! ```text
+//! cargo bench -p pcmax-bench --bench metrics_overhead -- \
+//!     [--json FILE] [--check FILE]
+//! ```
+//!
+//! * `--json FILE`  — write measurements (tracked `BENCH_metrics.json`).
+//! * `--check FILE` — gate mode: the baseline must parse and overlap the
+//!   current op set; the pass/fail verdict itself stays the absolute
+//!   budget (nanosecond figures do not transfer between machines, the
+//!   contract does).
+
+use pcmax_bench::timing::time_stable;
+use pcmax_core::json::{self, Value};
+use pcmax_metrics::{family, Counter, Family, Gauge, Histogram};
+use std::hint::black_box;
+use std::process::ExitCode;
+
+/// Ops per timed batch.
+const OPS: u64 = 1_000_000;
+
+/// Per-op ceiling, in nanoseconds — the acceptance budget for one
+/// recording call. A sharded relaxed add is single-digit nanoseconds on
+/// anything modern; 50 ns still passes on contended CI boxes while
+/// catching accidental slow-path work.
+const BUDGET_NANOS: f64 = 50.0;
+
+static BENCH_COUNTER: Counter = Counter::new("bench_overhead_total", "overhead bench counter");
+static BENCH_GAUGE: Gauge = Gauge::new("bench_overhead_gauge", "overhead bench gauge");
+static BENCH_HISTOGRAM: Histogram =
+    Histogram::new("bench_overhead_nanos", "overhead bench histogram");
+static BENCH_FAMILY: Family<Counter> = family(
+    "bench_overhead_family_total",
+    "overhead bench family",
+    "worker",
+);
+
+fn per_op_nanos(mut f: impl FnMut(u64)) -> f64 {
+    let batch = time_stable(0.2, || {
+        for i in 0..OPS {
+            f(black_box(i));
+        }
+    });
+    batch / OPS as f64 * 1e9
+}
+
+struct Case {
+    op: &'static str,
+    enabled: bool,
+    nanos: f64,
+}
+
+fn measure() -> Vec<Case> {
+    let mut cases = Vec::new();
+    pcmax_metrics::set_enabled(true);
+    // Resolve the family child once, outside the loop — the pattern the
+    // alloc-hot lint enforces at the call sites.
+    let child = BENCH_FAMILY.with_label("0");
+    cases.push(Case {
+        op: "counter_inc",
+        enabled: true,
+        nanos: per_op_nanos(|_| BENCH_COUNTER.inc()),
+    });
+    cases.push(Case {
+        op: "counter_inc_by",
+        enabled: true,
+        nanos: per_op_nanos(|i| BENCH_COUNTER.inc_by(i & 7)),
+    });
+    cases.push(Case {
+        op: "gauge_set",
+        enabled: true,
+        nanos: per_op_nanos(|i| BENCH_GAUGE.set(i as f64)),
+    });
+    cases.push(Case {
+        op: "histogram_observe",
+        enabled: true,
+        nanos: per_op_nanos(|i| BENCH_HISTOGRAM.observe(i)),
+    });
+    cases.push(Case {
+        op: "family_child_inc",
+        enabled: true,
+        nanos: per_op_nanos(|_| child.inc()),
+    });
+
+    pcmax_metrics::set_enabled(false);
+    cases.push(Case {
+        op: "counter_inc_disabled",
+        enabled: false,
+        nanos: per_op_nanos(|_| BENCH_COUNTER.inc()),
+    });
+    cases.push(Case {
+        op: "histogram_observe_disabled",
+        enabled: false,
+        nanos: per_op_nanos(|i| BENCH_HISTOGRAM.observe(i)),
+    });
+    pcmax_metrics::set_enabled(true);
+    cases
+}
+
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            "--check" => check_path = args.next(),
+            // `cargo bench` forwards its own flags; ignore the rest.
+            _ => {}
+        }
+    }
+
+    println!("== metrics_overhead ==");
+    let cases = measure();
+    let mut ok = true;
+    for c in &cases {
+        let verdict = if c.nanos <= BUDGET_NANOS {
+            "ok"
+        } else {
+            "OVER BUDGET"
+        };
+        println!(
+            "{:<28} {:>8.2} ns/op   budget {BUDGET_NANOS:.0} ns   {verdict}",
+            c.op, c.nanos
+        );
+        ok &= c.nanos <= BUDGET_NANOS;
+    }
+
+    if let Some(path) = json_path {
+        let doc = json::object(vec![
+            ("bench", Value::Str("metrics_overhead".to_string())),
+            ("budget_nanos", Value::Float(BUDGET_NANOS)),
+            (
+                "cases",
+                Value::Array(
+                    cases
+                        .iter()
+                        .map(|c| {
+                            json::object(vec![
+                                ("op", Value::Str(c.op.to_string())),
+                                ("enabled", Value::Bool(c.enabled)),
+                                ("nanos_per_op", Value::Float(c.nanos)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).expect("write json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = json::parse(&text).expect("baseline parses");
+        let base_cases = baseline
+            .get("cases")
+            .and_then(Value::as_array)
+            .expect("baseline JSON has a `cases` array");
+        let mut compared = 0usize;
+        for c in &cases {
+            let Some(base) = base_cases
+                .iter()
+                .find(|b| b.get("op").and_then(Value::as_str) == Some(c.op))
+            else {
+                continue;
+            };
+            let base_nanos = base
+                .get("nanos_per_op")
+                .and_then(Value::as_f64)
+                .expect("baseline case has `nanos_per_op`");
+            compared += 1;
+            println!(
+                "check {:<28} baseline {base_nanos:>8.2} ns   current {:>8.2} ns",
+                c.op, c.nanos
+            );
+        }
+        if compared == 0 {
+            eprintln!("metrics gate FAILED: no op overlapped with the baseline");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics gate: {compared} ops compared against {path}");
+    }
+
+    if !ok {
+        eprintln!("metric recording exceeds the {BUDGET_NANOS:.0} ns/op budget");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,8 @@ commands:
   compare    run every algorithm on an instance and tabulate
   simulate   simulated speedup curve of the parallel PTAS
   trace      solve once with span tracing and export the timeline
+  metrics    run a workload mix and print the solver scoreboard from the
+             process metrics registry, optionally exporting the registry
 
 common options:
   -i FILE           read the instance from a JSON file ('-' = stdin)
@@ -35,6 +37,17 @@ solve options:
 compare options:
   --family F        restrict the comparison to one scenario: p | q | online
                     (default: q when the instance has speeds, else p)
+  --metrics FILE    also persist a JSON metrics-registry snapshot to FILE
+
+metrics options:
+  --families LIST   comma-separated scenario families (default p,q,online)
+  --count C         instances per family (default 3)
+  --eps E           PTAS accuracy (default 0.3)
+  --threads T       worker threads for the parallel solvers
+  --seed S          base RNG seed for the workload mix (default 1)
+  --format F        registry export format: prom | json (default json)
+  --out FILE        write the export to FILE (without --out, an explicit
+                    --format dumps the export to stdout after the table)
 
 simulate options:
   --procs LIST      comma-separated processor counts (default 1,2,4,8,16)
@@ -99,6 +112,8 @@ pub enum Command {
         /// Scenario filter (`p` / `q` / `online`); `None` infers from the
         /// instance.
         family: Option<String>,
+        /// Persist a JSON metrics-registry snapshot to this path.
+        metrics: Option<String>,
     },
     /// `pcmax simulate`
     Simulate {
@@ -108,6 +123,24 @@ pub enum Command {
         procs: Vec<usize>,
         /// PTAS accuracy.
         eps: f64,
+    },
+    /// `pcmax metrics`
+    Metrics {
+        /// Scenario families to run (`p` / `q` / `online`).
+        families: Vec<String>,
+        /// Instances per family.
+        count: usize,
+        /// PTAS accuracy.
+        eps: f64,
+        /// Thread count for the parallel solvers.
+        threads: Option<usize>,
+        /// Base RNG seed for the workload mix.
+        seed: u64,
+        /// Registry export format (`prom` / `json`); `None` when the flag
+        /// was not given (scoreboard only, unless `--out` asks for a file).
+        format: Option<String>,
+        /// Export file path.
+        out: Option<String>,
     },
     /// `pcmax trace`
     Trace {
@@ -305,7 +338,66 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "compare" => {
             let source = parse_source(&mut flags)?;
             let family = flags.value(&["--family"])?;
-            Command::Compare { source, family }
+            let metrics = flags.value(&["--metrics"])?;
+            Command::Compare {
+                source,
+                family,
+                metrics,
+            }
+        }
+        "metrics" => {
+            let families: Vec<String> = flags
+                .value(&["--families"])?
+                .unwrap_or_else(|| "p,q,online".into())
+                .split(',')
+                .map(|f| f.trim().to_string())
+                .filter(|f| !f.is_empty())
+                .collect();
+            if families.is_empty() {
+                return Err("--families needs at least one family".into());
+            }
+            let count = flags
+                .value(&["--count"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --count: {e}"))?
+                .unwrap_or(3);
+            if count == 0 {
+                return Err("--count must be at least 1".into());
+            }
+            let eps = flags
+                .value(&["--eps"])?
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| format!("bad --eps: {e}"))?
+                .unwrap_or(0.3);
+            let threads = flags
+                .value(&["--threads"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --threads: {e}"))?;
+            let seed = flags
+                .value(&["--seed"])?
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| format!("bad --seed: {e}"))?
+                .unwrap_or(1);
+            let format = flags.value(&["--format"])?;
+            if let Some(f) = &format {
+                if f != "prom" && f != "json" {
+                    return Err(format!("bad --format {f} (known: prom, json)"));
+                }
+            }
+            let out = flags.value(&["--out", "-o"])?;
+            Command::Metrics {
+                families,
+                count,
+                eps,
+                threads,
+                seed,
+                format,
+                out,
+            }
         }
         "solve" => {
             let source = parse_source(&mut flags)?;
@@ -414,14 +506,85 @@ mod tests {
     fn parses_compare_family_filter() {
         let cmd = parse(&argv("compare -i inst.json --family q")).unwrap();
         match cmd {
-            Command::Compare { source, family } => {
+            Command::Compare {
+                source,
+                family,
+                metrics,
+            } => {
                 assert_eq!(source, Source::File("inst.json".into()));
                 assert_eq!(family.as_deref(), Some("q"));
+                assert_eq!(metrics, None);
             }
             other => panic!("unexpected {other:?}"),
         }
         let cmd = parse(&argv("compare -i inst.json")).unwrap();
         assert!(matches!(cmd, Command::Compare { family: None, .. }));
+    }
+
+    #[test]
+    fn parses_compare_metrics_snapshot_path() {
+        let cmd = parse(&argv("compare -i inst.json --metrics snap.json")).unwrap();
+        match cmd {
+            Command::Compare { metrics, .. } => {
+                assert_eq!(metrics.as_deref(), Some("snap.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_metrics_with_defaults() {
+        let cmd = parse(&argv("metrics")).unwrap();
+        match cmd {
+            Command::Metrics {
+                families,
+                count,
+                eps,
+                threads,
+                seed,
+                format,
+                out,
+            } => {
+                assert_eq!(families, vec!["p", "q", "online"]);
+                assert_eq!(count, 3);
+                assert_eq!(eps, 0.3);
+                assert_eq!(threads, None);
+                assert_eq!(seed, 1);
+                assert_eq!(format, None);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_metrics_with_export_flags() {
+        let cmd = parse(&argv(
+            "metrics --families p,q --count 2 --threads 2 --seed 9 --format prom --out m.prom",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Metrics {
+                families,
+                count,
+                threads,
+                seed,
+                format,
+                out,
+                ..
+            } => {
+                assert_eq!(families, vec!["p", "q"]);
+                assert_eq!(count, 2);
+                assert_eq!(threads, Some(2));
+                assert_eq!(seed, 9);
+                assert_eq!(format.as_deref(), Some("prom"));
+                assert_eq!(out.as_deref(), Some("m.prom"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("metrics --format yaml")).is_err());
+        assert!(parse(&argv("metrics --count 0")).is_err());
+        assert!(parse(&argv("metrics --families ,")).is_err());
     }
 
     #[test]

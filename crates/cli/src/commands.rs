@@ -2,16 +2,29 @@
 //! (`pcmax-engine`): `solve` builds whatever `--algo` names, `compare`
 //! enumerates every polynomial comparator the registry knows about.
 
-use crate::args::Command;
+use crate::args::{Command, Source};
 use crate::io::load;
 use pcmax_core::{
     json, ApproxRatio, Budget, Instance, MakespanBounds, Schedule, SolveRequest, Solver,
 };
 use pcmax_engine::{
-    build as registry_build, comparators_for, lookup, ScenarioKind, SolverKind, SolverParams,
+    build as registry_build, comparators_for, lookup, solve_metered, ScenarioKind, SolverKind,
+    SolverParams,
 };
+use pcmax_metrics::{export, family, Family, Histogram, Snapshot};
 use pcmax_simcore::{simulate_ptas, SimParams};
+use pcmax_workloads::Distribution;
 use std::time::Instant;
+
+/// Per-solver distribution of `makespan / denominator`, in permille
+/// (ratio 1.234 records as 1234) — the scoreboard's quality column. Fed by
+/// the `pcmax metrics` workload mix, where the denominator is the same
+/// per-instance reference `pcmax compare` uses.
+static SOLVE_RATIO_PERMILLE: Family<Histogram> = family(
+    "pcmax_solve_ratio_permille",
+    "Approximation ratio per solver, in permille of the per-instance reference",
+    "solver",
+);
 
 /// Dispatches a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -52,10 +65,31 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Compare { source, family } => {
+        Command::Compare {
+            source,
+            family,
+            metrics,
+        } => {
             let inst = load(&source)?;
-            compare(&inst, family.as_deref())
+            compare(&inst, family.as_deref(), metrics.as_deref())
         }
+        Command::Metrics {
+            families,
+            count,
+            eps,
+            threads,
+            seed,
+            format,
+            out,
+        } => metrics_run(
+            &families,
+            count,
+            eps,
+            threads,
+            seed,
+            format.as_deref(),
+            out.as_deref(),
+        ),
         Command::Simulate { source, procs, eps } => {
             let inst = load(&source)?;
             println!("{:<8}{:>10}", "procs", "speedup");
@@ -196,7 +230,20 @@ fn parse_family(family: &str) -> Result<ScenarioKind, String> {
     }
 }
 
-fn compare(inst: &Instance, family: Option<&str>) -> Result<(), String> {
+/// Sum of a counter metric across all its labels (e.g. the per-worker busy
+/// counters of one family).
+fn counter_sum(snap: &Snapshot, name: &str) -> u64 {
+    snap.samples
+        .iter()
+        .filter(|s| s.name == name)
+        .filter_map(|s| match s.value {
+            pcmax_metrics::SampleValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .sum()
+}
+
+fn compare(inst: &Instance, family: Option<&str>, metrics: Option<&str>) -> Result<(), String> {
     let scenario = match family {
         Some(f) => parse_family(f)?,
         // Speeds on the instance imply the uniform comparison set; otherwise
@@ -224,21 +271,22 @@ fn compare(inst: &Instance, family: Option<&str>) -> Result<(), String> {
     for spec in comparators_for(scenario) {
         let solver = spec.build(&params).map_err(|e| e.to_string())?;
         let req = SolveRequest::new(inst);
+        // Pool health comes from the always-on metrics registry (per-solver
+        // deltas around each strictly sequential solve) — no trace session
+        // required.
+        let before = pcmax_metrics::snapshot();
         let t0 = Instant::now();
-        // Each solve runs under its own trace session (they are strictly
-        // sequential here) so the table can report measured worker
-        // utilization, not just counters.
-        let (report, timeline) =
-            pcmax_engine::solve_traced(solver.as_ref(), &req).map_err(|e| e.to_string())?;
+        let report = solve_metered(spec.name, solver.as_ref(), &req).map_err(|e| e.to_string())?;
         let dt = t0.elapsed();
+        let after = pcmax_metrics::snapshot();
         let name = match spec.kind {
             SolverKind::DualApprox => format!("{}(eps={})", spec.name, params.epsilon),
             _ => spec.name.to_string(),
         };
-        let util = pcmax_trace::summary::utilization(&timeline);
-        let (busy, extent) = util.iter().fold((0u64, 0u64), |(b, e), r| {
-            (b + r.busy_nanos, e + r.extent_nanos)
-        });
+        let busy = counter_sum(&after, "pcmax_worker_busy_nanos_total")
+            .saturating_sub(counter_sum(&before, "pcmax_worker_busy_nanos_total"));
+        let extent = counter_sum(&after, "pcmax_pool_extent_nanos_total")
+            .saturating_sub(counter_sum(&before, "pcmax_pool_extent_nanos_total"));
         let busy_pct = if extent > 0 {
             format!("{:.1}", busy as f64 / extent as f64 * 100.0)
         } else {
@@ -315,7 +363,151 @@ fn compare(inst: &Instance, family: Option<&str>) -> Result<(), String> {
             r.parks
         );
     }
+    if let Some(path) = metrics {
+        let text = export::to_json_string(&pcmax_metrics::snapshot());
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} ({} bytes, metrics snapshot)", text.len());
+    }
     Ok(())
+}
+
+/// Runs a seeded workload mix through every comparator of the requested
+/// families via [`solve_metered`], then prints a per-solver scoreboard
+/// (solve counts, ratio quality, latency quantiles) straight from the
+/// process metrics registry, optionally exporting the registry in
+/// Prometheus or JSON form.
+fn metrics_run(
+    families: &[String],
+    count: usize,
+    eps: f64,
+    threads: Option<usize>,
+    seed: u64,
+    format: Option<&str>,
+    out: Option<&str>,
+) -> Result<(), String> {
+    // A clean measurement window: the scoreboard describes this mix only.
+    pcmax_metrics::reset();
+    let params = SolverParams {
+        epsilon: eps,
+        threads,
+        width: threads.unwrap_or(4),
+        ..SolverParams::default()
+    };
+    let mut solves = 0usize;
+    for fam in families {
+        let scenario = parse_family(fam)?;
+        for i in 0..count {
+            let source = Source::Generated {
+                dist: Distribution::U1To10,
+                machines: 3,
+                jobs: 12,
+                seed: seed.wrapping_add(i as u64),
+                speed_max: matches!(scenario, ScenarioKind::Uniform).then_some(4),
+                shuffle: matches!(scenario, ScenarioKind::Online),
+            };
+            let inst = load(&source)?;
+            let mut results = Vec::new();
+            for spec in comparators_for(scenario) {
+                let solver = spec.build(&params).map_err(|e| e.to_string())?;
+                let mut req = SolveRequest::new(&inst);
+                if let Some(t) = threads {
+                    req = req.with_threads(t);
+                }
+                let report =
+                    solve_metered(spec.name, solver.as_ref(), &req).map_err(|e| e.to_string())?;
+                solves += 1;
+                results.push((spec.name, report));
+            }
+            // Ratio denominator, mirroring `compare`: exact OPT where an
+            // exact solver is registered, else the best certified lower
+            // bound among the dual approximations.
+            let denom = match scenario {
+                ScenarioKind::Uniform => results
+                    .iter()
+                    .filter_map(|(_, r)| r.certified_target)
+                    .max()
+                    .unwrap_or_else(|| MakespanBounds::of(&inst).lower),
+                _ => {
+                    let exact = registry_build("exact", &SolverParams::default())
+                        .and_then(|s| s.solve(&SolveRequest::new(&inst)))
+                        .map_err(|e| e.to_string())?;
+                    exact.makespan
+                }
+            }
+            .max(1);
+            for (name, report) in &results {
+                SOLVE_RATIO_PERMILLE
+                    .with_label(name)
+                    .observe(report.makespan.saturating_mul(1000) / denom);
+            }
+        }
+    }
+
+    let snap = pcmax_metrics::snapshot();
+    println!(
+        "{} solves across {} family(ies), {} instances each | eps={eps}",
+        solves,
+        families.len(),
+        count
+    );
+    print_scoreboard(&snap);
+
+    let export_text = |fmt: &str| match fmt {
+        "prom" => export::to_prometheus(&snap),
+        _ => export::to_json_string(&snap),
+    };
+    if let Some(path) = out {
+        let fmt = format.unwrap_or("json");
+        let text = export_text(fmt);
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} ({} bytes, {fmt} format)", text.len());
+    } else if let Some(fmt) = format {
+        print!("{}", export_text(fmt));
+    }
+    Ok(())
+}
+
+/// Renders the solver scoreboard from a registry snapshot: one row per
+/// solver that recorded at least one latency observation, with the ratio
+/// and latency quantile estimates of the aggregated histograms.
+fn print_scoreboard(snap: &Snapshot) {
+    println!(
+        "{:<12}{:<10}{:>7}{:>8}{:>8}{:>10}{:>10}{:>10}{:>10}",
+        "solver", "scenario", "solves", "ratio", "r-p90", "p50ms", "p90ms", "p99ms", "maxms"
+    );
+    let ms = |nanos: f64| nanos / 1e6;
+    for sample in &snap.samples {
+        if sample.name != "pcmax_solve_latency_nanos" {
+            continue;
+        }
+        let Some((_, solver)) = &sample.label else {
+            continue;
+        };
+        let pcmax_metrics::SampleValue::Histogram(lat) = &sample.value else {
+            continue;
+        };
+        if lat.count() == 0 {
+            continue;
+        }
+        let scenario = lookup(solver).map_or("-", |s| s.scenario.label());
+        let ratio = snap.histogram("pcmax_solve_ratio_permille", Some(solver));
+        let fmt_ratio = |r: Option<f64>| match r {
+            Some(permille) => format!("{:.3}", permille / 1000.0),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<12}{:<10}{:>7}{:>8}{:>8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+            solver,
+            scenario,
+            lat.count(),
+            fmt_ratio(ratio.and_then(|r| r.mean())),
+            fmt_ratio(ratio.and_then(|r| r.quantile(0.9))),
+            ms(lat.quantile(0.5).unwrap_or(0.0)),
+            ms(lat.quantile(0.9).unwrap_or(0.0)),
+            ms(lat.quantile(0.99).unwrap_or(0.0)),
+            ms(lat.max as f64),
+        );
+    }
 }
 
 fn print_schedule(inst: &Instance, s: &Schedule) {
@@ -403,6 +595,17 @@ mod tests {
         run(Command::Compare {
             source: tiny(),
             family: None,
+            metrics: None,
+        })
+        .unwrap();
+        run(Command::Metrics {
+            families: vec!["p".into()],
+            count: 1,
+            eps: 0.3,
+            threads: Some(2),
+            seed: 5,
+            format: None,
+            out: None,
         })
         .unwrap();
         run(Command::Simulate {
@@ -439,11 +642,13 @@ mod tests {
         run(Command::Compare {
             source: tiny_uniform(),
             family: None,
+            metrics: None,
         })
         .unwrap();
         run(Command::Compare {
             source: tiny_uniform(),
             family: Some("q".into()),
+            metrics: None,
         })
         .unwrap();
         run(Command::Compare {
@@ -456,11 +661,13 @@ mod tests {
                 shuffle: true,
             },
             family: Some("online".into()),
+            metrics: None,
         })
         .unwrap();
         let err = run(Command::Compare {
             source: tiny(),
             family: Some("galactic".into()),
+            metrics: None,
         })
         .unwrap_err();
         assert!(err.contains("unknown --family"), "got {err}");
@@ -477,6 +684,86 @@ mod tests {
         assert!(label.starts_with("lpt-q"), "got {label}");
         let (s, _) = solve_one(&inst, "ls-online", 0.3, None, None).unwrap();
         s.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn metrics_run_exports_validating_snapshots() {
+        let _serial = trace_serial();
+        let json_path = std::env::temp_dir().join("pcmax_cli_metrics_test.json");
+        let prom_path = std::env::temp_dir().join("pcmax_cli_metrics_test.prom");
+        run(Command::Metrics {
+            families: vec!["p".into(), "q".into(), "online".into()],
+            count: 1,
+            eps: 0.5,
+            threads: Some(2),
+            seed: 7,
+            format: None,
+            out: Some(json_path.to_str().unwrap().into()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let snap = export::from_json_str(&text).unwrap();
+        export::validate_snapshot(&snap).unwrap();
+        // The scoreboard inputs all made it into the export: per-solver
+        // latency and ratio histograms for every family's comparators.
+        for solver in ["ls", "lpt", "par-ptas", "ptas-q", "ls-online"] {
+            let lat = snap
+                .histogram("pcmax_solve_latency_nanos", Some(solver))
+                .unwrap_or_else(|| panic!("no latency histogram for {solver}"));
+            assert!(lat.count() > 0, "{solver} latency is empty");
+            let ratio = snap
+                .histogram("pcmax_solve_ratio_permille", Some(solver))
+                .unwrap_or_else(|| panic!("no ratio histogram for {solver}"));
+            // Every comparator is at least 1.0x the reference.
+            assert!(
+                ratio.quantile(0.5).unwrap() >= 500.0,
+                "{solver} ratio p50 below bucket of 1000 permille"
+            );
+        }
+        assert_eq!(snap.counter("pcmax_solve_outcomes_total", Some("ok")), {
+            let solves = snap
+                .samples
+                .iter()
+                .filter(|s| s.name == "pcmax_solve_latency_nanos")
+                .filter_map(|s| match &s.value {
+                    pcmax_metrics::SampleValue::Histogram(h) => Some(h.count()),
+                    _ => None,
+                })
+                .sum::<u64>();
+            Some(solves)
+        });
+
+        run(Command::Metrics {
+            families: vec!["p".into()],
+            count: 1,
+            eps: 0.5,
+            threads: Some(2),
+            seed: 7,
+            format: Some("prom".into()),
+            out: Some(prom_path.to_str().unwrap().into()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&prom_path).unwrap();
+        let stats = export::validate_prometheus(&text).unwrap();
+        assert!(stats.histograms > 0, "prometheus export has no histograms");
+        let _ = std::fs::remove_file(&json_path);
+        let _ = std::fs::remove_file(&prom_path);
+    }
+
+    #[test]
+    fn compare_metrics_flag_persists_a_snapshot() {
+        let _serial = trace_serial();
+        let path = std::env::temp_dir().join("pcmax_cli_compare_metrics.json");
+        run(Command::Compare {
+            source: tiny(),
+            family: None,
+            metrics: Some(path.to_str().unwrap().into()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snap = export::from_json_str(&text).unwrap();
+        export::validate_snapshot(&snap).unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

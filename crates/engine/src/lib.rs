@@ -32,6 +32,7 @@ use pcmax_baselines::{Lpt, Ls, LsOnline, Multifit, SpeedLpt};
 use pcmax_core::{Error, Result, SolveReport, SolveRequest, Solver};
 use pcmax_exact::BranchAndBound;
 use pcmax_fptas::FixedMachinesFptas;
+use pcmax_metrics::{family, Family, Gauge, Histogram};
 use pcmax_milp::AssignmentIp;
 use pcmax_parallel::{ParallelDp, ParallelPtas, SpeculativePtas};
 use pcmax_ptas::{Ptas, QPtas};
@@ -356,6 +357,68 @@ pub fn solve_traced(
         // failed solve does not wedge the process-global runtime.
         Err(e) => Err(e),
     }
+}
+
+/// Per-solver solve latency, in nanoseconds.
+static SOLVE_LATENCY_NANOS: Family<Histogram> = family(
+    "pcmax_solve_latency_nanos",
+    "End-to-end solve latency per registry solver, in nanoseconds",
+    "solver",
+);
+
+/// Per-outcome solve counts (`ok`, `budget-exhausted`, `cancelled`,
+/// `invalid-witness`, `error`).
+static SOLVE_OUTCOMES: Family<pcmax_metrics::Counter> = family(
+    "pcmax_solve_outcomes_total",
+    "Solve completions per outcome class",
+    "outcome",
+);
+
+/// Latest DP-phase throughput per solver, from
+/// [`SolveStats::dp_phase_cells_per_sec`].
+///
+/// [`SolveStats::dp_phase_cells_per_sec`]: pcmax_core::SolveStats::dp_phase_cells_per_sec
+static DP_CELLS_PER_SEC: Family<Gauge> = family(
+    "pcmax_dp_cells_per_sec",
+    "Latest DP-phase cells/sec per registry solver",
+    "solver",
+);
+
+/// Outcome-class label for a solve result, shared by [`solve_metered`] and
+/// the scoreboard.
+pub fn outcome_label(result: &Result<SolveReport>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(Error::BudgetExhausted { .. }) => "budget-exhausted",
+        Err(Error::Cancelled) => "cancelled",
+        Err(Error::InvalidWitness { .. }) => "invalid-witness",
+        Err(_) => "error",
+    }
+}
+
+/// Runs `solver` on `req` and aggregates the solve into the process-wide
+/// metrics registry under `name` (a registry primary name): latency
+/// histogram, outcome counter, and — when the solve reports a DP phase —
+/// the cells/sec gauge. The report itself is returned unchanged, so
+/// metering composes with any caller (results are bit-identical with
+/// metrics enabled, disabled, or absent; a pinned test asserts it).
+pub fn solve_metered(
+    name: &str,
+    solver: &dyn Solver,
+    req: &SolveRequest<'_>,
+) -> Result<SolveReport> {
+    let start = std::time::Instant::now();
+    let result = solver.solve(req);
+    SOLVE_LATENCY_NANOS
+        .with_label(name)
+        .observe(start.elapsed().as_nanos() as u64);
+    SOLVE_OUTCOMES.with_label(outcome_label(&result)).inc();
+    if let Ok(report) = &result {
+        if let Some(rate) = report.stats.dp_phase_cells_per_sec() {
+            DP_CELLS_PER_SEC.with_label(name).set(rate);
+        }
+    }
+    result
 }
 
 /// The solvers the experiment harness compares against the optimum: every

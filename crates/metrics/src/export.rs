@@ -1,0 +1,586 @@
+//! Exposition formats for a [`Snapshot`]: Prometheus text format and a
+//! round-trippable JSON document, both built on `pcmax_core::json` (no
+//! external dependencies), plus the validators behind
+//! `pcmax-audit metrics-check`.
+
+use crate::{bucket_bounds, HistogramSnapshot, Sample, SampleValue, Snapshot, HISTOGRAM_BUCKETS};
+use pcmax_core::json::{self, object, u64_array, Value};
+use pcmax_core::{Error, Result};
+use std::fmt::Write as _;
+
+/// Format tag stamped into the JSON document so future revisions can
+/// evolve the schema without silently misreading old files.
+pub const JSON_FORMAT: &str = "pcmax-metrics/1";
+
+/// Renders a snapshot in Prometheus text exposition format. Histograms
+/// use the conventional cumulative `_bucket{le="..."}` series (upper
+/// bounds from [`bucket_bounds`]) plus `_sum`, `_count`, and a
+/// non-standard exact `<name>_max` gauge.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_header: Option<&str> = None;
+    for sample in &snapshot.samples {
+        // Family children share one HELP/TYPE header.
+        if last_header != Some(sample.name.as_str()) {
+            let _ = writeln!(out, "# HELP {} {}", sample.name, sample.help);
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.value.kind());
+            last_header = Some(sample.name.as_str());
+        }
+        let labels = label_text(sample);
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", sample.name, labels, v);
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", sample.name, labels, v);
+            }
+            SampleValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (b, &count) in h.buckets.iter().enumerate() {
+                    cumulative += count;
+                    // Emit the populated prefix only: every bucket up to
+                    // the last nonzero one, so the series stays readable.
+                    if count > 0 || (b == 0 && cumulative > 0) {
+                        let le = bucket_bounds(b).1;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            sample.name,
+                            le_labels(sample, &le.to_string()),
+                            cumulative
+                        );
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    sample.name,
+                    le_labels(sample, "+Inf"),
+                    cumulative
+                );
+                let _ = writeln!(out, "{}_sum{} {}", sample.name, labels, h.sum);
+                let _ = writeln!(out, "{}_count{} {}", sample.name, labels, cumulative);
+                let _ = writeln!(out, "{}_max{} {}", sample.name, labels, h.max);
+            }
+        }
+    }
+    out
+}
+
+fn label_text(sample: &Sample) -> String {
+    match &sample.label {
+        Some((k, v)) => format!("{{{}=\"{}\"}}", k, escape_label(v)),
+        None => String::new(),
+    }
+}
+
+fn le_labels(sample: &Sample, le: &str) -> String {
+    match &sample.label {
+        Some((k, v)) => format!("{{{}=\"{}\",le=\"{}\"}}", k, escape_label(v), le),
+        None => format!("{{le=\"{}\"}}", le),
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+impl json::ToJson for Snapshot {
+    fn to_json(&self) -> Value {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let mut members = vec![
+                    ("name", Value::Str(s.name.clone())),
+                    ("help", Value::Str(s.help.clone())),
+                    ("kind", Value::Str(s.value.kind().to_string())),
+                ];
+                if let Some((k, v)) = &s.label {
+                    members.push(("label_key", Value::Str(k.clone())));
+                    members.push(("label", Value::Str(v.clone())));
+                }
+                match &s.value {
+                    SampleValue::Counter(v) => members.push(("value", Value::UInt(*v))),
+                    SampleValue::Gauge(v) => members.push(("value", Value::Float(*v))),
+                    SampleValue::Histogram(h) => {
+                        members.push(("buckets", u64_array(h.buckets.iter().copied())));
+                        members.push(("sum", Value::UInt(h.sum)));
+                        members.push(("max", Value::UInt(h.max)));
+                    }
+                }
+                object(members)
+            })
+            .collect();
+        object(vec![
+            ("format", Value::Str(JSON_FORMAT.to_string())),
+            ("samples", Value::Array(samples)),
+        ])
+    }
+}
+
+impl json::FromJson for Snapshot {
+    fn from_json(v: &Value) -> Result<Self> {
+        let format = v
+            .get("format")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing `format` tag"))?;
+        if format != JSON_FORMAT {
+            return Err(bad(format!(
+                "unsupported format `{format}` (expected `{JSON_FORMAT}`)"
+            )));
+        }
+        let samples = v
+            .get("samples")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing `samples` array"))?
+            .iter()
+            .map(sample_from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Snapshot { samples })
+    }
+}
+
+fn sample_from_json(v: &Value) -> Result<Sample> {
+    let name = str_field(v, "name")?;
+    let help = str_field(v, "help")?;
+    let kind = str_field(v, "kind")?;
+    let label = match (v.get("label_key"), v.get("label")) {
+        (Some(k), Some(l)) => Some((
+            k.as_str()
+                .ok_or_else(|| bad("non-string `label_key`"))?
+                .to_string(),
+            l.as_str()
+                .ok_or_else(|| bad("non-string `label`"))?
+                .to_string(),
+        )),
+        (None, None) => None,
+        _ => return Err(bad("`label_key` and `label` must appear together")),
+    };
+    let value = match kind.as_str() {
+        "counter" => SampleValue::Counter(json::field_u64(v, "value")?),
+        "gauge" => SampleValue::Gauge(
+            v.get("value")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| bad("missing or non-numeric gauge `value`"))?,
+        ),
+        "histogram" => {
+            let buckets = json::field_u64_array(v, "buckets")?;
+            if buckets.len() != HISTOGRAM_BUCKETS {
+                return Err(bad(format!(
+                    "histogram `{name}` has {} buckets (expected {HISTOGRAM_BUCKETS})",
+                    buckets.len()
+                )));
+            }
+            SampleValue::Histogram(HistogramSnapshot {
+                buckets,
+                sum: json::field_u64(v, "sum")?,
+                max: json::field_u64(v, "max")?,
+            })
+        }
+        other => return Err(bad(format!("unknown sample kind `{other}`"))),
+    };
+    Ok(Sample {
+        name,
+        help,
+        label,
+        value,
+    })
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing or non-string field `{key}`")))
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::BadModel(format!("metrics: {}", msg.into()))
+}
+
+/// Serializes a snapshot to the pretty JSON document format.
+pub fn to_json_string(snapshot: &Snapshot) -> String {
+    json::to_string_pretty(snapshot)
+}
+
+/// Parses a snapshot back from JSON text.
+pub fn from_json_str(text: &str) -> Result<Snapshot> {
+    json::from_str(text)
+}
+
+/// Summary returned by the validators, for human-readable reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationStats {
+    /// Total samples (JSON) or series (Prometheus) seen.
+    pub samples: usize,
+    /// Of which histograms.
+    pub histograms: usize,
+}
+
+/// Checks the internal consistency of a snapshot: non-empty, sorted
+/// sample order, and per-histogram invariants (quantile monotonicity
+/// p50 ≤ p90 ≤ p99 ≤ max, max inside the highest populated bucket, sum
+/// within the bucket-implied bounds).
+pub fn validate_snapshot(snapshot: &Snapshot) -> std::result::Result<ValidationStats, String> {
+    if snapshot.samples.is_empty() {
+        return Err("snapshot has no samples".into());
+    }
+    let mut histograms = 0usize;
+    for pair in snapshot.samples.windows(2) {
+        let a = (&pair[0].name, &pair[0].label);
+        let b = (&pair[1].name, &pair[1].label);
+        if a > b {
+            return Err(format!("samples out of order: {:?} after {:?}", b, a));
+        }
+        if a == b {
+            return Err(format!("duplicate sample {:?}", a));
+        }
+    }
+    for sample in &snapshot.samples {
+        let SampleValue::Histogram(h) = &sample.value else {
+            continue;
+        };
+        histograms += 1;
+        if h.buckets.len() != HISTOGRAM_BUCKETS {
+            return Err(format!(
+                "{}: {} buckets (expected {HISTOGRAM_BUCKETS})",
+                sample.name,
+                h.buckets.len()
+            ));
+        }
+        if h.count() == 0 {
+            if h.sum != 0 || h.max != 0 {
+                return Err(format!(
+                    "{}: empty histogram with nonzero sum/max",
+                    sample.name
+                ));
+            }
+            continue;
+        }
+        let (p50, p90, p99) = (
+            h.quantile(0.5).unwrap_or(0.0),
+            h.quantile(0.9).unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0.0),
+        );
+        if !(p50 <= p90 && p90 <= p99 && p99 <= h.max as f64) {
+            return Err(format!(
+                "{}: quantiles not monotone (p50={p50} p90={p90} p99={p99} max={})",
+                sample.name, h.max
+            ));
+        }
+        let top = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let (lo, hi) = bucket_bounds(top);
+        if h.max < lo || h.max > hi {
+            return Err(format!(
+                "{}: max {} outside highest populated bucket [{lo}, {hi}]",
+                sample.name, h.max
+            ));
+        }
+        // Sum bounds: every observation is at most max and the bucket
+        // structure caps how small the sum can be.
+        let min_sum: u64 = h
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| bucket_bounds(b).0.saturating_mul(c))
+            .fold(0u64, u64::saturating_add);
+        let max_sum = (h.max as u128) * (h.count() as u128);
+        if (h.sum as u128) > max_sum || h.sum < min_sum {
+            return Err(format!(
+                "{}: sum {} outside feasible range [{min_sum}, {max_sum}]",
+                sample.name, h.sum
+            ));
+        }
+    }
+    Ok(ValidationStats {
+        samples: snapshot.samples.len(),
+        histograms,
+    })
+}
+
+/// Validates Prometheus text exposition: every sample line is preceded by
+/// a `# TYPE` for its metric, histogram `_bucket` series are cumulative
+/// and end in a `+Inf` bucket equal to `_count`, and `_sum`/`_count`
+/// are present for every histogram.
+pub fn validate_prometheus(text: &str) -> std::result::Result<ValidationStats, String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut series = 0usize;
+    // Per (histogram name, label set): (last cumulative, inf, count, sum seen)
+    struct HistState {
+        last_cumulative: u64,
+        inf: Option<u64>,
+        count: Option<u64>,
+        has_sum: bool,
+    }
+    let mut hists: BTreeMap<(String, String), HistState> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {lineno}: bare # TYPE"))?;
+            let kind = parts
+                .next()
+                .ok_or(format!("line {lineno}: # TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown type `{kind}`"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name{labels} value
+        let (series_name, labels, value_text) =
+            split_sample_line(line).ok_or(format!("line {lineno}: malformed sample line"))?;
+        series += 1;
+        let base = series_name
+            .strip_suffix("_bucket")
+            .or_else(|| series_name.strip_suffix("_sum"))
+            .or_else(|| series_name.strip_suffix("_count"))
+            .or_else(|| series_name.strip_suffix("_max"))
+            .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(series_name);
+        let Some(kind) = types.get(base) else {
+            return Err(format!(
+                "line {lineno}: `{series_name}` has no preceding # TYPE"
+            ));
+        };
+        if kind == "histogram" {
+            let value: u64 = value_text
+                .parse()
+                .map_err(|_| format!("line {lineno}: non-integer histogram value"))?;
+            let label_key = labels_without_le(labels);
+            let state = hists
+                .entry((base.to_string(), label_key))
+                .or_insert(HistState {
+                    last_cumulative: 0,
+                    inf: None,
+                    count: None,
+                    has_sum: false,
+                });
+            if series_name.ends_with("_bucket") {
+                if labels_le(labels) == Some("+Inf") {
+                    state.inf = Some(value);
+                } else if value < state.last_cumulative {
+                    return Err(format!(
+                        "line {lineno}: `{base}` buckets not cumulative ({value} < {})",
+                        state.last_cumulative
+                    ));
+                } else {
+                    state.last_cumulative = value;
+                }
+            } else if series_name.ends_with("_count") {
+                state.count = Some(value);
+            } else if series_name.ends_with("_sum") {
+                state.has_sum = true;
+            }
+        } else {
+            value_text
+                .parse::<f64>()
+                .map_err(|_| format!("line {lineno}: non-numeric value `{value_text}`"))?;
+        }
+    }
+    if series == 0 {
+        return Err("no sample lines".into());
+    }
+    for ((name, labels), state) in &hists {
+        let what = if labels.is_empty() {
+            name.clone()
+        } else {
+            format!("{name}{{{labels}}}")
+        };
+        let inf = state.inf.ok_or(format!("{what}: missing +Inf bucket"))?;
+        let count = state.count.ok_or(format!("{what}: missing _count"))?;
+        if inf != count {
+            return Err(format!("{what}: +Inf bucket {inf} != _count {count}"));
+        }
+        if inf < state.last_cumulative {
+            return Err(format!(
+                "{what}: +Inf bucket {inf} below last finite bucket {}",
+                state.last_cumulative
+            ));
+        }
+        if !state.has_sum {
+            return Err(format!("{what}: missing _sum"));
+        }
+    }
+    Ok(ValidationStats {
+        samples: series,
+        histograms: hists.len(),
+    })
+}
+
+fn split_sample_line(line: &str) -> Option<(&str, &str, &str)> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let head = head.trim_end();
+    match head.find('{') {
+        Some(open) => {
+            let labels = head[open + 1..].strip_suffix('}')?;
+            Some((&head[..open], labels, value))
+        }
+        None => Some((head, "", value)),
+    }
+}
+
+fn labels_le(labels: &str) -> Option<&str> {
+    labels.split(',').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == "le").then(|| v.trim_matches('"'))
+    })
+}
+
+fn labels_without_le(labels: &str) -> String {
+    labels
+        .split(',')
+        .filter(|pair| !pair.starts_with("le="))
+        .filter(|pair| !pair.is_empty())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSnapshot, Sample, SampleValue, Snapshot};
+
+    fn test_snapshot() -> Snapshot {
+        let mut hist = HistogramSnapshot::empty();
+        for v in [1u64, 3, 3, 7, 120, 4096] {
+            hist.buckets[crate::bucket_of(v)] += 1;
+            hist.sum += v;
+            hist.max = hist.max.max(v);
+        }
+        let mut samples = vec![
+            Sample {
+                name: "pcmax_pool_parks_total".into(),
+                help: "worker park transitions".into(),
+                label: None,
+                value: SampleValue::Counter(42),
+            },
+            Sample {
+                name: "pcmax_dp_cells_per_sec".into(),
+                help: "dp throughput".into(),
+                label: Some(("solver".into(), "par-ptas".into())),
+                value: SampleValue::Gauge(12345.5),
+            },
+            Sample {
+                name: "pcmax_solve_latency_nanos".into(),
+                help: "per-solve latency".into(),
+                label: Some(("solver".into(), "lpt".into())),
+                value: SampleValue::Histogram(hist),
+            },
+        ];
+        samples.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        Snapshot { samples }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = test_snapshot();
+        let text = to_json_string(&snap);
+        let back = from_json_str(&text).unwrap();
+        assert_eq!(back, snap);
+        // Compact form round-trips too.
+        let compact = json::to_string(&snap);
+        assert_eq!(from_json_str(&compact).unwrap(), snap);
+    }
+
+    #[test]
+    fn json_rejects_wrong_format_tag() {
+        let text = to_json_string(&test_snapshot()).replace(JSON_FORMAT, "pcmax-metrics/999");
+        assert!(from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn json_rejects_truncated_histogram() {
+        let snap = Snapshot {
+            samples: vec![Sample {
+                name: "pcmax_bad".into(),
+                help: "h".into(),
+                label: None,
+                value: SampleValue::Histogram(HistogramSnapshot {
+                    buckets: vec![0; 3],
+                    sum: 0,
+                    max: 0,
+                }),
+            }],
+        };
+        let text = to_json_string(&snap);
+        assert!(from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn prometheus_output_validates() {
+        let snap = test_snapshot();
+        let text = to_prometheus(&snap);
+        let stats = validate_prometheus(&text).unwrap();
+        assert_eq!(stats.histograms, 1);
+        assert!(text.contains("# TYPE pcmax_pool_parks_total counter"));
+        assert!(text.contains("pcmax_pool_parks_total 42"));
+        assert!(text.contains("# TYPE pcmax_solve_latency_nanos histogram"));
+        assert!(text.contains("pcmax_solve_latency_nanos_bucket{solver=\"lpt\",le=\"+Inf\"} 6"));
+        assert!(text.contains("pcmax_solve_latency_nanos_count{solver=\"lpt\"} 6"));
+        assert!(text.contains("pcmax_solve_latency_nanos_max{solver=\"lpt\"} 4096"));
+        assert!(text.contains("pcmax_dp_cells_per_sec{solver=\"par-ptas\"} 12345.5"));
+    }
+
+    #[test]
+    fn snapshot_validator_accepts_real_and_rejects_corrupt() {
+        let snap = test_snapshot();
+        let stats = validate_snapshot(&snap).unwrap();
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.histograms, 1);
+
+        // Corrupt the max so it escapes its bucket.
+        let mut broken = snap.clone();
+        for s in &mut broken.samples {
+            if let SampleValue::Histogram(h) = &mut s.value {
+                h.max = 9_999_999;
+            }
+        }
+        assert!(validate_snapshot(&broken).is_err());
+
+        // Out-of-order samples.
+        let mut unsorted = snap.clone();
+        unsorted.samples.reverse();
+        assert!(validate_snapshot(&unsorted).is_err());
+
+        assert!(validate_snapshot(&Snapshot::default()).is_err());
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_broken_series() {
+        assert!(validate_prometheus("").is_err());
+        assert!(
+            validate_prometheus("pcmax_x_total 1\n").is_err(),
+            "missing TYPE"
+        );
+        let non_cumulative = "\
+# TYPE pcmax_h histogram
+pcmax_h_bucket{le=\"1\"} 5
+pcmax_h_bucket{le=\"2\"} 3
+pcmax_h_bucket{le=\"+Inf\"} 5
+pcmax_h_sum 9
+pcmax_h_count 5
+";
+        assert!(validate_prometheus(non_cumulative).is_err());
+        let inf_mismatch = "\
+# TYPE pcmax_h histogram
+pcmax_h_bucket{le=\"1\"} 5
+pcmax_h_bucket{le=\"+Inf\"} 5
+pcmax_h_sum 9
+pcmax_h_count 6
+";
+        assert!(validate_prometheus(inf_mismatch).is_err());
+    }
+}

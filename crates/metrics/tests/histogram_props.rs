@@ -1,0 +1,161 @@
+//! Property tests for the log2-bucketed histogram: the recorded
+//! distribution must agree with a sorted-vector reference up to the
+//! documented bucket error, saturate cleanly at the top bucket, merge
+//! exactly, and count identically under concurrent recording.
+
+use pcmax_metrics::{bucket_bounds, bucket_of, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// A fresh histogram per case. Recording needs `&'static self` (that is
+/// the production contract: metrics are statics), so each case leaks one
+/// — a few hundred bytes per case, reclaimed at process exit.
+fn fresh() -> &'static Histogram {
+    Box::leak(Box::new(Histogram::new(
+        "prop_scratch_hist",
+        "proptest scratch histogram",
+    )))
+}
+
+/// The exact reference quantile: the rank-th order statistic, with the
+/// same ceil-rank convention the histogram documents.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = (q.clamp(0.0, 1.0) * n).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+/// Values that exercise every bucket regime: small integers, mid-range,
+/// full-range, and the 2^62.. saturation bucket.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|bits| match bits % 10 {
+        0..=3 => (bits / 10) % 1024,
+        4..=6 => (bits / 10) % (1u64 << 32),
+        7..=8 => bits / 10,
+        _ => (1u64 << 62) | bits,
+    })
+}
+
+proptest! {
+    /// The histogram quantile always lands inside the bucket of the true
+    /// quantile — absolute error bounded by one bucket width.
+    #[test]
+    fn quantile_within_the_reference_value_bucket(
+        values in prop::collection::vec(value_strategy(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = fresh();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.sample();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let reference = reference_quantile(&sorted, q);
+        let (lo, hi) = bucket_bounds(bucket_of(reference));
+        let est = snap.quantile(q).unwrap();
+        prop_assert!(
+            lo as f64 <= est && est <= hi as f64,
+            "quantile({}) = {} outside the reference bucket [{}, {}] of {}",
+            q, est, lo, hi, reference
+        );
+    }
+
+    /// Everything at or above 2^62 saturates into the top bucket, and the
+    /// top-end quantile still reports the exact recorded max (the clamp).
+    #[test]
+    fn saturates_at_the_top_bucket(
+        values in prop::collection::vec((1u64 << 62)..=u64::MAX, 1..50),
+    ) {
+        let h = fresh();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.sample();
+        prop_assert_eq!(snap.buckets[pcmax_metrics::HISTOGRAM_BUCKETS - 1], values.len() as u64);
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(snap.max, max);
+        // The clamp reports the recorded max; above 2^53 the f64 estimate
+        // carries conversion rounding, so compare with relative tolerance.
+        let est = snap.quantile(1.0).unwrap();
+        let rel = (est - max as f64).abs() / max as f64;
+        prop_assert!(rel < 1e-9, "quantile(1.0) = {} vs max {}", est, max);
+    }
+
+    /// Merging two snapshots is exactly the snapshot of the combined
+    /// stream: bucket-wise sums, summed totals, max of maxes. Values are
+    /// bounded so the true sum fits in u64 — merge saturates on overflow
+    /// while the lock-free record path wraps, so exactness is only
+    /// promised on the non-overflowing domain.
+    #[test]
+    fn merge_equals_the_combined_stream(
+        a in prop::collection::vec(any::<u64>().prop_map(|v| v % (1u64 << 54)), 0..100),
+        b in prop::collection::vec(any::<u64>().prop_map(|v| v % (1u64 << 54)), 0..100),
+    ) {
+        let (ha, hb, hab) = (fresh(), fresh(), fresh());
+        for &v in &a {
+            ha.observe(v);
+            hab.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            hab.observe(v);
+        }
+        let mut merged = ha.sample();
+        merged.merge(&hb.sample());
+        let combined = hab.sample();
+        prop_assert_eq!(&merged.buckets, &combined.buckets);
+        prop_assert_eq!(merged.sum, combined.sum);
+        prop_assert_eq!(merged.max, combined.max);
+    }
+
+    /// An empty merge is the identity.
+    #[test]
+    fn merging_empty_is_identity(
+        values in prop::collection::vec(value_strategy(), 0..50),
+    ) {
+        let h = fresh();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut snap = h.sample();
+        let before = snap.clone();
+        snap.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&snap.buckets, &before.buckets);
+        prop_assert_eq!(snap.sum, before.sum);
+        prop_assert_eq!(snap.max, before.max);
+    }
+}
+
+/// Concurrent recording into one histogram loses nothing: the final
+/// snapshot equals the serial reference built from the same values.
+#[test]
+fn concurrent_recording_matches_the_serial_reference() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let h = fresh();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A deterministic mix spanning several buckets.
+                    h.observe((t * PER_THREAD + i) % 4096);
+                }
+            });
+        }
+    });
+    let concurrent = h.sample();
+
+    let serial = fresh();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            serial.observe((t * PER_THREAD + i) % 4096);
+        }
+    }
+    let reference = serial.sample();
+    assert_eq!(concurrent.buckets, reference.buckets);
+    assert_eq!(concurrent.sum, reference.sum);
+    assert_eq!(concurrent.max, reference.max);
+    assert_eq!(concurrent.count(), THREADS * PER_THREAD);
+}

@@ -28,6 +28,7 @@
 //! under `feature = "audit"` — an event log plus a seeded interleaving
 //! scheduler that `pcmax-audit` uses to prove the wavefront race-free.
 
+pub mod metrics;
 pub mod persistent;
 pub mod pool;
 pub mod scoped;

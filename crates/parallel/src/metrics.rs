@@ -1,0 +1,49 @@
+//! Pool-health metric handles for the parallel executors.
+//!
+//! Aggregated, always-on counterparts of the `pcmax-trace` pool
+//! instrumentation: the park/wake instants, the chunk decisions and the
+//! per-worker busy time that the trace records as timeline events are
+//! accumulated here as process totals, so `pcmax compare` can report
+//! busy%/parks columns without an active trace session (see DESIGN.md §4e).
+//!
+//! Recording sites live at the existing `sync` seam and in the wavefront
+//! sweep — never inside the per-cell kernel loops (the `trace-hot` lint in
+//! `pcmax-audit` enforces that for `inc`/`observe` just as it does for
+//! trace hooks).
+
+use pcmax_metrics::{family, Counter, Family, Histogram};
+
+/// Worker park transitions across all pools (counterpart of
+/// `SolveStats::pool_parks`, summed process-wide).
+pub static POOL_PARKS: Counter = Counter::new(
+    "pcmax_pool_parks_total",
+    "Worker park transitions across all persistent pools",
+);
+
+/// Worker wake transitions across all pools.
+pub static POOL_WAKES: Counter = Counter::new(
+    "pcmax_pool_wakes_total",
+    "Worker wake transitions across all persistent pools",
+);
+
+/// Distribution of chunk sizes (in DP cells) claimed by wavefront workers.
+pub static CHUNK_CELLS: Histogram = Histogram::new(
+    "pcmax_pool_chunk_cells",
+    "DP cells per claimed wavefront chunk",
+);
+
+/// Per-worker busy time, in nanoseconds, summed over all chunks the worker
+/// executed. Divide by [`POOL_EXTENT_NANOS`] for a busy fraction.
+pub static WORKER_BUSY_NANOS: Family<Counter> = family(
+    "pcmax_worker_busy_nanos_total",
+    "Per-worker busy time in nanoseconds across all wavefront sweeps",
+    "worker",
+);
+
+/// Wall-clock sweep extent times participating workers, in nanoseconds —
+/// the denominator of the pool busy fraction (each worker could at most be
+/// busy for the whole sweep).
+pub static POOL_EXTENT_NANOS: Counter = Counter::new(
+    "pcmax_pool_extent_nanos_total",
+    "Sweep wall-clock extent times worker count, in nanoseconds",
+);

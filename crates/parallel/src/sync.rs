@@ -112,6 +112,7 @@ pub fn trace_write(loc: usize) {
 #[inline]
 pub fn trace_park(worker: usize) {
     pcmax_trace::instant("park", worker as u64);
+    crate::metrics::POOL_PARKS.inc();
 }
 
 /// Emits a `wake` instant for `worker`; the counterpart of [`trace_park`],
@@ -119,6 +120,7 @@ pub fn trace_park(worker: usize) {
 #[inline]
 pub fn trace_wake(worker: usize) {
     pcmax_trace::instant("wake", worker as u64);
+    crate::metrics::POOL_WAKES.inc();
 }
 
 /// Identity counter for auditable sync objects. Reset to 1 at every session

@@ -417,6 +417,14 @@ pub fn bucketed_sweep_space_with<S: StateSpace>(
     let inv = layout.inv();
     let cells = shared_cells(&mut table.values);
     let planner = &ChunkPlanner::new(n, chunking);
+    // Per-worker busy counters resolved once per sweep: `with_label` takes
+    // a mutex, so the chunk loop below only touches pre-resolved handles.
+    let busy: Option<Vec<_>> = pcmax_metrics::enabled().then(|| {
+        (0..n)
+            .map(|w| crate::metrics::WORKER_BUSY_NANOS.with_label(pcmax_metrics::worker_label(w)))
+            .collect::<Vec<_>>()
+    });
+    let busy = &busy;
 
     let kernel = |w: usize, level: u32, kb: &mut KernelScratch| {
         let span = layout.level_span(level);
@@ -427,10 +435,12 @@ pub fn bucketed_sweep_space_with<S: StateSpace>(
             return;
         }
         pcmax_trace::chunk_decision(w as u64, (hi - lo) as u64);
-        // Chunk span only — no trace hooks inside the cell loops below
-        // (enforced by the audit lint's trace-hot rule).
+        crate::metrics::CHUNK_CELLS.observe((hi - lo) as u64);
+        // Chunk span and chunk-size observation only — no trace or metric
+        // hooks inside the cell loops below (enforced by the audit lint's
+        // trace-hot rule).
         let _chunk_span = pcmax_trace::span("chunk", w as u64);
-        let t0 = planner.adaptive.then(std::time::Instant::now);
+        let t0 = (planner.adaptive || busy.is_some()).then(std::time::Instant::now);
         match cell_kernel {
             CellKernel::Strip => {
                 kb.prepare(k, tile_cells);
@@ -469,11 +479,21 @@ pub fn bucketed_sweep_space_with<S: StateSpace>(
             ),
         }
         if let Some(t0) = t0 {
-            planner.record(w, level, hi - lo, t0.elapsed().as_nanos() as u64);
+            let nanos = t0.elapsed().as_nanos() as u64;
+            if let Some(busy) = busy {
+                busy[w].inc_by(nanos);
+            }
+            if planner.adaptive {
+                planner.record(w, level, hi - lo, nanos);
+            }
         }
     };
 
+    let sweep_start = std::time::Instant::now();
     let (states, counters, panicked) = persistent::run_levels_catching(states, 1..levels, kernel);
+    // Busy-fraction denominator: each of the n workers could at most have
+    // been busy for the whole sweep extent.
+    crate::metrics::POOL_EXTENT_NANOS.inc_by(sweep_start.elapsed().as_nanos() as u64 * n as u64);
     scratch.return_kernel_bufs(states);
     scratch.levels_swept += levels.saturating_sub(1) as u64;
     scratch.cells_computed += (table.len - 1) as u64;

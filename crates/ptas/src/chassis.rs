@@ -16,7 +16,32 @@ use crate::table::DpScratch;
 use pcmax_core::{
     Error, Instance, MakespanBounds, Result, Schedule, SolveRequest, SolveStats, Time,
 };
+use pcmax_metrics::Counter;
 use std::time::{Duration, Instant};
+
+/// Bisection probes across all dual-approximation solves.
+static BISECTION_PROBES: Counter = Counter::new(
+    "pcmax_bisection_probes_total",
+    "Feasibility probes evaluated by the bisection chassis",
+);
+
+/// DP levels swept across all solves (aggregate of `dp_levels_swept`).
+static DP_LEVELS: Counter = Counter::new(
+    "pcmax_dp_levels_total",
+    "Wavefront DP levels swept across all solves",
+);
+
+/// DP cells computed across all solves (aggregate of `dp_cells`).
+static DP_CELLS: Counter = Counter::new(
+    "pcmax_dp_cells_total",
+    "DP cells computed across all solves",
+);
+
+/// Kernel scratch allocations across all solves.
+static DP_KERNEL_ALLOCS: Counter = Counter::new(
+    "pcmax_dp_kernel_allocs_total",
+    "Kernel scratch buffer allocations across all solves",
+);
 
 /// A dual-approximation scheduling scenario the generic [`drive`] loop can
 /// bisect: `P||Cmax` (the original PTAS), `Q||Cmax` (uniform machines), or
@@ -172,6 +197,12 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
     stats.pool_wakes = scratch.pool_wakes;
     stats.dp_kernel_allocs = scratch.kernel_allocs;
     stats.wall = run_start.elapsed();
+    // Aggregate per-solve totals into the process-wide registry — once per
+    // solve, well off the probe/cell hot paths.
+    BISECTION_PROBES.inc_by(stats.bisection_probes);
+    DP_LEVELS.inc_by(stats.dp_levels_swept);
+    DP_CELLS.inc_by(stats.dp_cells);
+    DP_KERNEL_ALLOCS.inc_by(stats.dp_kernel_allocs);
     Ok((
         PtasOutput {
             schedule,
