@@ -1,0 +1,211 @@
+//! Concurrency regression suite for the session engine: replays ≥64 seeded
+//! interleavings of a full `Engine` lifecycle — submit, queue handoff,
+//! profile-cache sharing, pre-cancelled admission, shutdown — and asserts
+//! (a) no schedule races, (b) every schedule renders bit-identical wire
+//! responses (timing zeroed — wall clock is the one field allowed to vary),
+//! and (c) concurrent cold solves of the same instance agree on the answer
+//! no matter which one wins the memo insert.
+//!
+//! Compile with `cargo test -p pcmax-audit --features audit`; the whole
+//! file vanishes without the feature.
+#![cfg(feature = "audit")]
+
+use pcmax_audit::explore::sweep;
+use pcmax_core::json::ToJson;
+use pcmax_core::wire::{WireOutcome, WireResponse};
+use pcmax_core::{CancelToken, Instance, Result, SolveReport};
+use pcmax_engine::{Engine, EngineConfig, SolverParams, Submission};
+use std::sync::Mutex;
+
+/// Known to drive the rounded DP (LPT does not certify the lower bound), so
+/// every probe produces profile-cache traffic.
+fn dp_instance() -> Instance {
+    Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3, 23, 29], 4).unwrap()
+}
+
+/// A second shape so one submission in the concurrent pair is a guaranteed
+/// memo miss.
+fn other_instance() -> Instance {
+    Instance::new(vec![14, 13, 11, 8, 6, 5, 4, 2, 21], 3).unwrap()
+}
+
+fn params() -> SolverParams {
+    SolverParams {
+        epsilon: 0.4,
+        ..SolverParams::default()
+    }
+}
+
+/// Renders a finished solve exactly as the daemon would put it on the wire,
+/// with `wall_micros` zeroed: the wall clock is the only response field
+/// whose value legitimately depends on the schedule.
+fn frame(id: u64, result: &Result<SolveReport>) -> String {
+    let mut resp = WireResponse::from_result(id, result);
+    if let WireOutcome::Ok { stats, .. } = &mut resp.outcome {
+        stats.wall_micros = 0;
+    }
+    resp.to_json().to_string_compact()
+}
+
+/// One full engine lifecycle, returning every response frame plus the
+/// shutdown totals (parks/wakes excluded — handoff traffic is schedule-
+/// dependent by design; served/cancelled/cache totals are not).
+fn engine_lifecycle() -> Vec<String> {
+    // Built inside the workload: the explorer resets sync object ids at the
+    // start of every seed, so the engine's queue mutex and condvar must be
+    // created under the active exploration session.
+    let engine = Engine::with_config(EngineConfig {
+        workers: 2,
+        capacity: 8,
+        cache_capacity: 64,
+    });
+    let mut frames = Vec::new();
+
+    // Cold solve, waited to completion so the memo is deterministically warm
+    // before the concurrent pair below.
+    let first = engine
+        .submit(Submission::new(dp_instance(), "ptas").with_params(params()))
+        .expect("admit cold solve");
+    frames.push(frame(1, &first.wait()));
+
+    // A warm duplicate and a distinct cold instance race through the two
+    // workers; a queued submission whose token was raised before admission
+    // must come back `cancelled` without ever touching a solver.
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let warm = engine
+        .submit(Submission::new(dp_instance(), "ptas").with_params(params()))
+        .expect("admit warm solve");
+    let cold = engine
+        .submit(Submission::new(other_instance(), "ptas").with_params(params()))
+        .expect("admit second cold solve");
+    let dead = engine
+        .submit(
+            Submission::new(dp_instance(), "ptas")
+                .with_params(params())
+                .with_cancel(cancel),
+        )
+        .expect("admit pre-cancelled solve");
+    frames.push(frame(2, &warm.wait()));
+    frames.push(frame(3, &cold.wait()));
+    frames.push(frame(4, &dead.wait()));
+
+    let totals = engine.shutdown();
+    frames.push(format!(
+        "served={} cancelled={} cache_hits={} cache_misses={}",
+        totals.served, totals.cancelled, totals.cache_hits, totals.cache_misses
+    ));
+    frames
+}
+
+#[test]
+fn engine_lifecycle_is_race_free_and_bit_identical_across_64_interleavings() {
+    let baseline: Mutex<Option<Vec<String>>> = Mutex::new(None);
+    let report = sweep(1100, 64, engine_lifecycle, |seed, frames| {
+        assert!(
+            frames[0].contains(r#""status":"ok""#) && frames[0].contains(r#""cache_hit":false"#),
+            "seed {seed}: cold solve must miss the memo: {}",
+            frames[0]
+        );
+        assert!(
+            frames[1].contains(r#""cache_hit":true"#),
+            "seed {seed}: warm duplicate must hit the memo: {}",
+            frames[1]
+        );
+        assert!(
+            frames[2].contains(r#""cache_hit":false"#),
+            "seed {seed}: distinct instance must miss the memo: {}",
+            frames[2]
+        );
+        assert!(
+            frames[3].contains(r#""status":"cancelled""#),
+            "seed {seed}: pre-cancelled submission must not solve: {}",
+            frames[3]
+        );
+        let mut guard = baseline.lock().unwrap_or_else(|p| p.into_inner());
+        match guard.as_ref() {
+            None => *guard = Some(frames.clone()),
+            Some(expected) => assert_eq!(
+                frames, expected,
+                "seed {seed}: responses diverged across schedules"
+            ),
+        }
+    });
+    assert_eq!(report.schedules, 64);
+    assert!(
+        report.races.is_empty(),
+        "session/cache seam races found: {:?}",
+        report.races
+    );
+    assert!(
+        report.lock_cycles.is_empty(),
+        "session engine lock-order cycles found: {:?}",
+        report.lock_cycles
+    );
+    assert!(
+        report.lost_wakeups.is_empty(),
+        "session engine lost-wakeup candidates found: {:?}",
+        report.lost_wakeups
+    );
+    assert!(
+        report.max_threads > 1,
+        "instrumentation must actually see the engine workers"
+    );
+    assert!(
+        report.distinct_histories > 1,
+        "seeds must explore more than one interleaving"
+    );
+}
+
+#[test]
+fn racing_cold_solves_agree_regardless_of_who_wins_the_memo_insert() {
+    // Two identical submissions admitted back-to-back with a cold memo: which
+    // worker's probe lands in the cache first is schedule-dependent, so the
+    // cache_hit flag may vary — but makespan, certified target and assignment
+    // must not.
+    let report = sweep(
+        1300,
+        64,
+        || {
+            let engine = Engine::with_config(EngineConfig {
+                workers: 2,
+                capacity: 8,
+                cache_capacity: 64,
+            });
+            let a = engine
+                .submit(Submission::new(dp_instance(), "ptas").with_params(params()))
+                .expect("admit first racer");
+            let b = engine
+                .submit(Submission::new(dp_instance(), "ptas").with_params(params()))
+                .expect("admit second racer");
+            let ra = a.wait().expect("first racer solves");
+            let rb = b.wait().expect("second racer solves");
+            engine.shutdown();
+            (ra, rb)
+        },
+        |seed, (ra, rb)| {
+            assert_eq!(ra.makespan, rb.makespan, "seed {seed}: makespan diverged");
+            assert_eq!(
+                ra.certified_target, rb.certified_target,
+                "seed {seed}: certified target diverged"
+            );
+            assert_eq!(
+                ra.schedule, rb.schedule,
+                "seed {seed}: schedule diverged between racing duplicates"
+            );
+        },
+    );
+    assert_eq!(report.schedules, 64);
+    assert!(
+        report.races.is_empty(),
+        "memo-insert races found: {:?}",
+        report.races
+    );
+    assert!(
+        report.lock_cycles.is_empty() && report.lost_wakeups.is_empty(),
+        "memo-insert blocking findings: {:?} {:?}",
+        report.lock_cycles,
+        report.lost_wakeups
+    );
+    assert!(report.max_threads > 1);
+}

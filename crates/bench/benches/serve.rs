@@ -1,0 +1,169 @@
+//! Load-tests `pcmax-serve` end to end over real TCP and pins the serving
+//! contract: every request admitted is answered (zero dropped responses),
+//! and the instance-profile cache turns repeat traffic into a measurable
+//! throughput win. Two runs of the in-crate load harness share one binary:
+//!
+//! * **cold** — the instance pool is at least as large as the request
+//!   count, so no instance is ever revisited (the only hits left are
+//!   cross-instance: distinct instances whose rounded profiles collide,
+//!   which is the fingerprint working as designed);
+//! * **warm** — a small pool is lapped dozens of times, so nearly every
+//!   solve after the first lap is served from the memo.
+//!
+//! The speedup figure is `warm.throughput / cold.throughput` on the same
+//! machine within the same process — the cache is the only variable.
+//!
+//! ```text
+//! cargo bench -p pcmax-bench --bench serve -- [--smoke] \
+//!     [--json FILE] [--check FILE]
+//! ```
+//!
+//! * `--smoke`      — 10× fewer requests (the CI `bench-smoke` gate);
+//!   structural gates still apply, the speedup floor is waived (too few
+//!   laps to amortize noise).
+//! * `--json FILE`  — write measurements (tracked `BENCH_serve.json`).
+//! * `--check FILE` — gate mode: the baseline must parse and carry both
+//!   runs; the pass/fail verdict stays absolute (throughput figures do
+//!   not transfer between machines, the zero-drop/speedup contract does).
+
+use pcmax_core::json::{self, Value};
+use pcmax_serve::{run_loadtest, LoadReport, LoadtestConfig};
+use std::process::ExitCode;
+
+/// Mixed-family requests per run (all 24 paper families in the pool).
+const REQUESTS: usize = 1200;
+
+/// Concurrent wire clients.
+const CLIENTS: usize = 4;
+
+/// Minimum warm-over-cold throughput ratio in full mode. Cache hits skip
+/// entire DP probes, so the real ratio sits well above this; the floor only
+/// needs to separate "cache works" from "cache does nothing".
+const SPEEDUP_FLOOR: f64 = 1.05;
+
+fn config(requests: usize, per_family: usize) -> LoadtestConfig {
+    LoadtestConfig {
+        clients: CLIENTS,
+        requests,
+        per_family,
+        seed: 7,
+        ..LoadtestConfig::default()
+    }
+}
+
+fn run(label: &str, cfg: &LoadtestConfig) -> LoadReport {
+    let report = run_loadtest(cfg).expect("loadtest run");
+    println!(
+        "{label:<5} {} req  ok {}  cache-hit {}  p50 {} us  p99 {} us  {:.1} req/s",
+        report.requests,
+        report.ok,
+        report.cache_hit_responses,
+        report.p50_micros,
+        report.p99_micros,
+        report.throughput_rps
+    );
+    report
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json_path = args.next(),
+            "--check" => check_path = args.next(),
+            // `cargo bench` forwards its own flags; ignore the rest.
+            _ => {}
+        }
+    }
+    let requests = if smoke { REQUESTS / 10 } else { REQUESTS };
+
+    println!("== serve ==");
+    // Cold: pool ≥ requests, so the stride walk never revisits an instance.
+    let cold = run("cold", &config(requests, requests.div_ceil(24)));
+    // Warm: 48 instances lapped `requests / 48` times.
+    let warm = run("warm", &config(requests, 2));
+    let speedup = if cold.throughput_rps > 0.0 {
+        warm.throughput_rps / cold.throughput_rps
+    } else {
+        0.0
+    };
+    println!("cache speedup: x{speedup:.2} (warm over cold)");
+
+    let mut ok = true;
+    for (label, r) in [("cold", &cold), ("warm", &warm)] {
+        if r.ok != r.requests || r.requests != requests as u64 {
+            eprintln!(
+                "{label}: dropped responses — {} requests, {} ok, {} errors",
+                r.requests, r.ok, r.errors
+            );
+            ok = false;
+        }
+        if r.served != requests as u64 {
+            eprintln!(
+                "{label}: server bye counted {} served for {requests} requests",
+                r.served
+            );
+            ok = false;
+        }
+        if r.parks != r.wakes {
+            eprintln!(
+                "{label}: unbalanced pool after shutdown — {} parks, {} wakes",
+                r.parks, r.wakes
+            );
+            ok = false;
+        }
+    }
+    if warm.cache_hit_responses <= (requests / 2) as u64 {
+        eprintln!(
+            "warm: only {} of {requests} responses were cache hits — the \
+             lapped pool must be served mostly from the memo",
+            warm.cache_hit_responses
+        );
+        ok = false;
+    }
+    if !smoke && speedup < SPEEDUP_FLOOR {
+        eprintln!("cache speedup x{speedup:.2} under the x{SPEEDUP_FLOOR:.2} floor");
+        ok = false;
+    }
+
+    if let Some(path) = json_path {
+        let parse = |r: &LoadReport| json::parse(&r.to_json()).expect("report JSON parses");
+        let doc = json::object(vec![
+            ("bench", Value::Str("serve".to_string())),
+            ("requests", Value::UInt(requests as u64)),
+            ("clients", Value::UInt(CLIENTS as u64)),
+            ("cold", parse(&cold)),
+            ("warm", parse(&warm)),
+            ("speedup", Value::Float(speedup)),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).expect("write json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = json::parse(&text).expect("baseline parses");
+        let base_speedup = baseline
+            .get("speedup")
+            .and_then(Value::as_f64)
+            .expect("baseline JSON has a `speedup` figure");
+        println!("check speedup: baseline x{base_speedup:.2}  current x{speedup:.2}");
+        for run in ["cold", "warm"] {
+            assert!(
+                baseline.get(run).is_some(),
+                "baseline JSON is missing the `{run}` run"
+            );
+        }
+    }
+
+    if !ok {
+        eprintln!("serve bench FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -182,8 +182,10 @@ fn write_trace(case: &Case, path: &str) {
         1,
     );
     let solver = ParallelPtas::with_threads(case.epsilon, THREADS).expect("valid epsilon");
-    let req = SolveRequest::new(&inst);
-    let (_, timeline) = pcmax_engine::solve_traced(&solver, &req).expect("traced end-to-end solve");
+    let session = pcmax_trace::Session::start().expect("no other trace session active");
+    let req = SolveRequest::new(&inst).with_trace(std::sync::Arc::new(pcmax_trace::GlobalSink));
+    solver.solve(&req).expect("traced end-to-end solve");
+    let timeline = session.finish();
     std::fs::write(path, pcmax_trace::chrome::to_json_string(&timeline)).expect("write trace");
     println!("wrote {path} ({} trace events)", timeline.total_events());
 }

@@ -1,5 +1,5 @@
 //! Experiment harness regenerating every figure and table of the paper's
-//! evaluation (Section V). See DESIGN.md §6 for the experiment index and
+//! evaluation (Section V). See DESIGN.md §7 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 //!
 //! The `repro` binary drives everything:

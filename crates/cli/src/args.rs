@@ -15,6 +15,9 @@ commands:
   trace      solve once with span tracing and export the timeline
   metrics    run a workload mix and print the solver scoreboard from the
              process metrics registry, optionally exporting the registry
+  serve      run the pcmax-wire/1 scheduling daemon on the session engine
+  client     submit solves to (or shut down) a running daemon
+  serve-bench  closed-loop load test against an in-process daemon
 
 common options:
   -i FILE           read the instance from a JSON file ('-' = stdin)
@@ -57,7 +60,33 @@ trace usage:
   pcmax trace <algo> [instance.json] [common options]
   --out FILE        write a Chrome-trace / Perfetto JSON timeline to FILE
   --summary         print the ASCII per-worker utilization summary
-                    (default when --out is not given)";
+                    (default when --out is not given)
+
+serve options:
+  --addr A          listen address (default 127.0.0.1:7077)
+  --workers W       engine worker threads (default: one per core)
+  --capacity C      max in-flight submissions before shedding (default 256)
+  --cache N         instance-profile cache capacity (default 4096)
+
+client usage:
+  pcmax client solve <algo> [instance.json] [common options]
+  pcmax client shutdown        stop the daemon and print its bye totals
+  --addr A          daemon address (default 127.0.0.1:7077)
+  --eps E           accuracy forwarded to approximation solvers (default 0.3)
+  --threads T       worker threads forwarded to parallel solvers
+  --timeout-ms MS   per-request budget; queue time counts
+  --repeat R        send the instance R times (repeats hit the server cache)
+
+serve-bench options:
+  --clients C       closed-loop client connections (default 4)
+  --requests R      total requests across all clients (default 1000)
+  --algo A          solver every request uses (default pptas)
+  --eps E           accuracy (default 0.4)
+  --seed S          instance-pool base seed (default 7)
+  --per-family K    instances generated per workload family (default 2)
+  --workers W       engine worker threads (default: one per core)
+  --capacity C      admission bound (default 256)
+  --out FILE        also write the JSON load report to FILE";
 
 /// Where the instance comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,7 +186,64 @@ pub enum Command {
         /// Print the ASCII utilization summary.
         summary: bool,
     },
+    /// `pcmax serve`
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// Engine worker threads; `None` = one per core.
+        workers: Option<usize>,
+        /// Max in-flight submissions before load shedding.
+        capacity: usize,
+        /// Instance-profile cache capacity.
+        cache: usize,
+    },
+    /// `pcmax client solve`
+    ClientSolve {
+        /// Daemon address.
+        addr: String,
+        /// Solver name (positional, before the flags).
+        algo: String,
+        /// Instance source.
+        source: Source,
+        /// Accuracy forwarded to approximation solvers.
+        eps: f64,
+        /// Worker threads forwarded to parallel solvers.
+        threads: Option<usize>,
+        /// Per-request budget in milliseconds (queue time counts).
+        timeout_ms: Option<u64>,
+        /// How many times to send the instance (repeats hit the cache).
+        repeat: usize,
+    },
+    /// `pcmax client shutdown`
+    ClientShutdown {
+        /// Daemon address.
+        addr: String,
+    },
+    /// `pcmax serve-bench`
+    ServeBench {
+        /// Closed-loop client connections.
+        clients: usize,
+        /// Total requests across all clients.
+        requests: usize,
+        /// Solver every request uses.
+        algo: String,
+        /// Accuracy.
+        eps: f64,
+        /// Instance-pool base seed.
+        seed: u64,
+        /// Instances generated per workload family.
+        per_family: usize,
+        /// Engine worker threads; `None` = one per core.
+        workers: Option<usize>,
+        /// Admission bound.
+        capacity: usize,
+        /// Also write the JSON load report here.
+        out: Option<String>,
+    },
 }
+
+/// Default daemon address shared by `serve` and `client`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
 
 /// Parses a distribution name as printed by `Distribution::to_string`.
 pub fn parse_dist(s: &str) -> Result<Distribution, String> {
@@ -325,11 +411,90 @@ fn parse_trace(rest: &[String]) -> Result<Command, String> {
     })
 }
 
+/// Parses `pcmax client solve <algo> [instance-file] [flags]` and
+/// `pcmax client shutdown [--addr A]`.
+fn parse_client(rest: &[String]) -> Result<Command, String> {
+    let (action, rest) = rest
+        .split_first()
+        .ok_or("client needs an action: solve | shutdown")?;
+    match action.as_str() {
+        "shutdown" => {
+            let mut flags = Flags::new(rest);
+            let addr = flags
+                .value(&["--addr"])?
+                .unwrap_or_else(|| DEFAULT_ADDR.into());
+            flags.finish()?;
+            Ok(Command::ClientShutdown { addr })
+        }
+        "solve" => {
+            let (algo, rest) = rest
+                .split_first()
+                .ok_or("client solve needs a solver name")?;
+            if algo.starts_with('-') {
+                return Err("client solve needs a solver name before any flags".into());
+            }
+            let (positional, rest) = match rest.split_first() {
+                Some((p, r)) if !p.starts_with('-') => (Some(p.clone()), r),
+                _ => (None, rest),
+            };
+            let mut flags = Flags::new(rest);
+            let source = match positional {
+                Some(path) => Source::File(path),
+                None => parse_source(&mut flags)?,
+            };
+            let addr = flags
+                .value(&["--addr"])?
+                .unwrap_or_else(|| DEFAULT_ADDR.into());
+            let eps = flags
+                .value(&["--eps"])?
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| format!("bad --eps: {e}"))?
+                .unwrap_or(0.3);
+            let threads = flags
+                .value(&["--threads"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --threads: {e}"))?;
+            let timeout_ms = flags
+                .value(&["--timeout-ms"])?
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+            let repeat = flags
+                .value(&["--repeat"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --repeat: {e}"))?
+                .unwrap_or(1);
+            if repeat == 0 {
+                return Err("--repeat must be at least 1".into());
+            }
+            flags.finish()?;
+            Ok(Command::ClientSolve {
+                addr,
+                algo: algo.clone(),
+                source,
+                eps,
+                threads,
+                timeout_ms,
+                repeat,
+            })
+        }
+        other => Err(format!(
+            "unknown client action {other} (known: solve, shutdown)"
+        )),
+    }
+}
+
 /// Parses the full argv (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let (cmd, rest) = argv.split_first().ok_or("missing command")?;
     if cmd == "trace" {
         return parse_trace(rest);
+    }
+    if cmd == "client" {
+        return parse_client(rest);
     }
     let mut flags = Flags::new(rest);
     let parsed = match cmd.as_str() {
@@ -444,6 +609,102 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .map_err(|e| format!("bad --eps: {e}"))?
                 .unwrap_or(0.3);
             Command::Simulate { source, procs, eps }
+        }
+        "serve" => {
+            let addr = flags
+                .value(&["--addr"])?
+                .unwrap_or_else(|| DEFAULT_ADDR.into());
+            let workers = flags
+                .value(&["--workers"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --workers: {e}"))?;
+            if workers == Some(0) {
+                return Err("--workers must be at least 1".into());
+            }
+            let capacity = flags
+                .value(&["--capacity"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --capacity: {e}"))?
+                .unwrap_or(256);
+            let cache = flags
+                .value(&["--cache"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --cache: {e}"))?
+                .unwrap_or(4096);
+            Command::Serve {
+                addr,
+                workers,
+                capacity,
+                cache,
+            }
+        }
+        "serve-bench" => {
+            let clients = flags
+                .value(&["--clients"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --clients: {e}"))?
+                .unwrap_or(4);
+            let requests = flags
+                .value(&["--requests"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --requests: {e}"))?
+                .unwrap_or(1000);
+            if clients == 0 || requests == 0 {
+                return Err("--clients and --requests must be at least 1".into());
+            }
+            let algo = flags.value(&["--algo"])?.unwrap_or_else(|| "pptas".into());
+            let eps = flags
+                .value(&["--eps"])?
+                .map(|s| s.parse::<f64>())
+                .transpose()
+                .map_err(|e| format!("bad --eps: {e}"))?
+                .unwrap_or(0.4);
+            let seed = flags
+                .value(&["--seed"])?
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|e| format!("bad --seed: {e}"))?
+                .unwrap_or(7);
+            let per_family = flags
+                .value(&["--per-family"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --per-family: {e}"))?
+                .unwrap_or(2);
+            if per_family == 0 {
+                return Err("--per-family must be at least 1".into());
+            }
+            let workers = flags
+                .value(&["--workers"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --workers: {e}"))?;
+            if workers == Some(0) {
+                return Err("--workers must be at least 1".into());
+            }
+            let capacity = flags
+                .value(&["--capacity"])?
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|e| format!("bad --capacity: {e}"))?
+                .unwrap_or(256);
+            let out = flags.value(&["--out", "-o"])?;
+            Command::ServeBench {
+                clients,
+                requests,
+                algo,
+                eps,
+                seed,
+                per_family,
+                workers,
+                capacity,
+                out,
+            }
         }
         other => return Err(format!("unknown command {other}")),
     };
@@ -681,6 +942,121 @@ mod tests {
             parse(&argv("trace --out t.json")).is_err(),
             "flags cannot replace the positional algo"
         );
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let cmd = parse(&argv("serve")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                workers: None,
+                capacity: 256,
+                cache: 4096,
+            }
+        );
+        let cmd = parse(&argv(
+            "serve --addr 127.0.0.1:9000 --workers 2 --capacity 32 --cache 64",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:9000".into(),
+                workers: Some(2),
+                capacity: 32,
+                cache: 64,
+            }
+        );
+        assert!(parse(&argv("serve --workers 0")).is_err());
+    }
+
+    #[test]
+    fn parses_client_solve_and_shutdown() {
+        let cmd = parse(&argv(
+            "client solve pptas --dist U(1,100) -m 4 -n 20 --repeat 3 --timeout-ms 500",
+        ))
+        .unwrap();
+        match cmd {
+            Command::ClientSolve {
+                addr,
+                algo,
+                source,
+                repeat,
+                timeout_ms,
+                ..
+            } => {
+                assert_eq!(addr, DEFAULT_ADDR);
+                assert_eq!(algo, "pptas");
+                assert!(matches!(source, Source::Generated { machines: 4, .. }));
+                assert_eq!(repeat, 3);
+                assert_eq!(timeout_ms, Some(500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("client solve lpt inst.json --addr 127.0.0.1:9000")).unwrap();
+        match cmd {
+            Command::ClientSolve { addr, source, .. } => {
+                assert_eq!(addr, "127.0.0.1:9000");
+                assert_eq!(source, Source::File("inst.json".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("client shutdown")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ClientShutdown {
+                addr: DEFAULT_ADDR.into()
+            }
+        );
+        assert!(parse(&argv("client")).is_err(), "action is mandatory");
+        assert!(parse(&argv("client solve")).is_err(), "solver is mandatory");
+        assert!(parse(&argv("client frobnicate")).is_err());
+        assert!(parse(&argv("client solve lpt inst.json --repeat 0")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_bench_with_defaults() {
+        let cmd = parse(&argv("serve-bench")).unwrap();
+        match cmd {
+            Command::ServeBench {
+                clients,
+                requests,
+                algo,
+                eps,
+                seed,
+                per_family,
+                workers,
+                capacity,
+                out,
+            } => {
+                assert_eq!(clients, 4);
+                assert_eq!(requests, 1000);
+                assert_eq!(algo, "pptas");
+                assert_eq!(eps, 0.4);
+                assert_eq!(seed, 7);
+                assert_eq!(per_family, 2);
+                assert_eq!(workers, None);
+                assert_eq!(capacity, 256);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv(
+            "serve-bench --clients 2 --requests 50 --algo lpt --out r.json",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::ServeBench {
+                clients: 2,
+                requests: 50,
+                ..
+            }
+        ));
+        assert!(parse(&argv("serve-bench --requests 0")).is_err());
+        assert!(parse(&argv("serve-bench --per-family 0")).is_err());
     }
 
     #[test]

@@ -1,20 +1,47 @@
 //! Command implementations, all routed through the engine registry
 //! (`pcmax-engine`): `solve` builds whatever `--algo` names, `compare`
-//! enumerates every polynomial comparator the registry knows about.
+//! enumerates every polynomial comparator the registry knows about. Every
+//! solve goes through the submission-based session engine
+//! ([`pcmax_engine::Engine`]); `serve`, `client` and `serve-bench` drive
+//! the same engine over the `pcmax-wire/1` daemon.
 
 use crate::args::{Command, Source};
 use crate::io::load;
-use pcmax_core::{
-    json, ApproxRatio, Budget, Instance, MakespanBounds, Schedule, SolveRequest, Solver,
-};
+use pcmax_core::wire::{WireOutcome, WireSolve};
+use pcmax_core::{json, ApproxRatio, Budget, Instance, MakespanBounds, Schedule, SolveReport};
 use pcmax_engine::{
-    build as registry_build, comparators_for, lookup, solve_metered, ScenarioKind, SolverKind,
-    SolverParams,
+    comparators_for, lookup, Engine, EngineConfig, ScenarioKind, SolverKind, SolverParams,
+    Submission,
 };
 use pcmax_metrics::{export, family, Family, Histogram, Snapshot};
 use pcmax_simcore::{simulate_ptas, SimParams};
 use pcmax_workloads::Distribution;
 use std::time::Instant;
+
+/// Runs `f` against a short-lived one-worker session engine and shuts it
+/// down afterwards. The CLI's one-shot commands (and its strictly
+/// sequential sweeps) submit and wait on every handle, so one worker keeps
+/// the solve order — and therefore every metrics delta taken around a
+/// solve — deterministic.
+fn with_engine<T>(f: impl FnOnce(&Engine) -> Result<T, String>) -> Result<T, String> {
+    let engine = Engine::with_config(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let out = f(&engine);
+    engine.shutdown();
+    out
+}
+
+/// Submits and blocks for the report, flattening both failure layers
+/// (admission and solve) into the CLI's error strings.
+fn submit_wait(engine: &Engine, sub: Submission) -> Result<SolveReport, String> {
+    engine
+        .submit(sub)
+        .map_err(|e| e.to_string())?
+        .wait()
+        .map_err(|e| e.to_string())
+}
 
 /// Per-solver distribution of `makespan / denominator`, in permille
 /// (ratio 1.234 records as 1234) — the scoreboard's quality column. Fed by
@@ -111,7 +138,173 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let inst = load(&source)?;
             trace(&inst, &algo, eps, threads, out.as_deref(), summary)
         }
+        Command::Serve {
+            addr,
+            workers,
+            capacity,
+            cache,
+        } => serve(addr, workers, capacity, cache),
+        Command::ClientSolve {
+            addr,
+            algo,
+            source,
+            eps,
+            threads,
+            timeout_ms,
+            repeat,
+        } => {
+            let inst = load(&source)?;
+            client_solve(&addr, &algo, &inst, eps, threads, timeout_ms, repeat)
+        }
+        Command::ClientShutdown { addr } => client_shutdown(&addr),
+        Command::ServeBench {
+            clients,
+            requests,
+            algo,
+            eps,
+            seed,
+            per_family,
+            workers,
+            capacity,
+            out,
+        } => serve_bench(
+            clients,
+            requests,
+            &algo,
+            eps,
+            seed,
+            per_family,
+            workers,
+            capacity,
+            out.as_deref(),
+        ),
     }
+}
+
+/// Runs the `pcmax-wire/1` daemon until a client sends `shutdown`.
+fn serve(
+    addr: String,
+    workers: Option<usize>,
+    capacity: usize,
+    cache: usize,
+) -> Result<(), String> {
+    let mut engine = EngineConfig::default();
+    if let Some(w) = workers {
+        engine.workers = w;
+    }
+    engine.capacity = capacity;
+    engine.cache_capacity = cache;
+    let server = pcmax_serve::Server::bind(pcmax_serve::ServerConfig { addr, engine })
+        .map_err(|e| format!("serve: {e}"))?;
+    let local = server.local_addr().map_err(|e| format!("serve: {e}"))?;
+    println!("pcmax-serve listening on {local} (pcmax-wire/1)");
+    let totals = server.run().map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "bye: served {} | cancelled {} | cache hits {} misses {}",
+        totals.served, totals.cancelled, totals.cache_hits, totals.cache_misses
+    );
+    Ok(())
+}
+
+/// Sends `repeat` solve frames for one instance and prints each response
+/// as one compact-JSON line (repeats exercise the server-side profile
+/// cache: the second response reports `cache_hit: true`).
+fn client_solve(
+    addr: &str,
+    algo: &str,
+    inst: &Instance,
+    eps: f64,
+    threads: Option<usize>,
+    timeout_ms: Option<u64>,
+    repeat: usize,
+) -> Result<(), String> {
+    let mut client =
+        pcmax_serve::Client::connect(addr).map_err(|e| format!("client: connect {addr}: {e}"))?;
+    for _ in 0..repeat {
+        let response = client
+            .solve(WireSolve {
+                solver: algo.to_string(),
+                eps,
+                threads,
+                timeout_ms,
+                instance: inst.clone(),
+            })
+            .map_err(|e| format!("client: {e}"))?;
+        println!("{}", json::to_string(&response));
+        if let WireOutcome::Error { code, message } = &response.outcome {
+            return Err(format!("client: solve failed ({code}): {message}"));
+        }
+    }
+    Ok(())
+}
+
+/// Shuts a running daemon down and prints its `bye` frame.
+fn client_shutdown(addr: &str) -> Result<(), String> {
+    let client =
+        pcmax_serve::Client::connect(addr).map_err(|e| format!("client: connect {addr}: {e}"))?;
+    let bye = client.shutdown().map_err(|e| format!("client: {e}"))?;
+    println!("{}", json::to_string(&bye));
+    Ok(())
+}
+
+/// Closed-loop load test against an in-process daemon; prints the report
+/// as compact JSON (and optionally persists it).
+#[allow(clippy::too_many_arguments)]
+fn serve_bench(
+    clients: usize,
+    requests: usize,
+    algo: &str,
+    eps: f64,
+    seed: u64,
+    per_family: usize,
+    workers: Option<usize>,
+    capacity: usize,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let mut engine = EngineConfig::default();
+    if let Some(w) = workers {
+        engine.workers = w;
+    }
+    engine.capacity = capacity;
+    let report = pcmax_serve::run_loadtest(&pcmax_serve::LoadtestConfig {
+        clients,
+        requests,
+        solver: algo.to_string(),
+        eps,
+        seed,
+        per_family,
+        engine,
+    })
+    .map_err(|e| format!("serve-bench: {e}"))?;
+    println!(
+        "{} requests over {clients} client(s): {} ok, {} cancelled, {} errors | \
+         p50 {}us p99 {}us | {:.1} req/s | cache hits {} / misses {}",
+        report.requests,
+        report.ok,
+        report.cancelled,
+        report.errors,
+        report.p50_micros,
+        report.p99_micros,
+        report.throughput_rps,
+        report.cache_hits,
+        report.cache_misses,
+    );
+    println!("{}", report.to_json());
+    if let Some(path) = out {
+        let text = report.to_json();
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} ({} bytes, load report)", text.len());
+    }
+    if report.ok != report.requests {
+        return Err(format!(
+            "serve-bench: {} of {} responses dropped or failed ({} errors, {} cancelled)",
+            report.requests - report.ok,
+            report.requests,
+            report.errors,
+            report.cancelled
+        ));
+    }
+    Ok(())
 }
 
 /// Solves once with the in-tree trace runtime attached, then exports the
@@ -137,13 +330,20 @@ fn trace(
         width: threads.unwrap_or(4),
         ..SolverParams::default()
     };
-    let solver = spec.build(&params).map_err(|e| e.to_string())?;
-    let mut req = SolveRequest::new(inst);
-    if let Some(t) = threads {
-        req = req.with_threads(t);
-    }
-    let (report, timeline) =
-        pcmax_engine::solve_traced(solver.as_ref(), &req).map_err(|e| e.to_string())?;
+    // The trace session wraps the whole submission, so engine-side events
+    // (queue park/wake, worker lanes) land in the same timeline as the
+    // solver's own spans. Dropping the session on error clears the rings.
+    let session = pcmax_trace::Session::start()
+        .ok_or_else(|| "trace: a trace session is already active in this process".to_string())?;
+    let report = with_engine(|engine| {
+        submit_wait(
+            engine,
+            Submission::new(inst.clone(), spec.name)
+                .with_params(params)
+                .with_trace(std::sync::Arc::new(pcmax_trace::GlobalSink)),
+        )
+    })?;
+    let timeline = session.finish();
     timeline.validate()?;
     println!(
         "{}: makespan {} | {} events on {} threads",
@@ -185,15 +385,13 @@ fn solve_one(
         node_budget: budget,
         width: threads.unwrap_or(4),
     };
-    let solver = spec.build(&params).map_err(|e| e.to_string())?;
-    let mut req = SolveRequest::new(inst);
-    if let Some(b) = budget {
-        req = req.with_budget(Budget::unlimited().nodes(b));
-    }
-    if let Some(t) = threads {
-        req = req.with_threads(t);
-    }
-    let report = solver.solve(&req).map_err(|e| e.to_string())?;
+    let report = with_engine(|engine| {
+        let mut sub = Submission::new(inst.clone(), spec.name).with_params(params);
+        if let Some(b) = budget {
+            sub = sub.with_budget(Budget::unlimited().nodes(b));
+        }
+        submit_wait(engine, sub)
+    })?;
 
     let mut label = match spec.kind {
         SolverKind::DualApprox | SolverKind::FixedMachines => format!("{}(eps={eps})", spec.name),
@@ -268,76 +466,84 @@ fn compare(inst: &Instance, family: Option<&str>, metrics: Option<&str>) -> Resu
         parks: String,
     }
     let mut rows: Vec<Row> = Vec::new();
-    for spec in comparators_for(scenario) {
-        let solver = spec.build(&params).map_err(|e| e.to_string())?;
-        let req = SolveRequest::new(inst);
-        // Pool health comes from the always-on metrics registry (per-solver
-        // deltas around each strictly sequential solve) — no trace session
-        // required.
-        let before = pcmax_metrics::snapshot();
-        let t0 = Instant::now();
-        let report = solve_metered(spec.name, solver.as_ref(), &req).map_err(|e| e.to_string())?;
-        let dt = t0.elapsed();
-        let after = pcmax_metrics::snapshot();
-        let name = match spec.kind {
-            SolverKind::DualApprox => format!("{}(eps={})", spec.name, params.epsilon),
-            _ => spec.name.to_string(),
-        };
-        let busy = counter_sum(&after, "pcmax_worker_busy_nanos_total")
-            .saturating_sub(counter_sum(&before, "pcmax_worker_busy_nanos_total"));
-        let extent = counter_sum(&after, "pcmax_pool_extent_nanos_total")
-            .saturating_sub(counter_sum(&before, "pcmax_pool_extent_nanos_total"));
-        let busy_pct = if extent > 0 {
-            format!("{:.1}", busy as f64 / extent as f64 * 100.0)
-        } else {
-            "-".to_string()
-        };
-        let parks = if report.stats.pool_wakes > 0 || report.stats.pool_parks > 0 {
-            debug_assert_eq!(report.stats.pool_parks, report.stats.pool_wakes);
-            report.stats.pool_parks.to_string()
-        } else {
-            "-".to_string()
-        };
-        rows.push(Row {
-            name,
-            scenario: spec.scenario.label(),
-            makespan: report.makespan,
-            certified: report.certified_target,
-            dt,
-            busy_pct,
-            parks,
-        });
-    }
-
-    // The ratio denominator: the identical-machine scenarios have an exact
-    // solver; for Q||Cmax no exact solver is registered, so the best
-    // certified target among the dual approximations (a proven lower bound
-    // on OPT) stands in.
-    let (denom, denom_label) = match scenario {
-        ScenarioKind::Uniform => {
-            let certified = rows.iter().filter_map(|r| r.certified).max();
-            match certified {
-                Some(t) => (t, " (certified lower bound)"),
-                None => (
-                    MakespanBounds::of(inst).lower.max(1),
-                    " (trivial lower bound)",
-                ),
-            }
-        }
-        _ => {
-            let exact = registry_build("exact", &SolverParams::default())
-                .and_then(|s| s.solve(&SolveRequest::new(inst)))
-                .map_err(|e| e.to_string())?;
-            if exact.proven_optimal {
-                (exact.makespan, "")
+    let (denom, denom_label) = with_engine(|engine| {
+        for spec in comparators_for(scenario) {
+            // Pool health comes from the always-on metrics registry
+            // (per-solver deltas around each strictly sequential solve — the
+            // one-worker engine guarantees the order). The profile cache is
+            // off so no solver inherits another's DP work and the timing
+            // column stays an honest per-solver measurement.
+            let before = pcmax_metrics::snapshot();
+            let t0 = Instant::now();
+            let report = submit_wait(
+                engine,
+                Submission::new(inst.clone(), spec.name)
+                    .with_params(params.clone())
+                    .without_cache(),
+            )?;
+            let dt = t0.elapsed();
+            let after = pcmax_metrics::snapshot();
+            let name = match spec.kind {
+                SolverKind::DualApprox => format!("{}(eps={})", spec.name, params.epsilon),
+                _ => spec.name.to_string(),
+            };
+            let busy = counter_sum(&after, "pcmax_worker_busy_nanos_total")
+                .saturating_sub(counter_sum(&before, "pcmax_worker_busy_nanos_total"));
+            let extent = counter_sum(&after, "pcmax_pool_extent_nanos_total")
+                .saturating_sub(counter_sum(&before, "pcmax_pool_extent_nanos_total"));
+            let busy_pct = if extent > 0 {
+                format!("{:.1}", busy as f64 / extent as f64 * 100.0)
             } else {
-                (
-                    exact.certified_target.unwrap_or(exact.makespan),
-                    " (lower bound)",
-                )
+                "-".to_string()
+            };
+            let parks = if report.stats.pool_wakes > 0 || report.stats.pool_parks > 0 {
+                debug_assert_eq!(report.stats.pool_parks, report.stats.pool_wakes);
+                report.stats.pool_parks.to_string()
+            } else {
+                "-".to_string()
+            };
+            rows.push(Row {
+                name,
+                scenario: spec.scenario.label(),
+                makespan: report.makespan,
+                certified: report.certified_target,
+                dt,
+                busy_pct,
+                parks,
+            });
+        }
+
+        // The ratio denominator: the identical-machine scenarios have an
+        // exact solver; for Q||Cmax no exact solver is registered, so the
+        // best certified target among the dual approximations (a proven
+        // lower bound on OPT) stands in.
+        match scenario {
+            ScenarioKind::Uniform => {
+                let certified = rows.iter().filter_map(|r| r.certified).max();
+                Ok(match certified {
+                    Some(t) => (t, " (certified lower bound)"),
+                    None => (
+                        MakespanBounds::of(inst).lower.max(1),
+                        " (trivial lower bound)",
+                    ),
+                })
+            }
+            _ => {
+                let exact = submit_wait(
+                    engine,
+                    Submission::new(inst.clone(), "exact").without_cache(),
+                )?;
+                Ok(if exact.proven_optimal {
+                    (exact.makespan, "")
+                } else {
+                    (
+                        exact.certified_target.unwrap_or(exact.makespan),
+                        " (lower bound)",
+                    )
+                })
             }
         }
-    };
+    })?;
 
     println!(
         "n={} m={} [{}] | denominator {}{}",
@@ -372,7 +578,8 @@ fn compare(inst: &Instance, family: Option<&str>, metrics: Option<&str>) -> Resu
 }
 
 /// Runs a seeded workload mix through every comparator of the requested
-/// families via [`solve_metered`], then prints a per-solver scoreboard
+/// families via the session engine (which meters every solve), then
+/// prints a per-solver scoreboard
 /// (solve counts, ratio quality, latency quantiles) straight from the
 /// process metrics registry, optionally exporting the registry in
 /// Prometheus or JSON form.
@@ -394,54 +601,59 @@ fn metrics_run(
         ..SolverParams::default()
     };
     let mut solves = 0usize;
-    for fam in families {
-        let scenario = parse_family(fam)?;
-        for i in 0..count {
-            let source = Source::Generated {
-                dist: Distribution::U1To10,
-                machines: 3,
-                jobs: 12,
-                seed: seed.wrapping_add(i as u64),
-                speed_max: matches!(scenario, ScenarioKind::Uniform).then_some(4),
-                shuffle: matches!(scenario, ScenarioKind::Online),
-            };
-            let inst = load(&source)?;
-            let mut results = Vec::new();
-            for spec in comparators_for(scenario) {
-                let solver = spec.build(&params).map_err(|e| e.to_string())?;
-                let mut req = SolveRequest::new(&inst);
-                if let Some(t) = threads {
-                    req = req.with_threads(t);
+    with_engine(|engine| {
+        for fam in families {
+            let scenario = parse_family(fam)?;
+            for i in 0..count {
+                let source = Source::Generated {
+                    dist: Distribution::U1To10,
+                    machines: 3,
+                    jobs: 12,
+                    seed: seed.wrapping_add(i as u64),
+                    speed_max: matches!(scenario, ScenarioKind::Uniform).then_some(4),
+                    shuffle: matches!(scenario, ScenarioKind::Online),
+                };
+                let inst = load(&source)?;
+                let mut results = Vec::new();
+                for spec in comparators_for(scenario) {
+                    // Cache off: the scoreboard's latency quantiles are
+                    // per-solver measurements, not cache-hit measurements.
+                    let report = submit_wait(
+                        engine,
+                        Submission::new(inst.clone(), spec.name)
+                            .with_params(params.clone())
+                            .without_cache(),
+                    )?;
+                    solves += 1;
+                    results.push((spec.name, report));
                 }
-                let report =
-                    solve_metered(spec.name, solver.as_ref(), &req).map_err(|e| e.to_string())?;
-                solves += 1;
-                results.push((spec.name, report));
-            }
-            // Ratio denominator, mirroring `compare`: exact OPT where an
-            // exact solver is registered, else the best certified lower
-            // bound among the dual approximations.
-            let denom = match scenario {
-                ScenarioKind::Uniform => results
-                    .iter()
-                    .filter_map(|(_, r)| r.certified_target)
-                    .max()
-                    .unwrap_or_else(|| MakespanBounds::of(&inst).lower),
-                _ => {
-                    let exact = registry_build("exact", &SolverParams::default())
-                        .and_then(|s| s.solve(&SolveRequest::new(&inst)))
-                        .map_err(|e| e.to_string())?;
-                    exact.makespan
+                // Ratio denominator, mirroring `compare`: exact OPT where an
+                // exact solver is registered, else the best certified lower
+                // bound among the dual approximations.
+                let denom = match scenario {
+                    ScenarioKind::Uniform => results
+                        .iter()
+                        .filter_map(|(_, r)| r.certified_target)
+                        .max()
+                        .unwrap_or_else(|| MakespanBounds::of(&inst).lower),
+                    _ => {
+                        let exact = submit_wait(
+                            engine,
+                            Submission::new(inst.clone(), "exact").without_cache(),
+                        )?;
+                        exact.makespan
+                    }
                 }
-            }
-            .max(1);
-            for (name, report) in &results {
-                SOLVE_RATIO_PERMILLE
-                    .with_label(name)
-                    .observe(report.makespan.saturating_mul(1000) / denom);
+                .max(1);
+                for (name, report) in &results {
+                    SOLVE_RATIO_PERMILLE
+                        .with_label(name)
+                        .observe(report.makespan.saturating_mul(1000) / denom);
+                }
             }
         }
-    }
+        Ok(())
+    })?;
 
     let snap = pcmax_metrics::snapshot();
     println!(

@@ -13,6 +13,7 @@
 //!
 //! [`Scheduler`]: crate::Scheduler
 
+use crate::profile::ProfileCache;
 use crate::{Instance, Result, Schedule, Scheduler, Time};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -154,6 +155,10 @@ pub struct SolveRequest<'a> {
     pub threads: Option<usize>,
     /// Optional receiver for span/instant/counter events (default: none).
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Optional instance-profile cache consulted per DP probe (default:
+    /// none). Hits skip the DP and replay only the O(n) rounding; the
+    /// caller's budget/cancel regime still applies to every hit.
+    pub cache: Option<Arc<dyn ProfileCache>>,
 }
 
 impl std::fmt::Debug for SolveRequest<'_> {
@@ -164,6 +169,7 @@ impl std::fmt::Debug for SolveRequest<'_> {
             .field("cancel", &self.cancel)
             .field("threads", &self.threads)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .field("cache", &self.cache.as_ref().map(|_| "<cache>"))
             .finish()
     }
 }
@@ -177,6 +183,7 @@ impl<'a> SolveRequest<'a> {
             cancel: CancelToken::new(),
             threads: None,
             trace: None,
+            cache: None,
         }
     }
 
@@ -201,6 +208,13 @@ impl<'a> SolveRequest<'a> {
     /// Attaches a trace sink; solvers emit phase/probe spans into it.
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attaches an instance-profile cache; cache-aware solvers consult it
+    /// per DP probe and record hits/misses in [`SolveStats`].
+    pub fn with_cache(mut self, cache: Arc<dyn ProfileCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -272,6 +286,12 @@ pub struct SolveStats {
     pub dp_kernel_allocs: u64,
     /// Branch-and-bound / MILP search nodes expanded.
     pub bb_nodes: u64,
+    /// DP probes answered from the instance-profile cache. Always counted
+    /// fresh per solve — never reused from the solve that populated the
+    /// cache — so `cache_hits > 0` is exactly "this request hit".
+    pub cache_hits: u64,
+    /// DP probes that consulted the profile cache and missed.
+    pub cache_misses: u64,
     /// Wall time per phase, in execution order.
     pub phases: Vec<PhaseTime>,
     /// Total wall time of the solve.

@@ -63,6 +63,11 @@ pub enum Error {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The serving engine's admission queue rejected the submission.
+    Overloaded {
+        /// Queue capacity that was exceeded.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -99,6 +104,9 @@ impl fmt::Display for Error {
             Error::BadModel(msg) => write!(f, "malformed model: {msg}"),
             Error::UnknownSolver { name } => {
                 write!(f, "unknown solver name {name:?} (see the engine registry)")
+            }
+            Error::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} submissions in flight)")
             }
         }
     }

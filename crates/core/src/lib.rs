@@ -30,10 +30,12 @@ pub mod error;
 pub mod gantt;
 pub mod instance;
 pub mod json;
+pub mod profile;
 pub mod rng;
 pub mod schedule;
 pub mod scheduler;
 pub mod stats;
+pub mod wire;
 
 pub use bounds::{lower_bound, upper_bound, MakespanBounds};
 pub use engine::{
@@ -43,6 +45,7 @@ pub use engine::{
 pub use error::{Error, Result};
 pub use gantt::render_gantt;
 pub use instance::Instance;
+pub use profile::{ProfileCache, ProfileKey, ProfileVerdict};
 pub use schedule::{Schedule, ScheduleBuilder};
 pub use scheduler::{ApproxRatio, Scheduler};
 

@@ -1,0 +1,229 @@
+//! Golden-file tests pinning the `pcmax-wire/1` frame layout.
+//!
+//! Each case is the exact compact-JSON payload a conforming peer puts on
+//! the wire. If one of these strings changes, the protocol changed: bump
+//! [`PROTO`] (and these goldens) together, never silently.
+
+use pcmax_core::json::{parse, FromJson, ToJson};
+use pcmax_core::wire::{
+    encode_frame, read_frame, WireOp, WireOutcome, WireRequest, WireResponse, WireSolve, WireStats,
+};
+use pcmax_core::Instance;
+
+/// One golden case: the typed frame and its pinned payload bytes.
+struct Golden<T> {
+    name: &'static str,
+    value: T,
+    payload: &'static str,
+}
+
+fn solve_request() -> WireRequest {
+    WireRequest {
+        id: 1,
+        op: WireOp::Solve(WireSolve {
+            solver: "pptas".into(),
+            eps: 0.25,
+            threads: Some(4),
+            timeout_ms: Some(1500),
+            instance: Instance::new(vec![9, 7, 5, 3], 2).unwrap(),
+        }),
+    }
+}
+
+fn request_goldens() -> Vec<Golden<WireRequest>> {
+    vec![
+        Golden {
+            name: "solve",
+            value: solve_request(),
+            payload: concat!(
+                r#"{"proto":"pcmax-wire/1","id":1,"op":"solve","solver":"pptas","#,
+                r#""eps":0.25,"threads":4,"timeout_ms":1500,"#,
+                r#""instance":{"times":[9,7,5,3],"machines":2}}"#,
+            ),
+        },
+        Golden {
+            name: "solve-minimal",
+            value: WireRequest {
+                id: 2,
+                op: WireOp::Solve(WireSolve {
+                    solver: "lpt".into(),
+                    eps: 0.5,
+                    threads: None,
+                    timeout_ms: None,
+                    instance: Instance::new(vec![2, 1], 1).unwrap(),
+                }),
+            },
+            payload: concat!(
+                r#"{"proto":"pcmax-wire/1","id":2,"op":"solve","solver":"lpt","#,
+                r#""eps":0.5,"instance":{"times":[2,1],"machines":1}}"#,
+            ),
+        },
+        Golden {
+            name: "cancel",
+            value: WireRequest {
+                id: 3,
+                op: WireOp::Cancel { target: 1 },
+            },
+            payload: r#"{"proto":"pcmax-wire/1","id":3,"op":"cancel","target":1}"#,
+        },
+        Golden {
+            name: "shutdown",
+            value: WireRequest {
+                id: 4,
+                op: WireOp::Shutdown,
+            },
+            payload: r#"{"proto":"pcmax-wire/1","id":4,"op":"shutdown"}"#,
+        },
+    ]
+}
+
+fn response_goldens() -> Vec<Golden<WireResponse>> {
+    vec![
+        Golden {
+            name: "ok",
+            value: WireResponse {
+                id: 1,
+                outcome: WireOutcome::Ok {
+                    makespan: 12,
+                    certified_target: Some(11),
+                    assignment: vec![0, 1, 0, 1],
+                    cache_hit: false,
+                    stats: WireStats {
+                        bisection_probes: 5,
+                        dp_cells: 240,
+                        cache_hits: 0,
+                        cache_misses: 5,
+                        wall_micros: 731,
+                    },
+                },
+            },
+            payload: concat!(
+                r#"{"proto":"pcmax-wire/1","id":1,"status":"ok","makespan":12,"#,
+                r#""certified_target":11,"assignment":[0,1,0,1],"cache_hit":false,"#,
+                r#""stats":{"bisection_probes":5,"dp_cells":240,"cache_hits":0,"#,
+                r#""cache_misses":5,"wall_micros":731}}"#,
+            ),
+        },
+        Golden {
+            name: "ok-cache-hit",
+            value: WireResponse {
+                id: 2,
+                outcome: WireOutcome::Ok {
+                    makespan: 12,
+                    certified_target: None,
+                    assignment: vec![1, 0],
+                    cache_hit: true,
+                    stats: WireStats {
+                        bisection_probes: 5,
+                        dp_cells: 0,
+                        cache_hits: 5,
+                        cache_misses: 0,
+                        wall_micros: 88,
+                    },
+                },
+            },
+            payload: concat!(
+                r#"{"proto":"pcmax-wire/1","id":2,"status":"ok","makespan":12,"#,
+                r#""assignment":[1,0],"cache_hit":true,"#,
+                r#""stats":{"bisection_probes":5,"dp_cells":0,"cache_hits":5,"#,
+                r#""cache_misses":0,"wall_micros":88}}"#,
+            ),
+        },
+        Golden {
+            name: "cancelled",
+            value: WireResponse {
+                id: 3,
+                outcome: WireOutcome::Cancelled,
+            },
+            payload: r#"{"proto":"pcmax-wire/1","id":3,"status":"cancelled"}"#,
+        },
+        Golden {
+            name: "error",
+            value: WireResponse {
+                id: 4,
+                outcome: WireOutcome::Error {
+                    code: "unknown-solver".into(),
+                    message: "engine: no solver named `zeus`".into(),
+                },
+            },
+            payload: concat!(
+                r#"{"proto":"pcmax-wire/1","id":4,"status":"error","#,
+                r#""code":"unknown-solver","message":"engine: no solver named `zeus`"}"#,
+            ),
+        },
+        Golden {
+            name: "bye",
+            value: WireResponse {
+                id: 5,
+                outcome: WireOutcome::Bye {
+                    served: 96,
+                    cache_hits: 64,
+                    cache_misses: 32,
+                    parks: 18,
+                    wakes: 18,
+                },
+            },
+            payload: concat!(
+                r#"{"proto":"pcmax-wire/1","id":5,"status":"bye","served":96,"#,
+                r#""cache_hits":64,"cache_misses":32,"parks":18,"wakes":18}"#,
+            ),
+        },
+    ]
+}
+
+#[test]
+fn request_payloads_match_the_goldens_exactly() {
+    for g in request_goldens() {
+        assert_eq!(
+            g.value.to_json().to_string_compact(),
+            g.payload,
+            "{}: encoded payload drifted from the pinned layout",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn response_payloads_match_the_goldens_exactly() {
+    for g in response_goldens() {
+        assert_eq!(
+            g.value.to_json().to_string_compact(),
+            g.payload,
+            "{}: encoded payload drifted from the pinned layout",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn golden_request_payloads_parse_back_to_the_same_frames() {
+    for g in request_goldens() {
+        let parsed = WireRequest::from_json(&parse(g.payload).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        assert_eq!(parsed, g.value, "{}: decode drifted", g.name);
+    }
+}
+
+#[test]
+fn golden_response_payloads_parse_back_to_the_same_frames() {
+    for g in response_goldens() {
+        let parsed = WireResponse::from_json(&parse(g.payload).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        assert_eq!(parsed, g.value, "{}: decode drifted", g.name);
+    }
+}
+
+#[test]
+fn framing_is_a_big_endian_length_prefix_over_the_payload() {
+    let golden = &request_goldens()[0];
+    let frame = encode_frame(&golden.value.to_json());
+    let len = golden.payload.len();
+    assert_eq!(&frame[..4], (len as u32).to_be_bytes(), "length prefix");
+    assert_eq!(&frame[4..], golden.payload.as_bytes(), "payload bytes");
+
+    // And the reader accepts exactly those bytes back.
+    let mut r = &frame[..];
+    let value = read_frame(&mut r).unwrap().expect("one frame");
+    assert_eq!(WireRequest::from_json(&value).unwrap(), golden.value);
+    assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after it");
+}

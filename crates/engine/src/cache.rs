@@ -1,0 +1,197 @@
+//! The engine-owned instance-profile cache.
+//!
+//! [`ProfileMemo`] is the concrete [`ProfileCache`] the session engine
+//! attaches to every cached submission: a bounded FIFO memo from the rounded
+//! `(m, ε, class-vector)` fingerprint ([`pcmax_core::ProfileKey`]) to the
+//! memoized DP verdict ([`pcmax_core::ProfileVerdict`]). The map lives
+//! behind the audited [`pcmax_parallel::sync::Mutex`], so the audit
+//! explorer can interleave worker threads *through* the cache and prove the
+//! session/cache seam race-free — the same seam discipline as the wavefront
+//! pool.
+//!
+//! What a hit saves and what it must not skip: the verdict carries machine
+//! counts and witness *configs* only — per-instance witness reconstruction
+//! (mapping configs back to this request's concrete job ids) always re-runs
+//! under the caller's own `Budget`/`CancelToken`, and per-solve stats are
+//! counted fresh. A hit is a DP shortcut, never a reused answer.
+
+use pcmax_core::{ProfileCache, ProfileKey, ProfileVerdict};
+use pcmax_metrics::Gauge;
+use pcmax_parallel::sync::{self, AtomicCounter};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+
+/// Entries resident in the engine profile cache (last engine to update
+/// wins; the daemon runs one engine per process).
+static CACHE_ENTRIES: Gauge = Gauge::new(
+    "pcmax_profile_cache_entries",
+    "Entries resident in the engine instance-profile cache",
+);
+
+/// A bounded FIFO memo of DP verdicts keyed by instance profile.
+///
+/// Thread-safe (implements [`ProfileCache`], which is `Send + Sync`);
+/// eviction is oldest-inserted-first, so a long-running daemon's resident
+/// set follows the traffic mix. Refreshing an existing key replaces the
+/// verdict in place without extending its lifetime.
+#[derive(Debug)]
+pub struct ProfileMemo {
+    capacity: usize,
+    state: sync::Mutex<MemoState>,
+    hits: AtomicCounter,
+    misses: AtomicCounter,
+}
+
+#[derive(Debug, Default)]
+struct MemoState {
+    map: HashMap<ProfileKey, ProfileVerdict>,
+    order: VecDeque<ProfileKey>,
+}
+
+impl ProfileMemo {
+    /// A memo holding at most `capacity` verdicts (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: sync::Mutex::new(MemoState::default()),
+            hits: AtomicCounter::new(0),
+            misses: AtomicCounter::new(0),
+        }
+    }
+
+    /// Number of resident verdicts.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether the memo holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum resident verdicts before FIFO eviction kicks in.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found a verdict, over the memo's lifetime.
+    pub fn hits(&self) -> u64 {
+        // audit:allow(relaxed): monotonic statistic, read for reporting only.
+        self.hits.load(Ordering::Relaxed) as u64
+    }
+
+    /// Lookups that missed, over the memo's lifetime.
+    pub fn misses(&self) -> u64 {
+        // audit:allow(relaxed): monotonic statistic, read for reporting only.
+        self.misses.load(Ordering::Relaxed) as u64
+    }
+
+    /// Drops every resident verdict (the lifetime hit/miss totals stay).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.map.clear();
+        st.order.clear();
+        CACHE_ENTRIES.set(0.0);
+    }
+}
+
+impl ProfileCache for ProfileMemo {
+    fn get(&self, key: &ProfileKey) -> Option<ProfileVerdict> {
+        let found = self.state.lock().map.get(key).cloned();
+        let ctr = if found.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        // audit:allow(relaxed): monotonic statistic; ordering carries no data.
+        ctr.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    fn put(&self, key: ProfileKey, verdict: ProfileVerdict) {
+        let mut st = self.state.lock();
+        // Refresh in place without extending the key's FIFO lifetime.
+        if let std::collections::hash_map::Entry::Occupied(mut e) = st.map.entry(key.clone()) {
+            e.insert(verdict);
+            return;
+        }
+        while st.map.len() >= self.capacity {
+            match st.order.pop_front() {
+                Some(oldest) => {
+                    st.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        st.order.push_back(key.clone());
+        st.map.insert(key, verdict);
+        CACHE_ENTRIES.set(st.map.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(machines: u32) -> ProfileKey {
+        ProfileKey {
+            scenario: "p",
+            eps_micros: 300_000,
+            machines,
+            caps_units: vec![16],
+            counts: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn get_put_roundtrip_counts_hits_and_misses() {
+        let memo = ProfileMemo::new(8);
+        assert!(memo.get(&key(2)).is_none());
+        memo.put(key(2), ProfileVerdict::Infeasible { machines: 3 });
+        match memo.get(&key(2)) {
+            Some(ProfileVerdict::Infeasible { machines }) => assert_eq!(machines, 3),
+            other => panic!("expected the stored verdict, got {other:?}"),
+        }
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let memo = ProfileMemo::new(2);
+        memo.put(key(1), ProfileVerdict::Infeasible { machines: 1 });
+        memo.put(key(2), ProfileVerdict::Infeasible { machines: 2 });
+        memo.put(key(3), ProfileVerdict::Infeasible { machines: 3 });
+        assert_eq!(memo.len(), 2);
+        assert!(memo.get(&key(1)).is_none(), "oldest entry evicted");
+        assert!(memo.get(&key(2)).is_some() && memo.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn refresh_replaces_without_growing() {
+        let memo = ProfileMemo::new(2);
+        memo.put(key(1), ProfileVerdict::Infeasible { machines: 1 });
+        memo.put(
+            key(1),
+            ProfileVerdict::Feasible {
+                machines: 1,
+                configs: vec![vec![1, 0, 0]],
+            },
+        );
+        assert_eq!(memo.len(), 1);
+        assert!(matches!(
+            memo.get(&key(1)),
+            Some(ProfileVerdict::Feasible { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_totals() {
+        let memo = ProfileMemo::new(4);
+        memo.put(key(1), ProfileVerdict::Infeasible { machines: 1 });
+        let _ = memo.get(&key(1));
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.hits(), 1);
+    }
+}

@@ -27,6 +27,19 @@
 //! | `ptas-q`    | `Q||Cmax`  | chassis dual approximation, speed caps | `T* ≤ OPT` certified |
 //! | `lpt-q`     | `Q||Cmax`  | LPT on the earliest-finishing machine  | `2`       |
 //! | `ls-online` | online     | greedy list scheduling over arrivals   | `2 − 1/m` |
+//!
+//! **Running solvers** goes through the submission-based [`session`] layer:
+//! [`Engine::submit`] takes a [`Submission`] (registry name + owned
+//! instance + composable observers) and returns a [`SolveHandle`] with
+//! `poll`/`wait`/`cancel`. The legacy one-shot entry points
+//! [`solve_traced`] and [`solve_metered`] are deprecated wrappers kept for
+//! one release.
+
+pub mod cache;
+pub mod session;
+
+pub use cache::ProfileMemo;
+pub use session::{Engine, EngineConfig, EngineTotals, SolveHandle, SolvePoll, Submission};
 
 use pcmax_baselines::{Lpt, Ls, LsOnline, Multifit, SpeedLpt};
 use pcmax_core::{Error, Result, SolveReport, SolveRequest, Solver};
@@ -342,6 +355,10 @@ pub fn names() -> Vec<&'static str> {
 /// spans, park/wake instants) all land in the same timeline. A second
 /// concurrent call fails with [`Error::BadModel`] instead of silently
 /// interleaving two solves into one trace.
+#[deprecated(
+    note = "submit through `session::Engine` with a `pcmax_trace::GlobalSink` \
+            observer (start the `pcmax_trace::Session` around the submission)"
+)]
 pub fn solve_traced(
     solver: &dyn Solver,
     req: &SolveRequest<'_>,
@@ -402,6 +419,7 @@ pub fn outcome_label(result: &Result<SolveReport>) -> &'static str {
 /// the cells/sec gauge. The report itself is returned unchanged, so
 /// metering composes with any caller (results are bit-identical with
 /// metrics enabled, disabled, or absent; a pinned test asserts it).
+#[deprecated(note = "submit through `session::Engine`, which meters every solve")]
 pub fn solve_metered(
     name: &str,
     solver: &dyn Solver,
@@ -409,16 +427,23 @@ pub fn solve_metered(
 ) -> Result<SolveReport> {
     let start = std::time::Instant::now();
     let result = solver.solve(req);
+    record_metered(name, start, &result);
+    result
+}
+
+/// Shared metering tail of the session engine and the deprecated
+/// [`solve_metered`] wrapper: aggregates one finished solve (started at
+/// `start`) into the process-wide registry under `name`.
+pub(crate) fn record_metered(name: &str, start: std::time::Instant, result: &Result<SolveReport>) {
     SOLVE_LATENCY_NANOS
         .with_label(name)
         .observe(start.elapsed().as_nanos() as u64);
-    SOLVE_OUTCOMES.with_label(outcome_label(&result)).inc();
-    if let Ok(report) = &result {
+    SOLVE_OUTCOMES.with_label(outcome_label(result)).inc();
+    if let Ok(report) = result {
         if let Some(rate) = report.stats.dp_phase_cells_per_sec() {
             DP_CELLS_PER_SEC.with_label(name).set(rate);
         }
     }
-    result
 }
 
 /// The solvers the experiment harness compares against the optimum: every

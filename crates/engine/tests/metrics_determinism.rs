@@ -3,10 +3,23 @@
 //! disabled returns bit-identical reports (schedule, makespan, certified
 //! target, optimality claim).
 
-use pcmax_core::engine::SolveRequest;
-use pcmax_core::Instance;
-use pcmax_engine::{comparators_for, solve_metered, ScenarioKind, SolverParams};
+use pcmax_core::{Instance, SolveReport};
+use pcmax_engine::{comparators_for, Engine, EngineConfig, ScenarioKind, SolverParams, Submission};
 use std::sync::Mutex;
+
+/// One metered solve through the session engine (the cache is off so every
+/// run does the full work, keeping the on/off comparison symmetric).
+fn submit(engine: &Engine, inst: &Instance, name: &str, params: &SolverParams) -> SolveReport {
+    engine
+        .submit(
+            Submission::new(inst.clone(), name)
+                .with_params(params.clone())
+                .without_cache(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: submit: {e}"))
+        .wait()
+        .unwrap_or_else(|e| panic!("{name}: solve: {e}"))
+}
 
 /// Serialises the tests in this file around the process-global enable
 /// flag, and restores the entry state on drop (panic included).
@@ -32,16 +45,16 @@ fn solver_reports_are_bit_identical_with_metrics_on_and_off() {
         threads: Some(2),
         ..SolverParams::default()
     };
+    let engine = Engine::with_config(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
     for spec in comparators_for(ScenarioKind::Identical) {
-        let solver = spec.build(&params).unwrap();
-
         pcmax_metrics::set_enabled(true);
-        let on = solve_metered(spec.name, solver.as_ref(), &SolveRequest::new(&inst))
-            .unwrap_or_else(|e| panic!("{} with metrics on: {e}", spec.name));
+        let on = submit(&engine, &inst, spec.name, &params);
 
         pcmax_metrics::set_enabled(false);
-        let off = solve_metered(spec.name, solver.as_ref(), &SolveRequest::new(&inst))
-            .unwrap_or_else(|e| panic!("{} with metrics off: {e}", spec.name));
+        let off = submit(&engine, &inst, spec.name, &params);
 
         assert_eq!(
             on.makespan, off.makespan,
@@ -64,6 +77,7 @@ fn solver_reports_are_bit_identical_with_metrics_on_and_off() {
             spec.name
         );
     }
+    engine.shutdown();
 }
 
 #[test]
@@ -74,11 +88,15 @@ fn disabled_recording_is_invisible_in_the_snapshot() {
     let inst = Instance::new(vec![5, 4, 3, 2, 1], 2).unwrap();
     let params = SolverParams::default();
     let spec = comparators_for(ScenarioKind::Identical).next().unwrap();
-    let solver = spec.build(&params).unwrap();
 
     pcmax_metrics::set_enabled(false);
     let before = pcmax_metrics::snapshot();
-    solve_metered(spec.name, solver.as_ref(), &SolveRequest::new(&inst)).unwrap();
+    let engine = Engine::with_config(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    submit(&engine, &inst, spec.name, &params);
+    engine.shutdown();
     let after = pcmax_metrics::snapshot();
 
     let count_of = |snap: &pcmax_metrics::Snapshot| {

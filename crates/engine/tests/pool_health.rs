@@ -4,8 +4,8 @@
 //! `pcmax compare` can print it.
 
 use pcmax_core::{Instance, SolveRequest};
-use pcmax_engine::{build, solve_traced, SolverParams};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use pcmax_engine::{build, SolverParams};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 fn instance() -> Instance {
     // Same shape as the wavefront_stats suite: known to drive the rounded DP
@@ -76,8 +76,14 @@ fn traced_parallel_solve_yields_per_worker_utilization() {
         ..SolverParams::default()
     };
     let solver = build("par-ptas", &params).unwrap();
-    let req = SolveRequest::new(&inst);
-    let (report, timeline) = solve_traced(solver.as_ref(), &req).unwrap();
+    // Trace via the primitive request hook rather than the session engine:
+    // this test pins the strict `lane parks == stats.pool_parks` equality
+    // of the *solver pool* seam, and an engine worker's own queue parks
+    // would land in the same timeline.
+    let session = pcmax_trace::Session::start().expect("no session active");
+    let req = SolveRequest::new(&inst).with_trace(Arc::new(pcmax_trace::GlobalSink));
+    let report = solver.solve(&req).unwrap();
+    let timeline = session.finish();
     timeline.validate().unwrap();
     assert!(report.stats.dp_cells > 0);
 
@@ -102,14 +108,17 @@ fn second_concurrent_trace_session_is_rejected() {
     let _serial = trace_serial();
     let inst = instance();
     let solver = build("lpt", &SolverParams::default()).unwrap();
-    let req = SolveRequest::new(&inst);
     let session = pcmax_trace::Session::start().expect("no session active");
-    let err = solve_traced(solver.as_ref(), &req).unwrap_err();
-    assert!(matches!(err, pcmax_core::Error::BadModel(_)));
+    // The trace runtime is a process-global singleton: while one session is
+    // live, a second caller cannot start recording.
+    assert!(pcmax_trace::Session::start().is_none());
     drop(session.finish());
 
     // After wind-down the traced path works again.
-    let (report, timeline) = solve_traced(solver.as_ref(), &req).unwrap();
+    let session = pcmax_trace::Session::start().expect("wind-down must release the runtime");
+    let req = SolveRequest::new(&inst).with_trace(Arc::new(pcmax_trace::GlobalSink));
+    let report = solver.solve(&req).unwrap();
+    let timeline = session.finish();
     assert!(report.makespan > 0);
     timeline.validate().unwrap();
 }

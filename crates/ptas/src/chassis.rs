@@ -11,10 +11,12 @@
 //! bookkeeping — extracted verbatim from the original `P||Cmax` driver so
 //! `Ptas::solve_with` stays bit-identical.
 
+use crate::config::Config;
 use crate::driver::{BisectionLog, BisectionProbe, PtasOutput};
 use crate::table::DpScratch;
 use pcmax_core::{
-    Error, Instance, MakespanBounds, Result, Schedule, SolveRequest, SolveStats, Time,
+    Error, Instance, MakespanBounds, ProfileKey, ProfileVerdict, Result, Schedule, SolveRequest,
+    SolveStats, Time,
 };
 use pcmax_metrics::Counter;
 use std::time::{Duration, Instant};
@@ -41,6 +43,18 @@ static DP_CELLS: Counter = Counter::new(
 static DP_KERNEL_ALLOCS: Counter = Counter::new(
     "pcmax_dp_kernel_allocs_total",
     "Kernel scratch buffer allocations across all solves",
+);
+
+/// Probes answered from the instance-profile cache across all solves.
+static PROFILE_CACHE_HITS: Counter = Counter::new(
+    "pcmax_profile_cache_hits_total",
+    "DP probes answered from the instance-profile cache",
+);
+
+/// Probes that consulted the instance-profile cache and missed.
+static PROFILE_CACHE_MISSES: Counter = Counter::new(
+    "pcmax_profile_cache_misses_total",
+    "DP probes that consulted the instance-profile cache and missed",
 );
 
 /// A dual-approximation scheduling scenario the generic [`drive`] loop can
@@ -82,6 +96,37 @@ pub trait Scenario {
         witness: Self::Witness,
         target: Time,
     ) -> Result<Schedule>;
+
+    /// The instance-profile cache key of the rounded subproblem at
+    /// `target`, or `None` when this scenario (or this particular probe)
+    /// does not support profile caching. Implementations must guarantee
+    /// that equal keys imply bit-identical probe verdicts *and* extracted
+    /// witness configs — see `pcmax_core::profile` for the soundness
+    /// argument. The default opts out.
+    fn profile_key(&self, inst: &Instance, target: Time) -> Option<ProfileKey> {
+        let _ = (inst, target);
+        None
+    }
+
+    /// Rebuilds a probe witness from cached configs: replays the cheap
+    /// O(n) rounding for the per-instance reconstruction map and skips the
+    /// DP. Returning `None` forces a real probe. The default opts out.
+    fn rehydrate(
+        &self,
+        inst: &Instance,
+        target: Time,
+        configs: &[Config],
+    ) -> Option<Self::Witness> {
+        let _ = (inst, target, configs);
+        None
+    }
+
+    /// The extracted per-machine configs inside a witness, for populating
+    /// the cache after a miss. The default opts out (nothing is stored).
+    fn witness_configs<'w>(&self, witness: &'w Self::Witness) -> Option<&'w [Config]> {
+        let _ = witness;
+        None
+    }
 }
 
 /// Runs a full dual-approximation solve for any [`Scenario`] under an engine
@@ -120,6 +165,12 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
     if let Some(entries) = sc.reserve_hint(inst, lower.max(1)) {
         scratch.reserve(entries);
     }
+    // Keys this solve stored itself: the converged-target re-probe may
+    // revisit a target the bisection loop already probed, and reading back
+    // our own verdict would report a cross-request `cache_hit` on a cold
+    // cache. Self-stored keys bypass the cache instead (same work as an
+    // uncached solve).
+    let mut self_stored: Vec<ProfileKey> = Vec::new();
 
     let bisect_start = Instant::now();
     let bisect_span = req.trace_span("bisection", 0);
@@ -132,7 +183,8 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
         let t = (lower + upper) / 2;
         let probe_span = req.trace_span("probe", t);
         let dp_start = Instant::now();
-        let (dp_machines, witness) = sc.probe(inst, t, &mut scratch)?;
+        let (dp_machines, witness) =
+            probe_cached(sc, req, inst, t, &mut scratch, &mut stats, &mut self_stored)?;
         dp_wall += dp_start.elapsed();
         drop(probe_span);
         log.probes.push(BisectionProbe {
@@ -160,7 +212,15 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
             check_budget(req, &scratch, lower, upper)?;
             let probe_span = req.trace_span("probe", target);
             let dp_start = Instant::now();
-            let (dp_machines, witness) = sc.probe(inst, target, &mut scratch)?;
+            let (dp_machines, witness) = probe_cached(
+                sc,
+                req,
+                inst,
+                target,
+                &mut scratch,
+                &mut stats,
+                &mut self_stored,
+            )?;
             dp_wall += dp_start.elapsed();
             drop(probe_span);
             log.probes.push(BisectionProbe {
@@ -181,6 +241,12 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
     stats.push_phase("bisection", bisect_start.elapsed());
     stats.push_phase("dp", dp_wall);
 
+    // Reconstruction runs under the same budget/cancel regime as the
+    // probes. This matters most on the cache path: a solve whose every
+    // probe was a hit reaches this point having spent almost no budget,
+    // and a cancel raised during the bisection must still abort the
+    // (per-instance, never cached) witness reconstruction.
+    check_budget(req, &scratch, t_star, t_star)?;
     let recon_start = Instant::now();
     let recon_span = req.trace_span("reconstruct", 0);
     let schedule = sc.reconstruct(inst, witness, t_star)?;
@@ -203,6 +269,8 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
     DP_LEVELS.inc_by(stats.dp_levels_swept);
     DP_CELLS.inc_by(stats.dp_cells);
     DP_KERNEL_ALLOCS.inc_by(stats.dp_kernel_allocs);
+    PROFILE_CACHE_HITS.inc_by(stats.cache_hits);
+    PROFILE_CACHE_MISSES.inc_by(stats.cache_misses);
     Ok((
         PtasOutput {
             schedule,
@@ -211,6 +279,68 @@ pub fn drive<Sc: Scenario>(sc: &Sc, req: &SolveRequest<'_>) -> Result<(PtasOutpu
         },
         stats,
     ))
+}
+
+/// One feasibility probe, routed through the request's instance-profile
+/// cache when both the request carries one and the scenario exposes a
+/// [`profile_key`](Scenario::profile_key) for this target. A hit skips the
+/// DP and [rehydrates](Scenario::rehydrate) the witness from the cached
+/// configs (replaying only the O(n) rounding); a miss runs the real probe
+/// and stores its verdict. Hits/misses are counted into `stats` *for this
+/// solve* — a hit never reuses the populating solve's stats, and a key in
+/// `self_stored` (written by this very solve) bypasses the cache so a cold
+/// request never reports a hit against itself.
+#[allow(clippy::too_many_arguments)]
+fn probe_cached<Sc: Scenario>(
+    sc: &Sc,
+    req: &SolveRequest<'_>,
+    inst: &Instance,
+    target: Time,
+    scratch: &mut DpScratch,
+    stats: &mut SolveStats,
+    self_stored: &mut Vec<ProfileKey>,
+) -> Result<(u32, Option<Sc::Witness>)> {
+    let keyed = match &req.cache {
+        Some(cache) => sc
+            .profile_key(inst, target)
+            .filter(|key| !self_stored.contains(key))
+            .map(|key| (cache, key)),
+        None => None,
+    };
+    if let Some((cache, key)) = &keyed {
+        if let Some(verdict) = cache.get(key) {
+            let rehydrated = match verdict {
+                ProfileVerdict::Infeasible { machines } => Some((machines, None)),
+                ProfileVerdict::Feasible { machines, configs } => sc
+                    .rehydrate(inst, target, &configs)
+                    .map(|w| (machines, Some(w))),
+            };
+            // A verdict the scenario cannot rehydrate (shouldn't happen
+            // with a sound key) falls through to a real probe.
+            if let Some(hit) = rehydrated {
+                stats.cache_hits += 1;
+                return Ok(hit);
+            }
+        }
+        stats.cache_misses += 1;
+    }
+    let (machines, witness) = sc.probe(inst, target, scratch)?;
+    if let Some((cache, key)) = keyed {
+        let verdict = match &witness {
+            None => Some(ProfileVerdict::Infeasible { machines }),
+            Some(w) => sc
+                .witness_configs(w)
+                .map(|configs| ProfileVerdict::Feasible {
+                    machines,
+                    configs: configs.to_vec(),
+                }),
+        };
+        if let Some(verdict) = verdict {
+            self_stored.push(key.clone());
+            cache.put(key, verdict);
+        }
+    }
+    Ok((machines, witness))
 }
 
 /// Pre-probe budget gate: cancellation, wall-clock deadline and the

@@ -6,11 +6,11 @@ use crate::chassis::Scenario;
 use crate::config::Config;
 use crate::dp::{DpProblem, DpSolver, IterativeDp};
 use crate::params::EpsilonParams;
-use crate::rounding::{JobPartition, RoundedLongJobs};
+use crate::rounding::{JobPartition, PcmaxRounding, RoundedLongJobs, Rounding};
 use crate::table::{DpScratch, DpTable};
 use pcmax_core::{
-    Error, Instance, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest, SolveStats,
-    Solver, Time,
+    profile, Error, Instance, ProfileKey, Result, Schedule, ScheduleBuilder, SolveReport,
+    SolveRequest, SolveStats, Solver, Time,
 };
 
 /// One bisection probe: the target tried and what the DP said.
@@ -156,6 +156,40 @@ impl<S: DpSolver> Scenario for Ptas<S> {
     ) -> Result<Schedule> {
         let (configs, rounded, partition) = witness;
         reconstruct(inst, &configs, &rounded, &partition)
+    }
+
+    /// `P||Cmax` profile key: the class-count vector plus the single shared
+    /// capacity `⌊target/unit⌋` — every machine checks configs against the
+    /// target itself. ε and `m` ride along per the cache-key soundness
+    /// argument in `pcmax_core::profile`.
+    fn profile_key(&self, inst: &Instance, target: Time) -> Option<ProfileKey> {
+        let rounding = PcmaxRounding {
+            params: &self.params,
+        };
+        let (counts, unit) = rounding.fingerprint(inst, target);
+        Some(ProfileKey {
+            scenario: "p",
+            eps_micros: profile::eps_micros(self.params.epsilon),
+            machines: inst.machines() as u32,
+            caps_units: vec![target / unit],
+            counts,
+        })
+    }
+
+    /// Cache-hit witness: replay the rounding (for the per-instance
+    /// class→job map) and adopt the cached configs unchanged.
+    fn rehydrate(
+        &self,
+        inst: &Instance,
+        target: Time,
+        configs: &[Config],
+    ) -> Option<Self::Witness> {
+        let (_, rounded, partition) = self.problem_at(inst, target);
+        Some((configs.to_vec(), rounded, partition))
+    }
+
+    fn witness_configs<'w>(&self, witness: &'w Self::Witness) -> Option<&'w [Config]> {
+        Some(&witness.0)
     }
 }
 
@@ -493,5 +527,117 @@ mod tests {
         let detailed = ptas().solve_detailed(&inst).unwrap();
         assert_eq!(report.certified_target, Some(detailed.target));
         assert!(!report.proven_optimal);
+    }
+
+    /// Unbounded map cache for exercising the chassis cache path in tests.
+    #[derive(Default)]
+    struct MapCache(
+        std::sync::Mutex<
+            std::collections::HashMap<pcmax_core::ProfileKey, pcmax_core::ProfileVerdict>,
+        >,
+    );
+
+    impl pcmax_core::ProfileCache for MapCache {
+        fn get(&self, key: &pcmax_core::ProfileKey) -> Option<pcmax_core::ProfileVerdict> {
+            self.0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(key)
+                .cloned()
+        }
+
+        fn put(&self, key: pcmax_core::ProfileKey, verdict: pcmax_core::ProfileVerdict) {
+            self.0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(key, verdict);
+        }
+    }
+
+    #[test]
+    fn cached_resolve_is_bit_identical_and_counts_hits() {
+        use pcmax_core::{SolveRequest, Solver};
+        use std::sync::Arc;
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3, 23, 29], 4).unwrap();
+        let cache: Arc<dyn pcmax_core::ProfileCache> = Arc::new(MapCache::default());
+
+        let baseline = ptas().solve(&SolveRequest::new(&inst)).unwrap();
+
+        let cold = ptas()
+            .solve(&SolveRequest::new(&inst).with_cache(cache.clone()))
+            .unwrap();
+        assert_eq!(cold.stats.cache_hits, 0, "cold run hits nothing");
+        assert_eq!(
+            cold.stats.cache_misses, cold.stats.bisection_probes,
+            "every cold probe consults and misses"
+        );
+
+        let warm = ptas()
+            .solve(&SolveRequest::new(&inst).with_cache(cache.clone()))
+            .unwrap();
+        assert_eq!(
+            warm.stats.cache_hits, warm.stats.bisection_probes,
+            "every warm probe is a hit"
+        );
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert_eq!(warm.stats.dp_cells, 0, "hits skip the DP entirely");
+
+        for report in [&cold, &warm] {
+            assert_eq!(report.schedule, baseline.schedule, "schedules diverged");
+            assert_eq!(report.makespan, baseline.makespan);
+            assert_eq!(report.certified_target, baseline.certified_target);
+        }
+
+        // Same profile, different raw instance: scaled times that round to
+        // the same class vector would hit; here just re-check stats stay
+        // per-request (the warm run did not inherit the cold run's misses).
+        assert_eq!(
+            warm.stats.cache_misses + warm.stats.cache_hits,
+            warm.stats.bisection_probes
+        );
+    }
+
+    #[test]
+    fn cache_hit_still_honors_cancellation_before_reconstruction() {
+        use pcmax_core::{CancelToken, Error, SolveRequest, Solver, TraceSink};
+        use std::sync::Arc;
+
+        // Cancels its token the moment the bisection span closes — i.e.
+        // after the last (cache-hit) probe but before reconstruction.
+        struct CancelOnBisectionExit(CancelToken);
+
+        impl TraceSink for CancelOnBisectionExit {
+            fn span_enter(&self, _name: &'static str, _arg: u64) {}
+
+            fn span_exit(&self, name: &'static str) {
+                if name == "bisection" {
+                    self.0.cancel();
+                }
+            }
+
+            fn instant(&self, _name: &'static str, _arg: u64) {}
+
+            fn counter(&self, _name: &'static str, _value: u64) {}
+        }
+
+        let inst = Instance::new(vec![19, 17, 16, 12, 11, 10, 9, 7, 5, 3], 4).unwrap();
+        let cache: Arc<dyn pcmax_core::ProfileCache> = Arc::new(MapCache::default());
+        // Warm the cache.
+        ptas()
+            .solve(&SolveRequest::new(&inst).with_cache(cache.clone()))
+            .unwrap();
+
+        let cancel = CancelToken::new();
+        let req = SolveRequest::new(&inst)
+            .with_cache(cache)
+            .with_cancel(cancel.clone())
+            .with_trace(Arc::new(CancelOnBisectionExit(cancel)));
+        // Every probe is a hit, so the budget gates inside the bisection
+        // never see the raised flag — only the pre-reconstruction gate can
+        // catch it. Before that gate existed this returned Ok.
+        assert!(
+            matches!(ptas().solve(&req), Err(Error::Cancelled)),
+            "a cancel raised between bisection and reconstruction must abort"
+        );
     }
 }

@@ -19,6 +19,18 @@ pub trait Rounding {
     /// Rounds `inst` at `target`, returning the full-width class counts
     /// `N`, the rounding unit, and the reconstruction map.
     fn round_at(&self, inst: &Instance, target: Time) -> (Vec<u32>, Time, Self::Map);
+
+    /// The profile-cache fingerprint of the rounded subproblem at `target`:
+    /// the class-count vector `N` and the rounding unit, *without* building
+    /// the reconstruction map. Every config load the DP checks is a
+    /// multiple of the unit, so `(N, ⌊capacity/unit⌋)` determines the DP
+    /// verdict and the extracted witness configs exactly — the seam
+    /// `pcmax_core::profile` keys its cache on. The default delegates to
+    /// [`round_at`](Self::round_at); implementations may skip the map.
+    fn fingerprint(&self, inst: &Instance, target: Time) -> (Vec<u32>, Time) {
+        let (counts, unit, _) = self.round_at(inst, target);
+        (counts, unit)
+    }
 }
 
 /// Identical-machine rounding (Lines 9–24 of Algorithm 1): split long/short
@@ -36,6 +48,21 @@ impl Rounding for PcmaxRounding<'_> {
         let partition = JobPartition::split(inst, self.params, target);
         let rounded = RoundedLongJobs::round(inst, self.params, &partition);
         (rounded.counts.clone(), rounded.unit, (rounded, partition))
+    }
+
+    /// Counts-only override: one pass over the times, no per-class member
+    /// lists — the fingerprint is computed once per probe on the cache path.
+    fn fingerprint(&self, inst: &Instance, target: Time) -> (Vec<u32>, Time) {
+        let k2 = self.params.classes();
+        let unit = self.params.unit(target);
+        let mut counts = vec![0u32; k2];
+        for &t in inst.times() {
+            if self.params.is_long(t, target) {
+                let class = ((t / unit) as usize).clamp(1, k2);
+                counts[class - 1] += 1;
+            }
+        }
+        (counts, unit)
     }
 }
 
@@ -201,6 +228,24 @@ mod tests {
         assert!(p.long.is_empty());
         let r = RoundedLongJobs::round(&inst, &params(), &p);
         assert_eq!(r.total_jobs(), 0);
+    }
+
+    #[test]
+    fn fingerprint_matches_full_rounding() {
+        let p = params();
+        let rounding = PcmaxRounding { params: &p };
+        for (times, m, target) in [
+            (vec![6, 6, 11, 11, 11, 7, 8], 3, 30u64),
+            (vec![97, 64, 100, 83], 2, 100),
+            (vec![1, 2, 3], 2, 1000),
+            (vec![32, 1], 2, 32),
+        ] {
+            let inst = Instance::new(times, m).unwrap();
+            let (counts, unit, _) = rounding.round_at(&inst, target);
+            let (fp_counts, fp_unit) = rounding.fingerprint(&inst, target);
+            assert_eq!(fp_counts, counts, "target {target}");
+            assert_eq!(fp_unit, unit, "target {target}");
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@ use crate::space::{extract_schedule_with, QSpace, SerialEngine, SpaceEngine};
 use crate::table::{DpScratch, DpTable};
 use crate::{Config, PtasOutput};
 use pcmax_core::{
-    Error, Instance, Result, Schedule, ScheduleBuilder, SolveReport, SolveRequest, SolveStats,
-    Solver, Time,
+    profile, Error, Instance, ProfileKey, Result, Schedule, ScheduleBuilder, SolveReport,
+    SolveRequest, SolveStats, Solver, Time,
 };
 
 /// Uniform-machine rounding: identical-machine rounding evaluated at the
@@ -63,6 +63,14 @@ impl Rounding for QRounding<'_> {
             params: self.params,
         }
         .round_at(inst, capmax)
+    }
+
+    fn fingerprint(&self, inst: &Instance, target: Time) -> (Vec<u32>, Time) {
+        let capmax = inst.max_speed().saturating_mul(target);
+        PcmaxRounding {
+            params: self.params,
+        }
+        .fingerprint(inst, capmax)
     }
 }
 
@@ -208,6 +216,53 @@ impl<E: SpaceEngine> Scenario for QPtas<E> {
         };
         scratch.recycle(table);
         Ok((machines, witness))
+    }
+
+    /// `Q||Cmax` profile key: the class-count vector plus *per-machine*
+    /// capacities in units (fastest-first) — the step filter checks configs
+    /// against each prefix machine's capacity, so every `⌊caps[j]/unit⌋`
+    /// joins the fingerprint. Probes with a job no machine can finish are
+    /// trivially infeasible and opt out (matching the early return in
+    /// [`probe`](Self::probe), whose rounding invariant they would break).
+    fn profile_key(&self, inst: &Instance, target: Time) -> Option<ProfileKey> {
+        let (_, caps) = self.sorted_caps(inst, target);
+        if inst.times().iter().any(|&t| t > caps[0]) {
+            return None;
+        }
+        let rounding = QRounding {
+            params: &self.params,
+        };
+        let (counts, unit) = rounding.fingerprint(inst, target);
+        Some(ProfileKey {
+            scenario: "q",
+            eps_micros: profile::eps_micros(self.params.epsilon),
+            // audit:allow(cast): machine counts are bounded by the job count,
+            // which Instance stores as a Vec length far below u32::MAX.
+            machines: inst.machines() as u32,
+            caps_units: caps.iter().map(|&c| c / unit).collect(),
+            counts,
+        })
+    }
+
+    fn rehydrate(&self, inst: &Instance, target: Time, configs: &[Config]) -> Option<QWitness> {
+        let (perm, caps) = self.sorted_caps(inst, target);
+        if inst.times().iter().any(|&t| t > caps[0]) {
+            return None;
+        }
+        let (_, _, (rounded, partition)) = QRounding {
+            params: &self.params,
+        }
+        .round_at(inst, target);
+        Some(QWitness {
+            configs: configs.to_vec(),
+            rounded,
+            partition,
+            perm,
+        })
+    }
+
+    fn witness_configs<'w>(&self, witness: &'w QWitness) -> Option<&'w [Config]> {
+        Some(&witness.configs)
     }
 
     fn reconstruct(&self, inst: &Instance, witness: QWitness, _target: Time) -> Result<Schedule> {

@@ -1,0 +1,108 @@
+//! Blocking `pcmax-wire/1` client.
+
+use pcmax_core::json::{FromJson, ToJson};
+use pcmax_core::wire::{
+    read_frame, write_frame, WireOp, WireOutcome, WireRequest, WireResponse, WireSolve,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`Server`](crate::Server).
+///
+/// Requests are pipelined: [`submit`](Client::submit) returns the frame id
+/// immediately, and the server answers every outstanding solve in
+/// submission order — drain them with [`recv`](Client::recv). For the
+/// common one-shot case, [`solve`](Client::solve) submits and waits.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, op: WireOp) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = WireRequest { id, op };
+        write_frame(&mut self.writer, &request.to_json())?;
+        Ok(id)
+    }
+
+    /// Submits a solve without waiting; returns the frame id the matching
+    /// response will carry.
+    pub fn submit(&mut self, solve: WireSolve) -> io::Result<u64> {
+        self.send(WireOp::Solve(solve))
+    }
+
+    /// Reads the next response frame; `Ok(None)` once the server closes
+    /// the connection cleanly.
+    pub fn recv(&mut self) -> io::Result<Option<WireResponse>> {
+        match read_frame(&mut self.reader)? {
+            Some(value) => {
+                let response = WireResponse::from_json(&value)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                Ok(Some(response))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Submits a solve and blocks for its response. Only valid when no
+    /// other responses are outstanding (responses arrive in submission
+    /// order).
+    pub fn solve(&mut self, solve: WireSolve) -> io::Result<WireResponse> {
+        let id = self.submit(solve)?;
+        let response = self
+            .recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        if response.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} for request {id}", response.id),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Asks the server to cancel the in-flight request `target`; returns
+    /// this cancel frame's own id (its ack arrives via [`recv`]).
+    ///
+    /// [`recv`]: Client::recv
+    pub fn cancel(&mut self, target: u64) -> io::Result<u64> {
+        self.send(WireOp::Cancel { target })
+    }
+
+    /// Shuts the server down and returns the `bye` frame with its
+    /// lifetime totals. Any still-outstanding solve responses are drained
+    /// (and discarded) first; the connection is consumed.
+    pub fn shutdown(mut self) -> io::Result<WireResponse> {
+        let id = self.send(WireOp::Shutdown)?;
+        loop {
+            let response = self
+                .recv()?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no bye frame"))?;
+            if response.id == id && matches!(response.outcome, WireOutcome::Bye { .. }) {
+                return Ok(response);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Closed-loop load-test harness behind `pcmax serve-bench`.
+//!
+//! Binds an in-process [`Server`] on an ephemeral port, drives it with
+//! closed-loop client threads cycling through seeded instances from the
+//! paper's 24 workload families (fixed seeds, so repeated passes over the
+//! pool exercise the instance-profile cache), and reports latency
+//! percentiles, throughput and the server's `bye` totals.
+
+use crate::client::Client;
+use crate::server::{Server, ServerConfig};
+use pcmax_core::wire::{WireOutcome, WireResponse, WireSolve};
+use pcmax_core::Instance;
+use pcmax_engine::EngineConfig;
+use pcmax_workloads::{generate_batch, paper_families};
+use std::io;
+use std::time::Instant;
+
+/// How the load test is shaped.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Closed-loop client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Solver name every request uses (registry name or alias).
+    pub solver: String,
+    /// Accuracy knob forwarded to approximation solvers.
+    pub eps: f64,
+    /// Base seed for the instance pool; fixed seeds make repeat passes
+    /// cache hits.
+    pub seed: u64,
+    /// Seeded instances generated per workload family.
+    pub per_family: usize,
+    /// Sizing of the daemon's engine.
+    pub engine: EngineConfig,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests: 1000,
+            solver: "pptas".into(),
+            eps: 0.4,
+            seed: 7,
+            per_family: 2,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// What a load test measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub requests: u64,
+    /// Responses with status `ok`.
+    pub ok: u64,
+    /// Responses with status `error`.
+    pub errors: u64,
+    /// Responses with status `cancelled`.
+    pub cancelled: u64,
+    /// `ok` responses whose solve was answered from the profile cache.
+    pub cache_hit_responses: u64,
+    /// Median request latency, in microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile request latency, in microseconds.
+    pub p99_micros: u64,
+    /// Sustained throughput over the whole run, requests per second.
+    pub throughput_rps: f64,
+    /// Wall-clock duration of the traffic phase, in milliseconds.
+    pub wall_millis: u64,
+    /// Solves the engine served, from the `bye` frame.
+    pub served: u64,
+    /// Profile-cache hits over the server's lifetime, from `bye`.
+    pub cache_hits: u64,
+    /// Profile-cache misses over the server's lifetime, from `bye`.
+    pub cache_misses: u64,
+    /// Worker parks over the server's lifetime, from `bye`.
+    pub parks: u64,
+    /// Worker wakes over the server's lifetime, from `bye`.
+    pub wakes: u64,
+}
+
+impl LoadReport {
+    /// Renders the report as a compact JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\":{},\"ok\":{},\"errors\":{},\"cancelled\":{},",
+                "\"cache_hit_responses\":{},\"p50_micros\":{},\"p99_micros\":{},",
+                "\"throughput_rps\":{:.1},\"wall_millis\":{},\"served\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"parks\":{},\"wakes\":{}}}"
+            ),
+            self.requests,
+            self.ok,
+            self.errors,
+            self.cancelled,
+            self.cache_hit_responses,
+            self.p50_micros,
+            self.p99_micros,
+            self.throughput_rps,
+            self.wall_millis,
+            self.served,
+            self.cache_hits,
+            self.cache_misses,
+            self.parks,
+            self.wakes,
+        )
+    }
+}
+
+/// Per-client tallies folded into the final report.
+#[derive(Default)]
+struct ClientTally {
+    ok: u64,
+    errors: u64,
+    cancelled: u64,
+    cache_hit_responses: u64,
+    latencies_micros: Vec<u64>,
+}
+
+/// The instance pool every client cycles through: `per_family` seeded
+/// instances from each of the paper's 24 families.
+fn instance_pool(seed: u64, per_family: usize) -> Vec<Instance> {
+    paper_families()
+        .into_iter()
+        .flat_map(|family| generate_batch(family, seed, per_family))
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn tally(tally: &mut ClientTally, response: &WireResponse, micros: u64) {
+    tally.latencies_micros.push(micros);
+    match &response.outcome {
+        WireOutcome::Ok { cache_hit, .. } => {
+            tally.ok += 1;
+            if *cache_hit {
+                tally.cache_hit_responses += 1;
+            }
+        }
+        WireOutcome::Cancelled => tally.cancelled += 1,
+        _ => tally.errors += 1,
+    }
+}
+
+/// Runs the closed-loop load test against an in-process daemon and
+/// returns the merged report. The daemon is shut down (and its worker
+/// pool joined) before this returns.
+pub fn run_loadtest(config: &LoadtestConfig) -> io::Result<LoadReport> {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        engine: config.engine.clone(),
+    })?;
+    let addr = server.local_addr()?;
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let pool = instance_pool(config.seed, config.per_family.max(1));
+    let clients = config.clients.max(1);
+    let per_client = config.requests.div_ceil(clients);
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for client_idx in 0..clients {
+        let pool = pool.clone();
+        let solver = config.solver.clone();
+        let eps = config.eps;
+        workers.push(std::thread::spawn(move || -> io::Result<ClientTally> {
+            let mut client = Client::connect(addr)?;
+            let mut out = ClientTally::default();
+            for i in 0..per_client {
+                // Stride by client so concurrent clients spread over the
+                // pool but revisit the same fixed instances on later laps.
+                let instance = &pool[(client_idx + i * clients) % pool.len()];
+                let sent = Instant::now();
+                let response = client.solve(WireSolve {
+                    solver: solver.clone(),
+                    eps,
+                    threads: None,
+                    timeout_ms: None,
+                    instance: instance.clone(),
+                })?;
+                tally(&mut out, &response, sent.elapsed().as_micros() as u64);
+            }
+            Ok(out)
+        }));
+    }
+
+    let mut report = LoadReport::default();
+    let mut latencies = Vec::new();
+    for worker in workers {
+        let tally = worker
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;
+        report.ok += tally.ok;
+        report.errors += tally.errors;
+        report.cancelled += tally.cancelled;
+        report.cache_hit_responses += tally.cache_hit_responses;
+        latencies.extend(tally.latencies_micros);
+    }
+    let wall = start.elapsed();
+    report.requests = latencies.len() as u64;
+    latencies.sort_unstable();
+    report.p50_micros = percentile(&latencies, 50.0);
+    report.p99_micros = percentile(&latencies, 99.0);
+    report.wall_millis = wall.as_millis() as u64;
+    report.throughput_rps = if wall.as_secs_f64() > 0.0 {
+        report.requests as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    let control = Client::connect(addr)?;
+    let bye = control.shutdown()?;
+    if let WireOutcome::Bye {
+        served,
+        cache_hits,
+        cache_misses,
+        parks,
+        wakes,
+    } = bye.outcome
+    {
+        report.served = served;
+        report.cache_hits = cache_hits;
+        report.cache_misses = cache_misses;
+        report.parks = parks;
+        report.wakes = wakes;
+    }
+    server_thread
+        .join()
+        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;
+    Ok(report)
+}

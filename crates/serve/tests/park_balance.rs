@@ -1,0 +1,36 @@
+//! Park/wake balance on clean shutdown.
+//!
+//! The `bye` frame reports the process-global `POOL_PARKS` / `POOL_WAKES`
+//! counters, so this check needs a process with exactly one engine in it —
+//! hence its own integration-test binary with a single test (cargo runs
+//! test binaries one at a time).
+
+use pcmax_engine::EngineConfig;
+use pcmax_serve::{run_loadtest, LoadtestConfig};
+
+#[test]
+fn clean_shutdown_balances_parks_and_wakes() {
+    let report = run_loadtest(&LoadtestConfig {
+        clients: 2,
+        requests: 48,
+        solver: "pptas".into(),
+        eps: 0.5,
+        seed: 9,
+        per_family: 1,
+        engine: EngineConfig {
+            workers: 3,
+            capacity: 64,
+            cache_capacity: 1024,
+        },
+    })
+    .expect("loadtest");
+    assert_eq!(report.ok, 48);
+    assert!(
+        report.parks > 0,
+        "a 3-worker engine under 2 clients must actually park"
+    );
+    assert_eq!(
+        report.parks, report.wakes,
+        "every parked worker must be woken exactly once more by shutdown"
+    );
+}
